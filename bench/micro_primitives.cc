@@ -1,0 +1,177 @@
+// Google-benchmark microbenchmarks for the primitives underlying the paper's
+// effects: page transport (FIFO put/get, SPL put/get with N readers, the
+// push-model deep copy), query-bitmap operations (the shared-operator
+// bookkeeping), hash table build/probe, and predicate evaluation. These are
+// the ablation-level numbers behind the figure-level benches.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <thread>
+
+#include "common/bitmap.h"
+#include "core/shared_pages_list.h"
+#include "qpipe/fifo_buffer.h"
+#include "qpipe/hash_table.h"
+#include "query/predicate.h"
+#include "ssb/ssb_schema.h"
+#include "storage/page.h"
+
+namespace sdw {
+namespace {
+
+storage::PagePtr MakePage() {
+  auto page = storage::Page::Make(64);
+  while (std::byte* t = page->AppendTuple()) {
+    std::memset(t, 7, 64);
+  }
+  return page;
+}
+
+void BM_PageClone(benchmark::State& state) {
+  auto page = MakePage();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(storage::Page::Clone(*page));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(storage::kPageSize));
+}
+BENCHMARK(BM_PageClone);
+
+void BM_FifoPutGet(benchmark::State& state) {
+  auto page = MakePage();
+  for (auto _ : state) {
+    qpipe::FifoBuffer fifo(0);
+    for (int i = 0; i < 64; ++i) fifo.Put(page);
+    fifo.Close();
+    while (fifo.Next() != nullptr) {
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_FifoPutGet);
+
+// SPL with N concurrent readers: producer-side cost must stay flat in N
+// (the whole point of pull-based SP).
+void BM_SplProducerWithReaders(benchmark::State& state) {
+  const int readers = static_cast<int>(state.range(0));
+  auto page = MakePage();
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::SharedPagesList spl(0);  // unbounded: producer never blocks
+    std::vector<std::unique_ptr<core::SharedPagesList::Reader>> rs;
+    for (int r = 0; r < readers; ++r) rs.push_back(spl.TryAttachFromStart());
+    std::vector<std::thread> consumers;
+    for (auto& r : rs) {
+      consumers.emplace_back([&r] {
+        while (r->Next() != nullptr) {
+        }
+      });
+    }
+    state.ResumeTiming();
+    for (int i = 0; i < 256; ++i) spl.Put(page);
+    state.PauseTiming();
+    spl.Close();
+    for (auto& c : consumers) c.join();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_SplProducerWithReaders)->Arg(1)->Arg(4)->Arg(16);
+
+// Push-model producer: deep-copies into per-satellite FIFOs — cost grows
+// linearly with the satellite count (the serialization point).
+void BM_PushProducerWithSatellites(benchmark::State& state) {
+  const int satellites = static_cast<int>(state.range(0));
+  auto page = MakePage();
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<std::shared_ptr<qpipe::FifoBuffer>> fifos;
+    std::vector<std::thread> consumers;
+    for (int s = 0; s < satellites; ++s) {
+      fifos.push_back(std::make_shared<qpipe::FifoBuffer>(size_t{0}));
+      consumers.emplace_back([f = fifos.back()] {
+        while (f->Next() != nullptr) {
+        }
+      });
+    }
+    state.ResumeTiming();
+    for (int i = 0; i < 256; ++i) {
+      for (auto& f : fifos) f->Put(storage::Page::Clone(*page));
+    }
+    state.PauseTiming();
+    for (auto& f : fifos) f->Close();
+    for (auto& c : consumers) c.join();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_PushProducerWithSatellites)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_BitmapAndWithOr(benchmark::State& state) {
+  const size_t words = static_cast<size_t>(state.range(0));
+  std::vector<uint64_t> dst(words, ~0ull), a(words, 0x5555555555555555ull),
+      b(words, 0x0F0F0F0F0F0F0F0Full);
+  for (auto _ : state) {
+    bits::AndWithOr(dst.data(), a.data(), b.data(), words);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BitmapAndWithOr)->Arg(1)->Arg(4)->Arg(16);  // 64..1024 queries
+
+void BM_HashTableBuild(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  for (auto _ : state) {
+    qpipe::Int64HashTable ht;
+    for (int64_t k = 0; k < n; ++k) {
+      ht.Insert(qpipe::HashKey(k), k, static_cast<uint64_t>(k));
+    }
+    ht.Build();
+    benchmark::DoNotOptimize(ht.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HashTableBuild)->Arg(1000)->Arg(100000);
+
+void BM_HashTableProbe(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  qpipe::Int64HashTable ht;
+  for (int64_t k = 0; k < n; ++k) {
+    ht.Insert(qpipe::HashKey(k), k, static_cast<uint64_t>(k));
+  }
+  ht.Build();
+  int64_t probe = 0;
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    ht.ForEachMatch(qpipe::HashKey(probe % (2 * n)), probe % (2 * n),
+                    [&](uint64_t v) { sum += v; });
+    benchmark::DoNotOptimize(sum);
+    ++probe;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashTableProbe)->Arg(1000)->Arg(100000);
+
+void BM_PredicateEval(benchmark::State& state) {
+  const storage::Schema schema = ssb::CustomerSchema();
+  std::vector<std::byte> tuple(schema.tuple_size());
+  schema.SetChar(tuple.data(), schema.MustColumnIndex("c_nation"),
+                 "UNITED STATES");
+  query::Predicate pred;
+  pred.AndAnyOf({query::AtomicPred::Str("c_nation", query::CompareOp::kEq,
+                                        "UNITED KINGDOM"),
+                 query::AtomicPred::Str("c_nation", query::CompareOp::kEq,
+                                        "UNITED STATES")});
+  const auto bound = pred.Bind(schema);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bound.Eval(schema, tuple.data()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PredicateEval);
+
+}  // namespace
+}  // namespace sdw
+
+BENCHMARK_MAIN();

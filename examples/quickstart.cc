@@ -1,0 +1,67 @@
+// Quickstart: build a small Star Schema Benchmark database, start the
+// integrated engine in its recommended configuration, run one analytical
+// query, and print the results.
+//
+//   $ ./quickstart
+//
+// The public API in five steps:
+//   1. storage::Catalog + ssb::BuildSsbDatabase   — load data
+//   2. storage::StorageDevice + BufferPool        — I/O layer (memory mode)
+//   3. core::Engine with EngineOptions            — pick a configuration
+//   4. ssb::MakeQ32 / query::StarQuery            — describe the query
+//   5. engine.SubmitBatch(...) -> QueryHandle     — run and read results
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "ssb/ssb_generator.h"
+#include "ssb/ssb_schema.h"
+#include "ssb/ssb_queries.h"
+
+int main() {
+  using namespace sdw;
+
+  // 1. Load a scale-factor-0.1 SSB database (~600k fact rows).
+  storage::Catalog catalog;
+  ssb::BuildSsbDatabase(&catalog, {.scale_factor = 0.1, .seed = 42});
+  std::printf("Loaded SSB: %zu lineorder rows, %zu tables\n",
+              catalog.MustGetTable(ssb::kLineorder)->num_rows(),
+              catalog.num_tables());
+
+  // 2. Memory-resident I/O layer (paper's RAM-drive setup).
+  storage::StorageDevice device({.memory_resident = true});
+  storage::BufferPool pool(&device, /*capacity_bytes=*/0);
+
+  // 3. The integrated engine: QPipe-SP = query-centric operators with
+  //    Simultaneous Pipelining over pull-based Shared Pages Lists.
+  core::EngineOptions options;
+  options.config = core::EngineConfig::kQpipeSp;
+  options.comm = core::CommModel::kPull;
+  core::Engine engine(&catalog, &pool, options);
+
+  // 4. SSB Q3.2: revenue by (customer city, supplier city, year).
+  ssb::Q32Params params;
+  params.cust_nation = 23;  // UNITED KINGDOM
+  params.supp_nation = 24;  // UNITED STATES
+  params.year_lo = 1992;
+  params.year_hi = 1997;
+  const query::StarQuery q = ssb::MakeQ32(params);
+
+  // 5. Submit, wait, read.
+  const auto handles = engine.SubmitBatch({q});
+  handles[0]->done.wait();
+  const query::ResultSet& result = handles[0]->result;
+
+  std::printf("\nSSB Q3.2 returned %zu rows in %.1f ms:\n", result.num_rows(),
+              handles[0]->response_seconds() * 1e3);
+  std::printf("  %-12s %-12s %-6s %s\n", "c_city", "s_city", "year",
+              "revenue");
+  const size_t show = result.num_rows() < 10 ? result.num_rows() : 10;
+  for (size_t i = 0; i < show; ++i) {
+    std::printf("  %s\n", result.FormatRow(i).c_str());
+  }
+  if (result.num_rows() > show) {
+    std::printf("  ... (%zu more)\n", result.num_rows() - show);
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// The paper's Table 1 as an interactive advisor: given an expected number of
+// concurrent analytical queries (and optionally the machine's hardware
+// contexts), print which sharing strategy the engine should use and then
+// validate the advice empirically on a small workload.
+//
+//   $ ./sharing_policy_advisor <concurrent_queries> [hardware_contexts]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/engine.h"
+#include "core/sharing_policy.h"
+#include "harness/driver.h"
+#include "ssb/ssb_generator.h"
+#include "ssb/ssb_schema.h"
+#include "ssb/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace sdw;
+
+  const size_t queries =
+      argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 32;
+  const size_t contexts =
+      argc > 2 ? static_cast<size_t>(std::atoi(argv[2])) : 0;
+
+  core::WorkloadProfile profile;
+  profile.concurrent_queries = queries;
+  profile.hardware_contexts = contexts;
+  const core::PolicyDecision decision = core::RecommendSharing(profile);
+
+  std::printf("Workload: %zu concurrent analytical queries on %zu hardware "
+              "contexts\n\n",
+              queries,
+              contexts == 0 ? core::HardwareContexts() : contexts);
+  std::printf("Recommendation (paper Table 1):\n");
+  std::printf("  execution engine : %s\n",
+              core::EngineConfigName(decision.config));
+  std::printf("  I/O layer        : %s\n",
+              decision.shared_scans ? "shared (circular) scans"
+                                    : "independent scans");
+  std::printf("  why              : %s\n\n", decision.rationale.c_str());
+
+  // Validate on a small SSB instance: run the recommended configuration and
+  // the alternative, and report both.
+  storage::Catalog catalog;
+  ssb::BuildSsbDatabase(&catalog, {.scale_factor = 0.02, .seed = 42});
+  storage::StorageDevice device({.memory_resident = true});
+  storage::BufferPool pool(&device, 0);
+  const auto workload = ssb::RandomQ32Workload(queries, 11);
+
+  std::printf("Empirical check on SF-0.02 SSB (%zu random Q3.2):\n",
+              queries);
+  for (core::EngineConfig config :
+       {core::EngineConfig::kQpipeSp, core::EngineConfig::kCjoinSp}) {
+    core::EngineOptions options;
+    options.config = config;
+    options.cjoin.max_queries = queries * 2;
+    core::Engine engine(&catalog, &pool, options);
+    const auto m = harness::RunBatch(&engine, &pool, workload);
+    std::printf("  %-8s : avg response %6.1f ms%s\n",
+                core::EngineConfigName(config),
+                m.response_seconds.Mean() * 1e3,
+                config == decision.config ? "   <- recommended" : "");
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "baseline/volcano.h"
+
+#include "qpipe/operators.h"
+
+namespace sdw::baseline {
+
+query::ResultSet VolcanoEngine::Execute(const query::StarQuery& q) const {
+  const query::Planner planner(catalog_);
+  const std::unique_ptr<query::PlanNode> plan = planner.BuildPlan(q);
+  return ExecutePlan(*plan);
+}
+
+query::ResultSet VolcanoEngine::ExecutePlan(
+    const query::PlanNode& plan) const {
+  VectorChannel out;
+  Evaluate(plan, &out);
+  query::ResultSet result(plan.out_schema);
+  while (storage::PagePtr page = out.Next()) {
+    const uint32_t n = page->tuple_count();
+    for (uint32_t i = 0; i < n; ++i) result.AddRow(page->tuple(i));
+  }
+  return result;
+}
+
+void VolcanoEngine::Evaluate(const query::PlanNode& node,
+                             VectorChannel* out) const {
+  using Kind = query::PlanNode::Kind;
+  switch (node.kind) {
+    case Kind::kScan:
+      qpipe::RunScan(node, /*raw_pages=*/nullptr, pool_, out);
+      break;
+    case Kind::kHashJoin: {
+      VectorChannel probe;
+      VectorChannel build;
+      Evaluate(*node.child(0), &probe);
+      Evaluate(*node.child(1), &build);
+      qpipe::RunHashJoin(node, &probe, &build, out);
+      break;
+    }
+    case Kind::kAggregate: {
+      VectorChannel in;
+      Evaluate(*node.child(0), &in);
+      qpipe::RunAggregate(node, &in, out);
+      break;
+    }
+    case Kind::kSort: {
+      VectorChannel in;
+      Evaluate(*node.child(0), &in);
+      qpipe::RunSort(node, &in, out);
+      break;
+    }
+  }
+}
+
+}  // namespace sdw::baseline

@@ -1,0 +1,75 @@
+// Query-centric comparator engine (the paper's PostgreSQL stand-in, §5.3).
+//
+// Substitution (DESIGN.md §3): the paper uses PostgreSQL solely as "another
+// example of a query-centric execution engine that does not share among
+// concurrent queries" — caching disabled, same plans, memory-resident
+// buffers. VolcanoEngine is exactly that: each query runs the identical
+// physical plan synchronously in its caller's thread, with its own table
+// scans through the shared buffer pool and zero cross-query sharing.
+
+#ifndef SDW_BASELINE_VOLCANO_H_
+#define SDW_BASELINE_VOLCANO_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/page_channel.h"
+#include "query/plan.h"
+#include "query/result.h"
+#include "query/star_query.h"
+#include "storage/buffer_pool.h"
+#include "storage/catalog.h"
+
+namespace sdw::baseline {
+
+/// Collects produced pages in memory and replays them — the materialized
+/// exchange between the synchronous operators of the Volcano engine.
+class VectorChannel : public core::PageSink, public core::PageSource {
+ public:
+  // PageSink:
+  bool Put(storage::PagePtr page) override {
+    pages_.push_back(std::move(page));
+    return true;
+  }
+  void Close() override {}
+
+  // PageSource:
+  storage::PagePtr Next() override {
+    if (pos_ >= pages_.size()) return nullptr;
+    return pages_[pos_++];
+  }
+  void CancelReader() override { pos_ = pages_.size(); }
+
+  size_t num_pages() const { return pages_.size(); }
+  void Rewind() { pos_ = 0; }
+
+ private:
+  std::vector<storage::PagePtr> pages_;
+  size_t pos_ = 0;
+};
+
+/// The query-centric engine: one thread, one query, no sharing.
+class VolcanoEngine {
+ public:
+  VolcanoEngine(const storage::Catalog* catalog, storage::BufferPool* pool)
+      : catalog_(catalog), pool_(pool) {}
+
+  SDW_DISALLOW_COPY(VolcanoEngine);
+
+  /// Plans and executes `q` synchronously in the calling thread.
+  query::ResultSet Execute(const query::StarQuery& q) const;
+
+  /// Executes a pre-built plan (used by tests to cross-check the planner).
+  query::ResultSet ExecutePlan(const query::PlanNode& plan) const;
+
+ private:
+  /// Evaluates `node`, leaving its output in `out`.
+  void Evaluate(const query::PlanNode& node, VectorChannel* out) const;
+
+  const storage::Catalog* catalog_;
+  storage::BufferPool* pool_;
+};
+
+}  // namespace sdw::baseline
+
+#endif  // SDW_BASELINE_VOLCANO_H_

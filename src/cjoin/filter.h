@@ -1,0 +1,96 @@
+// A CJOIN filter: the fused shared-selection + shared-hash-join for one
+// dimension table (paper §2.4-2.5, Figure 3).
+//
+// The filter's hash table maps dimension primary keys to the union of
+// dimension tuples selected by any active query referencing the dimension;
+// each entry carries match bits (one per query slot). Queries that do not
+// reference the dimension sit in the filter's pass mask. Processing a fact
+// tuple computes  bits &= match(entry) | pass_mask  — a hash probe plus one
+// bitwise AND — and records the joined dimension row for projection.
+
+#ifndef SDW_CJOIN_FILTER_H_
+#define SDW_CJOIN_FILTER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cjoin/tuple_batch.h"
+#include "common/bitmap.h"
+#include "qpipe/hash_table.h"
+#include "query/predicate.h"
+#include "storage/buffer_pool.h"
+#include "storage/table.h"
+
+namespace sdw::cjoin {
+
+/// Shared selection + hash join over one dimension.
+class Filter {
+ public:
+  /// `position` is the filter's index in the pipeline (column of the batch
+  /// dim_rows matrix); `slots` the bitmap capacity in query slots.
+  Filter(const storage::Table* dim_table, std::string fact_fk_column,
+         std::string dim_pk_column, size_t position, size_t slots);
+
+  SDW_DISALLOW_COPY(Filter);
+
+  const storage::Table* dim_table() const { return dim_table_; }
+  const std::string& fact_fk_column() const { return fact_fk_column_; }
+  const std::string& dim_pk_column() const { return dim_pk_column_; }
+  size_t position() const { return position_; }
+
+  /// True when this filter implements the given join triple.
+  bool Matches(const storage::Table* dim, const std::string& fk,
+               const std::string& pk) const {
+    return dim == dim_table_ && fk == fact_fk_column_ && pk == dim_pk_column_;
+  }
+
+  /// Admission: scans the dimension (through the buffer pool), evaluates the
+  /// query's predicate, and sets the query's bit on every selected tuple.
+  /// Called only while the pipeline is paused.
+  void AdmitQuery(uint32_t slot, const query::Predicate& pred,
+                  storage::BufferPool* pool);
+
+  /// Marks `slot` as not referencing this dimension (pass-through).
+  void SetPass(uint32_t slot) { pass_mask_.Set(slot); }
+
+  /// Removes a completed query from the pass mask (match bits are cleansed
+  /// lazily by CleanSlot before slot reuse). Pipeline must be paused.
+  void RemoveQuery(uint32_t slot) { pass_mask_.Clear(slot); }
+
+  /// Clears `slot`'s bit from every hash-table entry (slot recycling).
+  void CleanSlot(uint32_t slot);
+
+  /// Processes one batch in a filter-worker thread: probes every live tuple,
+  /// ANDs bitmaps, records joined dimension rows. `fact_schema` /
+  /// `fact_fk_col_idx` locate the foreign key on the fact tuples.
+  void Process(TupleBatch* batch, const storage::Schema& fact_schema,
+               size_t fact_fk_col_idx) const;
+
+  /// Number of distinct dimension tuples currently referenced (hash table
+  /// size) — the shared-operator bookkeeping the paper discusses.
+  size_t num_entries() const { return ht_.size(); }
+
+ private:
+  const storage::Table* dim_table_;
+  const std::string fact_fk_column_;
+  const std::string dim_pk_column_;
+  const size_t position_;
+  const size_t words_;
+
+  // Probe-path table: pk -> entry index (values are entry indexes).
+  qpipe::Int64HashTable ht_;
+  // Admission-path index with the same mapping (supports incremental
+  // insert-or-find while ht_ is frozen for probing).
+  std::unordered_map<int64_t, uint32_t> pk_to_entry_;
+  std::vector<uint32_t> entry_rows_;    // dim row id per entry
+  std::vector<uint64_t> entry_bits_;    // words_ match bits per entry
+  Bitset pass_mask_;
+
+  size_t dim_pk_col_idx_;
+};
+
+}  // namespace sdw::cjoin
+
+#endif  // SDW_CJOIN_FILTER_H_

@@ -1,0 +1,402 @@
+#include "cjoin/pipeline.h"
+
+#include <bit>
+#include <unordered_map>
+
+#include "common/breakdown.h"
+#include "common/timing.h"
+
+namespace sdw::cjoin {
+
+CjoinPipeline::CjoinPipeline(const storage::Catalog* catalog,
+                             storage::BufferPool* pool,
+                             const storage::Table* fact_table,
+                             CjoinOptions options)
+    : catalog_(catalog),
+      pool_(pool),
+      fact_(fact_table),
+      options_(options),
+      words_(bits::WordsFor(options.max_queries)),
+      slots_(options.max_queries),
+      active_mask_(options.max_queries),
+      to_filters_(options.queue_capacity),
+      to_distributor_(options.queue_capacity),
+      cursor_(fact_table, pool) {
+  free_slots_.reserve(options_.max_queries);
+  for (size_t s = options_.max_queries; s > 0; --s) {
+    free_slots_.push_back(static_cast<uint32_t>(s - 1));
+  }
+  preprocessor_ = std::thread([this] { PreprocessorLoop(); });
+  for (size_t i = 0; i < options_.filter_threads; ++i) {
+    workers_.emplace_back([this] { FilterWorkerLoop(); });
+  }
+  for (size_t i = 0; i < options_.distributor_parts; ++i) {
+    parts_.emplace_back([this] { DistributorPartLoop(); });
+  }
+}
+
+CjoinPipeline::~CjoinPipeline() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_.store(true);
+    SDW_CHECK_MSG(active_count_ == 0 && pending_.empty(),
+                  "CjoinPipeline destroyed with queries in flight");
+  }
+  work_cv_.notify_all();
+  preprocessor_.join();
+  to_filters_.Close();
+  for (auto& w : workers_) w.join();
+  to_distributor_.Close();
+  for (auto& p : parts_) p.join();
+}
+
+void CjoinPipeline::Submit(const query::StarQuery& q,
+                           storage::Schema out_schema,
+                           std::shared_ptr<core::PageSink> sink,
+                           std::function<void()> on_complete) {
+  std::vector<Submission> one;
+  one.push_back(
+      {q, std::move(out_schema), std::move(sink), std::move(on_complete)});
+  SubmitMany(std::move(one));
+}
+
+void CjoinPipeline::SubmitMany(std::vector<Submission> submissions) {
+  if (submissions.empty()) return;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (auto& s : submissions) pending_.push_back(std::move(s));
+  }
+  work_cv_.notify_all();
+}
+
+CjoinStats CjoinPipeline::stats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void CjoinPipeline::ResetStats() {
+  std::unique_lock<std::mutex> lock(mu_);
+  stats_ = CjoinStats{};
+}
+
+size_t CjoinPipeline::num_filters() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return filters_.size();
+}
+
+size_t CjoinPipeline::num_active_queries() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return active_count_;
+}
+
+// ------------------------------------------------------------- preprocessor
+
+void CjoinPipeline::PreprocessorLoop() {
+  const storage::Schema& fact_schema = fact_->schema();
+  (void)fact_schema;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!pending_.empty() || !completions_due_.empty()) {
+        // Pause the pipeline: drain in-flight batches, then adapt the GQP.
+        lock.unlock();
+        DrainPipeline();
+        lock.lock();
+        DoCompletionsLocked();
+        DoAdmissionsLocked();
+      }
+      if (stop_.load()) return;
+      if (active_count_ == 0) {
+        work_cv_.wait(lock,
+                      [&] { return stop_.load() || !pending_.empty(); });
+        continue;
+      }
+    }
+
+    // Produce one page: the circular scan of the fact table.
+    const uint64_t page_index = cursor_.position();
+    const storage::Page* raw;
+    {
+      ScopedComponentTimer t(Component::kScans);
+      raw = cursor_.Next();
+    }
+    if (raw == nullptr) continue;  // empty fact table
+
+    auto batch = std::make_shared<TupleBatch>();
+    batch->fact_page = fact_->SharePage(page_index);
+    batch->page_index = page_index;
+    batch->num_tuples = raw->tuple_count();
+    batch->words_per_tuple = static_cast<uint32_t>(words_);
+    batch->num_filters = static_cast<uint32_t>(filters_.size());
+    {
+      // Annotate every tuple with the active-query bitmap (paper: the
+      // preprocessor attaches the bitmaps).
+      ScopedComponentTimer t(Component::kMisc);
+      batch->bits.resize(static_cast<size_t>(batch->num_tuples) * words_);
+      const uint64_t* mask = active_mask_.words();
+      for (uint32_t i = 0; i < batch->num_tuples; ++i) {
+        bits::Copy(batch->tuple_bits(i), mask, words_);
+      }
+      batch->dim_rows.assign(
+          static_cast<size_t>(batch->num_tuples) * batch->num_filters,
+          kNoDimRow);
+      if (options_.fact_preds_in_preprocessor) {
+        // §3.2 variant: the preprocessor evaluates fact predicates per
+        // query per tuple — fewer tuples flow, but the single-threaded
+        // pipeline head slows down (the paper rejected this trade).
+        const storage::Schema& fs = fact_->schema();
+        for (size_t s = active_mask_.FindNextSet(0); s < active_mask_.size();
+             s = active_mask_.FindNextSet(s + 1)) {
+          const ActiveQuery* aq = slots_[s].get();
+          if (aq == nullptr || aq->fact_pred.IsTrue()) continue;
+          for (uint32_t i = 0; i < batch->num_tuples; ++i) {
+            if (!aq->fact_pred.Eval(fs, batch->fact_tuple(i))) {
+              bits::Clear(batch->tuple_bits(i), s);
+            }
+          }
+        }
+      }
+    }
+
+    in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    to_filters_.Put(std::move(batch));
+
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++stats_.fact_pages_scanned;
+      for (size_t s = active_mask_.FindNextSet(0); s < active_mask_.size();
+           s = active_mask_.FindNextSet(s + 1)) {
+        ActiveQuery* aq = slots_[s].get();
+        if (aq != nullptr && --aq->pages_remaining == 0) {
+          completions_due_.push_back(static_cast<uint32_t>(s));
+        }
+      }
+    }
+  }
+}
+
+void CjoinPipeline::DrainPipeline() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock,
+                 [&] { return in_flight_.load(std::memory_order_acquire) == 0; });
+}
+
+void CjoinPipeline::CompleteQueryLocked(uint32_t slot) {
+  ActiveQuery* aq = slots_[slot].get();
+  SDW_CHECK(aq != nullptr);
+  {
+    std::unique_lock<std::mutex> out_lock(aq->out_mu);
+    aq->writer->Flush();
+    aq->sink->Close();
+  }
+  if (aq->on_complete) aq->on_complete();
+  active_mask_.Clear(slot);
+  --active_count_;
+  ++stats_.queries_completed;
+  for (auto& f : filters_) f->RemoveQuery(slot);
+  dirty_slots_.push_back(slot);
+  slots_[slot].reset();
+}
+
+void CjoinPipeline::DoCompletionsLocked() {
+  for (uint32_t slot : completions_due_) CompleteQueryLocked(slot);
+  completions_due_.clear();
+}
+
+uint32_t CjoinPipeline::AllocSlotLocked() {
+  if (!free_slots_.empty()) {
+    const uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  SDW_CHECK_MSG(!dirty_slots_.empty(),
+                "CJOIN query-slot capacity (%zu) exhausted",
+                options_.max_queries);
+  const uint32_t slot = dirty_slots_.back();
+  dirty_slots_.pop_back();
+  // Cleanse stale match bits left by the slot's previous occupant.
+  for (auto& f : filters_) f->CleanSlot(slot);
+  return slot;
+}
+
+Filter* CjoinPipeline::GetOrCreateFilterLocked(const query::DimJoin& dim) {
+  const storage::Table* dim_table = catalog_->MustGetTable(dim.dim_table);
+  for (auto& f : filters_) {
+    if (f->Matches(dim_table, dim.fact_fk_column, dim.dim_pk_column)) {
+      return f.get();
+    }
+  }
+  // New dimension: extend the GQP with a new filter. Queries already active
+  // do not reference it, so they pass through.
+  auto filter = std::make_unique<Filter>(dim_table, dim.fact_fk_column,
+                                         dim.dim_pk_column, filters_.size(),
+                                         options_.max_queries);
+  for (size_t s = active_mask_.FindNextSet(0); s < active_mask_.size();
+       s = active_mask_.FindNextSet(s + 1)) {
+    filter->SetPass(static_cast<uint32_t>(s));
+  }
+  filter_fk_idx_.push_back(
+      fact_->schema().MustColumnIndex(dim.fact_fk_column));
+  filters_.push_back(std::move(filter));
+  return filters_.back().get();
+}
+
+void CjoinPipeline::BuildProjection(const query::StarQuery& q,
+                                    const storage::Schema& out_schema,
+                                    ActiveQuery* aq) {
+  const query::Planner planner(catalog_);
+  const storage::Schema& fact_schema = fact_->schema();
+  size_t dst = 0;
+  for (size_t col : planner.FactProjection(q)) {
+    aq->moves.push_back({true, 0, fact_schema.offset(col),
+                         out_schema.offset(dst),
+                         fact_schema.column(col).width()});
+    ++dst;
+  }
+  for (const auto& dim : q.dims) {
+    const storage::Table* dim_table = catalog_->MustGetTable(dim.dim_table);
+    size_t filter_pos = 0;
+    for (const auto& f : filters_) {
+      if (f->Matches(dim_table, dim.fact_fk_column, dim.dim_pk_column)) {
+        filter_pos = f->position();
+        break;
+      }
+    }
+    const storage::Schema& ds = dim_table->schema();
+    for (const auto& payload : dim.payload_columns) {
+      const size_t col = ds.MustColumnIndex(payload);
+      aq->moves.push_back({false, filter_pos, ds.offset(col),
+                           out_schema.offset(dst), ds.column(col).width()});
+      ++dst;
+    }
+  }
+  SDW_CHECK_MSG(dst == out_schema.num_columns(),
+                "CJOIN projection does not cover the output schema");
+}
+
+void CjoinPipeline::DoAdmissionsLocked() {
+  if (pending_.empty()) return;
+  WallTimer timer;
+  for (auto& p : pending_) {
+    const uint32_t slot = AllocSlotLocked();
+    auto aq = std::make_unique<ActiveQuery>();
+    aq->slot = slot;
+    aq->q = p.q;
+    aq->out_schema = std::move(p.out_schema);
+    aq->sink = std::move(p.sink);
+    aq->on_complete = std::move(p.on_complete);
+    aq->fact_pred = p.q.fact_pred.Bind(fact_->schema());
+    aq->writer = std::make_unique<qpipe::PageWriter>(
+        aq->sink.get(), aq->out_schema.tuple_size());
+
+    // Update / extend filters: scan the dimensions, set this query's bits.
+    for (const auto& dim : p.q.dims) {
+      GetOrCreateFilterLocked(dim)->AdmitQuery(slot, dim.pred, pool_);
+    }
+    // Mark pass-through on every filter the query does not reference.
+    for (auto& f : filters_) {
+      bool referenced = false;
+      for (const auto& dim : p.q.dims) {
+        if (f->Matches(catalog_->MustGetTable(dim.dim_table),
+                       dim.fact_fk_column, dim.dim_pk_column)) {
+          referenced = true;
+          break;
+        }
+      }
+      if (!referenced) f->SetPass(slot);
+    }
+
+    BuildProjection(p.q, aq->out_schema, aq.get());
+
+    // Point of entry: the circular scan's current position; the query
+    // completes after one full cycle.
+    aq->pages_remaining = fact_->num_pages();
+    slots_[slot] = std::move(aq);
+    active_mask_.Set(slot);
+    ++active_count_;
+    ++stats_.queries_admitted;
+    if (slots_[slot]->pages_remaining == 0) {
+      CompleteQueryLocked(slot);  // empty fact table: nothing to join
+    }
+  }
+  pending_.clear();
+  ++stats_.admission_batches;
+  stats_.admission_seconds += timer.ElapsedSeconds();
+}
+
+// ------------------------------------------------------------ filter workers
+
+void CjoinPipeline::FilterWorkerLoop() {
+  const storage::Schema& fact_schema = fact_->schema();
+  while (BatchPtr batch = to_filters_.Take()) {
+    for (uint32_t f = 0; f < batch->num_filters; ++f) {
+      filters_[f]->Process(batch.get(), fact_schema, filter_fk_idx_[f]);
+    }
+    to_distributor_.Put(std::move(batch));
+  }
+}
+
+// --------------------------------------------------------- distributor parts
+
+void CjoinPipeline::DistributorPartLoop() {
+  const storage::Schema& fact_schema = fact_->schema();
+  // Per-part scratch: slot -> matching tuple indexes in the current batch.
+  std::unordered_map<uint32_t, std::vector<uint32_t>> by_slot;
+
+  while (BatchPtr batch = to_distributor_.Take()) {
+    {
+      ScopedComponentTimer t(Component::kMisc);
+      by_slot.clear();
+      const size_t words = batch->words_per_tuple;
+      for (uint32_t i = 0; i < batch->num_tuples; ++i) {
+        const uint64_t* tb = batch->tuple_bits(i);
+        for (size_t w = 0; w < words; ++w) {
+          uint64_t word = tb[w];
+          while (word != 0) {
+            const uint32_t slot = static_cast<uint32_t>(
+                w * 64 + static_cast<size_t>(std::countr_zero(word)));
+            word &= word - 1;
+            by_slot[slot].push_back(i);
+          }
+        }
+      }
+
+      for (auto& [slot, idxs] : by_slot) {
+        ActiveQuery* aq = slots_[slot].get();
+        SDW_DCHECK(aq != nullptr);
+        std::unique_lock<std::mutex> out_lock(aq->out_mu);
+        for (uint32_t i : idxs) {
+          const std::byte* fact_row = batch->fact_tuple(i);
+          // Fact predicates are evaluated on CJOIN's output tuples unless
+          // the preprocessor already applied them (§3.2).
+          if (!options_.fact_preds_in_preprocessor &&
+              !aq->fact_pred.IsTrue() &&
+              !aq->fact_pred.Eval(fact_schema, fact_row)) {
+            continue;
+          }
+          std::byte* dst = aq->writer->AppendTuple();
+          if (dst == nullptr) break;  // consumers gone
+          const uint32_t* dim_rows = batch->tuple_dim_rows(i);
+          for (const auto& m : aq->moves) {
+            const std::byte* src;
+            if (m.from_fact) {
+              src = fact_row + m.src_off;
+            } else {
+              const uint32_t row = dim_rows[m.filter_pos];
+              SDW_DCHECK(row != kNoDimRow);
+              src = filters_[m.filter_pos]->dim_table()->row(row) + m.src_off;
+            }
+            std::memcpy(dst + m.dst_off, src, m.len);
+          }
+        }
+      }
+    }
+
+    if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::unique_lock<std::mutex> lock(drain_mu_);
+      drain_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace sdw::cjoin

@@ -1,0 +1,182 @@
+// The CJOIN Global Query Plan pipeline (paper §2.5, Figure 4):
+//
+//   preprocessor ──► filter workers ──► distributor parts ──► query outputs
+//
+//  * The preprocessor runs a circular scan of the fact table, emitting one
+//    annotated tuple batch per page. Each admitted query records its point
+//    of entry and completes when the scan wraps around to it.
+//  * Query admission is batched: at a page boundary the pipeline drains,
+//    pending queries update/extend the filters (scanning their dimension
+//    tables and setting their bits), and the scan resumes — the paper's
+//    pause-the-pipeline admission phase.
+//  * Filter workers take whole batches through every filter (the paper's
+//    horizontal thread configuration).
+//  * Distributor parts examine each joined tuple's bitmap, evaluate
+//    fact-table predicates per query (CJOIN does not push them into the
+//    preprocessor; see paper §3.2), project, and forward to the query's
+//    output channel.
+
+#ifndef SDW_CJOIN_PIPELINE_H_
+#define SDW_CJOIN_PIPELINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cjoin/filter.h"
+#include "cjoin/tuple_batch.h"
+#include "core/page_channel.h"
+#include "qpipe/operators.h"
+#include "query/plan.h"
+#include "query/star_query.h"
+#include "storage/buffer_pool.h"
+#include "storage/catalog.h"
+#include "storage/scan.h"
+
+namespace sdw::cjoin {
+
+/// Pipeline configuration.
+struct CjoinOptions {
+  /// Query-slot capacity (bitmap width). Admissions beyond this abort.
+  size_t max_queries = 1024;
+  /// Filter worker threads (horizontal configuration).
+  size_t filter_threads = 2;
+  /// Distributor parts (the paper adds these to remove the single-threaded
+  /// distributor bottleneck, §3.2).
+  size_t distributor_parts = 2;
+  /// Batches buffered between pipeline stages.
+  size_t queue_capacity = 8;
+  /// Evaluate fact-table predicates in the preprocessor (clearing the
+  /// query's bit on non-matching tuples) instead of on CJOIN's output. The
+  /// paper tried this and rejected it: "in most cases the cost of a slower
+  /// pipeline defeated the purpose of potentially flowing fewer fact tuples
+  /// in the pipeline" (§3.2). Kept as an option for the ablation bench.
+  bool fact_preds_in_preprocessor = false;
+};
+
+/// Aggregate pipeline statistics.
+struct CjoinStats {
+  double admission_seconds = 0;   // wall time with the pipeline paused
+  uint64_t admission_batches = 0;
+  uint64_t queries_admitted = 0;
+  uint64_t queries_completed = 0;
+  uint64_t fact_pages_scanned = 0;
+};
+
+/// The always-on shared-operator pipeline evaluating all concurrent star
+/// queries over one fact table.
+class CjoinPipeline {
+ public:
+  CjoinPipeline(const storage::Catalog* catalog, storage::BufferPool* pool,
+                const storage::Table* fact_table, CjoinOptions options);
+  ~CjoinPipeline();
+
+  SDW_DISALLOW_COPY(CjoinPipeline);
+
+  /// One query submission: join-pipeline output rows — schema `out_schema`,
+  /// which must equal the query-centric join sub-plan's output schema — are
+  /// written to `sink`; at completion the sink is closed and `on_complete`
+  /// runs (in the preprocessor thread).
+  struct Submission {
+    query::StarQuery q;
+    storage::Schema out_schema;
+    std::shared_ptr<core::PageSink> sink;
+    std::function<void()> on_complete;
+  };
+
+  /// Submits a star query.
+  void Submit(const query::StarQuery& q, storage::Schema out_schema,
+              std::shared_ptr<core::PageSink> sink,
+              std::function<void()> on_complete);
+
+  /// Submits several queries atomically so they join one admission batch
+  /// (one pipeline pause) — the paper's batched admission (§3.2).
+  void SubmitMany(std::vector<Submission> submissions);
+
+  CjoinStats stats() const;
+  /// Zeroes the aggregate statistics (between experiment runs).
+  void ResetStats();
+  size_t num_filters() const;
+  size_t num_active_queries() const;
+
+ private:
+  /// Projection step from fact row or joined dimension row to output tuple.
+  struct ProjMove {
+    bool from_fact;
+    size_t filter_pos;  // valid when !from_fact
+    uint32_t src_off;
+    uint32_t dst_off;
+    uint32_t len;
+  };
+
+  struct ActiveQuery {
+    uint32_t slot = 0;
+    query::StarQuery q;
+    storage::Schema out_schema;
+    std::shared_ptr<core::PageSink> sink;
+    std::function<void()> on_complete;
+    query::Predicate::Bound fact_pred;
+    std::vector<ProjMove> moves;
+    uint64_t pages_remaining = 0;
+    std::mutex out_mu;
+    std::unique_ptr<qpipe::PageWriter> writer;
+  };
+
+  using PendingQuery = Submission;
+
+  void PreprocessorLoop();
+  void FilterWorkerLoop();
+  void DistributorPartLoop();
+
+  /// Blocks until no batch is in flight (pipeline paused).
+  void DrainPipeline();
+
+  // The *Locked helpers require mu_ held and the pipeline drained.
+  void DoCompletionsLocked();
+  void DoAdmissionsLocked();
+  uint32_t AllocSlotLocked();
+  Filter* GetOrCreateFilterLocked(const query::DimJoin& dim);
+  void BuildProjection(const query::StarQuery& q,
+                       const storage::Schema& out_schema, ActiveQuery* aq);
+  void CompleteQueryLocked(uint32_t slot);
+
+  const storage::Catalog* catalog_;
+  storage::BufferPool* pool_;
+  const storage::Table* fact_;
+  const CjoinOptions options_;
+  const size_t words_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::vector<PendingQuery> pending_;
+  std::vector<std::unique_ptr<ActiveQuery>> slots_;
+  Bitset active_mask_;
+  size_t active_count_ = 0;
+  std::vector<uint32_t> free_slots_;
+  std::vector<uint32_t> dirty_slots_;
+  std::vector<uint32_t> completions_due_;
+  std::vector<std::unique_ptr<Filter>> filters_;
+  std::vector<size_t> filter_fk_idx_;  // fact-schema column of each FK
+  CjoinStats stats_;
+
+  BatchQueue to_filters_;
+  BatchQueue to_distributor_;
+  std::atomic<int> in_flight_{0};
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+
+  std::atomic<bool> stop_{false};
+  storage::CircularPageCursor cursor_;
+
+  std::thread preprocessor_;
+  std::vector<std::thread> workers_;
+  std::vector<std::thread> parts_;
+};
+
+}  // namespace sdw::cjoin
+
+#endif  // SDW_CJOIN_PIPELINE_H_

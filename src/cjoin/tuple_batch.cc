@@ -1,0 +1,30 @@
+#include "cjoin/tuple_batch.h"
+
+namespace sdw::cjoin {
+
+void BatchQueue::Put(BatchPtr batch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  put_cv_.wait(lock, [&] { return queue_.size() < capacity_ || closed_; });
+  if (closed_) return;
+  queue_.push_back(std::move(batch));
+  take_cv_.notify_one();
+}
+
+BatchPtr BatchQueue::Take() {
+  std::unique_lock<std::mutex> lock(mu_);
+  take_cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) return nullptr;
+  BatchPtr batch = std::move(queue_.front());
+  queue_.pop_front();
+  put_cv_.notify_one();
+  return batch;
+}
+
+void BatchQueue::Close() {
+  std::unique_lock<std::mutex> lock(mu_);
+  closed_ = true;
+  put_cv_.notify_all();
+  take_cv_.notify_all();
+}
+
+}  // namespace sdw::cjoin

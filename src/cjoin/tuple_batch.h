@@ -1,0 +1,79 @@
+// Annotated fact-tuple batches flowing through the CJOIN pipeline, and the
+// bounded MPMC queue connecting the preprocessor, filter workers and
+// distributor parts (paper §2.5, Figure 4).
+
+#ifndef SDW_CJOIN_TUPLE_BATCH_H_
+#define SDW_CJOIN_TUPLE_BATCH_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/macros.h"
+#include "storage/page.h"
+
+namespace sdw::cjoin {
+
+/// Row index placeholder for "no joined dimension tuple".
+inline constexpr uint32_t kNoDimRow = ~uint32_t{0};
+
+/// One fact page's tuples annotated with per-tuple query bitmaps and the
+/// joined dimension row ids accumulated as the batch passes the filters.
+struct TupleBatch {
+  storage::PagePtr fact_page;  // keeps the tuples alive
+  uint64_t page_index = 0;     // fact page index (circular scan position)
+
+  uint32_t num_tuples = 0;
+  uint32_t words_per_tuple = 0;  // bitmap words per tuple
+  uint32_t num_filters = 0;      // width of the dim_rows matrix
+
+  /// num_tuples × words_per_tuple bitmap words (tuple-major).
+  std::vector<uint64_t> bits;
+  /// num_tuples × num_filters joined dimension row ids (tuple-major).
+  std::vector<uint32_t> dim_rows;
+
+  uint64_t* tuple_bits(uint32_t t) { return bits.data() + t * words_per_tuple; }
+  const uint64_t* tuple_bits(uint32_t t) const {
+    return bits.data() + t * words_per_tuple;
+  }
+  uint32_t* tuple_dim_rows(uint32_t t) {
+    return dim_rows.data() + t * num_filters;
+  }
+  const uint32_t* tuple_dim_rows(uint32_t t) const {
+    return dim_rows.data() + t * num_filters;
+  }
+  const std::byte* fact_tuple(uint32_t t) const { return fact_page->tuple(t); }
+};
+
+using BatchPtr = std::shared_ptr<TupleBatch>;
+
+/// Bounded multi-producer / multi-consumer batch queue.
+class BatchQueue {
+ public:
+  explicit BatchQueue(size_t capacity) : capacity_(capacity) {}
+  SDW_DISALLOW_COPY(BatchQueue);
+
+  /// Blocks while full; no-op when closed.
+  void Put(BatchPtr batch);
+
+  /// Blocks for the next batch; nullptr once closed and drained.
+  BatchPtr Take();
+
+  /// Wakes all waiters; Take drains remaining batches then returns nullptr.
+  void Close();
+
+ private:
+  const size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable put_cv_;
+  std::condition_variable take_cv_;
+  std::deque<BatchPtr> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace sdw::cjoin
+
+#endif  // SDW_CJOIN_TUPLE_BATCH_H_

@@ -1,0 +1,55 @@
+#include "common/bitmap.h"
+
+namespace sdw {
+
+namespace bits {
+
+size_t FindNextSet(const uint64_t* words, size_t nbits, size_t from) {
+  if (from >= nbits) return nbits;
+  size_t w = from >> 6;
+  uint64_t cur = words[w] & (~uint64_t{0} << (from & 63));
+  const size_t nwords = WordsFor(nbits);
+  while (true) {
+    if (cur != 0) {
+      size_t bit = (w << 6) + static_cast<size_t>(std::countr_zero(cur));
+      return bit < nbits ? bit : nbits;
+    }
+    if (++w >= nwords) return nbits;
+    cur = words[w];
+  }
+}
+
+}  // namespace bits
+
+void Bitset::Resize(size_t nbits) {
+  nbits_ = nbits;
+  words_.resize(bits::WordsFor(nbits), 0);
+  // Clear any stale bits beyond the new size in the last word.
+  if (nbits_ % 64 != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << (nbits_ % 64)) - 1;
+  }
+}
+
+size_t Bitset::FindFirstClear() const {
+  for (size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != ~uint64_t{0}) {
+      size_t bit = (w << 6) + static_cast<size_t>(std::countr_one(words_[w]));
+      return bit < nbits_ ? bit : nbits_;
+    }
+  }
+  return nbits_;
+}
+
+std::string Bitset::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (size_t i = FindNextSet(0); i < nbits_; i = FindNextSet(i + 1)) {
+    if (!first) out += ",";
+    out += std::to_string(i);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace sdw

@@ -1,0 +1,54 @@
+#include "common/breakdown.h"
+
+#include <cstdio>
+
+namespace sdw {
+
+const char* ComponentName(Component c) {
+  switch (c) {
+    case Component::kHashing:
+      return "Hashing";
+    case Component::kJoins:
+      return "Joins";
+    case Component::kAggregation:
+      return "Aggreg.";
+    case Component::kScans:
+      return "Scans";
+    case Component::kLocks:
+      return "Locks";
+    case Component::kMisc:
+      return "Misc";
+  }
+  return "?";
+}
+
+Breakdown& Breakdown::Global() {
+  static Breakdown instance;
+  return instance;
+}
+
+void Breakdown::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+double Breakdown::TotalSeconds() const {
+  double total = 0;
+  for (int i = 0; i < kNumComponents; ++i) {
+    total += Seconds(static_cast<Component>(i));
+  }
+  return total;
+}
+
+std::string Breakdown::ToString() const {
+  std::string out;
+  char buf[64];
+  for (int i = 0; i < kNumComponents; ++i) {
+    const auto c = static_cast<Component>(i);
+    std::snprintf(buf, sizeof(buf), "%s%s=%.3fs", i == 0 ? "" : " ",
+                  ComponentName(c), Seconds(c));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace sdw

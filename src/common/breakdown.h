@@ -1,0 +1,106 @@
+// CPU-time breakdown instrumentation reproducing the paper's VTune-based
+// component stacks (Figures 11 and 12): Hashing, Joins, Aggregation, Scans,
+// Locks, Misc.
+//
+// Components accumulate *thread CPU nanoseconds* measured with scoped timers
+// placed around the corresponding code paths, at page/batch granularity so
+// the clock_gettime cost stays negligible.
+
+#ifndef SDW_COMMON_BREAKDOWN_H_
+#define SDW_COMMON_BREAKDOWN_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/timing.h"
+
+namespace sdw {
+
+/// The six components the paper plots, in stack order.
+enum class Component {
+  kHashing = 0,     // hash() and equal() in join build/probe
+  kJoins,           // remaining join work incl. bitmap ops in shared joins
+  kAggregation,     // group-by maintenance and running sums
+  kScans,           // page iteration and selection predicates
+  kLocks,           // channel / buffer-pool critical sections
+  kMisc,            // packet dispatch, projection, routing
+};
+inline constexpr int kNumComponents = 6;
+
+/// Stable display name ("Hashing", "Joins", ...).
+const char* ComponentName(Component c);
+
+/// Process-global accumulator of per-component CPU time.
+class Breakdown {
+ public:
+  /// Singleton accumulator.
+  static Breakdown& Global();
+
+  /// Adds `cpu_nanos` to component `c`.
+  void Add(Component c, int64_t cpu_nanos) {
+    buckets_[static_cast<int>(c)].fetch_add(cpu_nanos,
+                                            std::memory_order_relaxed);
+  }
+
+  /// Zeroes all buckets (call between experiment points).
+  void Reset();
+
+  /// CPU seconds accumulated for component `c` since the last Reset.
+  double Seconds(Component c) const {
+    return static_cast<double>(
+               buckets_[static_cast<int>(c)].load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+
+  /// Sum over all components, in seconds.
+  double TotalSeconds() const;
+
+  /// One-line summary "Hashing=1.2s Joins=0.3s ...".
+  std::string ToString() const;
+
+ private:
+  std::array<std::atomic<int64_t>, kNumComponents> buckets_{};
+};
+
+/// RAII scope charging elapsed thread-CPU time to a component. The CPU
+/// clock read is a syscall: place these at page/batch granularity only.
+class ScopedComponentTimer {
+ public:
+  explicit ScopedComponentTimer(Component c)
+      : component_(c), start_(ThreadCpuNanos()) {}
+  ~ScopedComponentTimer() {
+    Breakdown::Global().Add(component_, ThreadCpuNanos() - start_);
+  }
+
+  ScopedComponentTimer(const ScopedComponentTimer&) = delete;
+  ScopedComponentTimer& operator=(const ScopedComponentTimer&) = delete;
+
+ private:
+  Component component_;
+  int64_t start_;
+};
+
+/// Wall-clock variant (vDSO-cheap) for very short critical sections where
+/// wall time ≈ CPU time, e.g. buffer-pool latching.
+class ScopedWallComponentTimer {
+ public:
+  explicit ScopedWallComponentTimer(Component c)
+      : component_(c), start_(NowNanos()) {}
+  ~ScopedWallComponentTimer() {
+    Breakdown::Global().Add(component_, NowNanos() - start_);
+  }
+
+  ScopedWallComponentTimer(const ScopedWallComponentTimer&) = delete;
+  ScopedWallComponentTimer& operator=(const ScopedWallComponentTimer&) =
+      delete;
+
+ private:
+  Component component_;
+  int64_t start_;
+};
+
+}  // namespace sdw
+
+#endif  // SDW_COMMON_BREAKDOWN_H_

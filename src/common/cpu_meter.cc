@@ -1,0 +1,31 @@
+#include "common/cpu_meter.h"
+
+#include "common/timing.h"
+
+namespace sdw {
+
+void CpuMeter::Start() {
+  wall_start_ = NowNanos();
+  cpu_start_ = ProcessCpuNanos();
+}
+
+void CpuMeter::Stop() {
+  wall_end_ = NowNanos();
+  cpu_end_ = ProcessCpuNanos();
+}
+
+double CpuMeter::AvgCoresUsed() const {
+  const double wall = WallSeconds();
+  if (wall <= 0) return 0;
+  return CpuSeconds() / wall;
+}
+
+double CpuMeter::WallSeconds() const {
+  return static_cast<double>(wall_end_ - wall_start_) * 1e-9;
+}
+
+double CpuMeter::CpuSeconds() const {
+  return static_cast<double>(cpu_end_ - cpu_start_) * 1e-9;
+}
+
+}  // namespace sdw

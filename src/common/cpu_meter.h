@@ -1,0 +1,34 @@
+// Measures "average # cores used" over an activity period, the metric the
+// paper reports in its per-experiment measurement tables (e.g. "Avg. # Cores
+// Used 23.91"): process CPU time divided by wall time over the interval.
+
+#ifndef SDW_COMMON_CPU_METER_H_
+#define SDW_COMMON_CPU_METER_H_
+
+#include <cstdint>
+
+namespace sdw {
+
+/// Start/stop meter for average core usage of the whole process.
+class CpuMeter {
+ public:
+  /// Begins the measurement interval.
+  void Start();
+  /// Ends the interval; accessors become valid.
+  void Stop();
+
+  /// Average cores used = process CPU seconds / wall seconds.
+  double AvgCoresUsed() const;
+  double WallSeconds() const;
+  double CpuSeconds() const;
+
+ private:
+  int64_t wall_start_ = 0;
+  int64_t wall_end_ = 0;
+  int64_t cpu_start_ = 0;
+  int64_t cpu_end_ = 0;
+};
+
+}  // namespace sdw
+
+#endif  // SDW_COMMON_CPU_METER_H_

@@ -1,0 +1,49 @@
+// Core assertion and class-annotation macros used across sdw.
+//
+// The library follows the Google C++ style of not using exceptions: internal
+// invariant violations abort via SDW_CHECK, recoverable conditions surface as
+// sdw::Status (see status.h).
+
+#ifndef SDW_COMMON_MACROS_H_
+#define SDW_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts the process with a message when `cond` is false. Always on.
+#define SDW_CHECK(cond)                                                    \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "SDW_CHECK failed: %s at %s:%d\n", #cond,       \
+                   __FILE__, __LINE__);                                    \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+/// Like SDW_CHECK but with a printf-style message appended.
+#define SDW_CHECK_MSG(cond, ...)                                           \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "SDW_CHECK failed: %s at %s:%d: ", #cond,       \
+                   __FILE__, __LINE__);                                    \
+      std::fprintf(stderr, __VA_ARGS__);                                   \
+      std::fprintf(stderr, "\n");                                          \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+/// Debug-only invariant check; compiled out in release builds.
+#ifndef NDEBUG
+#define SDW_DCHECK(cond) SDW_CHECK(cond)
+#else
+#define SDW_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#endif
+
+/// Deletes copy constructor and copy assignment for `TypeName`.
+#define SDW_DISALLOW_COPY(TypeName)      \
+  TypeName(const TypeName&) = delete;    \
+  TypeName& operator=(const TypeName&) = delete
+
+#endif  // SDW_COMMON_MACROS_H_

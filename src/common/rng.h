@@ -1,0 +1,52 @@
+// Deterministic pseudo-random number generation for data generators and
+// workload randomization. All sdw randomness flows through Rng so experiments
+// are reproducible from a seed.
+
+#ifndef SDW_COMMON_RNG_H_
+#define SDW_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace sdw {
+
+/// xoshiro256** generator seeded via SplitMix64. Not thread-safe; use one
+/// instance per thread or per generator task.
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield equal streams.
+  explicit Rng(uint64_t seed = 42) { Reseed(seed); }
+
+  /// Re-seeds in place.
+  void Reseed(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Uniform index in [0, n). Requires n > 0.
+  size_t Index(size_t n) {
+    SDW_DCHECK(n > 0);
+    return static_cast<size_t>(Uniform(0, static_cast<int64_t>(n) - 1));
+  }
+
+  /// Samples `k` distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleDistinct(size_t n, size_t k);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace sdw
+
+#endif  // SDW_COMMON_RNG_H_

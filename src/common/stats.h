@@ -1,0 +1,51 @@
+// Streaming summary statistics for experiment measurements (response times,
+// throughput samples). Matches what the paper reports: averages with standard
+// deviations across iterations.
+
+#ifndef SDW_COMMON_STATS_H_
+#define SDW_COMMON_STATS_H_
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace sdw {
+
+/// Accumulates samples and exposes mean / stddev / min / max / percentiles.
+class Stats {
+ public:
+  /// Adds one sample.
+  void Add(double v) { samples_.push_back(v); }
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double Sum() const;
+  double Mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  double Stddev() const;
+  double Min() const;
+  double Max() const;
+  /// Percentile in [0,100] by nearest-rank on a sorted copy.
+  double Percentile(double p) const;
+
+  /// Relative stddev (stddev/mean), 0 when mean is 0.
+  double RelStddev() const {
+    double m = Mean();
+    return m == 0.0 ? 0.0 : Stddev() / m;
+  }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+  /// "mean ± stddev" with the given unit suffix.
+  std::string Summary(const std::string& unit = "") const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace sdw
+
+#endif  // SDW_COMMON_STATS_H_

@@ -1,0 +1,142 @@
+// Lightweight Status / Result types for recoverable errors.
+//
+// sdw does not use exceptions (Google style). Functions that can fail for
+// reasons the caller should handle return Status or Result<T>.
+
+#ifndef SDW_COMMON_STATUS_H_
+#define SDW_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+
+namespace sdw {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kInvalidArgument,
+  kAlreadyExists,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kCancelled,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a StatusCode.
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+/// Value-semantic error carrier: a code plus an optional message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "CODE: message" (or "OK").
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value.
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status.
+  Result(Status status) : v_(std::move(status)) {  // NOLINT(runtime/explicit)
+    SDW_CHECK(!std::get<Status>(v_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  /// Returns the contained status (OK when holding a value).
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(v_);
+  }
+
+  /// Returns the value; aborts if not ok().
+  const T& value() const& {
+    SDW_CHECK_MSG(ok(), "Result::value on error: %s",
+                  std::get<Status>(v_).ToString().c_str());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    SDW_CHECK_MSG(ok(), "Result::value on error: %s",
+                  std::get<Status>(v_).ToString().c_str());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    SDW_CHECK_MSG(ok(), "Result::value on error: %s",
+                  std::get<Status>(v_).ToString().c_str());
+    return std::move(std::get<T>(v_));
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace sdw
+
+#endif  // SDW_COMMON_STATUS_H_

@@ -1,0 +1,23 @@
+// Small string helpers (printf-style formatting) used by reports and
+// signatures.
+
+#ifndef SDW_COMMON_STR_UTIL_H_
+#define SDW_COMMON_STR_UTIL_H_
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace sdw {
+
+/// printf into a std::string.
+std::string StrPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep);
+
+}  // namespace sdw
+
+#endif  // SDW_COMMON_STR_UTIL_H_

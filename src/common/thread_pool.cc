@@ -1,0 +1,61 @@
+#include "common/thread_pool.h"
+
+#include <utility>
+
+namespace sdw {
+
+ThreadPool::ThreadPool(std::string name, size_t max_threads)
+    : name_(std::move(name)), max_threads_(max_threads) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  std::unique_lock<std::mutex> lock(mu_);
+  SDW_CHECK_MSG(!shutdown_, "Submit on shut-down pool %s", name_.c_str());
+  queue_.push_back(std::move(task));
+  ++active_tasks_;
+  const bool need_worker =
+      idle_workers_ == 0 &&
+      (max_threads_ == 0 || threads_.size() < max_threads_);
+  if (need_worker) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return active_tasks_ == 0; });
+}
+
+size_t ThreadPool::num_threads() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return threads_.size();
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    while (queue_.empty() && !shutdown_) {
+      ++idle_workers_;
+      work_cv_.wait(lock);
+      --idle_workers_;
+    }
+    if (queue_.empty() && shutdown_) return;
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    task();
+    lock.lock();
+    if (--active_tasks_ == 0) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace sdw

@@ -1,0 +1,59 @@
+// A growable worker pool. QPipe stages dispatch one task per packet and a
+// packet occupies its worker for the packet's lifetime (the staged-database
+// execution model), so the pool grows on demand up to a configurable cap and
+// parks idle workers for reuse.
+
+#ifndef SDW_COMMON_THREAD_POOL_H_
+#define SDW_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace sdw {
+
+/// Growable pool executing std::function tasks. Tasks may block for long
+/// periods (packets waiting on page channels), so the pool spawns a new
+/// worker whenever a task arrives and no worker is idle.
+class ThreadPool {
+ public:
+  /// `name` is used for debugging; `max_threads` caps growth (0 = unlimited).
+  explicit ThreadPool(std::string name, size_t max_threads = 0);
+  ~ThreadPool();
+
+  SDW_DISALLOW_COPY(ThreadPool);
+
+  /// Enqueues a task; spawns a worker if none is idle (subject to the cap).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished.
+  void WaitIdle();
+
+  /// Number of workers ever spawned.
+  size_t num_threads() const;
+
+ private:
+  void WorkerLoop();
+
+  const std::string name_;
+  const size_t max_threads_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers
+  std::condition_variable idle_cv_;   // signals WaitIdle
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  size_t idle_workers_ = 0;
+  size_t active_tasks_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace sdw
+
+#endif  // SDW_COMMON_THREAD_POOL_H_

@@ -1,0 +1,21 @@
+#include "common/timing.h"
+
+#include <ctime>
+
+namespace sdw {
+
+namespace {
+
+int64_t ClockNanos(clockid_t id) {
+  timespec ts;
+  clock_gettime(id, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+}
+
+}  // namespace
+
+int64_t ThreadCpuNanos() { return ClockNanos(CLOCK_THREAD_CPUTIME_ID); }
+
+int64_t ProcessCpuNanos() { return ClockNanos(CLOCK_PROCESS_CPUTIME_ID); }
+
+}  // namespace sdw

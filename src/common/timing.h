@@ -1,0 +1,44 @@
+// Wall-clock and CPU-clock timers used by the measurement harness and the
+// CPU-time breakdown instrumentation.
+
+#ifndef SDW_COMMON_TIMING_H_
+#define SDW_COMMON_TIMING_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace sdw {
+
+/// Monotonic nanoseconds since an arbitrary epoch.
+inline int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// CPU nanoseconds consumed by the calling thread (CLOCK_THREAD_CPUTIME_ID).
+int64_t ThreadCpuNanos();
+
+/// CPU nanoseconds consumed by the whole process (CLOCK_PROCESS_CPUTIME_ID).
+int64_t ProcessCpuNanos();
+
+/// Simple wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(NowNanos()) {}
+  /// Restarts the stopwatch.
+  void Restart() { start_ = NowNanos(); }
+  /// Elapsed nanoseconds since construction/Restart.
+  int64_t ElapsedNanos() const { return NowNanos() - start_; }
+  /// Elapsed seconds since construction/Restart.
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  int64_t start_;
+};
+
+}  // namespace sdw
+
+#endif  // SDW_COMMON_TIMING_H_

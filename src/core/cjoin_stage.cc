@@ -1,0 +1,77 @@
+#include "core/cjoin_stage.h"
+
+namespace sdw::core {
+
+namespace {
+
+/// Adapts an Exchange's sink to shared ownership for the pipeline: the
+/// exchange must outlive the CJOIN query, which holds this handle.
+class ExchangeSinkHolder : public PageSink {
+ public:
+  explicit ExchangeSinkHolder(std::shared_ptr<qpipe::Exchange> ex)
+      : ex_(std::move(ex)) {}
+
+  bool Put(storage::PagePtr page) override {
+    return ex_->sink()->Put(std::move(page));
+  }
+  void Close() override { ex_->sink()->Close(); }
+
+ private:
+  std::shared_ptr<qpipe::Exchange> ex_;
+};
+
+}  // namespace
+
+qpipe::QpipeEngine::JoinDelegate CjoinStage::MakeDelegate() {
+  return [this](qpipe::QueryContext* ctx, const query::PlanNode* join_root,
+                std::vector<std::function<void()>>* deferred)
+             -> std::unique_ptr<PageSource> {
+    const std::string& sig = join_root->signature;
+
+    // SP over CJOIN packets: step WoP on the packet's output exchange.
+    if (sp_enabled_) {
+      if (auto src = registry_.TryAttach(sig)) {
+        shares_.fetch_add(1, std::memory_order_relaxed);
+        return src;
+      }
+    }
+
+    std::shared_ptr<qpipe::Exchange> ex =
+        qpipe::MakeExchange(comm_, channel_bytes_);
+    auto primary = ex->OpenPrimaryReader();
+    if (sp_enabled_) registry_.Register(sig, ex);
+
+    // Defer the pipeline submission to the dispatch phase so that every
+    // satellite in the batch attaches before the GQP starts producing; the
+    // deferred step only *stages* the submission — FlushStaged (the engine's
+    // batch-flush hook) hands the whole batch to the pipeline at once, so
+    // it lands in a single admission pause (paper §3.2).
+    const query::StarQuery q = ctx->query;
+    const storage::Schema out_schema = join_root->out_schema;
+    deferred->push_back([this, q, out_schema, ex, sig] {
+      cjoin::CjoinPipeline::Submission sub;
+      sub.q = q;
+      sub.out_schema = out_schema;
+      sub.sink = std::make_shared<ExchangeSinkHolder>(ex);
+      if (sp_enabled_) {
+        sub.on_complete = [this, sig, ex] {
+          registry_.Unregister(sig, ex.get());
+        };
+      }
+      std::unique_lock<std::mutex> lock(staged_mu_);
+      staged_.push_back(std::move(sub));
+    });
+    return primary;
+  };
+}
+
+void CjoinStage::FlushStaged() {
+  std::vector<cjoin::CjoinPipeline::Submission> batch;
+  {
+    std::unique_lock<std::mutex> lock(staged_mu_);
+    batch.swap(staged_);
+  }
+  pipeline_->SubmitMany(std::move(batch));
+}
+
+}  // namespace sdw::core

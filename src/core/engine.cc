@@ -1,0 +1,87 @@
+#include "core/engine.h"
+
+namespace sdw::core {
+
+const char* EngineConfigName(EngineConfig config) {
+  switch (config) {
+    case EngineConfig::kQpipe:
+      return "QPipe";
+    case EngineConfig::kQpipeCs:
+      return "QPipe-CS";
+    case EngineConfig::kQpipeSp:
+      return "QPipe-SP";
+    case EngineConfig::kCjoin:
+      return "CJOIN";
+    case EngineConfig::kCjoinSp:
+      return "CJOIN-SP";
+  }
+  return "?";
+}
+
+Engine::Engine(const storage::Catalog* catalog, storage::BufferPool* pool,
+               EngineOptions options)
+    : options_(std::move(options)) {
+  const bool use_cjoin = options_.config == EngineConfig::kCjoin ||
+                         options_.config == EngineConfig::kCjoinSp;
+
+  qpipe::QpipeOptions qopts;
+  qopts.comm = options_.comm;
+  qopts.channel_bytes = options_.channel_bytes;
+  qopts.sp_agg = options_.sp_agg;
+  qopts.sp_sort = options_.sp_sort;
+  switch (options_.config) {
+    case EngineConfig::kQpipe:
+      break;
+    case EngineConfig::kQpipeCs:
+      qopts.sp_scan = true;
+      break;
+    case EngineConfig::kQpipeSp:
+      qopts.sp_scan = true;
+      qopts.sp_join = true;
+      break;
+    case EngineConfig::kCjoin:
+    case EngineConfig::kCjoinSp:
+      // Joins handled by the GQP; the scan stage serves only join-free
+      // queries. I/O sharing for the fact table lives in the preprocessor's
+      // circular scan (paper Table 2).
+      break;
+  }
+  qpipe_ = std::make_unique<qpipe::QpipeEngine>(catalog, pool, qopts);
+
+  if (use_cjoin) {
+    const storage::Table* fact = catalog->MustGetTable(options_.fact_table);
+    pipeline_ = std::make_unique<cjoin::CjoinPipeline>(catalog, pool, fact,
+                                                       options_.cjoin);
+    cjoin_stage_ = std::make_unique<CjoinStage>(
+        pipeline_.get(), options_.comm, options_.channel_bytes,
+        options_.config == EngineConfig::kCjoinSp);
+    qpipe_->set_join_delegate(cjoin_stage_->MakeDelegate());
+    qpipe_->set_batch_flush_hook([stage = cjoin_stage_.get()] {
+      stage->FlushStaged();
+    });
+  }
+}
+
+Engine::~Engine() {
+  // Queries must finish before the pipeline (owned here) is torn down.
+  qpipe_->WaitAll();
+}
+
+std::vector<qpipe::QueryHandle> Engine::SubmitBatch(
+    const std::vector<query::StarQuery>& queries) {
+  return qpipe_->SubmitBatch(queries);
+}
+
+qpipe::QueryHandle Engine::Submit(const query::StarQuery& q) {
+  return qpipe_->Submit(q);
+}
+
+void Engine::WaitAll() { qpipe_->WaitAll(); }
+
+void Engine::ResetCounters() {
+  qpipe_->ResetSpCounters();
+  if (cjoin_stage_) cjoin_stage_->ResetShares();
+  if (pipeline_) pipeline_->ResetStats();
+}
+
+}  // namespace sdw::core

@@ -1,0 +1,101 @@
+// Unified engine facade exposing the paper's five evaluated configurations
+// (paper §5.1):
+//
+//   QPipe     — query-centric staged execution, no sharing (baseline)
+//   QPipe-CS  — + circular scans (SP at the table-scan stage)
+//   QPipe-SP  — + SP at the join stage
+//   CJOIN     — joins evaluated by the GQP (shared operators), no SP
+//   CJOIN-SP  — + SP over CJOIN packets (the paper's integration, §3)
+//
+// plus the push/pull communication-model switch of §4. This is the public
+// entry point of the library: build a catalog, create an Engine with a
+// configuration, submit StarQuery batches.
+
+#ifndef SDW_CORE_ENGINE_H_
+#define SDW_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cjoin/pipeline.h"
+#include "core/cjoin_stage.h"
+#include "qpipe/engine.h"
+
+namespace sdw::core {
+
+/// The five evaluated engine configurations.
+enum class EngineConfig {
+  kQpipe,    // no sharing
+  kQpipeCs,  // circular scans
+  kQpipeSp,  // circular scans + join SP
+  kCjoin,    // GQP with shared operators
+  kCjoinSp,  // GQP + SP over CJOIN packets
+};
+
+/// Stable display name ("QPipe", "QPipe-CS", ...).
+const char* EngineConfigName(EngineConfig config);
+
+/// Facade options.
+struct EngineOptions {
+  EngineConfig config = EngineConfig::kQpipeSp;
+  /// SP communication model (paper §4). Pull (SPL) is the paper's
+  /// recommendation; push (FIFO) reproduces the original QPipe behavior.
+  CommModel comm = CommModel::kPull;
+  /// FIFO/SPL byte bound (paper uses 256 KB).
+  size_t channel_bytes = 256 * 1024;
+  /// SP for aggregation/sort stages — off in all paper experiments.
+  bool sp_agg = false;
+  bool sp_sort = false;
+  /// GQP pipeline options (CJOIN configs only).
+  cjoin::CjoinOptions cjoin;
+  /// Fact table the GQP pipeline is built over.
+  std::string fact_table = "lineorder";
+};
+
+/// The integrated engine.
+class Engine {
+ public:
+  Engine(const storage::Catalog* catalog, storage::BufferPool* pool,
+         EngineOptions options);
+  ~Engine();
+
+  SDW_DISALLOW_COPY(Engine);
+
+  /// Submits a batch of concurrent queries (all "arrive at the same time").
+  std::vector<qpipe::QueryHandle> SubmitBatch(
+      const std::vector<query::StarQuery>& queries);
+
+  /// Single-query submission (closed-loop clients).
+  qpipe::QueryHandle Submit(const query::StarQuery& q);
+
+  /// Blocks until all submitted queries complete.
+  void WaitAll();
+
+  const EngineOptions& options() const { return options_; }
+  qpipe::QpipeEngine* qpipe() { return qpipe_.get(); }
+  /// Null unless a CJOIN configuration.
+  cjoin::CjoinPipeline* cjoin_pipeline() { return pipeline_.get(); }
+
+  /// SP sharing counters of the staged engine.
+  qpipe::SpCounters sp_counters() const { return qpipe_->sp_counters(); }
+  /// Satellite attachments to CJOIN packets (CJOIN-SP only).
+  uint64_t cjoin_shares() const {
+    return cjoin_stage_ ? cjoin_stage_->shares() : 0;
+  }
+  /// GQP pipeline statistics (zeroes unless a CJOIN configuration).
+  cjoin::CjoinStats cjoin_stats() const {
+    return pipeline_ ? pipeline_->stats() : cjoin::CjoinStats{};
+  }
+  void ResetCounters();
+
+ private:
+  const EngineOptions options_;
+  std::unique_ptr<cjoin::CjoinPipeline> pipeline_;
+  std::unique_ptr<CjoinStage> cjoin_stage_;
+  std::unique_ptr<qpipe::QpipeEngine> qpipe_;
+};
+
+}  // namespace sdw::core
+
+#endif  // SDW_CORE_ENGINE_H_

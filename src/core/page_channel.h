@@ -1,0 +1,57 @@
+// Producer/consumer endpoints for page-based data flow between operators.
+//
+// Two transports implement these interfaces:
+//  * qpipe::FifoBuffer — the classic bounded single-producer/single-consumer
+//    FIFO of QPipe's push-only model; during SP the producer *copies* result
+//    pages into every satellite's FIFO (the serialization point the paper
+//    identifies);
+//  * core::SharedPagesList — the paper's pull-based single-producer/
+//    multi-consumer list; satellites read the one list independently and the
+//    producer does no forwarding work at all.
+
+#ifndef SDW_CORE_PAGE_CHANNEL_H_
+#define SDW_CORE_PAGE_CHANNEL_H_
+
+#include "storage/page.h"
+
+namespace sdw::core {
+
+/// Consumer endpoint of a page stream.
+class PageSource {
+ public:
+  virtual ~PageSource() = default;
+
+  /// Blocks for the next page; nullptr signals end of stream.
+  virtual storage::PagePtr Next() = 0;
+
+  /// Abandons the stream: releases everything unread so the producer is
+  /// never blocked on this consumer again. Idempotent.
+  virtual void CancelReader() = 0;
+};
+
+/// Producer endpoint of a page stream.
+class PageSink {
+ public:
+  virtual ~PageSink() = default;
+
+  /// Publishes a page; blocks while the transport is at capacity. Returns
+  /// false when no consumer remains (the producer should stop).
+  virtual bool Put(storage::PagePtr page) = 0;
+
+  /// Ends the stream. Idempotent.
+  virtual void Close() = 0;
+};
+
+/// Communication model for SP result sharing (paper §4).
+enum class CommModel {
+  kPush,  // FIFO buffers; host forwards copies to satellites
+  kPull,  // shared pages lists; satellites pull from one list
+};
+
+inline const char* CommModelName(CommModel m) {
+  return m == CommModel::kPush ? "push/FIFO" : "pull/SPL";
+}
+
+}  // namespace sdw::core
+
+#endif  // SDW_CORE_PAGE_CHANNEL_H_

@@ -1,0 +1,47 @@
+#include "core/sharing_policy.h"
+
+#include <thread>
+
+#include "common/str_util.h"
+
+namespace sdw::core {
+
+size_t HardwareContexts() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+PolicyDecision RecommendSharing(const WorkloadProfile& profile) {
+  PolicyDecision decision;
+  const size_t contexts = profile.hardware_contexts != 0
+                              ? profile.hardware_contexts
+                              : HardwareContexts();
+  decision.shared_scans = true;  // beneficial at both ends (paper §5.2.1)
+
+  if (!profile.scan_heavy) {
+    decision.config = EngineConfig::kQpipeSp;
+    decision.rationale =
+        "non-scan-heavy workload: stay query-centric with SP; the paper's "
+        "rules target ad-hoc scan-heavy OLAP";
+    return decision;
+  }
+
+  if (profile.concurrent_queries <= contexts) {
+    decision.config = EngineConfig::kQpipeSp;
+    decision.rationale = StrPrintf(
+        "low concurrency (%zu queries <= %zu contexts): query-centric "
+        "operators parallelize without contention and avoid shared-operator "
+        "bookkeeping; SP with pull-based SPL adds sharing at no overhead",
+        profile.concurrent_queries, contexts);
+  } else {
+    decision.config = EngineConfig::kCjoinSp;
+    decision.rationale = StrPrintf(
+        "high concurrency (%zu queries > %zu contexts): resources saturate, "
+        "so a GQP with shared operators reduces contention; SP on top "
+        "eliminates the remaining common sub-plans",
+        profile.concurrent_queries, contexts);
+  }
+  return decision;
+}
+
+}  // namespace sdw::core

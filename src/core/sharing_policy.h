@@ -1,0 +1,48 @@
+// The paper's rules of thumb (Table 1) as an executable policy:
+//
+//   When              Execution engine                 I/O layer
+//   low concurrency   query-centric operators + SP     shared scans
+//   high concurrency  GQP (shared operators) + SP      shared scans
+//
+// "Low" vs "high" is judged against the machine's hardware contexts: shared
+// operators win once query-centric execution saturates the cores (paper §6
+// proposes resource saturation as the simple heuristic for the turning
+// point).
+
+#ifndef SDW_CORE_SHARING_POLICY_H_
+#define SDW_CORE_SHARING_POLICY_H_
+
+#include <cstddef>
+#include <string>
+
+#include "core/engine.h"
+
+namespace sdw::core {
+
+/// Inputs to the policy decision.
+struct WorkloadProfile {
+  /// Expected number of concurrently executing analytical queries.
+  size_t concurrent_queries = 1;
+  /// Hardware contexts available (defaults to the machine's).
+  size_t hardware_contexts = 0;
+  /// OLAP-style scan-heavy queries? (The rules target typical DW workloads;
+  /// for non-scan-heavy workloads the policy stays conservative.)
+  bool scan_heavy = true;
+};
+
+/// Policy output.
+struct PolicyDecision {
+  EngineConfig config = EngineConfig::kQpipeSp;
+  bool shared_scans = true;
+  std::string rationale;
+};
+
+/// Number of hardware contexts on this machine.
+size_t HardwareContexts();
+
+/// Applies Table 1 to a workload profile.
+PolicyDecision RecommendSharing(const WorkloadProfile& profile);
+
+}  // namespace sdw::core
+
+#endif  // SDW_CORE_SHARING_POLICY_H_

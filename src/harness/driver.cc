@@ -1,0 +1,204 @@
+#include "harness/driver.h"
+
+#include <atomic>
+#include <thread>
+
+#include "common/cpu_meter.h"
+#include "common/timing.h"
+
+namespace sdw::harness {
+
+namespace {
+
+void SnapshotBreakdown(RunMetrics* m) {
+  for (int i = 0; i < kNumComponents; ++i) {
+    m->breakdown_seconds[static_cast<size_t>(i)] =
+        Breakdown::Global().Seconds(static_cast<Component>(i));
+  }
+}
+
+void FinishMetrics(RunMetrics* m, const CpuMeter& meter,
+                   const storage::StorageDevice& device) {
+  m->makespan_seconds = meter.WallSeconds();
+  m->avg_cores = meter.AvgCoresUsed();
+  m->device_bytes = device.device_bytes_read();
+  m->read_mbps = m->makespan_seconds > 0
+                     ? static_cast<double>(m->device_bytes) / 1e6 /
+                           m->makespan_seconds
+                     : 0;
+  SnapshotBreakdown(m);
+}
+
+}  // namespace
+
+void ClearCaches(storage::BufferPool* pool) {
+  pool->Clear();
+  pool->device()->ResetStats();
+  Breakdown::Global().Reset();
+}
+
+RunMetrics RunBatch(core::Engine* engine, storage::BufferPool* pool,
+                    const std::vector<query::StarQuery>& queries,
+                    bool clear_caches,
+                    const baseline::VolcanoEngine* verify_against) {
+  if (clear_caches) ClearCaches(pool);
+  engine->ResetCounters();
+
+  RunMetrics m;
+  CpuMeter meter;
+  meter.Start();
+  const auto handles = engine->SubmitBatch(queries);
+  for (const auto& h : handles) h->done.wait();
+  meter.Stop();
+
+  for (const auto& h : handles) {
+    m.response_seconds.Add(h->response_seconds());
+  }
+  m.completed = handles.size();
+  m.sp = engine->sp_counters();
+  m.cjoin_shares = engine->cjoin_shares();
+  m.cjoin = engine->cjoin_stats();
+  FinishMetrics(&m, meter, *pool->device());
+
+  if (verify_against != nullptr) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const query::ResultSet expected = verify_against->Execute(queries[i]);
+      const std::string diff =
+          query::DiffResults(expected, handles[i]->result);
+      SDW_CHECK_MSG(diff.empty(), "query %zu result mismatch: %s", i,
+                    diff.c_str());
+    }
+  }
+  return m;
+}
+
+RunMetrics RunClosedLoop(
+    core::Engine* engine, storage::BufferPool* pool,
+    const std::function<query::StarQuery(size_t)>& make_query, size_t clients,
+    double duration_seconds) {
+  ClearCaches(pool);
+  engine->ResetCounters();
+
+  RunMetrics m;
+  std::atomic<size_t> next_query{0};
+  std::atomic<uint64_t> completed{0};
+  std::mutex resp_mu;
+  Stats responses;
+
+  CpuMeter meter;
+  meter.Start();
+  const int64_t deadline =
+      NowNanos() + static_cast<int64_t>(duration_seconds * 1e9);
+
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      while (NowNanos() < deadline) {
+        const size_t i = next_query.fetch_add(1, std::memory_order_relaxed);
+        auto handle = engine->Submit(make_query(i));
+        handle->done.wait();
+        completed.fetch_add(1, std::memory_order_relaxed);
+        {
+          std::unique_lock<std::mutex> lock(resp_mu);
+          responses.Add(handle->response_seconds());
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  meter.Stop();
+
+  m.completed = completed.load();
+  m.response_seconds = responses;
+  m.throughput_qph = meter.WallSeconds() > 0
+                         ? static_cast<double>(m.completed) /
+                               meter.WallSeconds() * 3600.0
+                         : 0;
+  m.sp = engine->sp_counters();
+  m.cjoin_shares = engine->cjoin_shares();
+  m.cjoin = engine->cjoin_stats();
+  FinishMetrics(&m, meter, *pool->device());
+  return m;
+}
+
+RunMetrics RunVolcanoBatch(const baseline::VolcanoEngine* engine,
+                           storage::BufferPool* pool,
+                           const std::vector<query::StarQuery>& queries,
+                           bool clear_caches) {
+  if (clear_caches) ClearCaches(pool);
+
+  RunMetrics m;
+  std::mutex resp_mu;
+  Stats responses;
+
+  CpuMeter meter;
+  meter.Start();
+  std::vector<std::thread> threads;
+  threads.reserve(queries.size());
+  for (const auto& q : queries) {
+    threads.emplace_back([&, query = q] {
+      WallTimer timer;
+      const query::ResultSet result = engine->Execute(query);
+      (void)result;
+      std::unique_lock<std::mutex> lock(resp_mu);
+      responses.Add(timer.ElapsedSeconds());
+    });
+  }
+  for (auto& t : threads) t.join();
+  meter.Stop();
+
+  m.completed = queries.size();
+  m.response_seconds = responses;
+  FinishMetrics(&m, meter, *pool->device());
+  return m;
+}
+
+RunMetrics RunVolcanoClosedLoop(
+    const baseline::VolcanoEngine* engine, storage::BufferPool* pool,
+    const std::function<query::StarQuery(size_t)>& make_query, size_t clients,
+    double duration_seconds) {
+  ClearCaches(pool);
+
+  RunMetrics m;
+  std::atomic<size_t> next_query{0};
+  std::atomic<uint64_t> completed{0};
+  std::mutex resp_mu;
+  Stats responses;
+
+  CpuMeter meter;
+  meter.Start();
+  const int64_t deadline =
+      NowNanos() + static_cast<int64_t>(duration_seconds * 1e9);
+
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      while (NowNanos() < deadline) {
+        const size_t i = next_query.fetch_add(1, std::memory_order_relaxed);
+        WallTimer timer;
+        const query::ResultSet result = engine->Execute(make_query(i));
+        (void)result;
+        completed.fetch_add(1, std::memory_order_relaxed);
+        {
+          std::unique_lock<std::mutex> lock(resp_mu);
+          responses.Add(timer.ElapsedSeconds());
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  meter.Stop();
+
+  m.completed = completed.load();
+  m.response_seconds = responses;
+  m.throughput_qph = meter.WallSeconds() > 0
+                         ? static_cast<double>(m.completed) /
+                               meter.WallSeconds() * 3600.0
+                         : 0;
+  FinishMetrics(&m, meter, *pool->device());
+  return m;
+}
+
+}  // namespace sdw::harness

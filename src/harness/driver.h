@@ -1,0 +1,71 @@
+// Experiment driver reproducing the paper's measurement methodology (§5.1):
+// batches of queries submitted at the same time (response-time experiments),
+// closed-loop clients (throughput experiments), caches cleared before every
+// measurement, and per-run reporting of average cores used, device read rate
+// and the CPU-time breakdown.
+
+#ifndef SDW_HARNESS_DRIVER_H_
+#define SDW_HARNESS_DRIVER_H_
+
+#include <array>
+#include <functional>
+#include <vector>
+
+#include "baseline/volcano.h"
+#include "common/breakdown.h"
+#include "common/stats.h"
+#include "core/engine.h"
+
+namespace sdw::harness {
+
+/// Everything measured in one experiment run.
+struct RunMetrics {
+  Stats response_seconds;   // per-query response times
+  double makespan_seconds = 0;
+  double avg_cores = 0;     // process CPU / wall over the activity period
+  double read_mbps = 0;     // simulated device transfer rate
+  uint64_t device_bytes = 0;
+  uint64_t completed = 0;
+  double throughput_qph = 0;  // closed-loop runs only
+
+  qpipe::SpCounters sp;
+  uint64_t cjoin_shares = 0;
+  cjoin::CjoinStats cjoin;
+  std::array<double, kNumComponents> breakdown_seconds{};
+};
+
+/// Clears buffer-pool residency, device counters/cache, breakdown buckets
+/// and engine share counters — the paper's "clear caches before every
+/// measurement".
+void ClearCaches(storage::BufferPool* pool);
+
+/// Runs one simultaneous batch on the integrated engine.
+/// When `verify_against` is non-null, every query is re-executed on the
+/// Volcano comparator and results must match (used by tests/examples).
+RunMetrics RunBatch(core::Engine* engine, storage::BufferPool* pool,
+                    const std::vector<query::StarQuery>& queries,
+                    bool clear_caches = true,
+                    const baseline::VolcanoEngine* verify_against = nullptr);
+
+/// Closed-loop run: `clients` threads; client c submits make_query(i) for
+/// its i-th request as soon as the previous completes; stops issuing after
+/// `duration_seconds` and drains.
+RunMetrics RunClosedLoop(core::Engine* engine, storage::BufferPool* pool,
+                         const std::function<query::StarQuery(size_t)>& make_query,
+                         size_t clients, double duration_seconds);
+
+/// Batch run on the Volcano comparator: one thread per query, no sharing.
+RunMetrics RunVolcanoBatch(const baseline::VolcanoEngine* engine,
+                           storage::BufferPool* pool,
+                           const std::vector<query::StarQuery>& queries,
+                           bool clear_caches = true);
+
+/// Closed-loop run on the Volcano comparator.
+RunMetrics RunVolcanoClosedLoop(
+    const baseline::VolcanoEngine* engine, storage::BufferPool* pool,
+    const std::function<query::StarQuery(size_t)>& make_query, size_t clients,
+    double duration_seconds);
+
+}  // namespace sdw::harness
+
+#endif  // SDW_HARNESS_DRIVER_H_

@@ -1,0 +1,83 @@
+#include "harness/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/str_util.h"
+
+namespace sdw::harness {
+
+void ReportTable::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string ReportTable::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      line += "  ";
+      line += cell;
+      line.append(widths[c] - cell.size(), ' ');
+    }
+    return line + "\n";
+  };
+  std::string out = render_row(headers_);
+  std::string rule;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule += "  ";
+    rule.append(widths[c], '-');
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void ReportTable::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+void ShapeChecker::Leq(const std::string& claim, double a, double b,
+                       double slack) {
+  const bool ok = a <= b * (1.0 + slack);
+  entries_.push_back(
+      {claim, ok, StrPrintf("%.3f <= %.3f (+%.0f%% slack)", a, b, slack * 100)});
+}
+
+void ShapeChecker::FactorAtLeast(const std::string& claim, double a, double b,
+                                 double factor) {
+  const bool ok = a >= b * factor;
+  entries_.push_back(
+      {claim, ok, StrPrintf("%.3f >= %.3f x %.2f", a, b, factor)});
+}
+
+void ShapeChecker::Check(const std::string& claim, bool ok,
+                         const std::string& detail) {
+  entries_.push_back({claim, ok, detail});
+}
+
+int ShapeChecker::Summarize() const {
+  int failed = 0;
+  std::printf("\nShape checks vs. the paper's claims:\n");
+  for (const auto& e : entries_) {
+    std::printf("  [%s] %s  (%s)\n", e.ok ? "PASS" : "CHECK", e.claim.c_str(),
+                e.detail.c_str());
+    if (!e.ok) ++failed;
+  }
+  std::printf("%d/%zu checks passed\n", static_cast<int>(entries_.size()) - failed,
+              entries_.size());
+  return failed;
+}
+
+std::string FormatSeconds(double seconds) {
+  if (seconds >= 60) return StrPrintf("%.1fm", seconds / 60);
+  if (seconds >= 1) return StrPrintf("%.2fs", seconds);
+  return StrPrintf("%.0fms", seconds * 1e3);
+}
+
+}  // namespace sdw::harness

@@ -1,0 +1,57 @@
+// Reporting helpers for the benchmark binaries: aligned tables (the series
+// each figure plots) and shape checks that compare the measured trends
+// against the paper's claims (ordering, crossover, improvement factors).
+
+#ifndef SDW_HARNESS_REPORT_H_
+#define SDW_HARNESS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace sdw::harness {
+
+/// Fixed-width text table.
+class ReportTable {
+ public:
+  explicit ReportTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells);
+  /// Renders with column alignment.
+  std::string ToString() const;
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Records PASS/CHECK verdicts on the paper's qualitative claims.
+class ShapeChecker {
+ public:
+  /// Asserts a <= b * (1 + slack); records verdict.
+  void Leq(const std::string& claim, double a, double b, double slack = 0.10);
+  /// Asserts a >= b * factor (improvement-factor claims).
+  void FactorAtLeast(const std::string& claim, double a, double b,
+                     double factor);
+  /// Records an arbitrary verdict.
+  void Check(const std::string& claim, bool ok, const std::string& detail);
+
+  /// Prints all verdicts; returns the number of failed checks.
+  int Summarize() const;
+
+ private:
+  struct Entry {
+    std::string claim;
+    bool ok;
+    std::string detail;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// "12.3m" / "45.6s" / "789ms" rendering.
+std::string FormatSeconds(double seconds);
+
+}  // namespace sdw::harness
+
+#endif  // SDW_HARNESS_REPORT_H_

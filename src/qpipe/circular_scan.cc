@@ -1,0 +1,183 @@
+#include "qpipe/circular_scan.h"
+
+#include <algorithm>
+
+#include "common/breakdown.h"
+#include "qpipe/exchange.h"
+
+namespace sdw::qpipe {
+
+namespace {
+
+/// Source over an empty table: immediate end of stream.
+class EmptyPageSource : public core::PageSource {
+ public:
+  storage::PagePtr Next() override { return nullptr; }
+  void CancelReader() override {}
+};
+
+}  // namespace
+
+// Pull-mode consumer: one full cycle (num_pages pages) from the shared SPL.
+class CircularScanService::CycleLimitedReader : public core::PageSource {
+ public:
+  CycleLimitedReader(CircularScanService* service,
+                     std::unique_ptr<core::SharedPagesList::Reader> reader,
+                     uint64_t pages)
+      : service_(service), reader_(std::move(reader)), remaining_(pages) {}
+
+  ~CycleLimitedReader() override { CancelReader(); }
+
+  storage::PagePtr Next() override {
+    if (remaining_ == 0) {
+      CancelReader();
+      return nullptr;
+    }
+    storage::PagePtr page = reader_->Next();
+    if (page == nullptr) {
+      CancelReader();
+      return nullptr;
+    }
+    --remaining_;
+    if (remaining_ == 0) CancelReader();
+    return page;
+  }
+
+  void CancelReader() override {
+    if (done_) return;
+    done_ = true;
+    reader_->CancelReader();
+    std::unique_lock<std::mutex> lock(service_->mu_);
+    SDW_DCHECK(service_->pull_consumers_ > 0);
+    --service_->pull_consumers_;
+  }
+
+ private:
+  CircularScanService* service_;
+  std::unique_ptr<core::SharedPagesList::Reader> reader_;
+  uint64_t remaining_;
+  bool done_ = false;
+};
+
+CircularScanService::CircularScanService(const storage::Table* table,
+                                         storage::BufferPool* pool,
+                                         core::CommModel comm,
+                                         size_t channel_bytes)
+    : table_(table),
+      pool_(pool),
+      comm_(comm),
+      channel_bytes_(channel_bytes),
+      cursor_(table, pool) {
+  if (comm_ == core::CommModel::kPull) {
+    spl_ = std::make_shared<core::SharedPagesList>(channel_bytes_);
+  }
+  worker_ = std::thread([this] { Loop(); });
+}
+
+CircularScanService::~CircularScanService() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  wake_cv_.notify_all();
+  worker_.join();
+}
+
+std::unique_ptr<core::PageSource> CircularScanService::Attach() {
+  const uint64_t pages = table_->num_pages();
+  if (pages == 0) return std::make_unique<EmptyPageSource>();
+
+  if (comm_ == core::CommModel::kPull) {
+    auto reader = spl_->AttachAtCurrent();
+    SDW_CHECK(reader != nullptr);
+    std::unique_ptr<core::PageSource> src;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++pull_consumers_;
+      src = std::make_unique<CycleLimitedReader>(this, std::move(reader),
+                                                 pages);
+    }
+    wake_cv_.notify_all();
+    return src;
+  }
+
+  auto fifo = std::make_shared<FifoBuffer>(channel_bytes_);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    push_pending_.push_back({fifo, pages});
+  }
+  wake_cv_.notify_all();
+  return std::make_unique<FifoReaderHolder>(std::move(fifo));
+}
+
+bool CircularScanService::HasWorkLocked() const {
+  if (comm_ == core::CommModel::kPull) return pull_consumers_ > 0;
+  return !push_active_.empty() || !push_pending_.empty();
+}
+
+void CircularScanService::Loop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_cv_.wait(lock, [&] { return stopping_ || HasWorkLocked(); });
+      if (stopping_) return;
+      if (comm_ == core::CommModel::kPush) {
+        for (auto& c : push_pending_) push_active_.push_back(std::move(c));
+        push_pending_.clear();
+      }
+    }
+
+    // Fetch the next page (simulated I/O happens here, in the single
+    // service thread — the shared sequential scan).
+    const uint64_t position = cursor_.position();
+    const storage::Page* raw;
+    {
+      ScopedComponentTimer t(Component::kScans);
+      raw = cursor_.Next();
+    }
+    if (raw == nullptr) continue;
+    storage::PagePtr page = table_->SharePage(position);
+    pages_produced_.fetch_add(1, std::memory_order_relaxed);
+
+    if (comm_ == core::CommModel::kPull) {
+      // One Put serves every consumer: no per-consumer work at all.
+      spl_->Put(std::move(page));
+      continue;
+    }
+
+    // Push mode: clone the page into every consumer FIFO, sequentially in
+    // this thread (the push-model forwarding cost).
+    std::vector<PushConsumer> active;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      active.swap(push_active_);
+    }
+    std::vector<PushConsumer> still_active;
+    still_active.reserve(active.size());
+    for (auto& c : active) {
+      if (!c.fifo->Put(storage::Page::Clone(*page))) continue;  // cancelled
+      if (--c.remaining == 0) {
+        c.fifo->Close();  // full cycle delivered
+        continue;
+      }
+      still_active.push_back(std::move(c));
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      for (auto& c : still_active) push_active_.push_back(std::move(c));
+    }
+  }
+}
+
+CircularScanService* CircularScanMap::Get(const storage::Table* table) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (auto& [t, svc] : services_) {
+    if (t == table) return svc.get();
+  }
+  services_.emplace_back(
+      table, std::make_unique<CircularScanService>(table, pool_, comm_,
+                                                   channel_bytes_));
+  return services_.back().second.get();
+}
+
+}  // namespace sdw::qpipe

@@ -1,0 +1,98 @@
+// Circular scan service: QPipe's table-scan stage with a linear WoP.
+//
+// One service per table keeps a single wrapping cursor through the buffer
+// pool. Consumers attach at any time (their point of entry is the cursor's
+// current position) and receive exactly one full cycle of raw table pages.
+// I/O and buffer-pool traffic are thus shared across all concurrent scans of
+// the table — the paper's "CS" configuration. The delivery transport honors
+// the communication model: pull shares page pointers through one SPL; push
+// deep-copies pages into per-consumer FIFOs in the service thread.
+
+#ifndef SDW_QPIPE_CIRCULAR_SCAN_H_
+#define SDW_QPIPE_CIRCULAR_SCAN_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/page_channel.h"
+#include "core/shared_pages_list.h"
+#include "qpipe/fifo_buffer.h"
+#include "storage/scan.h"
+
+namespace sdw::qpipe {
+
+/// Shared circular scan over one table.
+class CircularScanService {
+ public:
+  CircularScanService(const storage::Table* table, storage::BufferPool* pool,
+                      core::CommModel comm, size_t channel_bytes);
+  ~CircularScanService();
+
+  SDW_DISALLOW_COPY(CircularScanService);
+
+  /// Attaches a consumer; the returned source yields each table page exactly
+  /// once (one full cycle from the point of entry) and then ends.
+  std::unique_ptr<core::PageSource> Attach();
+
+  /// Pages delivered to consumers in total (diagnostics).
+  uint64_t pages_produced() const { return pages_produced_; }
+
+ private:
+  // Pull mode: wraps an SPL reader, stopping after one full cycle.
+  class CycleLimitedReader;
+  // Push mode: per-consumer state.
+  struct PushConsumer {
+    std::shared_ptr<FifoBuffer> fifo;
+    uint64_t remaining;
+  };
+
+  void Loop();
+  bool HasWorkLocked() const;
+
+  const storage::Table* table_;
+  storage::BufferPool* pool_;
+  const core::CommModel comm_;
+  const size_t channel_bytes_;
+
+  std::mutex mu_;
+  std::condition_variable wake_cv_;
+  bool stopping_ = false;
+  size_t pull_consumers_ = 0;  // readers still taking their cycle (pull)
+  std::vector<PushConsumer> push_pending_;  // attached, not yet merged
+  std::vector<PushConsumer> push_active_;   // owned by the loop thread
+
+  std::shared_ptr<core::SharedPagesList> spl_;  // pull transport (unbounded
+                                                // readers; bounded bytes)
+  storage::CircularPageCursor cursor_;
+  std::atomic<uint64_t> pages_produced_{0};
+
+  std::thread worker_;
+};
+
+/// Registry of per-table services (one per scan stage).
+class CircularScanMap {
+ public:
+  CircularScanMap(storage::BufferPool* pool, core::CommModel comm,
+                  size_t channel_bytes)
+      : pool_(pool), comm_(comm), channel_bytes_(channel_bytes) {}
+
+  /// Service for `table`, created on first use.
+  CircularScanService* Get(const storage::Table* table);
+
+ private:
+  storage::BufferPool* pool_;
+  const core::CommModel comm_;
+  const size_t channel_bytes_;
+
+  std::mutex mu_;
+  std::vector<std::pair<const storage::Table*,
+                        std::unique_ptr<CircularScanService>>>
+      services_;
+};
+
+}  // namespace sdw::qpipe
+
+#endif  // SDW_QPIPE_CIRCULAR_SCAN_H_

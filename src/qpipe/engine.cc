@@ -1,0 +1,232 @@
+#include "qpipe/engine.h"
+
+#include "common/breakdown.h"
+#include "common/timing.h"
+#include "qpipe/operators.h"
+#include "query/plan.h"
+
+namespace sdw::qpipe {
+
+using query::PlanNode;
+
+QpipeEngine::QpipeEngine(const storage::Catalog* catalog,
+                         storage::BufferPool* pool, QpipeOptions options)
+    : catalog_(catalog), pool_(pool), options_(options) {
+  scan_services_ = std::make_unique<CircularScanMap>(pool_, options_.comm,
+                                                     options_.channel_bytes);
+  scan_stage_ = std::make_unique<Stage>("tscan");
+  join_stage_ = std::make_unique<Stage>("hjoin");
+  agg_stage_ = std::make_unique<Stage>("agg");
+  sort_stage_ = std::make_unique<Stage>("sort");
+}
+
+QpipeEngine::~QpipeEngine() { WaitAll(); }
+
+QpipeEngine::Stage* QpipeEngine::StageFor(PlanNode::Kind kind) {
+  switch (kind) {
+    case PlanNode::Kind::kScan:
+      return scan_stage_.get();
+    case PlanNode::Kind::kHashJoin:
+      return join_stage_.get();
+    case PlanNode::Kind::kAggregate:
+      return agg_stage_.get();
+    case PlanNode::Kind::kSort:
+      return sort_stage_.get();
+  }
+  SDW_CHECK(false);
+  return nullptr;
+}
+
+bool QpipeEngine::SpEnabledFor(PlanNode::Kind kind) const {
+  switch (kind) {
+    case PlanNode::Kind::kScan:
+      return options_.sp_scan;
+    case PlanNode::Kind::kHashJoin:
+      return options_.sp_join;
+    case PlanNode::Kind::kAggregate:
+      return options_.sp_agg;
+    case PlanNode::Kind::kSort:
+      return options_.sp_sort;
+  }
+  return false;
+}
+
+int QpipeEngine::JoinDepth(const PlanNode* node) {
+  int depth = 0;
+  for (const auto& child : node->children) {
+    if (child->kind == PlanNode::Kind::kHashJoin) {
+      depth += JoinDepth(child.get());
+    }
+  }
+  return depth + (node->kind == PlanNode::Kind::kHashJoin ? 1 : 0);
+}
+
+void QpipeEngine::RecordShare(const PlanNode* node) {
+  std::unique_lock<std::mutex> lock(mu_);
+  switch (node->kind) {
+    case PlanNode::Kind::kScan:
+      ++counters_.scan_shares;
+      break;
+    case PlanNode::Kind::kHashJoin: {
+      const int depth = JoinDepth(node);
+      const size_t slot =
+          std::min<size_t>(static_cast<size_t>(depth) - 1,
+                           counters_.join_shares_by_depth.size() - 1);
+      ++counters_.join_shares_by_depth[slot];
+      break;
+    }
+    case PlanNode::Kind::kAggregate:
+      ++counters_.agg_shares;
+      break;
+    case PlanNode::Kind::kSort:
+      ++counters_.sort_shares;
+      break;
+  }
+}
+
+std::unique_ptr<core::PageSource> QpipeEngine::BuildProducer(
+    const QueryHandle& ctx, const PlanNode* node,
+    std::vector<std::function<void()>>* deferred) {
+  // GQP integration: delegate whole join sub-plans to the CJOIN stage.
+  if (join_delegate_ && node->kind == PlanNode::Kind::kHashJoin) {
+    return join_delegate_(ctx.get(), node, deferred);
+  }
+
+  Stage* stage = StageFor(node->kind);
+  const bool sp_on = SpEnabledFor(node->kind);
+
+  // Simultaneous Pipelining: attach as a satellite when an identical
+  // sub-plan is in flight with an open window of opportunity.
+  if (sp_on) {
+    if (auto src = stage->registry.TryAttach(node->signature)) {
+      RecordShare(node);
+      return src;
+    }
+  }
+
+  // Host path: own exchange + packet.
+  std::shared_ptr<Exchange> ex =
+      MakeExchange(options_.comm, options_.channel_bytes);
+  auto primary = ex->OpenPrimaryReader();
+  if (sp_on) stage->registry.Register(node->signature, ex);
+
+  // Wire children before deferring our own dispatch.
+  auto inputs =
+      std::make_shared<std::vector<std::shared_ptr<core::PageSource>>>();
+  for (const auto& child : node->children) {
+    inputs->push_back(BuildProducer(ctx, child.get(), deferred));
+  }
+
+  deferred->push_back([this, node, ex, inputs, sp_on, stage] {
+    stage->pool.Submit([this, node, ex, inputs, sp_on, stage] {
+      RunPacket(node, ex.get(), *inputs);
+      ex->sink()->Close();
+      if (sp_on) stage->registry.Unregister(node->signature, ex.get());
+    });
+  });
+  return primary;
+}
+
+void QpipeEngine::RunPacket(
+    const PlanNode* node, Exchange* ex,
+    const std::vector<std::shared_ptr<core::PageSource>>& inputs) {
+  switch (node->kind) {
+    case PlanNode::Kind::kScan: {
+      std::unique_ptr<core::PageSource> raw;
+      if (options_.sp_scan) {
+        raw = scan_services_->Get(node->table)->Attach();
+      }
+      RunScan(*node, raw.get(), pool_, ex->sink());
+      break;
+    }
+    case PlanNode::Kind::kHashJoin:
+      RunHashJoin(*node, inputs[0].get(), inputs[1].get(), ex->sink());
+      break;
+    case PlanNode::Kind::kAggregate:
+      RunAggregate(*node, inputs[0].get(), ex->sink());
+      break;
+    case PlanNode::Kind::kSort:
+      RunSort(*node, inputs[0].get(), ex->sink());
+      break;
+  }
+}
+
+std::vector<QueryHandle> QpipeEngine::SubmitBatch(
+    const std::vector<query::StarQuery>& queries) {
+  const query::Planner planner(catalog_);
+  std::vector<QueryHandle> handles;
+  handles.reserve(queries.size());
+  std::vector<std::function<void()>> deferred;
+  std::vector<std::shared_ptr<core::PageSource>> readers;
+  readers.reserve(queries.size());
+
+  // Phase 1: wire every query's packets. Hosts registered here are visible
+  // to later queries in the same batch, so common sub-plans attach before
+  // anything runs — the "all queries arrive at the same time" setup.
+  for (const query::StarQuery& q : queries) {
+    auto ctx = std::make_shared<QueryContext>();
+    ctx->qid = next_qid_.fetch_add(1, std::memory_order_relaxed);
+    ctx->query = q;
+    ctx->plan = planner.BuildPlan(q);
+    ctx->done = ctx->promise.get_future().share();
+    ctx->submit_nanos = NowNanos();
+    ctx->result.set_schema(ctx->plan->out_schema);
+    readers.push_back(BuildProducer(ctx, ctx->plan.get(), &deferred));
+    handles.push_back(std::move(ctx));
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (const auto& h : handles) active_.push_back(h);
+  }
+
+  // Phase 2: dispatch packets, then result sinks.
+  for (auto& d : deferred) d();
+  if (batch_flush_) batch_flush_();
+  for (size_t i = 0; i < handles.size(); ++i) {
+    QueryHandle ctx = handles[i];
+    std::shared_ptr<core::PageSource> reader = readers[i];
+    sink_pool_.Submit([this, ctx, reader] {
+      while (storage::PagePtr page = reader->Next()) {
+        ScopedComponentTimer t(Component::kMisc);
+        const uint32_t n = page->tuple_count();
+        for (uint32_t r = 0; r < n; ++r) ctx->result.AddRow(page->tuple(r));
+      }
+      ctx->finish_nanos = NowNanos();
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        std::erase(active_, ctx);
+      }
+      ctx->promise.set_value();
+    });
+  }
+  return handles;
+}
+
+QueryHandle QpipeEngine::Submit(const query::StarQuery& q) {
+  return SubmitBatch({q})[0];
+}
+
+void QpipeEngine::WaitAll() {
+  while (true) {
+    QueryHandle h;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (active_.empty()) return;
+      h = active_.back();
+    }
+    h->done.wait();
+  }
+}
+
+SpCounters QpipeEngine::sp_counters() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return counters_;
+}
+
+void QpipeEngine::ResetSpCounters() {
+  std::unique_lock<std::mutex> lock(mu_);
+  counters_ = SpCounters{};
+}
+
+}  // namespace sdw::qpipe

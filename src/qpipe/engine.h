@@ -1,0 +1,160 @@
+// The QPipe staged execution engine (paper §2.3).
+//
+// Each relational operator kind is a stage with its own worker pool; a query
+// plan becomes one packet per operator, dispatched to the stages and
+// communicating through Exchanges (FIFO push or SPL pull). Stages detect
+// packets with identical sub-plan signatures and attach them as satellites of
+// the in-flight host (Simultaneous Pipelining).
+//
+// Submission is batched: all packets of a batch are wired before any packet
+// runs, matching the paper's experiments where concurrent queries are
+// "submitted at the same time" and therefore arrive inside every WoP.
+// Single-query Submit is the degenerate batch; late arrivals attach only
+// while the host's window is still open.
+
+#ifndef SDW_QPIPE_ENGINE_H_
+#define SDW_QPIPE_ENGINE_H_
+
+#include <array>
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "qpipe/circular_scan.h"
+#include "qpipe/exchange.h"
+#include "qpipe/packet.h"
+#include "qpipe/sp_registry.h"
+#include "query/plan.h"
+#include "storage/buffer_pool.h"
+#include "storage/catalog.h"
+
+namespace sdw::qpipe {
+
+/// Engine configuration; the five paper configurations map onto these flags
+/// (see core::EngineConfig).
+struct QpipeOptions {
+  /// SP communication model: push/FIFO or pull/SPL (paper §4).
+  core::CommModel comm = core::CommModel::kPull;
+  /// Scan-stage sharing: circular scans + identical-scan SP ("CS").
+  bool sp_scan = false;
+  /// Join-stage SP (identical join sub-plans).
+  bool sp_join = false;
+  /// Aggregation-stage SP (off in the paper's experiments).
+  bool sp_agg = false;
+  /// Sort-stage SP (off in the paper's experiments).
+  bool sp_sort = false;
+  /// Byte bound of every FIFO / SPL (paper uses 256 KB).
+  size_t channel_bytes = 256 * 1024;
+};
+
+/// SP sharing counters (the paper reports these per experiment, e.g. the
+/// "1st/2nd/3rd hash-join" share counts of Figure 15).
+struct SpCounters {
+  uint64_t scan_shares = 0;
+  uint64_t agg_shares = 0;
+  uint64_t sort_shares = 0;
+  std::array<uint64_t, 8> join_shares_by_depth{};  // [0] = first hash join
+
+  uint64_t join_shares_total() const {
+    uint64_t n = 0;
+    for (uint64_t v : join_shares_by_depth) n += v;
+    return n;
+  }
+};
+
+/// The staged engine.
+class QpipeEngine {
+ public:
+  QpipeEngine(const storage::Catalog* catalog, storage::BufferPool* pool,
+              QpipeOptions options);
+  ~QpipeEngine();
+
+  SDW_DISALLOW_COPY(QpipeEngine);
+
+  /// Submits a batch: wires packets for all queries (detecting SP sharing
+  /// within the batch and against in-flight queries), then dispatches.
+  std::vector<QueryHandle> SubmitBatch(
+      const std::vector<query::StarQuery>& queries);
+
+  /// Single-query convenience wrapper.
+  QueryHandle Submit(const query::StarQuery& q);
+
+  /// Blocks until every submitted query has completed.
+  void WaitAll();
+
+  /// Snapshot of sharing counters.
+  SpCounters sp_counters() const;
+  /// Zeroes sharing counters.
+  void ResetSpCounters();
+
+  const QpipeOptions& options() const { return options_; }
+  const storage::Catalog* catalog() const { return catalog_; }
+  storage::BufferPool* buffer_pool() const { return pool_; }
+
+  /// Hook used by the CJOIN integration (core::CjoinStage): when set, join
+  /// sub-plans are evaluated by the delegate (the GQP) instead of
+  /// query-centric join packets. Must be installed before any submission.
+  /// The delegate returns the reader of the join sub-plan's output and
+  /// appends its dispatch steps to `deferred` (run after wiring completes).
+  using JoinDelegate = std::function<std::unique_ptr<core::PageSource>(
+      QueryContext* ctx, const query::PlanNode* join_root,
+      std::vector<std::function<void()>>* deferred)>;
+  void set_join_delegate(JoinDelegate delegate) {
+    join_delegate_ = std::move(delegate);
+  }
+
+  /// Invoked once per SubmitBatch after all deferred dispatches ran; the
+  /// CJOIN stage uses it to hand its staged submissions to the pipeline as
+  /// one admission batch.
+  void set_batch_flush_hook(std::function<void()> hook) {
+    batch_flush_ = std::move(hook);
+  }
+
+ private:
+  struct Stage {
+    explicit Stage(const std::string& name) : pool(name) {}
+    ThreadPool pool;
+    SpRegistry registry;
+  };
+
+  Stage* StageFor(query::PlanNode::Kind kind);
+  bool SpEnabledFor(query::PlanNode::Kind kind) const;
+  void RecordShare(const query::PlanNode* node);
+  static int JoinDepth(const query::PlanNode* node);
+
+  /// Builds the producer pipeline for `node`, returning the reader of its
+  /// output. Dispatch closures are appended to `deferred`.
+  std::unique_ptr<core::PageSource> BuildProducer(
+      const QueryHandle& ctx, const query::PlanNode* node,
+      std::vector<std::function<void()>>* deferred);
+
+  void RunPacket(const query::PlanNode* node, Exchange* ex,
+                 const std::vector<std::shared_ptr<core::PageSource>>& inputs);
+
+  const storage::Catalog* catalog_;
+  storage::BufferPool* pool_;
+  const QpipeOptions options_;
+
+  std::unique_ptr<CircularScanMap> scan_services_;
+  std::unique_ptr<Stage> scan_stage_;
+  std::unique_ptr<Stage> join_stage_;
+  std::unique_ptr<Stage> agg_stage_;
+  std::unique_ptr<Stage> sort_stage_;
+  ThreadPool sink_pool_{"sink"};
+
+  JoinDelegate join_delegate_;
+  std::function<void()> batch_flush_;
+
+  std::atomic<uint64_t> next_qid_{1};
+
+  mutable std::mutex mu_;
+  std::vector<QueryHandle> active_;
+  SpCounters counters_;
+};
+
+}  // namespace sdw::qpipe
+
+#endif  // SDW_QPIPE_ENGINE_H_

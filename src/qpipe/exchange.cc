@@ -1,0 +1,95 @@
+#include "qpipe/exchange.h"
+
+namespace sdw::qpipe {
+
+// ---------------------------------------------------------------- SplExchange
+
+class SplExchange::ReaderHolder : public core::PageSource {
+ public:
+  ReaderHolder(std::shared_ptr<core::SharedPagesList> keepalive,
+               std::unique_ptr<core::SharedPagesList::Reader> reader)
+      : keepalive_(std::move(keepalive)), reader_(std::move(reader)) {}
+
+  storage::PagePtr Next() override { return reader_->Next(); }
+  void CancelReader() override { reader_->CancelReader(); }
+
+ private:
+  std::shared_ptr<core::SharedPagesList> keepalive_;
+  std::unique_ptr<core::SharedPagesList::Reader> reader_;
+};
+
+std::unique_ptr<core::PageSource> SplExchange::OpenPrimaryReader() {
+  auto reader = spl_->TryAttachFromStart();
+  SDW_CHECK_MSG(reader != nullptr,
+                "primary reader must attach before production");
+  return std::make_unique<ReaderHolder>(spl_, std::move(reader));
+}
+
+std::unique_ptr<core::PageSource> SplExchange::TryAttachSatellite() {
+  auto reader = spl_->TryAttachFromStart();
+  if (reader == nullptr) return nullptr;  // WoP closed
+  return std::make_unique<ReaderHolder>(spl_, std::move(reader));
+}
+
+// -------------------------------------------------------------------- TeeSink
+
+bool TeeSink::Put(storage::PagePtr page) {
+  // Snapshot satellites under the lock; the copying itself happens in the
+  // producer thread, serially per satellite — the push-model cost.
+  std::vector<std::shared_ptr<FifoBuffer>> sats;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    emitted_ = true;
+    sats = satellites_;
+  }
+  for (auto& s : sats) {
+    if (!s->Put(storage::Page::Clone(*page))) {
+      // Satellite cancelled; drop it so we stop copying for it.
+      std::unique_lock<std::mutex> lock(mu_);
+      std::erase(satellites_, s);
+    }
+  }
+  return primary_->Put(std::move(page));
+}
+
+void TeeSink::Close() {
+  std::vector<std::shared_ptr<FifoBuffer>> sats;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    closed_ = true;
+    sats = satellites_;
+  }
+  for (auto& s : sats) s->Close();
+  primary_->Close();
+}
+
+bool TeeSink::TryAddSatellite(std::shared_ptr<FifoBuffer> satellite) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (emitted_ || closed_) return false;
+  satellites_.push_back(std::move(satellite));
+  return true;
+}
+
+// --------------------------------------------------------------- FifoExchange
+
+std::unique_ptr<core::PageSource> FifoExchange::OpenPrimaryReader() {
+  return std::make_unique<FifoReaderHolder>(primary_);
+}
+
+std::unique_ptr<core::PageSource> FifoExchange::TryAttachSatellite() {
+  auto fifo = std::make_shared<FifoBuffer>(channel_bytes_);
+  if (!tee_->TryAddSatellite(fifo)) return nullptr;
+  return std::make_unique<FifoReaderHolder>(std::move(fifo));
+}
+
+// -------------------------------------------------------------------- factory
+
+std::unique_ptr<Exchange> MakeExchange(core::CommModel comm,
+                                       size_t channel_bytes) {
+  if (comm == core::CommModel::kPull) {
+    return std::make_unique<SplExchange>(channel_bytes);
+  }
+  return std::make_unique<FifoExchange>(channel_bytes);
+}
+
+}  // namespace sdw::qpipe

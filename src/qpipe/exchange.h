@@ -1,0 +1,120 @@
+// Exchange: the output channel of a packet, abstracting over the two SP
+// communication models. An exchange has one producing packet; its own parent
+// opens the primary reader, and SP satellites attach while the operator's
+// step window of opportunity is still open (nothing emitted yet):
+//
+//  * SplExchange (pull): one SharedPagesList; satellites become additional
+//    readers of the same list — zero producer-side cost.
+//  * FifoExchange (push): the producer writes through a TeeSink that deep-
+//    copies every page into each satellite's private FIFO — the paper's
+//    push-based SP with its serialization point.
+
+#ifndef SDW_QPIPE_EXCHANGE_H_
+#define SDW_QPIPE_EXCHANGE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/breakdown.h"
+#include "core/page_channel.h"
+#include "core/shared_pages_list.h"
+#include "qpipe/fifo_buffer.h"
+
+namespace sdw::qpipe {
+
+/// Output channel of one producing packet.
+class Exchange {
+ public:
+  virtual ~Exchange() = default;
+
+  /// Sink the producing packet writes to.
+  virtual core::PageSink* sink() = 0;
+
+  /// Opens the consumer endpoint for the packet's own parent. Must be called
+  /// exactly once, before the producer is dispatched.
+  virtual std::unique_ptr<core::PageSource> OpenPrimaryReader() = 0;
+
+  /// Attaches an SP satellite under a step WoP: succeeds only while the
+  /// producer has not emitted its first page. Thread-safe; returns nullptr
+  /// when the window has closed.
+  virtual std::unique_ptr<core::PageSource> TryAttachSatellite() = 0;
+};
+
+/// Factory honoring the configured communication model.
+std::unique_ptr<Exchange> MakeExchange(core::CommModel comm,
+                                       size_t channel_bytes);
+
+/// PageSource over a FifoBuffer holding shared ownership of it.
+class FifoReaderHolder : public core::PageSource {
+ public:
+  explicit FifoReaderHolder(std::shared_ptr<FifoBuffer> fifo)
+      : fifo_(std::move(fifo)) {}
+
+  storage::PagePtr Next() override { return fifo_->Next(); }
+  void CancelReader() override { fifo_->CancelReader(); }
+
+ private:
+  std::shared_ptr<FifoBuffer> fifo_;
+};
+
+/// Pull-model exchange over a SharedPagesList.
+class SplExchange : public Exchange {
+ public:
+  explicit SplExchange(size_t channel_bytes)
+      : spl_(std::make_shared<core::SharedPagesList>(channel_bytes)) {}
+
+  core::PageSink* sink() override { return spl_.get(); }
+  std::unique_ptr<core::PageSource> OpenPrimaryReader() override;
+  std::unique_ptr<core::PageSource> TryAttachSatellite() override;
+
+  const core::SharedPagesList* spl() const { return spl_.get(); }
+
+ private:
+  // Reader wrapper keeping the list alive.
+  class ReaderHolder;
+
+  std::shared_ptr<core::SharedPagesList> spl_;
+};
+
+/// Push-model producer sink forwarding to satellites by deep copy.
+class TeeSink : public core::PageSink {
+ public:
+  explicit TeeSink(std::shared_ptr<FifoBuffer> primary)
+      : primary_(std::move(primary)) {}
+
+  bool Put(storage::PagePtr page) override;
+  void Close() override;
+
+  /// Adds a satellite FIFO while the step WoP is open; false otherwise.
+  bool TryAddSatellite(std::shared_ptr<FifoBuffer> satellite);
+
+ private:
+  std::shared_ptr<FifoBuffer> primary_;
+
+  std::mutex mu_;
+  std::vector<std::shared_ptr<FifoBuffer>> satellites_;
+  bool emitted_ = false;
+  bool closed_ = false;
+};
+
+/// Push-model exchange: primary FIFO plus tee-attached satellite FIFOs.
+class FifoExchange : public Exchange {
+ public:
+  explicit FifoExchange(size_t channel_bytes)
+      : channel_bytes_(channel_bytes),
+        primary_(std::make_shared<FifoBuffer>(channel_bytes)),
+        tee_(std::make_shared<TeeSink>(primary_)) {}
+
+  core::PageSink* sink() override { return tee_.get(); }
+  std::unique_ptr<core::PageSource> OpenPrimaryReader() override;
+  std::unique_ptr<core::PageSource> TryAttachSatellite() override;
+
+ private:
+  const size_t channel_bytes_;
+  std::shared_ptr<FifoBuffer> primary_;
+  std::shared_ptr<TeeSink> tee_;
+};
+
+}  // namespace sdw::qpipe
+
+#endif  // SDW_QPIPE_EXCHANGE_H_

@@ -1,0 +1,54 @@
+// Bounded single-producer / single-consumer page FIFO — QPipe's original
+// push-only exchange. During push-based SP the host's TeeSink copies every
+// result page into each satellite's FifoBuffer sequentially, which is the
+// serialization point the paper's Shared Pages Lists remove.
+
+#ifndef SDW_QPIPE_FIFO_BUFFER_H_
+#define SDW_QPIPE_FIFO_BUFFER_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "common/macros.h"
+#include "core/page_channel.h"
+
+namespace sdw::qpipe {
+
+/// SPSC bounded page queue implementing both channel endpoints.
+class FifoBuffer : public core::PageSink, public core::PageSource {
+ public:
+  /// `max_bytes` bounds buffered pages (0 = unbounded).
+  explicit FifoBuffer(size_t max_bytes = 256 * 1024)
+      : max_bytes_(max_bytes) {}
+
+  SDW_DISALLOW_COPY(FifoBuffer);
+
+  // PageSink:
+  bool Put(storage::PagePtr page) override;
+  void Close() override;
+
+  // PageSource:
+  storage::PagePtr Next() override;
+  void CancelReader() override;
+
+  size_t buffered_bytes() const;
+  /// True while no page has ever been enqueued and not closed (step WoP).
+  bool NothingEmitted() const;
+
+ private:
+  const size_t max_bytes_;
+
+  mutable std::mutex mu_;
+  std::condition_variable producer_cv_;
+  std::condition_variable consumer_cv_;
+  std::deque<storage::PagePtr> queue_;
+  size_t bytes_ = 0;
+  bool emitted_ = false;
+  bool closed_ = false;
+  bool cancelled_ = false;
+};
+
+}  // namespace sdw::qpipe
+
+#endif  // SDW_QPIPE_FIFO_BUFFER_H_

@@ -1,0 +1,393 @@
+#include "qpipe/operators.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/breakdown.h"
+#include "qpipe/hash_table.h"
+#include "storage/scan.h"
+
+namespace sdw::qpipe {
+
+namespace {
+
+/// Precomputed per-column byte moves from a source schema to an output
+/// schema.
+struct ColumnMove {
+  uint32_t src_off;
+  uint32_t dst_off;
+  uint32_t len;
+};
+
+std::vector<ColumnMove> PlanMoves(const storage::Schema& src,
+                                  const std::vector<size_t>& src_cols,
+                                  const storage::Schema& dst,
+                                  size_t dst_start) {
+  std::vector<ColumnMove> moves;
+  moves.reserve(src_cols.size());
+  for (size_t i = 0; i < src_cols.size(); ++i) {
+    const size_t s = src_cols[i];
+    const size_t d = dst_start + i;
+    moves.push_back({src.offset(s), dst.offset(d), src.column(s).width()});
+  }
+  return moves;
+}
+
+void ApplyMoves(const std::vector<ColumnMove>& moves, const std::byte* src,
+                std::byte* dst) {
+  for (const auto& m : moves) {
+    std::memcpy(dst + m.dst_off, src + m.src_off, m.len);
+  }
+}
+
+}  // namespace
+
+std::byte* PageWriter::AppendTuple() {
+  if (!ok_) return nullptr;
+  if (page_ == nullptr) page_ = storage::Page::Make(tuple_size_);
+  std::byte* t = page_->AppendTuple();
+  if (t != nullptr) return t;
+  // Page full: emit and retry on a fresh page.
+  if (!sink_->Put(std::move(page_))) {
+    ok_ = false;
+    return nullptr;
+  }
+  page_ = storage::Page::Make(tuple_size_);
+  return page_->AppendTuple();
+}
+
+void PageWriter::Flush() {
+  if (!ok_ || page_ == nullptr || page_->empty()) return;
+  if (!sink_->Put(std::move(page_))) ok_ = false;
+  page_ = nullptr;
+}
+
+double NumericValue(const storage::Schema& schema, const std::byte* tuple,
+                    size_t col) {
+  return schema.column(col).type == storage::ColumnType::kDouble
+             ? schema.GetDouble(tuple, col)
+             : static_cast<double>(schema.GetIntAny(tuple, col));
+}
+
+// ------------------------------------------------------------------- RunScan
+
+void RunScan(const query::PlanNode& node, core::PageSource* raw_pages,
+             storage::BufferPool* pool, core::PageSink* out) {
+  const storage::Schema& base = node.table->schema();
+  const query::Predicate::Bound pred = node.pred.Bind(base);
+  const auto moves = PlanMoves(base, node.scan_proj, node.out_schema, 0);
+  PageWriter writer(out, node.out_schema.tuple_size());
+
+  auto process_page = [&](const storage::Page& page) {
+    ScopedComponentTimer t(Component::kScans);
+    const uint32_t n = page.tuple_count();
+    for (uint32_t i = 0; i < n; ++i) {
+      const std::byte* tuple = page.tuple(i);
+      if (!pred.IsTrue() && !pred.Eval(base, tuple)) continue;
+      std::byte* dst = writer.AppendTuple();
+      if (dst == nullptr) return false;  // consumers gone
+      ApplyMoves(moves, tuple, dst);
+    }
+    return true;
+  };
+
+  if (raw_pages != nullptr) {
+    // Shared circular scan: consume one full cycle of raw pages.
+    while (storage::PagePtr page = raw_pages->Next()) {
+      if (!process_page(*page)) {
+        raw_pages->CancelReader();
+        break;
+      }
+    }
+  } else {
+    storage::TableScanCursor cursor(node.table, pool);
+    while (const storage::Page* page = cursor.Next()) {
+      if (!process_page(*page)) break;
+    }
+  }
+  writer.Flush();
+}
+
+// --------------------------------------------------------------- RunHashJoin
+
+void RunHashJoin(const query::PlanNode& node, core::PageSource* probe,
+                 core::PageSource* build, core::PageSink* out) {
+  const storage::Schema& probe_schema = node.child(0)->out_schema;
+  const storage::Schema& build_schema = node.child(1)->out_schema;
+  const auto payload_moves =
+      PlanMoves(build_schema, node.build_payload, node.out_schema,
+                probe_schema.num_columns());
+  const uint32_t probe_width = probe_schema.tuple_size();
+  const size_t probe_key = node.probe_key;
+  const size_t build_key = node.build_key;
+
+  // Build phase: materialize pages, hash keys, insert tuple pointers.
+  std::vector<storage::PagePtr> build_pages;
+  Int64HashTable ht;
+  std::vector<std::pair<uint64_t, int64_t>> hashes;
+  while (storage::PagePtr page = build->Next()) {
+    const uint32_t n = page->tuple_count();
+    hashes.clear();
+    {
+      ScopedComponentTimer t(Component::kHashing);
+      hashes.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        const int64_t key = build_schema.GetIntAny(page->tuple(i), build_key);
+        hashes.emplace_back(HashKey(key), key);
+      }
+    }
+    {
+      ScopedComponentTimer t(Component::kJoins);
+      for (uint32_t i = 0; i < n; ++i) {
+        ht.Insert(hashes[i].first, hashes[i].second,
+                  reinterpret_cast<uint64_t>(page->tuple(i)));
+      }
+    }
+    build_pages.push_back(std::move(page));
+  }
+  {
+    ScopedComponentTimer t(Component::kHashing);
+    ht.Build();
+  }
+
+  // Probe phase.
+  PageWriter writer(out, node.out_schema.tuple_size());
+  std::vector<std::pair<uint32_t, const std::byte*>> matches;
+  while (storage::PagePtr page = probe->Next()) {
+    const uint32_t n = page->tuple_count();
+    matches.clear();
+    {
+      // Bucket walk + key equality: the paper's "Hashing" bucket.
+      ScopedComponentTimer t(Component::kHashing);
+      for (uint32_t i = 0; i < n; ++i) {
+        const int64_t key = probe_schema.GetIntAny(page->tuple(i), probe_key);
+        ht.ForEachMatch(HashKey(key), key, [&](uint64_t value) {
+          matches.emplace_back(i, reinterpret_cast<const std::byte*>(value));
+        });
+      }
+    }
+    {
+      // Output construction: the remaining join work.
+      ScopedComponentTimer t(Component::kJoins);
+      for (const auto& [i, build_tuple] : matches) {
+        std::byte* dst = writer.AppendTuple();
+        if (dst == nullptr) {
+          probe->CancelReader();
+          build->CancelReader();
+          writer.Flush();
+          return;
+        }
+        std::memcpy(dst, page->tuple(i), probe_width);
+        ApplyMoves(payload_moves, build_tuple, dst);
+      }
+    }
+  }
+  writer.Flush();
+}
+
+// -------------------------------------------------------------- RunAggregate
+
+namespace {
+
+struct AggAcc {
+  int64_t i = 0;
+  double d = 0;
+  int64_t count = 0;
+};
+
+void UpdateAcc(const query::BoundAgg& agg, const storage::Schema& in,
+               const std::byte* tuple, AggAcc* acc) {
+  using Kind = query::AggSpec::Kind;
+  switch (agg.kind) {
+    case Kind::kSum:
+      if (agg.integer_exact) {
+        acc->i += in.GetIntAny(tuple, static_cast<size_t>(agg.col_a));
+      } else {
+        acc->d += NumericValue(in, tuple, static_cast<size_t>(agg.col_a));
+      }
+      break;
+    case Kind::kSumProduct:
+      if (agg.integer_exact) {
+        acc->i += in.GetIntAny(tuple, static_cast<size_t>(agg.col_a)) *
+                  in.GetIntAny(tuple, static_cast<size_t>(agg.col_b));
+      } else {
+        acc->d += NumericValue(in, tuple, static_cast<size_t>(agg.col_a)) *
+                  NumericValue(in, tuple, static_cast<size_t>(agg.col_b));
+      }
+      break;
+    case Kind::kSumDiff:
+      if (agg.integer_exact) {
+        acc->i += in.GetIntAny(tuple, static_cast<size_t>(agg.col_a)) -
+                  in.GetIntAny(tuple, static_cast<size_t>(agg.col_b));
+      } else {
+        acc->d += NumericValue(in, tuple, static_cast<size_t>(agg.col_a)) -
+                  NumericValue(in, tuple, static_cast<size_t>(agg.col_b));
+      }
+      break;
+    case Kind::kSumDiscPrice:
+      acc->d += NumericValue(in, tuple, static_cast<size_t>(agg.col_a)) *
+                (1.0 - NumericValue(in, tuple, static_cast<size_t>(agg.col_b)));
+      break;
+    case Kind::kSumCharge:
+      acc->d +=
+          NumericValue(in, tuple, static_cast<size_t>(agg.col_a)) *
+          (1.0 - NumericValue(in, tuple, static_cast<size_t>(agg.col_b))) *
+          (1.0 + NumericValue(in, tuple, static_cast<size_t>(agg.col_c)));
+      break;
+    case Kind::kAvg:
+      acc->d += NumericValue(in, tuple, static_cast<size_t>(agg.col_a));
+      ++acc->count;
+      break;
+    case Kind::kCount:
+      ++acc->count;
+      break;
+  }
+}
+
+void EmitAcc(const query::BoundAgg& agg, const storage::Schema& out,
+             std::byte* dst, size_t col, const AggAcc& acc) {
+  using Kind = query::AggSpec::Kind;
+  switch (agg.kind) {
+    case Kind::kSum:
+    case Kind::kSumProduct:
+    case Kind::kSumDiff:
+      if (agg.integer_exact) {
+        out.SetInt64(dst, col, acc.i);
+      } else {
+        out.SetDouble(dst, col, acc.d);
+      }
+      break;
+    case Kind::kSumDiscPrice:
+    case Kind::kSumCharge:
+      out.SetDouble(dst, col, acc.d);
+      break;
+    case Kind::kAvg:
+      out.SetDouble(dst, col,
+                    acc.count == 0 ? 0.0
+                                   : acc.d / static_cast<double>(acc.count));
+      break;
+    case Kind::kCount:
+      out.SetInt64(dst, col, acc.count);
+      break;
+  }
+}
+
+}  // namespace
+
+void RunAggregate(const query::PlanNode& node, core::PageSource* in,
+                  core::PageSink* out) {
+  const storage::Schema& child = node.child(0)->out_schema;
+  const storage::Schema& out_schema = node.out_schema;
+  const size_t num_aggs = node.aggs.size();
+
+  // Group key = raw bytes of the group columns, in group order; the output
+  // schema places those columns first, so the key doubles as the tuple
+  // prefix.
+  size_t key_width = 0;
+  for (size_t c : node.group_cols) key_width += child.column(c).width();
+
+  std::unordered_map<std::string, std::vector<AggAcc>> groups;
+  std::string key;
+  key.reserve(key_width);
+
+  while (storage::PagePtr page = in->Next()) {
+    ScopedComponentTimer t(Component::kAggregation);
+    const uint32_t n = page->tuple_count();
+    for (uint32_t i = 0; i < n; ++i) {
+      const std::byte* tuple = page->tuple(i);
+      key.clear();
+      for (size_t c : node.group_cols) {
+        key.append(reinterpret_cast<const char*>(tuple + child.offset(c)),
+                   child.column(c).width());
+      }
+      auto [it, inserted] = groups.try_emplace(key);
+      if (inserted) it->second.resize(num_aggs);
+      for (size_t a = 0; a < num_aggs; ++a) {
+        UpdateAcc(node.aggs[a], child, tuple, &it->second[a]);
+      }
+    }
+  }
+
+  // A global aggregate (no GROUP BY) yields exactly one row even on empty
+  // input, matching SQL semantics with zero-initialized accumulators.
+  if (groups.empty() && node.group_cols.empty()) {
+    groups.try_emplace(std::string()).first->second.resize(num_aggs);
+  }
+
+  PageWriter writer(out, out_schema.tuple_size());
+  {
+    ScopedComponentTimer t(Component::kAggregation);
+    for (const auto& [group_key, accs] : groups) {
+      std::byte* dst = writer.AppendTuple();
+      if (dst == nullptr) break;
+      std::memcpy(dst, group_key.data(), group_key.size());
+      for (size_t a = 0; a < num_aggs; ++a) {
+        EmitAcc(node.aggs[a], out_schema, dst, node.group_cols.size() + a,
+                accs[a]);
+      }
+    }
+  }
+  writer.Flush();
+}
+
+// ------------------------------------------------------------------- RunSort
+
+void RunSort(const query::PlanNode& node, core::PageSource* in,
+             core::PageSink* out) {
+  const storage::Schema& schema = node.out_schema;
+
+  std::vector<storage::PagePtr> pages;
+  std::vector<const std::byte*> rows;
+  while (storage::PagePtr page = in->Next()) {
+    const uint32_t n = page->tuple_count();
+    for (uint32_t i = 0; i < n; ++i) rows.push_back(page->tuple(i));
+    pages.push_back(std::move(page));
+  }
+
+  {
+    ScopedComponentTimer t(Component::kMisc);
+    auto cmp = [&](const std::byte* a, const std::byte* b) {
+      for (const auto& k : node.sort_keys) {
+        int c = 0;
+        switch (schema.column(k.col).type) {
+          case storage::ColumnType::kInt32:
+          case storage::ColumnType::kInt64: {
+            const int64_t va = schema.GetIntAny(a, k.col);
+            const int64_t vb = schema.GetIntAny(b, k.col);
+            c = va < vb ? -1 : (va > vb ? 1 : 0);
+            break;
+          }
+          case storage::ColumnType::kDouble: {
+            const double va = schema.GetDouble(a, k.col);
+            const double vb = schema.GetDouble(b, k.col);
+            c = va < vb ? -1 : (va > vb ? 1 : 0);
+            break;
+          }
+          case storage::ColumnType::kChar: {
+            const auto va = schema.GetCharRaw(a, k.col);
+            const auto vb = schema.GetCharRaw(b, k.col);
+            c = va.compare(vb);
+            c = c < 0 ? -1 : (c > 0 ? 1 : 0);
+            break;
+          }
+        }
+        if (c != 0) return k.ascending ? c < 0 : c > 0;
+      }
+      return false;
+    };
+    std::stable_sort(rows.begin(), rows.end(), cmp);
+  }
+
+  PageWriter writer(out, schema.tuple_size());
+  for (const std::byte* row : rows) {
+    std::byte* dst = writer.AppendTuple();
+    if (dst == nullptr) break;
+    std::memcpy(dst, row, schema.tuple_size());
+  }
+  writer.Flush();
+}
+
+}  // namespace sdw::qpipe

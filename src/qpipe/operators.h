@@ -1,0 +1,63 @@
+// Query-centric relational operators. Each Run* function is the body of one
+// QPipe packet: it consumes page streams, produces a page stream, and charges
+// its CPU time to the paper's breakdown buckets (Hashing / Joins /
+// Aggregation / Scans / Misc) at page granularity.
+
+#ifndef SDW_QPIPE_OPERATORS_H_
+#define SDW_QPIPE_OPERATORS_H_
+
+#include <memory>
+
+#include "core/page_channel.h"
+#include "query/plan.h"
+#include "storage/buffer_pool.h"
+
+namespace sdw::qpipe {
+
+/// Streams tuples into pages and forwards full pages to a sink.
+class PageWriter {
+ public:
+  PageWriter(core::PageSink* sink, uint32_t tuple_size)
+      : sink_(sink), tuple_size_(tuple_size) {}
+
+  /// Space for one output tuple; nullptr once the sink reports no consumers
+  /// (the producer should stop).
+  std::byte* AppendTuple();
+
+  /// Emits the final partial page. Safe to call multiple times.
+  void Flush();
+
+  bool ok() const { return ok_; }
+
+ private:
+  core::PageSink* sink_;
+  const uint32_t tuple_size_;
+  storage::PagePtr page_;
+  bool ok_ = true;
+};
+
+/// Table scan with selection and projection. When `raw_pages` is non-null the
+/// scan consumes the shared circular-scan stream; otherwise it runs its own
+/// cursor through the buffer pool (query-centric scan).
+void RunScan(const query::PlanNode& node, core::PageSource* raw_pages,
+             storage::BufferPool* pool, core::PageSink* out);
+
+/// Hash join: drains `build` into a hash table, then probes with `probe`.
+void RunHashJoin(const query::PlanNode& node, core::PageSource* probe,
+                 core::PageSource* build, core::PageSink* out);
+
+/// Hash aggregation with the paper workloads' aggregate kinds.
+void RunAggregate(const query::PlanNode& node, core::PageSource* in,
+                  core::PageSink* out);
+
+/// Full sort (materializing); used for ORDER BY.
+void RunSort(const query::PlanNode& node, core::PageSource* in,
+             core::PageSink* out);
+
+/// Reads a numeric column (int or double) as double.
+double NumericValue(const storage::Schema& schema, const std::byte* tuple,
+                    size_t col);
+
+}  // namespace sdw::qpipe
+
+#endif  // SDW_QPIPE_OPERATORS_H_

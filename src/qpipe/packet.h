@@ -1,0 +1,47 @@
+// Query context: one submitted query's plan, result, and completion state.
+// QPipe converts the plan into one packet per operator; packets are plain
+// tasks dispatched to stage thread pools and communicate through Exchanges,
+// so the "packet" itself needs no reified struct beyond the dispatch lambda —
+// the QueryContext is the shared state they all reference.
+
+#ifndef SDW_QPIPE_PACKET_H_
+#define SDW_QPIPE_PACKET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+
+#include "query/plan.h"
+#include "query/result.h"
+#include "query/star_query.h"
+
+namespace sdw::qpipe {
+
+/// Shared state of one in-flight query.
+struct QueryContext {
+  uint64_t qid = 0;
+  query::StarQuery query;
+  std::unique_ptr<query::PlanNode> plan;
+  query::ResultSet result;
+
+  std::promise<void> promise;
+  std::shared_future<void> done;
+
+  int64_t submit_nanos = 0;
+  int64_t finish_nanos = 0;
+
+  /// End-to-end response time in seconds (valid after completion).
+  double response_seconds() const {
+    return static_cast<double>(finish_nanos - submit_nanos) * 1e-9;
+  }
+
+  /// True when SP satisfied the whole query from a host's results.
+  std::atomic<bool> fully_shared{false};
+};
+
+using QueryHandle = std::shared_ptr<QueryContext>;
+
+}  // namespace sdw::qpipe
+
+#endif  // SDW_QPIPE_PACKET_H_

@@ -1,0 +1,40 @@
+#include "qpipe/sp_registry.h"
+
+#include <algorithm>
+
+namespace sdw::qpipe {
+
+void SpRegistry::Register(const std::string& signature,
+                          std::shared_ptr<Exchange> ex) {
+  std::unique_lock<std::mutex> lock(mu_);
+  hosts_[signature].push_back(std::move(ex));
+}
+
+void SpRegistry::Unregister(const std::string& signature, const Exchange* ex) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = hosts_.find(signature);
+  if (it == hosts_.end()) return;
+  std::erase_if(it->second,
+                [ex](const std::shared_ptr<Exchange>& e) { return e.get() == ex; });
+  if (it->second.empty()) hosts_.erase(it);
+}
+
+std::unique_ptr<core::PageSource> SpRegistry::TryAttach(
+    const std::string& signature) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = hosts_.find(signature);
+  if (it == hosts_.end()) return nullptr;
+  for (auto& ex : it->second) {
+    if (auto src = ex->TryAttachSatellite()) return src;
+  }
+  return nullptr;
+}
+
+size_t SpRegistry::size() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [sig, v] : hosts_) n += v.size();
+  return n;
+}
+
+}  // namespace sdw::qpipe

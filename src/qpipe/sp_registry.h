@@ -1,0 +1,47 @@
+// Per-stage registry of in-flight host packets for Simultaneous Pipelining.
+//
+// A stage registers each dispatched packet's (sub-plan signature → exchange).
+// When a new packet with an identical signature arrives inside the host's
+// window of opportunity, the registry attaches it as a satellite: the new
+// packet is never executed and its parent reads the host's results instead
+// (paper §2.2-2.3).
+
+#ifndef SDW_QPIPE_SP_REGISTRY_H_
+#define SDW_QPIPE_SP_REGISTRY_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "qpipe/exchange.h"
+
+namespace sdw::qpipe {
+
+/// Thread-safe signature → host-exchange registry.
+class SpRegistry {
+ public:
+  /// Registers a host before its packet is dispatched.
+  void Register(const std::string& signature, std::shared_ptr<Exchange> ex);
+
+  /// Removes a host (after its packet completes).
+  void Unregister(const std::string& signature, const Exchange* ex);
+
+  /// Attempts to attach a satellite to any registered host with this
+  /// signature whose WoP is still open. Returns the satellite's reader, or
+  /// nullptr when no sharing is possible.
+  std::unique_ptr<core::PageSource> TryAttach(const std::string& signature);
+
+  /// Number of currently registered hosts (diagnostics).
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::vector<std::shared_ptr<Exchange>>>
+      hosts_;
+};
+
+}  // namespace sdw::qpipe
+
+#endif  // SDW_QPIPE_SP_REGISTRY_H_

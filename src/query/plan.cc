@@ -1,0 +1,216 @@
+#include "query/plan.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace sdw::query {
+
+namespace {
+
+// Appends `name` to `cols` if present in `schema` and not already included.
+void MaybeInclude(const storage::Schema& schema, const std::string& name,
+                  std::vector<size_t>* cols) {
+  const int idx = schema.ColumnIndex(name);
+  if (idx < 0) return;
+  const size_t u = static_cast<size_t>(idx);
+  if (std::find(cols->begin(), cols->end(), u) == cols->end()) {
+    cols->push_back(u);
+  }
+}
+
+std::string ProjSignature(const storage::Schema& schema,
+                          const std::vector<size_t>& cols) {
+  std::vector<std::string> names;
+  names.reserve(cols.size());
+  for (size_t c : cols) names.push_back(schema.column(c).name);
+  return StrJoin(names, ",");
+}
+
+}  // namespace
+
+std::unique_ptr<PlanNode> Planner::MakeScan(const storage::Table* table,
+                                            const Predicate& pred,
+                                            std::vector<size_t> proj) const {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanNode::Kind::kScan;
+  node->table = table;
+  node->pred = pred;
+  node->scan_proj = std::move(proj);
+
+  std::vector<storage::Column> out_cols;
+  out_cols.reserve(node->scan_proj.size());
+  for (size_t c : node->scan_proj) out_cols.push_back(table->schema().column(c));
+  node->out_schema = storage::Schema(std::move(out_cols));
+
+  node->signature = StrPrintf(
+      "scan(%s,pred=%s,proj=%s)", table->name().c_str(),
+      pred.Signature().c_str(),
+      ProjSignature(table->schema(), node->scan_proj).c_str());
+  return node;
+}
+
+std::vector<size_t> Planner::FactProjection(const StarQuery& q) const {
+  const storage::Table* fact = catalog_->MustGetTable(q.fact_table);
+  const storage::Schema& fs = fact->schema();
+  std::vector<size_t> cols;
+  // FK columns, in dimension order, then predicate / group-by / aggregate
+  // inputs that live on the fact table. Dedup keeps the first position.
+  for (const auto& d : q.dims) MaybeInclude(fs, d.fact_fk_column, &cols);
+  for (const auto& name : q.fact_pred.ReferencedColumns()) {
+    SDW_CHECK_MSG(fs.ColumnIndex(name) >= 0,
+                  "fact predicate column %s not on fact table", name.c_str());
+    MaybeInclude(fs, name, &cols);
+  }
+  for (const auto& name : q.group_by) MaybeInclude(fs, name, &cols);
+  for (const auto& a : q.aggregates) {
+    if (!a.col_a.empty()) MaybeInclude(fs, a.col_a, &cols);
+    if (!a.col_b.empty()) MaybeInclude(fs, a.col_b, &cols);
+    if (!a.col_c.empty()) MaybeInclude(fs, a.col_c, &cols);
+  }
+  // Canonical order: sort by fact-schema position so identical queries
+  // written differently share signatures.
+  std::sort(cols.begin(), cols.end());
+  return cols;
+}
+
+std::unique_ptr<PlanNode> Planner::BuildJoinPlan(const StarQuery& q) const {
+  const storage::Table* fact = catalog_->MustGetTable(q.fact_table);
+
+  auto current = MakeScan(fact, q.fact_pred, FactProjection(q));
+
+  for (const auto& d : q.dims) {
+    const storage::Table* dim = catalog_->MustGetTable(d.dim_table);
+    const storage::Schema& ds = dim->schema();
+
+    // Dimension scan projects PK + payload columns (PK first).
+    std::vector<size_t> dim_proj;
+    MaybeInclude(ds, d.dim_pk_column, &dim_proj);
+    SDW_CHECK_MSG(!dim_proj.empty(), "dim pk %s missing on %s",
+                  d.dim_pk_column.c_str(), d.dim_table.c_str());
+    for (const auto& p : d.payload_columns) {
+      SDW_CHECK_MSG(ds.ColumnIndex(p) >= 0, "payload column %s missing on %s",
+                    p.c_str(), d.dim_table.c_str());
+      MaybeInclude(ds, p, &dim_proj);
+    }
+    auto build = MakeScan(dim, d.pred, dim_proj);
+
+    auto join = std::make_unique<PlanNode>();
+    join->kind = PlanNode::Kind::kHashJoin;
+    join->probe_key = current->out_schema.MustColumnIndex(d.fact_fk_column);
+    join->build_key = build->out_schema.MustColumnIndex(d.dim_pk_column);
+    for (const auto& p : d.payload_columns) {
+      join->build_payload.push_back(build->out_schema.MustColumnIndex(p));
+    }
+
+    std::vector<storage::Column> out_cols;
+    for (size_t i = 0; i < current->out_schema.num_columns(); ++i) {
+      out_cols.push_back(current->out_schema.column(i));
+    }
+    for (size_t c : join->build_payload) {
+      out_cols.push_back(build->out_schema.column(c));
+    }
+    join->out_schema = storage::Schema(std::move(out_cols));
+    join->signature = StrPrintf(
+        "hj(p=%s,b=%s,pk=%s,bk=%s,pay=%s)", current->signature.c_str(),
+        build->signature.c_str(), d.fact_fk_column.c_str(),
+        d.dim_pk_column.c_str(), StrJoin(d.payload_columns, ",").c_str());
+
+    join->children.push_back(std::move(current));
+    join->children.push_back(std::move(build));
+    current = std::move(join);
+  }
+  return current;
+}
+
+storage::Schema Planner::JoinOutputSchema(const StarQuery& q) const {
+  // Mirrors BuildJoinPlan's output schema without building operators.
+  const storage::Table* fact = catalog_->MustGetTable(q.fact_table);
+  std::vector<storage::Column> out_cols;
+  for (size_t c : FactProjection(q)) {
+    out_cols.push_back(fact->schema().column(c));
+  }
+  for (const auto& d : q.dims) {
+    const storage::Schema& ds = catalog_->MustGetTable(d.dim_table)->schema();
+    for (const auto& p : d.payload_columns) {
+      out_cols.push_back(ds.column(ds.MustColumnIndex(p)));
+    }
+  }
+  return storage::Schema(std::move(out_cols));
+}
+
+std::unique_ptr<PlanNode> Planner::MakeAggregate(
+    std::unique_ptr<PlanNode> child, const StarQuery& q) const {
+  auto agg = std::make_unique<PlanNode>();
+  agg->kind = PlanNode::Kind::kAggregate;
+
+  const storage::Schema& in = child->out_schema;
+  std::vector<storage::Column> out_cols;
+  for (const auto& g : q.group_by) {
+    const size_t c = in.MustColumnIndex(g);
+    agg->group_cols.push_back(c);
+    out_cols.push_back(in.column(c));
+  }
+  for (const auto& a : q.aggregates) {
+    BoundAgg bound;
+    bound.kind = a.kind;
+    bound.out_name = a.out_name;
+    if (!a.col_a.empty()) {
+      bound.col_a = static_cast<int>(in.MustColumnIndex(a.col_a));
+    }
+    if (!a.col_b.empty()) {
+      bound.col_b = static_cast<int>(in.MustColumnIndex(a.col_b));
+    }
+    if (!a.col_c.empty()) {
+      bound.col_c = static_cast<int>(in.MustColumnIndex(a.col_c));
+    }
+    bound.integer_exact = a.IntegerExact(in);
+    if (bound.integer_exact || a.kind == AggSpec::Kind::kCount) {
+      out_cols.push_back(storage::Schema::Int64(a.out_name));
+    } else {
+      out_cols.push_back(storage::Schema::Double(a.out_name));
+    }
+    agg->aggs.push_back(std::move(bound));
+  }
+  agg->out_schema = storage::Schema(std::move(out_cols));
+
+  std::vector<std::string> agg_sigs;
+  agg_sigs.reserve(q.aggregates.size());
+  for (const auto& a : q.aggregates) agg_sigs.push_back(a.ToString());
+  agg->signature =
+      StrPrintf("agg(c=%s,g=%s,a=%s)", child->signature.c_str(),
+                StrJoin(q.group_by, ",").c_str(),
+                StrJoin(agg_sigs, ",").c_str());
+  agg->children.push_back(std::move(child));
+  return agg;
+}
+
+std::unique_ptr<PlanNode> Planner::MakeSort(std::unique_ptr<PlanNode> child,
+                                            const StarQuery& q) const {
+  auto sort = std::make_unique<PlanNode>();
+  sort->kind = PlanNode::Kind::kSort;
+  sort->out_schema = child->out_schema;
+  std::vector<std::string> key_sigs;
+  for (const auto& k : q.order_by) {
+    sort->sort_keys.push_back(
+        {sort->out_schema.MustColumnIndex(k.column), k.ascending});
+    key_sigs.push_back(k.column + (k.ascending ? ":asc" : ":desc"));
+  }
+  sort->signature = StrPrintf("sort(c=%s,k=%s)", child->signature.c_str(),
+                              StrJoin(key_sigs, ",").c_str());
+  sort->children.push_back(std::move(child));
+  return sort;
+}
+
+std::unique_ptr<PlanNode> Planner::BuildPlan(const StarQuery& q) const {
+  auto plan = BuildJoinPlan(q);
+  if (!q.group_by.empty() || !q.aggregates.empty()) {
+    plan = MakeAggregate(std::move(plan), q);
+  }
+  if (!q.order_by.empty()) {
+    plan = MakeSort(std::move(plan), q);
+  }
+  return plan;
+}
+
+}  // namespace sdw::query

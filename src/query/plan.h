@@ -1,0 +1,103 @@
+// Physical plans for query-centric execution.
+//
+// The Planner compiles a StarQuery into the canonical right-deep plan of the
+// paper's Figure 9: fact scan probing a chain of hash joins (one per
+// dimension, build side = selective dimension scan), then hash aggregation,
+// then sort. The same PlanNode tree drives the QPipe staged engine (one
+// packet per node) and the Volcano baseline (one iterator per node), which is
+// what makes cross-engine result verification meaningful.
+
+#ifndef SDW_QUERY_PLAN_H_
+#define SDW_QUERY_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/star_query.h"
+#include "storage/catalog.h"
+
+namespace sdw::query {
+
+/// Resolved ORDER BY key over a node's output schema.
+struct SortKey {
+  size_t col = 0;
+  bool ascending = true;
+};
+
+/// Aggregate with input columns resolved against the child schema.
+struct BoundAgg {
+  AggSpec::Kind kind = AggSpec::Kind::kSum;
+  int col_a = -1;
+  int col_b = -1;
+  int col_c = -1;
+  bool integer_exact = false;  // accumulate exactly in int64
+  std::string out_name;
+};
+
+/// One physical operator. Ownership of children is by value; the tree is
+/// immutable after planning.
+struct PlanNode {
+  enum class Kind { kScan, kHashJoin, kAggregate, kSort };
+
+  Kind kind = Kind::kScan;
+  storage::Schema out_schema;
+  /// Canonical signature of the sub-plan rooted here (SP matching key).
+  std::string signature;
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  // -- kScan --
+  const storage::Table* table = nullptr;
+  Predicate pred;                   // selection evaluated during the scan
+  std::vector<size_t> scan_proj;    // base-table columns to emit
+
+  // -- kHashJoin -- children[0]=probe (fact side), children[1]=build (dim)
+  size_t probe_key = 0;             // column index in probe out_schema
+  size_t build_key = 0;             // column index in build out_schema
+  std::vector<size_t> build_payload;  // build columns appended to output
+
+  // -- kAggregate --
+  std::vector<size_t> group_cols;   // child out_schema indexes
+  std::vector<BoundAgg> aggs;
+
+  // -- kSort --
+  std::vector<SortKey> sort_keys;
+
+  const PlanNode* child(size_t i) const { return children[i].get(); }
+};
+
+/// Compiles StarQuery -> PlanNode trees against a catalog.
+class Planner {
+ public:
+  explicit Planner(const storage::Catalog* catalog) : catalog_(catalog) {}
+
+  /// Builds the full plan (scan-joins-aggregate-sort). Aborts on invalid
+  /// queries (unknown tables/columns) — workload generators are trusted.
+  std::unique_ptr<PlanNode> BuildPlan(const StarQuery& q) const;
+
+  /// Builds only the scan+join part (what CJOIN replaces with the GQP).
+  std::unique_ptr<PlanNode> BuildJoinPlan(const StarQuery& q) const;
+
+  /// Schema of the join-pipeline output for `q` (fact projection + dimension
+  /// payloads) — also the schema CJOIN's distributor emits for the query.
+  storage::Schema JoinOutputSchema(const StarQuery& q) const;
+
+  /// Fact-table columns `q` needs from the scan (FKs, predicate inputs,
+  /// group-by/aggregate inputs), in fact-schema order.
+  std::vector<size_t> FactProjection(const StarQuery& q) const;
+
+ private:
+  std::unique_ptr<PlanNode> MakeScan(const storage::Table* table,
+                                     const Predicate& pred,
+                                     std::vector<size_t> proj) const;
+  std::unique_ptr<PlanNode> MakeAggregate(std::unique_ptr<PlanNode> child,
+                                          const StarQuery& q) const;
+  std::unique_ptr<PlanNode> MakeSort(std::unique_ptr<PlanNode> child,
+                                     const StarQuery& q) const;
+
+  const storage::Catalog* catalog_;
+};
+
+}  // namespace sdw::query
+
+#endif  // SDW_QUERY_PLAN_H_

@@ -1,0 +1,143 @@
+#include "query/predicate.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace sdw::query {
+
+namespace {
+
+template <typename T>
+bool Compare(CompareOp op, const T& a, const T& b) {
+  switch (op) {
+    case CompareOp::kEq:
+      return a == b;
+    case CompareOp::kNe:
+      return a != b;
+    case CompareOp::kLt:
+      return a < b;
+    case CompareOp::kLe:
+      return a <= b;
+    case CompareOp::kGt:
+      return a > b;
+    case CompareOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string AtomicPred::ToString() const {
+  if (is_string) {
+    return StrPrintf("%s%s'%s'", column.c_str(), CompareOpName(op),
+                     sval.c_str());
+  }
+  return StrPrintf("%s%s%lld", column.c_str(), CompareOpName(op),
+                   static_cast<long long>(ival));
+}
+
+Predicate& Predicate::And(AtomicPred a) {
+  cnf_.push_back({std::move(a)});
+  return *this;
+}
+
+Predicate& Predicate::AndAnyOf(std::vector<AtomicPred> clause) {
+  SDW_CHECK(!clause.empty());
+  cnf_.push_back(std::move(clause));
+  return *this;
+}
+
+bool Predicate::Eval(const storage::Schema& schema,
+                     const std::byte* tuple) const {
+  // Slow path used by non-critical code; hot loops use Bind().
+  return Bind(schema).Eval(schema, tuple);
+}
+
+Predicate::Bound Predicate::Bind(const storage::Schema& schema) const {
+  Bound bound;
+  bound.cnf.reserve(cnf_.size());
+  for (const auto& clause : cnf_) {
+    std::vector<Bound::Atom> atoms;
+    atoms.reserve(clause.size());
+    for (const auto& a : clause) {
+      const size_t col = schema.MustColumnIndex(a.column);
+      atoms.push_back(
+          {col, a.op, a.is_string, a.ival, a.sval, schema.column(col).type});
+    }
+    bound.cnf.push_back(std::move(atoms));
+  }
+  return bound;
+}
+
+bool Predicate::Bound::Eval(const storage::Schema& schema,
+                            const std::byte* tuple) const {
+  for (const auto& clause : cnf) {
+    bool any = false;
+    for (const auto& a : clause) {
+      bool hit;
+      if (a.is_string) {
+        hit = Compare(a.op, schema.GetChar(tuple, a.col),
+                      std::string_view(a.sval));
+      } else if (a.type == storage::ColumnType::kDouble) {
+        hit = Compare(a.op, schema.GetDouble(tuple, a.col),
+                      static_cast<double>(a.ival));
+      } else {
+        hit = Compare(a.op, schema.GetIntAny(tuple, a.col), a.ival);
+      }
+      if (hit) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return false;
+  }
+  return true;
+}
+
+std::string Predicate::Signature() const {
+  std::vector<std::string> clause_sigs;
+  clause_sigs.reserve(cnf_.size());
+  for (const auto& clause : cnf_) {
+    std::vector<std::string> atom_sigs;
+    atom_sigs.reserve(clause.size());
+    for (const auto& a : clause) atom_sigs.push_back(a.ToString());
+    std::sort(atom_sigs.begin(), atom_sigs.end());
+    clause_sigs.push_back("(" + StrJoin(atom_sigs, "|") + ")");
+  }
+  std::sort(clause_sigs.begin(), clause_sigs.end());
+  return StrJoin(clause_sigs, "&");
+}
+
+std::vector<std::string> Predicate::ReferencedColumns() const {
+  std::vector<std::string> cols;
+  for (const auto& clause : cnf_) {
+    for (const auto& a : clause) {
+      if (std::find(cols.begin(), cols.end(), a.column) == cols.end()) {
+        cols.push_back(a.column);
+      }
+    }
+  }
+  return cols;
+}
+
+}  // namespace sdw::query

@@ -1,0 +1,112 @@
+#include "query/result.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace sdw::query {
+
+void ResultSet::AddRow(const std::byte* tuple) {
+  const size_t n = schema_.tuple_size();
+  blob_.insert(blob_.end(), tuple, tuple + n);
+}
+
+std::string ResultSet::FormatRow(size_t i) const {
+  const std::byte* t = row(i);
+  std::vector<std::string> fields;
+  fields.reserve(schema_.num_columns());
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    switch (schema_.column(c).type) {
+      case storage::ColumnType::kInt32:
+        fields.push_back(std::to_string(schema_.GetInt32(t, c)));
+        break;
+      case storage::ColumnType::kInt64:
+        fields.push_back(std::to_string(schema_.GetInt64(t, c)));
+        break;
+      case storage::ColumnType::kDouble:
+        fields.push_back(StrPrintf("%.6f", schema_.GetDouble(t, c)));
+        break;
+      case storage::ColumnType::kChar:
+        fields.push_back(std::string(schema_.GetChar(t, c)));
+        break;
+    }
+  }
+  return StrJoin(fields, "|");
+}
+
+std::vector<std::string> ResultSet::CanonicalRows() const {
+  std::vector<std::string> rows;
+  rows.reserve(num_rows());
+  for (size_t i = 0; i < num_rows(); ++i) rows.push_back(FormatRow(i));
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+namespace {
+
+// Sorts row indexes by the canonical formatting, to align rows for the
+// tolerant comparison.
+std::vector<size_t> SortedOrder(const ResultSet& rs) {
+  std::vector<std::string> keys;
+  keys.reserve(rs.num_rows());
+  for (size_t i = 0; i < rs.num_rows(); ++i) keys.push_back(rs.FormatRow(i));
+  std::vector<size_t> order(rs.num_rows());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return keys[a] < keys[b]; });
+  return order;
+}
+
+}  // namespace
+
+std::string DiffResults(const ResultSet& expected, const ResultSet& actual,
+                        double rel_tol) {
+  const auto& es = expected.schema();
+  const auto& as = actual.schema();
+  if (es.tuple_size() != as.tuple_size() ||
+      es.num_columns() != as.num_columns()) {
+    return StrPrintf("schema mismatch: %s vs %s", es.ToString().c_str(),
+                     as.ToString().c_str());
+  }
+  if (expected.num_rows() != actual.num_rows()) {
+    return StrPrintf("row count mismatch: expected %zu, actual %zu",
+                     expected.num_rows(), actual.num_rows());
+  }
+  const auto eo = SortedOrder(expected);
+  const auto ao = SortedOrder(actual);
+  for (size_t r = 0; r < eo.size(); ++r) {
+    const std::byte* et = expected.row(eo[r]);
+    const std::byte* at = actual.row(ao[r]);
+    for (size_t c = 0; c < es.num_columns(); ++c) {
+      bool match = true;
+      switch (es.column(c).type) {
+        case storage::ColumnType::kInt32:
+          match = es.GetInt32(et, c) == as.GetInt32(at, c);
+          break;
+        case storage::ColumnType::kInt64:
+          match = es.GetInt64(et, c) == as.GetInt64(at, c);
+          break;
+        case storage::ColumnType::kDouble: {
+          const double e = es.GetDouble(et, c);
+          const double a = as.GetDouble(at, c);
+          const double scale = std::max({std::fabs(e), std::fabs(a), 1.0});
+          match = std::fabs(e - a) <= rel_tol * scale;
+          break;
+        }
+        case storage::ColumnType::kChar:
+          match = es.GetChar(et, c) == as.GetChar(at, c);
+          break;
+      }
+      if (!match) {
+        return StrPrintf("row %zu column %s differs: expected [%s] actual [%s]",
+                         r, es.column(c).name.c_str(),
+                         expected.FormatRow(eo[r]).c_str(),
+                         actual.FormatRow(ao[r]).c_str());
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace sdw::query

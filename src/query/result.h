@@ -1,0 +1,60 @@
+// Query result collection and cross-engine comparison helpers.
+//
+// Every engine configuration terminates a query in a ResultSet. Tests verify
+// correctness by comparing canonicalized ResultSets against the Volcano
+// baseline (exact for integer columns, tolerant for floating point).
+
+#ifndef SDW_QUERY_RESULT_H_
+#define SDW_QUERY_RESULT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+
+namespace sdw::query {
+
+/// Materialized rows with their schema.
+class ResultSet {
+ public:
+  ResultSet() = default;
+  explicit ResultSet(storage::Schema schema) : schema_(std::move(schema)) {}
+
+  const storage::Schema& schema() const { return schema_; }
+  void set_schema(storage::Schema s) { schema_ = std::move(s); }
+
+  size_t num_rows() const {
+    return schema_.tuple_size() == 0 ? 0
+                                     : blob_.size() / schema_.tuple_size();
+  }
+
+  /// Appends a raw tuple (schema().tuple_size() bytes).
+  void AddRow(const std::byte* tuple);
+
+  /// Row accessor.
+  const std::byte* row(size_t i) const {
+    return blob_.data() + i * schema_.tuple_size();
+  }
+
+  /// "v1|v2|..." rendering of row `i` (doubles with fixed precision).
+  std::string FormatRow(size_t i) const;
+
+  /// All rows formatted and sorted lexicographically — canonical order-
+  /// independent representation.
+  std::vector<std::string> CanonicalRows() const;
+
+ private:
+  storage::Schema schema_;
+  std::vector<std::byte> blob_;
+};
+
+/// Compares two result sets: identical schemas (by layout), same row multiset
+/// with integer columns exact and floating columns within `rel_tol`.
+/// On mismatch returns a human-readable diagnosis; empty string on success.
+std::string DiffResults(const ResultSet& expected, const ResultSet& actual,
+                        double rel_tol = 1e-9);
+
+}  // namespace sdw::query
+
+#endif  // SDW_QUERY_RESULT_H_

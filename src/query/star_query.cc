@@ -1,0 +1,78 @@
+#include "query/star_query.h"
+
+#include "common/str_util.h"
+
+namespace sdw::query {
+
+std::string AggSpec::ToString() const {
+  switch (kind) {
+    case Kind::kSum:
+      return StrPrintf("sum(%s)", col_a.c_str());
+    case Kind::kSumProduct:
+      return StrPrintf("sum(%s*%s)", col_a.c_str(), col_b.c_str());
+    case Kind::kSumDiff:
+      return StrPrintf("sum(%s-%s)", col_a.c_str(), col_b.c_str());
+    case Kind::kSumDiscPrice:
+      return StrPrintf("sum(%s*(1-%s))", col_a.c_str(), col_b.c_str());
+    case Kind::kSumCharge:
+      return StrPrintf("sum(%s*(1-%s)*(1+%s))", col_a.c_str(), col_b.c_str(),
+                       col_c.c_str());
+    case Kind::kAvg:
+      return StrPrintf("avg(%s)", col_a.c_str());
+    case Kind::kCount:
+      return "count(*)";
+  }
+  return "?";
+}
+
+bool AggSpec::IntegerExact(const storage::Schema& input) const {
+  auto is_int = [&](const std::string& name) {
+    const size_t c = input.MustColumnIndex(name);
+    return input.column(c).type == storage::ColumnType::kInt32 ||
+           input.column(c).type == storage::ColumnType::kInt64;
+  };
+  switch (kind) {
+    case Kind::kSum:
+      return is_int(col_a);
+    case Kind::kSumProduct:
+    case Kind::kSumDiff:
+      return is_int(col_a) && is_int(col_b);
+    case Kind::kCount:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string StarQuery::JoinSignature() const {
+  std::vector<std::string> parts;
+  parts.push_back("fact=" + fact_table);
+  parts.push_back("fpred=" + fact_pred.Signature());
+  for (const auto& d : dims) {
+    parts.push_back(StrPrintf(
+        "dim(%s,%s=%s,pred=%s,pay=%s)", d.dim_table.c_str(),
+        d.fact_fk_column.c_str(), d.dim_pk_column.c_str(),
+        d.pred.Signature().c_str(),
+        StrJoin(d.payload_columns, ",").c_str()));
+  }
+  return StrJoin(parts, ";");
+}
+
+std::string StarQuery::Signature() const {
+  std::vector<std::string> parts;
+  parts.push_back(JoinSignature());
+  parts.push_back("group=" + StrJoin(group_by, ","));
+  std::vector<std::string> agg_sigs;
+  agg_sigs.reserve(aggregates.size());
+  for (const auto& a : aggregates) agg_sigs.push_back(a.ToString());
+  parts.push_back("aggs=" + StrJoin(agg_sigs, ","));
+  std::vector<std::string> order_sigs;
+  order_sigs.reserve(order_by.size());
+  for (const auto& k : order_by) {
+    order_sigs.push_back(k.column + (k.ascending ? ":asc" : ":desc"));
+  }
+  parts.push_back("order=" + StrJoin(order_sigs, ","));
+  return StrJoin(parts, ";");
+}
+
+}  // namespace sdw::query

@@ -1,0 +1,79 @@
+// Logical representation of the paper's workload queries.
+//
+// A StarQuery joins one fact table with zero or more dimension tables on
+// foreign keys, applies per-dimension selection predicates, optionally a
+// fact-table predicate, then groups / aggregates / sorts. SSB Q1.1, Q2.1 and
+// Q3.2 are star queries; TPC-H Q1 is the degenerate zero-dimension case used
+// by the paper's SPL experiment (Figure 6).
+
+#ifndef SDW_QUERY_STAR_QUERY_H_
+#define SDW_QUERY_STAR_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "query/predicate.h"
+
+namespace sdw::query {
+
+/// One fact-to-dimension equi-join plus the dimension's selection and the
+/// dimension columns needed downstream.
+struct DimJoin {
+  std::string dim_table;
+  std::string fact_fk_column;
+  std::string dim_pk_column;
+  Predicate pred;                          // selection on the dimension
+  std::vector<std::string> payload_columns;  // dim columns carried upward
+};
+
+/// Aggregate expressions appearing in the paper's workloads.
+struct AggSpec {
+  enum class Kind {
+    kSum,           // SUM(a)                 (int or double column)
+    kSumProduct,    // SUM(a * b)             (SSB Q1.x revenue)
+    kSumDiff,       // SUM(a - b)             (SSB Q4.x profit)
+    kSumDiscPrice,  // SUM(a * (1 - b))       (TPC-H Q1)
+    kSumCharge,     // SUM(a * (1 - b) * (1 + c))  (TPC-H Q1)
+    kAvg,           // AVG(a)
+    kCount,         // COUNT(*)
+  };
+  Kind kind = Kind::kSum;
+  std::string col_a;
+  std::string col_b;
+  std::string col_c;
+  std::string out_name;
+
+  /// Canonical rendering used in signatures.
+  std::string ToString() const;
+  /// True when the accumulator is an exact int64 (inputs all integer).
+  bool IntegerExact(const storage::Schema& input) const;
+};
+
+/// ORDER BY key.
+struct OrderKey {
+  std::string column;
+  bool ascending = true;
+};
+
+/// A full logical query. Engines consume this directly (CJOIN) or via the
+/// Planner's physical plan (QPipe, baseline).
+struct StarQuery {
+  std::string fact_table;
+  std::vector<DimJoin> dims;
+  Predicate fact_pred;                 // evaluated on fact columns
+  std::vector<std::string> group_by;   // over fact + payload columns
+  std::vector<AggSpec> aggregates;
+  std::vector<OrderKey> order_by;
+
+  /// Canonical signature covering joins, predicates, projection, grouping —
+  /// equal signatures mean SP can fully share the queries.
+  std::string Signature() const;
+
+  /// Signature of the join sub-plan only (what the CJOIN stage shares).
+  std::string JoinSignature() const;
+};
+
+}  // namespace sdw::query
+
+#endif  // SDW_QUERY_STAR_QUERY_H_

@@ -1,0 +1,337 @@
+#include "ssb/ssb_flight.h"
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "ssb/ssb_schema.h"
+
+namespace sdw::ssb {
+
+using query::AggSpec;
+using query::AtomicPred;
+using query::CompareOp;
+using query::DimJoin;
+using query::Predicate;
+using query::StarQuery;
+
+namespace {
+
+AggSpec SumRevenue() {
+  AggSpec a;
+  a.kind = AggSpec::Kind::kSum;
+  a.col_a = "lo_revenue";
+  a.out_name = "revenue";
+  return a;
+}
+
+AggSpec SumProfit() {
+  AggSpec a;
+  a.kind = AggSpec::Kind::kSumDiff;
+  a.col_a = "lo_revenue";
+  a.col_b = "lo_supplycost";
+  a.out_name = "profit";
+  return a;
+}
+
+AggSpec RevenueEffect() {
+  AggSpec a;
+  a.kind = AggSpec::Kind::kSumProduct;
+  a.col_a = "lo_extendedprice";
+  a.col_b = "lo_discount";
+  a.out_name = "revenue";
+  return a;
+}
+
+Predicate StrEq(const char* column, std::string value) {
+  Predicate p;
+  p.And(AtomicPred::Str(column, CompareOp::kEq, std::move(value)));
+  return p;
+}
+
+DimJoin DateJoin(Predicate pred, std::vector<std::string> payload = {}) {
+  return DimJoin{kDate, "lo_orderdate", "d_datekey", std::move(pred),
+                 std::move(payload)};
+}
+DimJoin SupplierJoin(Predicate pred, std::vector<std::string> payload = {}) {
+  return DimJoin{kSupplier, "lo_suppkey", "s_suppkey", std::move(pred),
+                 std::move(payload)};
+}
+DimJoin CustomerJoin(Predicate pred, std::vector<std::string> payload = {}) {
+  return DimJoin{kCustomer, "lo_custkey", "c_custkey", std::move(pred),
+                 std::move(payload)};
+}
+DimJoin PartJoin(Predicate pred, std::vector<std::string> payload = {}) {
+  return DimJoin{kPart, "lo_partkey", "p_partkey", std::move(pred),
+                 std::move(payload)};
+}
+
+void DiscountQuantityWindow(StarQuery* q, int disc_lo, int disc_hi,
+                            int qty_lo, int qty_hi) {
+  q->fact_pred.And(AtomicPred::Int("lo_discount", CompareOp::kGe, disc_lo));
+  q->fact_pred.And(AtomicPred::Int("lo_discount", CompareOp::kLe, disc_hi));
+  q->fact_pred.And(AtomicPred::Int("lo_quantity", CompareOp::kGe, qty_lo));
+  q->fact_pred.And(AtomicPred::Int("lo_quantity", CompareOp::kLe, qty_hi));
+}
+
+}  // namespace
+
+query::StarQuery MakeQ12(int yearmonthnum) {
+  StarQuery q;
+  q.fact_table = kLineorder;
+  Predicate d;
+  d.And(AtomicPred::Int("d_yearmonthnum", CompareOp::kEq, yearmonthnum));
+  q.dims.push_back(DateJoin(std::move(d)));
+  DiscountQuantityWindow(&q, 4, 6, 26, 35);
+  q.aggregates.push_back(RevenueEffect());
+  return q;
+}
+
+query::StarQuery MakeQ13(int week, int year) {
+  StarQuery q;
+  q.fact_table = kLineorder;
+  Predicate d;
+  d.And(AtomicPred::Int("d_weeknuminyear", CompareOp::kEq, week));
+  d.And(AtomicPred::Int("d_year", CompareOp::kEq, year));
+  q.dims.push_back(DateJoin(std::move(d)));
+  DiscountQuantityWindow(&q, 5, 7, 26, 35);
+  q.aggregates.push_back(RevenueEffect());
+  return q;
+}
+
+query::StarQuery MakeQ22(int mfgr, int category, int brand_lo, int brand_hi,
+                         int supp_region) {
+  StarQuery q;
+  q.fact_table = kLineorder;
+  Predicate part;
+  part.And(AtomicPred::Str(
+      "p_brand1", CompareOp::kGe,
+      StrPrintf("MFGR#%d%d%d", mfgr, category, brand_lo)));
+  part.And(AtomicPred::Str(
+      "p_brand1", CompareOp::kLe,
+      StrPrintf("MFGR#%d%d%d", mfgr, category, brand_hi)));
+  q.dims.push_back(PartJoin(std::move(part), {"p_brand1"}));
+  q.dims.push_back(SupplierJoin(
+      StrEq("s_region", std::string(RegionName(supp_region)))));
+  q.dims.push_back(DateJoin(Predicate::True(), {"d_year"}));
+  q.group_by = {"d_year", "p_brand1"};
+  q.aggregates.push_back(SumRevenue());
+  q.order_by = {{"d_year", true}, {"p_brand1", true}};
+  return q;
+}
+
+query::StarQuery MakeQ23(int mfgr, int category, int brand, int supp_region) {
+  StarQuery q;
+  q.fact_table = kLineorder;
+  q.dims.push_back(PartJoin(
+      StrEq("p_brand1", StrPrintf("MFGR#%d%d%d", mfgr, category, brand)),
+      {"p_brand1"}));
+  q.dims.push_back(SupplierJoin(
+      StrEq("s_region", std::string(RegionName(supp_region)))));
+  q.dims.push_back(DateJoin(Predicate::True(), {"d_year"}));
+  q.group_by = {"d_year", "p_brand1"};
+  q.aggregates.push_back(SumRevenue());
+  q.order_by = {{"d_year", true}, {"p_brand1", true}};
+  return q;
+}
+
+query::StarQuery MakeQ31(int region, int year_lo, int year_hi) {
+  StarQuery q;
+  q.fact_table = kLineorder;
+  const std::string region_name(RegionName(region));
+  q.dims.push_back(
+      CustomerJoin(StrEq("c_region", region_name), {"c_nation"}));
+  q.dims.push_back(
+      SupplierJoin(StrEq("s_region", region_name), {"s_nation"}));
+  Predicate d;
+  d.And(AtomicPred::Int("d_year", CompareOp::kGe, year_lo));
+  d.And(AtomicPred::Int("d_year", CompareOp::kLe, year_hi));
+  q.dims.push_back(DateJoin(std::move(d), {"d_year"}));
+  q.group_by = {"c_nation", "s_nation", "d_year"};
+  q.aggregates.push_back(SumRevenue());
+  q.order_by = {{"d_year", true}, {"revenue", false}};
+  return q;
+}
+
+namespace {
+
+// Q3.3/Q3.4 select two cities per side: cities <nation>5 and <nation>1 per
+// the SSB specification's flavor of "UNITED KI1"/"UNITED KI5".
+Predicate TwoCities(const char* column, int nation) {
+  Predicate p;
+  p.AndAnyOf({AtomicPred::Str(column, CompareOp::kEq, CityName(nation, 1)),
+              AtomicPred::Str(column, CompareOp::kEq, CityName(nation, 5))});
+  return p;
+}
+
+}  // namespace
+
+query::StarQuery MakeQ33(int nation_c, int nation_s, int year_lo,
+                         int year_hi) {
+  StarQuery q;
+  q.fact_table = kLineorder;
+  q.dims.push_back(CustomerJoin(TwoCities("c_city", nation_c), {"c_city"}));
+  q.dims.push_back(SupplierJoin(TwoCities("s_city", nation_s), {"s_city"}));
+  Predicate d;
+  d.And(AtomicPred::Int("d_year", CompareOp::kGe, year_lo));
+  d.And(AtomicPred::Int("d_year", CompareOp::kLe, year_hi));
+  q.dims.push_back(DateJoin(std::move(d), {"d_year"}));
+  q.group_by = {"c_city", "s_city", "d_year"};
+  q.aggregates.push_back(SumRevenue());
+  q.order_by = {{"d_year", true}, {"revenue", false}};
+  return q;
+}
+
+query::StarQuery MakeQ34(int nation_c, int nation_s, int yearmonthnum) {
+  StarQuery q = MakeQ33(nation_c, nation_s, kFirstYear, kLastYear);
+  q.dims[2].pred = Predicate();
+  q.dims[2].pred.And(
+      AtomicPred::Int("d_yearmonthnum", CompareOp::kEq, yearmonthnum));
+  return q;
+}
+
+query::StarQuery MakeQ41(int cust_region, int supp_region) {
+  StarQuery q;
+  q.fact_table = kLineorder;
+  q.dims.push_back(CustomerJoin(
+      StrEq("c_region", std::string(RegionName(cust_region))), {"c_nation"}));
+  q.dims.push_back(SupplierJoin(
+      StrEq("s_region", std::string(RegionName(supp_region)))));
+  Predicate part;
+  part.AndAnyOf({AtomicPred::Str("p_mfgr", CompareOp::kEq, "MFGR#1"),
+                 AtomicPred::Str("p_mfgr", CompareOp::kEq, "MFGR#2")});
+  q.dims.push_back(PartJoin(std::move(part)));
+  q.dims.push_back(DateJoin(Predicate::True(), {"d_year"}));
+  q.group_by = {"d_year", "c_nation"};
+  q.aggregates.push_back(SumProfit());
+  q.order_by = {{"d_year", true}, {"c_nation", true}};
+  return q;
+}
+
+query::StarQuery MakeQ42(int cust_region, int supp_region, int year_a,
+                         int year_b) {
+  StarQuery q;
+  q.fact_table = kLineorder;
+  q.dims.push_back(CustomerJoin(
+      StrEq("c_region", std::string(RegionName(cust_region)))));
+  q.dims.push_back(SupplierJoin(
+      StrEq("s_region", std::string(RegionName(supp_region))), {"s_nation"}));
+  Predicate part;
+  part.AndAnyOf({AtomicPred::Str("p_mfgr", CompareOp::kEq, "MFGR#1"),
+                 AtomicPred::Str("p_mfgr", CompareOp::kEq, "MFGR#2")});
+  q.dims.push_back(PartJoin(std::move(part), {"p_category"}));
+  Predicate d;
+  d.AndAnyOf({AtomicPred::Int("d_year", CompareOp::kEq, year_a),
+              AtomicPred::Int("d_year", CompareOp::kEq, year_b)});
+  q.dims.push_back(DateJoin(std::move(d), {"d_year"}));
+  q.group_by = {"d_year", "s_nation", "p_category"};
+  q.aggregates.push_back(SumProfit());
+  q.order_by = {{"d_year", true}, {"s_nation", true}, {"p_category", true}};
+  return q;
+}
+
+query::StarQuery MakeQ43(int cust_region, int supp_nation, int mfgr,
+                         int category, int year_a, int year_b) {
+  StarQuery q;
+  q.fact_table = kLineorder;
+  q.dims.push_back(CustomerJoin(
+      StrEq("c_region", std::string(RegionName(cust_region)))));
+  q.dims.push_back(SupplierJoin(
+      StrEq("s_nation", std::string(NationName(supp_nation))), {"s_city"}));
+  q.dims.push_back(PartJoin(
+      StrEq("p_category", StrPrintf("MFGR#%d%d", mfgr, category)),
+      {"p_brand1"}));
+  Predicate d;
+  d.AndAnyOf({AtomicPred::Int("d_year", CompareOp::kEq, year_a),
+              AtomicPred::Int("d_year", CompareOp::kEq, year_b)});
+  q.dims.push_back(DateJoin(std::move(d), {"d_year"}));
+  q.group_by = {"d_year", "s_city", "p_brand1"};
+  q.aggregates.push_back(SumProfit());
+  q.order_by = {{"d_year", true}, {"s_city", true}, {"p_brand1", true}};
+  return q;
+}
+
+std::vector<query::StarQuery> FullFlight() {
+  return {MakeQ11({}), MakeQ12(), MakeQ13(), MakeQ21({}), MakeQ22(),
+          MakeQ23(),   MakeQ31(), MakeQ32({}), MakeQ33(), MakeQ34(),
+          MakeQ41(),   MakeQ42(), MakeQ43()};
+}
+
+std::vector<query::StarQuery> FullFlightWorkload(size_t num_queries,
+                                                 uint64_t seed) {
+  Rng rng(seed);
+  auto year = [&rng] {
+    return kFirstYear + static_cast<int>(rng.Index(kNumYears));
+  };
+  auto region = [&rng] { return static_cast<int>(rng.Index(kNumRegions)); };
+  auto nation = [&rng] { return static_cast<int>(rng.Index(kNumNations)); };
+
+  std::vector<query::StarQuery> out;
+  out.reserve(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    switch (i % 13) {
+      case 0: {
+        Q11Params p;
+        p.year = year();
+        out.push_back(MakeQ11(p));
+        break;
+      }
+      case 1:
+        out.push_back(MakeQ12(year() * 100 + 1 +
+                              static_cast<int>(rng.Index(12))));
+        break;
+      case 2:
+        out.push_back(MakeQ13(1 + static_cast<int>(rng.Index(52)), year()));
+        break;
+      case 3: {
+        Q21Params p;
+        p.mfgr = 1 + static_cast<int>(rng.Index(5));
+        p.category = 1 + static_cast<int>(rng.Index(5));
+        p.supp_region = region();
+        out.push_back(MakeQ21(p));
+        break;
+      }
+      case 4:
+        out.push_back(MakeQ22(1 + static_cast<int>(rng.Index(5)),
+                              1 + static_cast<int>(rng.Index(5)), 21, 28,
+                              region()));
+        break;
+      case 5:
+        out.push_back(MakeQ23(1 + static_cast<int>(rng.Index(5)),
+                              1 + static_cast<int>(rng.Index(5)),
+                              1 + static_cast<int>(rng.Index(40)), region()));
+        break;
+      case 6:
+        out.push_back(MakeQ31(region(), kFirstYear, year()));
+        break;
+      case 7: {
+        Q32Params p;
+        p.cust_nation = nation();
+        p.supp_nation = nation();
+        out.push_back(MakeQ32(p));
+        break;
+      }
+      case 8:
+        out.push_back(MakeQ33(nation(), nation(), kFirstYear, year()));
+        break;
+      case 9:
+        out.push_back(MakeQ34(nation(), nation(),
+                              year() * 100 + 1 +
+                                  static_cast<int>(rng.Index(12))));
+        break;
+      case 10:
+        out.push_back(MakeQ41(region(), region()));
+        break;
+      case 11:
+        out.push_back(MakeQ42(region(), region(), 1997, 1998));
+        break;
+      default:
+        out.push_back(MakeQ43(region(), nation(),
+                              1 + static_cast<int>(rng.Index(5)),
+                              1 + static_cast<int>(rng.Index(5)), 1997,
+                              1998));
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace sdw::ssb

@@ -1,0 +1,68 @@
+// The complete Star Schema Benchmark query flight (O'Neil et al.): all 13
+// queries across the four flights. The paper's evaluation uses Q1.1, Q2.1
+// and Q3.2 (ssb_queries.h); a production workload substrate ships the full
+// flight, and the test suite verifies every query against the oracle on all
+// engine configurations.
+
+#ifndef SDW_SSB_SSB_FLIGHT_H_
+#define SDW_SSB_SSB_FLIGHT_H_
+
+#include <vector>
+
+#include "query/star_query.h"
+#include "ssb/ssb_queries.h"
+
+namespace sdw::ssb {
+
+// -- Flight 1: revenue effect of discount/quantity windows (1 join). --
+
+/// Q1.2: one month, discount 4-6, quantity 26-35.
+query::StarQuery MakeQ12(int yearmonthnum = 199401);
+/// Q1.3: one week of one year, discount 5-7, quantity 26-35.
+query::StarQuery MakeQ13(int week = 6, int year = 1994);
+
+// -- Flight 2: revenue by brand over time (3 joins). --
+
+/// Q2.2: a brand range within a supplier region.
+query::StarQuery MakeQ22(int mfgr = 2, int category = 2, int brand_lo = 21,
+                         int brand_hi = 28, int supp_region = 2 /*ASIA*/);
+/// Q2.3: one brand, one supplier region.
+query::StarQuery MakeQ23(int mfgr = 2, int category = 2, int brand = 39,
+                         int supp_region = 3 /*EUROPE*/);
+
+// -- Flight 3: revenue by customer/supplier geography over time. --
+
+/// Q3.1: region-level, years 1992-1997, group by nations.
+query::StarQuery MakeQ31(int region = 2 /*ASIA*/, int year_lo = 1992,
+                         int year_hi = 1997);
+/// Q3.3: two cities on each side, group by cities.
+query::StarQuery MakeQ33(int nation_c = 23, int nation_s = 23,
+                         int year_lo = 1992, int year_hi = 1997);
+/// Q3.4: like Q3.3 restricted to one month.
+query::StarQuery MakeQ34(int nation_c = 23, int nation_s = 23,
+                         int yearmonthnum = 199712);
+
+// -- Flight 4: profit (revenue - supply cost) drill-down (4 joins). --
+
+/// Q4.1: profit by year and customer nation within two regions.
+query::StarQuery MakeQ41(int cust_region = 1 /*AMERICA*/,
+                         int supp_region = 1 /*AMERICA*/);
+/// Q4.2: two years, profit by year, supplier nation, part category.
+query::StarQuery MakeQ42(int cust_region = 1, int supp_region = 1,
+                         int year_a = 1997, int year_b = 1998);
+/// Q4.3: one supplier nation and part category, profit by city and brand.
+query::StarQuery MakeQ43(int cust_region = 1, int supp_nation = 24,
+                         int mfgr = 1, int category = 4, int year_a = 1997,
+                         int year_b = 1998);
+
+/// All 13 SSB queries with their specification-default parameters.
+std::vector<query::StarQuery> FullFlight();
+
+/// `num_queries` instances drawn round-robin over the 13 templates with
+/// randomized parameters (a broader cousin of MixedWorkload).
+std::vector<query::StarQuery> FullFlightWorkload(size_t num_queries,
+                                                 uint64_t seed);
+
+}  // namespace sdw::ssb
+
+#endif  // SDW_SSB_SSB_FLIGHT_H_

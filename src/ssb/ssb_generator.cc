@@ -1,0 +1,294 @@
+#include "ssb/ssb_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "ssb/ssb_schema.h"
+
+namespace sdw::ssb {
+
+namespace {
+
+constexpr std::array<const char*, 5> kPriorities = {
+    "1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW"};
+constexpr std::array<const char*, 7> kShipModes = {
+    "REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"};
+constexpr std::array<const char*, 5> kSegments = {
+    "AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"};
+constexpr std::array<const char*, 11> kColors = {
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque",
+    "black",  "blanched", "blue",      "blush", "brown"};
+constexpr std::array<const char*, 7> kContainers = {
+    "SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "WRAP BAG"};
+constexpr std::array<const char*, 5> kTypes = {
+    "STANDARD POLISHED", "SMALL PLATED", "MEDIUM BURNISHED", "ECONOMY BRUSHED",
+    "PROMO ANODIZED"};
+constexpr std::array<const char*, 12> kMonthNames = {
+    "January", "February", "March",     "April",   "May",      "June",
+    "July",    "August",   "September", "October", "November", "December"};
+constexpr std::array<const char*, 7> kDayNames = {
+    "Wednesday", "Thursday", "Friday", "Saturday",
+    "Sunday",    "Monday",   "Tuesday"};  // 1992-01-01 was a Wednesday
+
+bool IsLeap(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month /*1..12*/) {
+  static constexpr int kDays[12] = {31, 28, 31, 30, 31, 30,
+                                    31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeap(year)) return 29;
+  return kDays[month - 1];
+}
+
+struct CalendarDay {
+  int year;
+  int month;  // 1..12
+  int day;    // 1..31
+  int day_of_year;
+};
+
+CalendarDay DayFromIndex(int day_idx) {
+  int year = kFirstYear;
+  int remaining = day_idx;
+  while (true) {
+    const int ydays = IsLeap(year) ? 366 : 365;
+    if (remaining < ydays) break;
+    remaining -= ydays;
+    ++year;
+  }
+  const int day_of_year = remaining + 1;
+  int month = 1;
+  while (remaining >= DaysInMonth(year, month)) {
+    remaining -= DaysInMonth(year, month);
+    ++month;
+  }
+  return {year, month, remaining + 1, day_of_year};
+}
+
+}  // namespace
+
+int32_t DateKeyOfDay(int day_idx) {
+  const CalendarDay d = DayFromIndex(day_idx);
+  return d.year * 10000 + d.month * 100 + d.day;
+}
+
+size_t SsbLineorderRows(double sf) {
+  return std::max<size_t>(1000, static_cast<size_t>(6000000.0 * sf));
+}
+size_t SsbCustomerRows(double sf) {
+  return std::max<size_t>(50, static_cast<size_t>(30000.0 * sf));
+}
+size_t SsbSupplierRows(double sf) {
+  return std::max<size_t>(25, static_cast<size_t>(2000.0 * sf));
+}
+size_t SsbPartRows(double sf) {
+  if (sf >= 1.0) {
+    return static_cast<size_t>(
+        200000.0 * (1.0 + std::floor(std::log2(sf))));
+  }
+  return std::max<size_t>(200, static_cast<size_t>(200000.0 * sf));
+}
+size_t SsbDateRows() { return kCalendarDays; }
+size_t TpchLineitemRows(double sf) {
+  return std::max<size_t>(1000, static_cast<size_t>(6000000.0 * sf));
+}
+
+namespace {
+
+void BuildDate(storage::Catalog* catalog) {
+  auto table = std::make_unique<storage::Table>(kDate, DateSchema());
+  const storage::Schema& s = table->schema();
+  for (int i = 0; i < kCalendarDays; ++i) {
+    const CalendarDay d = DayFromIndex(i);
+    std::byte* t = table->AppendRow();
+    const int dow = i % 7;  // 0 = Wednesday
+    s.SetInt32(t, 0, DateKeyOfDay(i));
+    s.SetChar(t, 1, StrPrintf("%s %d, %d", kMonthNames[d.month - 1], d.day,
+                              d.year));
+    s.SetChar(t, 2, kDayNames[dow]);
+    s.SetChar(t, 3, kMonthNames[d.month - 1]);
+    s.SetInt32(t, 4, d.year);
+    s.SetInt32(t, 5, d.year * 100 + d.month);
+    s.SetChar(t, 6, StrPrintf("%.3s%d", kMonthNames[d.month - 1], d.year));
+    s.SetInt32(t, 7, dow + 1);
+    s.SetInt32(t, 8, d.day);
+    s.SetInt32(t, 9, d.day_of_year);
+    s.SetInt32(t, 10, d.month);
+    s.SetInt32(t, 11, (d.day_of_year - 1) / 7 + 1);
+    const bool winter = d.month == 12 || d.month <= 2;
+    const bool summer = d.month >= 6 && d.month <= 8;
+    s.SetChar(t, 12, winter ? "Winter" : (summer ? "Summer" : "Shoulder"));
+    s.SetInt32(t, 13, dow == 6 ? 1 : 0);
+    s.SetInt32(t, 14, d.day == DaysInMonth(d.year, d.month) ? 1 : 0);
+    s.SetInt32(t, 15, (d.month == 12 && d.day == 25) ? 1 : 0);
+    s.SetInt32(t, 16, (dow >= 4 || dow == 0) ? 0 : 1);
+  }
+  catalog->AddTable(std::move(table));
+}
+
+void BuildCustomer(storage::Catalog* catalog, double sf, Rng* rng) {
+  auto table = std::make_unique<storage::Table>(kCustomer, CustomerSchema());
+  const storage::Schema& s = table->schema();
+  const size_t n = SsbCustomerRows(sf);
+  for (size_t i = 0; i < n; ++i) {
+    std::byte* t = table->AppendRow();
+    const int nation = static_cast<int>(rng->Index(kNumNations));
+    const int city = static_cast<int>(rng->Index(kCitiesPerNation));
+    s.SetInt32(t, 0, static_cast<int32_t>(i + 1));
+    s.SetChar(t, 1, StrPrintf("Customer#%09zu", i + 1));
+    s.SetChar(t, 2, StrPrintf("ADDR-%zu", rng->Index(1000000)));
+    s.SetChar(t, 3, CityName(nation, city));
+    s.SetChar(t, 4, NationName(nation));
+    s.SetChar(t, 5, RegionName(NationRegion(nation)));
+    s.SetChar(t, 6, StrPrintf("%02d-%03d-%03d-%04d", 10 + nation,
+                              static_cast<int>(rng->Index(900) + 100),
+                              static_cast<int>(rng->Index(900) + 100),
+                              static_cast<int>(rng->Index(9000) + 1000)));
+    s.SetChar(t, 7, kSegments[rng->Index(kSegments.size())]);
+  }
+  catalog->AddTable(std::move(table));
+}
+
+void BuildSupplier(storage::Catalog* catalog, double sf, Rng* rng) {
+  auto table = std::make_unique<storage::Table>(kSupplier, SupplierSchema());
+  const storage::Schema& s = table->schema();
+  const size_t n = SsbSupplierRows(sf);
+  for (size_t i = 0; i < n; ++i) {
+    std::byte* t = table->AppendRow();
+    const int nation = static_cast<int>(rng->Index(kNumNations));
+    const int city = static_cast<int>(rng->Index(kCitiesPerNation));
+    s.SetInt32(t, 0, static_cast<int32_t>(i + 1));
+    s.SetChar(t, 1, StrPrintf("Supplier#%09zu", i + 1));
+    s.SetChar(t, 2, StrPrintf("ADDR-%zu", rng->Index(1000000)));
+    s.SetChar(t, 3, CityName(nation, city));
+    s.SetChar(t, 4, NationName(nation));
+    s.SetChar(t, 5, RegionName(NationRegion(nation)));
+    s.SetChar(t, 6, StrPrintf("%02d-%03d-%03d-%04d", 10 + nation,
+                              static_cast<int>(rng->Index(900) + 100),
+                              static_cast<int>(rng->Index(900) + 100),
+                              static_cast<int>(rng->Index(9000) + 1000)));
+  }
+  catalog->AddTable(std::move(table));
+}
+
+void BuildPart(storage::Catalog* catalog, double sf, Rng* rng) {
+  auto table = std::make_unique<storage::Table>(kPart, PartSchema());
+  const storage::Schema& s = table->schema();
+  const size_t n = SsbPartRows(sf);
+  for (size_t i = 0; i < n; ++i) {
+    std::byte* t = table->AppendRow();
+    const int mfgr = static_cast<int>(rng->Index(5)) + 1;
+    const int cat = static_cast<int>(rng->Index(5)) + 1;
+    const int brand = static_cast<int>(rng->Index(40)) + 1;
+    s.SetInt32(t, 0, static_cast<int32_t>(i + 1));
+    s.SetChar(t, 1, StrPrintf("part-%zu", i + 1));
+    s.SetChar(t, 2, StrPrintf("MFGR#%d", mfgr));
+    s.SetChar(t, 3, StrPrintf("MFGR#%d%d", mfgr, cat));
+    s.SetChar(t, 4, StrPrintf("MFGR#%d%d%d", mfgr, cat, brand));
+    s.SetChar(t, 5, kColors[rng->Index(kColors.size())]);
+    s.SetChar(t, 6, kTypes[rng->Index(kTypes.size())]);
+    s.SetInt32(t, 7, static_cast<int32_t>(rng->Index(50)) + 1);
+    s.SetChar(t, 8, kContainers[rng->Index(kContainers.size())]);
+  }
+  catalog->AddTable(std::move(table));
+}
+
+void BuildLineorder(storage::Catalog* catalog, double sf, Rng* rng) {
+  auto table = std::make_unique<storage::Table>(kLineorder, LineorderSchema());
+  const storage::Schema& s = table->schema();
+  const size_t n = SsbLineorderRows(sf);
+  const auto customers = static_cast<int32_t>(SsbCustomerRows(sf));
+  const auto suppliers = static_cast<int32_t>(SsbSupplierRows(sf));
+  const auto parts = static_cast<int32_t>(SsbPartRows(sf));
+
+  int64_t orderkey = 0;
+  int32_t line = 0;
+  int32_t lines_in_order = 0;
+  int64_t ordtotal = 0;
+  int32_t order_date = 0;
+  int32_t order_cust = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (line >= lines_in_order) {
+      ++orderkey;
+      line = 0;
+      lines_in_order = static_cast<int32_t>(rng->Index(7)) + 1;
+      ordtotal = 0;
+      order_date = DateKeyOfDay(static_cast<int>(rng->Index(kCalendarDays)));
+      order_cust = static_cast<int32_t>(rng->Index(customers)) + 1;
+    }
+    ++line;
+    std::byte* t = table->AppendRow();
+    const int32_t quantity = static_cast<int32_t>(rng->Index(50)) + 1;
+    const int64_t price = rng->Uniform(90000, 10494950) / 100 * 100;
+    const int32_t discount = static_cast<int32_t>(rng->Index(11));
+    const int32_t tax = static_cast<int32_t>(rng->Index(9));
+    const int64_t revenue = price * (100 - discount) / 100;
+    ordtotal += price;
+    s.SetInt64(t, 0, orderkey);
+    s.SetInt32(t, 1, line);
+    s.SetInt32(t, 2, order_cust);
+    s.SetInt32(t, 3, static_cast<int32_t>(rng->Index(parts)) + 1);
+    s.SetInt32(t, 4, static_cast<int32_t>(rng->Index(suppliers)) + 1);
+    s.SetInt32(t, 5, order_date);
+    s.SetChar(t, 6, kPriorities[rng->Index(kPriorities.size())]);
+    s.SetInt32(t, 7, 0);
+    s.SetInt32(t, 8, quantity);
+    s.SetInt64(t, 9, price);
+    s.SetInt64(t, 10, ordtotal);
+    s.SetInt32(t, 11, discount);
+    s.SetInt64(t, 12, revenue);
+    s.SetInt64(t, 13, price * 6 / 10);
+    s.SetInt32(t, 14, tax);
+    s.SetInt32(t, 15,
+               DateKeyOfDay(static_cast<int>(rng->Index(kCalendarDays))));
+    s.SetChar(t, 16, kShipModes[rng->Index(kShipModes.size())]);
+  }
+  catalog->AddTable(std::move(table));
+}
+
+}  // namespace
+
+void BuildSsbDatabase(storage::Catalog* catalog, const SsbOptions& options) {
+  Rng rng(options.seed);
+  BuildDate(catalog);
+  BuildCustomer(catalog, options.scale_factor, &rng);
+  BuildSupplier(catalog, options.scale_factor, &rng);
+  BuildPart(catalog, options.scale_factor, &rng);
+  BuildLineorder(catalog, options.scale_factor, &rng);
+}
+
+void BuildTpchQ1Database(storage::Catalog* catalog,
+                         const TpchOptions& options) {
+  Rng rng(options.seed);
+  auto table = std::make_unique<storage::Table>(kLineitem, LineitemSchema());
+  const storage::Schema& s = table->schema();
+  const size_t n = TpchLineitemRows(options.scale_factor);
+  for (size_t i = 0; i < n; ++i) {
+    std::byte* t = table->AppendRow();
+    const int32_t quantity = static_cast<int32_t>(rng.Index(50)) + 1;
+    const double price = static_cast<double>(rng.Uniform(90100, 10500000)) / 100.0;
+    const double discount = static_cast<double>(rng.Index(11)) / 100.0;
+    const double tax = static_cast<double>(rng.Index(9)) / 100.0;
+    const int32_t shipdate = static_cast<int32_t>(rng.Index(kCalendarDays));
+    // TPC-H: returnflag correlates with receipt date; approximate with the
+    // ship date so the Q1 groups have realistic shares.
+    const char* rf = shipdate < kCalendarDays / 2
+                         ? (rng.Bernoulli(0.5) ? "A" : "R")
+                         : "N";
+    const char* ls = shipdate < kCalendarDays * 2 / 3 ? "F" : "O";
+    s.SetInt32(t, 0, quantity);
+    s.SetDouble(t, 1, price);
+    s.SetDouble(t, 2, discount);
+    s.SetDouble(t, 3, tax);
+    s.SetChar(t, 4, rf);
+    s.SetChar(t, 5, ls);
+    s.SetInt32(t, 6, shipdate);
+  }
+  catalog->AddTable(std::move(table));
+}
+
+}  // namespace sdw::ssb

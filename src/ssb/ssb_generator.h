@@ -1,0 +1,56 @@
+// Deterministic data generators for the Star Schema Benchmark and the TPC-H
+// lineitem table (for the paper's TPC-H Q1 experiment).
+//
+// Cardinalities follow the SSB specification, scaled by a (possibly
+// fractional) scale factor so that laptop-scale experiments keep the paper's
+// ratios: lineorder ≈ 6,000,000·sf, customer = 30,000·sf, supplier =
+// 2,000·sf, part ≈ 200,000·(1+log2(sf)) for sf ≥ 1, date fixed at 2,556 days
+// (1992-01-01 .. 1998-12-31). Distributions of the attributes the paper's
+// predicates touch are uniform, giving the selectivities the paper quotes
+// (k/25 per nation disjunct, y/7 per year of range).
+
+#ifndef SDW_SSB_SSB_GENERATOR_H_
+#define SDW_SSB_SSB_GENERATOR_H_
+
+#include <cstdint>
+
+#include "storage/catalog.h"
+
+namespace sdw::ssb {
+
+/// SSB generation parameters.
+struct SsbOptions {
+  double scale_factor = 0.1;
+  uint64_t seed = 42;
+};
+
+/// Populates `catalog` with the five SSB tables.
+void BuildSsbDatabase(storage::Catalog* catalog, const SsbOptions& options);
+
+/// TPC-H lineitem generation parameters (Q1 touches only lineitem).
+struct TpchOptions {
+  double scale_factor = 0.05;
+  uint64_t seed = 7;
+};
+
+/// Populates `catalog` with the lineitem table.
+void BuildTpchQ1Database(storage::Catalog* catalog,
+                         const TpchOptions& options);
+
+/// Expected row counts for a scale factor (exposed for tests).
+size_t SsbLineorderRows(double sf);
+size_t SsbCustomerRows(double sf);
+size_t SsbSupplierRows(double sf);
+size_t SsbPartRows(double sf);
+size_t SsbDateRows();
+size_t TpchLineitemRows(double sf);
+
+/// Number of days in the SSB calendar (and thus valid l_shipdate range).
+inline constexpr int kCalendarDays = 2556;
+
+/// yyyymmdd datekey of calendar day `day_idx` in [0, kCalendarDays).
+int32_t DateKeyOfDay(int day_idx);
+
+}  // namespace sdw::ssb
+
+#endif  // SDW_SSB_SSB_GENERATOR_H_

@@ -1,0 +1,156 @@
+#include "ssb/ssb_queries.h"
+
+#include <string>
+
+#include "common/macros.h"
+#include "ssb/ssb_generator.h"
+#include "ssb/ssb_schema.h"
+
+namespace sdw::ssb {
+
+using query::AggSpec;
+using query::AtomicPred;
+using query::CompareOp;
+using query::DimJoin;
+using query::Predicate;
+using query::StarQuery;
+
+namespace {
+
+Predicate NationAnyOf(const std::string& column,
+                      const std::vector<int>& nations) {
+  SDW_CHECK(!nations.empty());
+  std::vector<AtomicPred> clause;
+  clause.reserve(nations.size());
+  for (int n : nations) {
+    clause.push_back(
+        AtomicPred::Str(column, CompareOp::kEq, std::string(NationName(n))));
+  }
+  Predicate p;
+  p.AndAnyOf(std::move(clause));
+  return p;
+}
+
+Predicate YearRange(int lo, int hi) {
+  Predicate p;
+  p.And(AtomicPred::Int("d_year", CompareOp::kGe, lo));
+  p.And(AtomicPred::Int("d_year", CompareOp::kLe, hi));
+  return p;
+}
+
+StarQuery Q32Common(Predicate cust_pred, Predicate supp_pred, int year_lo,
+                    int year_hi) {
+  StarQuery q;
+  q.fact_table = kLineorder;
+  // Join order per the paper's Figure 9: supplier, customer, date.
+  q.dims.push_back(DimJoin{kSupplier, "lo_suppkey", "s_suppkey",
+                           std::move(supp_pred), {"s_city"}});
+  q.dims.push_back(DimJoin{kCustomer, "lo_custkey", "c_custkey",
+                           std::move(cust_pred), {"c_city"}});
+  q.dims.push_back(DimJoin{kDate, "lo_orderdate", "d_datekey",
+                           YearRange(year_lo, year_hi), {"d_year"}});
+  q.group_by = {"c_city", "s_city", "d_year"};
+  AggSpec revenue;
+  revenue.kind = AggSpec::Kind::kSum;
+  revenue.col_a = "lo_revenue";
+  revenue.out_name = "revenue";
+  q.aggregates.push_back(std::move(revenue));
+  q.order_by = {{"d_year", true}, {"revenue", false}};
+  return q;
+}
+
+}  // namespace
+
+StarQuery MakeQ32(const Q32Params& p) {
+  return Q32Common(NationAnyOf("c_nation", {p.cust_nation}),
+                   NationAnyOf("s_nation", {p.supp_nation}), p.year_lo,
+                   p.year_hi);
+}
+
+StarQuery MakeQ32Selectivity(const Q32SelectivityParams& p) {
+  return Q32Common(NationAnyOf("c_nation", p.cust_nations),
+                   NationAnyOf("s_nation", p.supp_nations), p.year_lo,
+                   p.year_hi);
+}
+
+StarQuery MakeQ11(const Q11Params& p) {
+  StarQuery q;
+  q.fact_table = kLineorder;
+  Predicate date_pred;
+  date_pred.And(AtomicPred::Int("d_year", CompareOp::kEq, p.year));
+  q.dims.push_back(
+      DimJoin{kDate, "lo_orderdate", "d_datekey", std::move(date_pred), {}});
+  q.fact_pred.And(
+      AtomicPred::Int("lo_discount", CompareOp::kGe, p.discount_lo));
+  q.fact_pred.And(
+      AtomicPred::Int("lo_discount", CompareOp::kLe, p.discount_hi));
+  q.fact_pred.And(
+      AtomicPred::Int("lo_quantity", CompareOp::kLt, p.quantity_max));
+  AggSpec revenue;
+  revenue.kind = AggSpec::Kind::kSumProduct;
+  revenue.col_a = "lo_extendedprice";
+  revenue.col_b = "lo_discount";
+  revenue.out_name = "revenue";
+  q.aggregates.push_back(std::move(revenue));
+  return q;
+}
+
+StarQuery MakeQ21(const Q21Params& p) {
+  StarQuery q;
+  q.fact_table = kLineorder;
+  Predicate part_pred;
+  char category[8];
+  std::snprintf(category, sizeof(category), "MFGR#%d%d", p.mfgr, p.category);
+  part_pred.And(AtomicPred::Str("p_category", CompareOp::kEq, category));
+  Predicate supp_pred;
+  supp_pred.And(AtomicPred::Str("s_region", CompareOp::kEq,
+                                std::string(RegionName(p.supp_region))));
+  q.dims.push_back(DimJoin{kPart, "lo_partkey", "p_partkey",
+                           std::move(part_pred), {"p_brand1"}});
+  q.dims.push_back(DimJoin{kSupplier, "lo_suppkey", "s_suppkey",
+                           std::move(supp_pred), {}});
+  q.dims.push_back(
+      DimJoin{kDate, "lo_orderdate", "d_datekey", Predicate::True(),
+              {"d_year"}});
+  q.group_by = {"d_year", "p_brand1"};
+  AggSpec revenue;
+  revenue.kind = AggSpec::Kind::kSum;
+  revenue.col_a = "lo_revenue";
+  revenue.out_name = "revenue";
+  q.aggregates.push_back(std::move(revenue));
+  q.order_by = {{"d_year", true}, {"p_brand1", true}};
+  return q;
+}
+
+StarQuery MakeTpchQ1(int delta_days) {
+  StarQuery q;
+  q.fact_table = kLineitem;
+  q.fact_pred.And(AtomicPred::Int("l_shipdate", CompareOp::kLe,
+                                  kCalendarDays - delta_days));
+  q.group_by = {"l_returnflag", "l_linestatus"};
+  auto add = [&q](AggSpec::Kind kind, const char* a, const char* b,
+                  const char* c, const char* out) {
+    AggSpec spec;
+    spec.kind = kind;
+    if (a != nullptr) spec.col_a = a;
+    if (b != nullptr) spec.col_b = b;
+    if (c != nullptr) spec.col_c = c;
+    spec.out_name = out;
+    q.aggregates.push_back(std::move(spec));
+  };
+  add(AggSpec::Kind::kSum, "l_quantity", nullptr, nullptr, "sum_qty");
+  add(AggSpec::Kind::kSum, "l_extendedprice", nullptr, nullptr,
+      "sum_base_price");
+  add(AggSpec::Kind::kSumDiscPrice, "l_extendedprice", "l_discount", nullptr,
+      "sum_disc_price");
+  add(AggSpec::Kind::kSumCharge, "l_extendedprice", "l_discount", "l_tax",
+      "sum_charge");
+  add(AggSpec::Kind::kAvg, "l_quantity", nullptr, nullptr, "avg_qty");
+  add(AggSpec::Kind::kAvg, "l_extendedprice", nullptr, nullptr, "avg_price");
+  add(AggSpec::Kind::kAvg, "l_discount", nullptr, nullptr, "avg_disc");
+  add(AggSpec::Kind::kCount, nullptr, nullptr, nullptr, "count_order");
+  q.order_by = {{"l_returnflag", true}, {"l_linestatus", true}};
+  return q;
+}
+
+}  // namespace sdw::ssb

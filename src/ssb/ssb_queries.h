@@ -1,0 +1,60 @@
+// SSB and TPC-H query templates used by the paper's evaluation:
+//  * SSB Q3.2 (the sensitivity-analysis workhorse, Figure 9),
+//  * the modified Q3.2 with nation disjunctions for the selectivity sweeps,
+//  * SSB Q1.1 and Q2.1 (the Figure 16 query mix),
+//  * TPC-H Q1 (the SPL-vs-FIFO experiment of Figure 6).
+
+#ifndef SDW_SSB_SSB_QUERIES_H_
+#define SDW_SSB_SSB_QUERIES_H_
+
+#include <vector>
+
+#include "query/star_query.h"
+
+namespace sdw::ssb {
+
+/// SSB Q3.2: revenue by (c_city, s_city, d_year) for one customer nation, one
+/// supplier nation and a year range.
+struct Q32Params {
+  int cust_nation = 23;   // UNITED KINGDOM
+  int supp_nation = 24;   // UNITED STATES
+  int year_lo = 1992;
+  int year_hi = 1997;
+};
+query::StarQuery MakeQ32(const Q32Params& p);
+
+/// Modified Q3.2 (paper §5.2.2): disjunctions of distinct nations widen fact
+/// selectivity to (|cust| / 25) · (|supp| / 25) · (years / 7).
+struct Q32SelectivityParams {
+  std::vector<int> cust_nations;
+  std::vector<int> supp_nations;
+  int year_lo = 1992;
+  int year_hi = 1998;
+};
+query::StarQuery MakeQ32Selectivity(const Q32SelectivityParams& p);
+
+/// SSB Q1.1: revenue effect of discount changes in one year.
+struct Q11Params {
+  int year = 1993;
+  int discount_lo = 1;
+  int discount_hi = 3;
+  int quantity_max = 25;  // lo_quantity < quantity_max
+};
+query::StarQuery MakeQ11(const Q11Params& p);
+
+/// SSB Q2.1: revenue by (d_year, p_brand1) for one part category and one
+/// supplier region.
+struct Q21Params {
+  int mfgr = 1;      // p_category = MFGR#<mfgr><category>
+  int category = 2;
+  int supp_region = 1;  // AMERICA
+};
+query::StarQuery MakeQ21(const Q21Params& p);
+
+/// TPC-H Q1 over lineitem: pricing summary report with ship-date cutoff
+/// `kCalendarDays - delta_days` (delta in [60, 120] per the TPC-H spec).
+query::StarQuery MakeTpchQ1(int delta_days = 90);
+
+}  // namespace sdw::ssb
+
+#endif  // SDW_SSB_SSB_QUERIES_H_

@@ -1,0 +1,157 @@
+#include "ssb/ssb_schema.h"
+
+#include "common/macros.h"
+
+namespace sdw::ssb {
+
+namespace {
+
+struct NationInfo {
+  std::string_view name;
+  int region;
+};
+
+// TPC-H nation list with its region assignment.
+// Regions: 0=AFRICA 1=AMERICA 2=ASIA 3=EUROPE 4=MIDDLE EAST.
+constexpr std::array<NationInfo, 25> kNations = {{
+    {"ALGERIA", 0},    {"ARGENTINA", 1}, {"BRAZIL", 1},
+    {"CANADA", 1},     {"EGYPT", 4},     {"ETHIOPIA", 0},
+    {"FRANCE", 3},     {"GERMANY", 3},   {"INDIA", 2},
+    {"INDONESIA", 2},  {"IRAN", 4},      {"IRAQ", 4},
+    {"JAPAN", 2},      {"JORDAN", 4},    {"KENYA", 0},
+    {"MOROCCO", 0},    {"MOZAMBIQUE", 0}, {"PERU", 1},
+    {"CHINA", 2},      {"ROMANIA", 3},   {"SAUDI ARABIA", 4},
+    {"VIETNAM", 2},    {"RUSSIA", 3},    {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1},
+}};
+
+constexpr std::array<std::string_view, 5> kRegions = {
+    "AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"};
+
+}  // namespace
+
+std::string_view NationName(int nation) {
+  SDW_CHECK(nation >= 0 && nation < kNumNations);
+  return kNations[static_cast<size_t>(nation)].name;
+}
+
+std::string_view RegionName(int region) {
+  SDW_CHECK(region >= 0 && region < kNumRegions);
+  return kRegions[static_cast<size_t>(region)];
+}
+
+int NationRegion(int nation) {
+  SDW_CHECK(nation >= 0 && nation < kNumNations);
+  return kNations[static_cast<size_t>(nation)].region;
+}
+
+std::string CityName(int nation, int c) {
+  SDW_CHECK(c >= 0 && c < kCitiesPerNation);
+  // SSB: first 9 characters of the nation, space padded, plus a digit.
+  std::string prefix(NationName(nation).substr(0, 9));
+  prefix.resize(9, ' ');
+  return prefix + static_cast<char>('0' + c);
+}
+
+storage::Schema LineorderSchema() {
+  using S = storage::Schema;
+  return storage::Schema({
+      S::Int64("lo_orderkey"),
+      S::Int32("lo_linenumber"),
+      S::Int32("lo_custkey"),
+      S::Int32("lo_partkey"),
+      S::Int32("lo_suppkey"),
+      S::Int32("lo_orderdate"),  // d_datekey (yyyymmdd)
+      S::Char("lo_orderpriority", 15),
+      S::Int32("lo_shippriority"),
+      S::Int32("lo_quantity"),
+      S::Int64("lo_extendedprice"),
+      S::Int64("lo_ordtotalprice"),
+      S::Int32("lo_discount"),
+      S::Int64("lo_revenue"),
+      S::Int64("lo_supplycost"),
+      S::Int32("lo_tax"),
+      S::Int32("lo_commitdate"),
+      S::Char("lo_shipmode", 10),
+  });
+}
+
+storage::Schema CustomerSchema() {
+  using S = storage::Schema;
+  return storage::Schema({
+      S::Int32("c_custkey"),
+      S::Char("c_name", 25),
+      S::Char("c_address", 25),
+      S::Char("c_city", 10),
+      S::Char("c_nation", 15),
+      S::Char("c_region", 12),
+      S::Char("c_phone", 15),
+      S::Char("c_mktsegment", 10),
+  });
+}
+
+storage::Schema SupplierSchema() {
+  using S = storage::Schema;
+  return storage::Schema({
+      S::Int32("s_suppkey"),
+      S::Char("s_name", 25),
+      S::Char("s_address", 25),
+      S::Char("s_city", 10),
+      S::Char("s_nation", 15),
+      S::Char("s_region", 12),
+      S::Char("s_phone", 15),
+  });
+}
+
+storage::Schema PartSchema() {
+  using S = storage::Schema;
+  return storage::Schema({
+      S::Int32("p_partkey"),
+      S::Char("p_name", 22),
+      S::Char("p_mfgr", 6),
+      S::Char("p_category", 7),
+      S::Char("p_brand1", 9),
+      S::Char("p_color", 11),
+      S::Char("p_type", 25),
+      S::Int32("p_size"),
+      S::Char("p_container", 10),
+  });
+}
+
+storage::Schema DateSchema() {
+  using S = storage::Schema;
+  return storage::Schema({
+      S::Int32("d_datekey"),  // yyyymmdd
+      S::Char("d_date", 18),
+      S::Char("d_dayofweek", 9),
+      S::Char("d_month", 9),
+      S::Int32("d_year"),
+      S::Int32("d_yearmonthnum"),
+      S::Char("d_yearmonth", 7),
+      S::Int32("d_daynuminweek"),
+      S::Int32("d_daynuminmonth"),
+      S::Int32("d_daynuminyear"),
+      S::Int32("d_monthnuminyear"),
+      S::Int32("d_weeknuminyear"),
+      S::Char("d_sellingseason", 12),
+      S::Int32("d_lastdayinweekfl"),
+      S::Int32("d_lastdayinmonthfl"),
+      S::Int32("d_holidayfl"),
+      S::Int32("d_weekdayfl"),
+  });
+}
+
+storage::Schema LineitemSchema() {
+  using S = storage::Schema;
+  return storage::Schema({
+      S::Int32("l_quantity"),
+      S::Double("l_extendedprice"),
+      S::Double("l_discount"),
+      S::Double("l_tax"),
+      S::Char("l_returnflag", 1),
+      S::Char("l_linestatus", 1),
+      S::Int32("l_shipdate"),  // day index from 1992-01-01
+  });
+}
+
+}  // namespace sdw::ssb

@@ -1,0 +1,55 @@
+// Star Schema Benchmark (O'Neil et al.) and TPC-H Q1 table schemas, plus the
+// nation/region vocabulary the generators and query templates share.
+
+#ifndef SDW_SSB_SSB_SCHEMA_H_
+#define SDW_SSB_SSB_SCHEMA_H_
+
+#include <array>
+#include <string>
+#include <string_view>
+
+#include "storage/schema.h"
+
+namespace sdw::ssb {
+
+// Table names.
+inline constexpr const char* kLineorder = "lineorder";
+inline constexpr const char* kCustomer = "customer";
+inline constexpr const char* kSupplier = "supplier";
+inline constexpr const char* kPart = "part";
+inline constexpr const char* kDate = "date";
+inline constexpr const char* kLineitem = "lineitem";  // TPC-H, for Q1
+
+/// Number of distinct nations (TPC-H vocabulary); SSB selectivities in the
+/// paper are expressed as fractions of 25 (e.g. 2/25 * 3/25 ≈ 1 %).
+inline constexpr int kNumNations = 25;
+inline constexpr int kNumRegions = 5;
+/// Cities per nation ("<9-char nation prefix><digit>").
+inline constexpr int kCitiesPerNation = 10;
+
+/// SSB date dimension covers exactly the 7 years 1992..1998.
+inline constexpr int kFirstYear = 1992;
+inline constexpr int kLastYear = 1998;
+inline constexpr int kNumYears = 7;
+
+/// Nation name by index [0, 25).
+std::string_view NationName(int nation);
+/// Region name by index [0, 5).
+std::string_view RegionName(int region);
+/// Region index of a nation index.
+int NationRegion(int nation);
+/// City name `c` in [0, 10) of a nation.
+std::string CityName(int nation, int c);
+
+// Schema factories.
+storage::Schema LineorderSchema();
+storage::Schema CustomerSchema();
+storage::Schema SupplierSchema();
+storage::Schema PartSchema();
+storage::Schema DateSchema();
+/// TPC-H lineitem restricted to the columns Q1 touches.
+storage::Schema LineitemSchema();
+
+}  // namespace sdw::ssb
+
+#endif  // SDW_SSB_SSB_SCHEMA_H_

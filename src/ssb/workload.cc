@@ -1,0 +1,147 @@
+#include "ssb/workload.h"
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "common/rng.h"
+#include "ssb/ssb_schema.h"
+
+namespace sdw::ssb {
+
+namespace {
+
+Q32Params RandomQ32Params(Rng* rng) {
+  Q32Params p;
+  p.cust_nation = static_cast<int>(rng->Index(kNumNations));
+  p.supp_nation = static_cast<int>(rng->Index(kNumNations));
+  const int len = static_cast<int>(rng->Index(kNumYears)) + 1;
+  p.year_lo = kFirstYear + static_cast<int>(rng->Index(
+                               static_cast<size_t>(kNumYears - len + 1)));
+  p.year_hi = p.year_lo + len - 1;
+  return p;
+}
+
+}  // namespace
+
+std::vector<query::StarQuery> RandomQ32Workload(size_t num_queries,
+                                                uint64_t seed) {
+  Rng rng(seed);
+  std::vector<query::StarQuery> queries;
+  queries.reserve(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    queries.push_back(MakeQ32(RandomQ32Params(&rng)));
+  }
+  return queries;
+}
+
+std::vector<query::StarQuery> SimilarQ32Workload(size_t num_queries,
+                                                 size_t distinct_plans,
+                                                 uint64_t seed) {
+  if (distinct_plans == 0) return RandomQ32Workload(num_queries, seed);
+  Rng rng(seed);
+  // Generate `distinct_plans` parameterizations with distinct signatures.
+  std::vector<query::StarQuery> plans;
+  std::set<std::string> seen;
+  while (plans.size() < distinct_plans) {
+    query::StarQuery q = MakeQ32(RandomQ32Params(&rng));
+    if (seen.insert(q.Signature()).second) {
+      plans.push_back(std::move(q));
+    }
+  }
+  std::vector<query::StarQuery> queries;
+  queries.reserve(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    queries.push_back(plans[rng.Index(plans.size())]);
+  }
+  return queries;
+}
+
+SelectivityChoice PickSelectivity(double selectivity) {
+  SelectivityChoice best{1, 1, 1, 1.0 / (25.0 * 25.0 * 7.0)};
+  double best_err = std::fabs(std::log(best.achieved / selectivity));
+  for (int kc = 1; kc <= kNumNations; ++kc) {
+    for (int ks = 1; ks <= kNumNations; ++ks) {
+      for (int y = 1; y <= kNumYears; ++y) {
+        const double sel =
+            (kc / 25.0) * (ks / 25.0) * (y / static_cast<double>(kNumYears));
+        const double err = std::fabs(std::log(sel / selectivity));
+        if (err < best_err) {
+          best = {kc, ks, y, sel};
+          best_err = err;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<query::StarQuery> SelectivityQ32Workload(size_t num_queries,
+                                                     double selectivity,
+                                                     uint64_t seed) {
+  Rng rng(seed);
+  const SelectivityChoice choice = PickSelectivity(selectivity);
+  std::vector<query::StarQuery> queries;
+  queries.reserve(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    Q32SelectivityParams p;
+    for (size_t n :
+         rng.SampleDistinct(kNumNations,
+                            static_cast<size_t>(choice.cust_nations))) {
+      p.cust_nations.push_back(static_cast<int>(n));
+    }
+    for (size_t n :
+         rng.SampleDistinct(kNumNations,
+                            static_cast<size_t>(choice.supp_nations))) {
+      p.supp_nations.push_back(static_cast<int>(n));
+    }
+    p.year_lo = kFirstYear;
+    p.year_hi = kFirstYear + choice.years - 1;
+    queries.push_back(MakeQ32Selectivity(p));
+  }
+  return queries;
+}
+
+std::vector<query::StarQuery> MixedWorkload(size_t num_queries,
+                                            uint64_t seed) {
+  Rng rng(seed);
+  std::vector<query::StarQuery> queries;
+  queries.reserve(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    switch (i % 3) {
+      case 0: {
+        Q11Params p;
+        p.year = kFirstYear + static_cast<int>(rng.Index(kNumYears));
+        p.discount_lo = static_cast<int>(rng.Index(8));
+        p.discount_hi = p.discount_lo + 2;
+        p.quantity_max = 24 + static_cast<int>(rng.Index(4));
+        queries.push_back(MakeQ11(p));
+        break;
+      }
+      case 1: {
+        Q21Params p;
+        p.mfgr = static_cast<int>(rng.Index(5)) + 1;
+        p.category = static_cast<int>(rng.Index(5)) + 1;
+        p.supp_region = static_cast<int>(rng.Index(kNumRegions));
+        queries.push_back(MakeQ21(p));
+        break;
+      }
+      default:
+        queries.push_back(MakeQ32(RandomQ32Params(&rng)));
+        break;
+    }
+  }
+  return queries;
+}
+
+std::vector<query::StarQuery> IdenticalQ1Workload(size_t num_queries,
+                                                  int delta_days) {
+  std::vector<query::StarQuery> queries;
+  queries.reserve(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    queries.push_back(MakeTpchQ1(delta_days));
+  }
+  return queries;
+}
+
+}  // namespace sdw::ssb

@@ -1,0 +1,58 @@
+// Workload generation with the paper's experiment knobs:
+//  * number of concurrent queries,
+//  * similarity: how many distinct query plans the instances draw from
+//    (Figures 14/15), or fully random parameters (Figure 10),
+//  * fact-tuple selectivity via nation disjunctions (Figures 11/12),
+//  * the round-robin Q1.1 / Q2.1 / Q3.2 mix (Figure 16).
+
+#ifndef SDW_SSB_WORKLOAD_H_
+#define SDW_SSB_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/star_query.h"
+#include "ssb/ssb_queries.h"
+
+namespace sdw::ssb {
+
+/// Q3.2 instances with fully random parameters (selectivity 0.02 % - 0.16 %:
+/// one customer nation × one supplier nation × a random year sub-range).
+std::vector<query::StarQuery> RandomQ32Workload(size_t num_queries,
+                                                uint64_t seed);
+
+/// Q3.2 instances drawn uniformly from `distinct_plans` pre-generated
+/// parameterizations (the paper's similarity knob). `distinct_plans` == 0
+/// means unbounded (fully random).
+std::vector<query::StarQuery> SimilarQ32Workload(size_t num_queries,
+                                                 size_t distinct_plans,
+                                                 uint64_t seed);
+
+/// Modified-Q3.2 instances with ~`selectivity` fact-tuple selectivity
+/// (in [1/4375, 1]); nations are sampled distinct per query, keeping
+/// similarity minimal (paper §5.2.2).
+std::vector<query::StarQuery> SelectivityQ32Workload(size_t num_queries,
+                                                     double selectivity,
+                                                     uint64_t seed);
+
+/// Chooses (#cust nations, #supp nations, #years) whose product of fractions
+/// best approximates `selectivity`; exposed for tests.
+struct SelectivityChoice {
+  int cust_nations;
+  int supp_nations;
+  int years;
+  double achieved;
+};
+SelectivityChoice PickSelectivity(double selectivity);
+
+/// Round-robin mix of Q1.1, Q2.1, Q3.2 with random parameters (Figure 16).
+std::vector<query::StarQuery> MixedWorkload(size_t num_queries,
+                                            uint64_t seed);
+
+/// `num_queries` identical TPC-H Q1 instances (Figure 6).
+std::vector<query::StarQuery> IdenticalQ1Workload(size_t num_queries,
+                                                  int delta_days = 90);
+
+}  // namespace sdw::ssb
+
+#endif  // SDW_SSB_WORKLOAD_H_

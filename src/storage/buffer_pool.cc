@@ -1,0 +1,51 @@
+#include "storage/buffer_pool.h"
+
+namespace sdw::storage {
+
+BufferPool::BufferPool(StorageDevice* device, size_t capacity_bytes)
+    : device_(device), capacity_bytes_(capacity_bytes) {}
+
+const Page* BufferPool::FetchPage(const Table& table, uint64_t page_idx) {
+  const uint64_t key = Key(table.id(), page_idx);
+  bool resident;
+  {
+    ScopedWallComponentTimer t(Component::kLocks);
+    std::unique_lock<std::mutex> lock(mu_);
+    resident = TouchOrAdmit(key);
+  }
+  if (resident) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    device_->ReadPage(table.id(), page_idx, kPageSize);
+  }
+  return table.page(page_idx);
+}
+
+bool BufferPool::TouchOrAdmit(uint64_t key) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+  lru_.push_front(key);
+  index_[key] = lru_.begin();
+  if (capacity_bytes_ > 0) {
+    const size_t max_pages = capacity_bytes_ / kPageSize;
+    while (index_.size() > max_pages && !lru_.empty()) {
+      index_.erase(lru_.back());
+      lru_.pop_back();
+    }
+  }
+  return false;
+}
+
+void BufferPool::Clear() {
+  std::unique_lock<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace sdw::storage

@@ -1,0 +1,67 @@
+// Database buffer pool. Since table data always lives in RAM (see
+// storage_device.h), the pool tracks *residency* and charges the simulated
+// device on misses, evicting with LRU. Its internal latch is the point of
+// contention that independent concurrent scans exercise and shared scans
+// avoid — one of the effects the paper measures.
+
+#ifndef SDW_STORAGE_BUFFER_POOL_H_
+#define SDW_STORAGE_BUFFER_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/breakdown.h"
+#include "storage/storage_device.h"
+#include "storage/table.h"
+
+namespace sdw::storage {
+
+/// LRU buffer pool over (table, page) keys.
+class BufferPool {
+ public:
+  /// `capacity_bytes` of 0 means "unbounded" (everything stays resident
+  /// after first touch — the paper's "large buffer pool that fits the
+  /// dataset" configuration).
+  BufferPool(StorageDevice* device, size_t capacity_bytes);
+  SDW_DISALLOW_COPY(BufferPool);
+
+  /// Makes page `page_idx` of `table` resident (charging device time on a
+  /// miss) and returns it. The returned pointer is always valid — eviction
+  /// only affects simulated residency, not the in-memory data.
+  const Page* FetchPage(const Table& table, uint64_t page_idx);
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+  /// Drops all residency state and zeroes counters (the paper clears file
+  /// system caches before every measurement; this is the equivalent knob).
+  void Clear();
+
+  StorageDevice* device() const { return device_; }
+  size_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  static uint64_t Key(uint16_t table_id, uint64_t page_idx) {
+    return (static_cast<uint64_t>(table_id) << 48) | page_idx;
+  }
+
+  // Returns true when resident; updates LRU order / inserts and evicts.
+  bool TouchOrAdmit(uint64_t key);
+
+  StorageDevice* device_;
+  const size_t capacity_bytes_;
+
+  std::mutex mu_;
+  std::list<uint64_t> lru_;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> index_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace sdw::storage
+
+#endif  // SDW_STORAGE_BUFFER_POOL_H_

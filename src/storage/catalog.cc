@@ -1,0 +1,37 @@
+#include "storage/catalog.h"
+
+namespace sdw::storage {
+
+Table* Catalog::AddTable(std::unique_ptr<Table> table) {
+  SDW_CHECK_MSG(tables_.find(table->name()) == tables_.end(),
+                "table %s already exists", table->name().c_str());
+  Table* raw = table.get();
+  raw->set_id(static_cast<uint16_t>(by_id_.size()));
+  by_id_.push_back(raw);
+  tables_.emplace(raw->name(), std::move(table));
+  return raw;
+}
+
+Table* Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Table* Catalog::MustGetTable(const std::string& name) const {
+  Table* t = GetTable(name);
+  SDW_CHECK_MSG(t != nullptr, "no table named %s", name.c_str());
+  return t;
+}
+
+Table* Catalog::GetTableById(uint16_t id) const {
+  SDW_CHECK(id < by_id_.size());
+  return by_id_[id];
+}
+
+size_t Catalog::total_bytes() const {
+  size_t total = 0;
+  for (const Table* t : by_id_) total += t->data_bytes();
+  return total;
+}
+
+}  // namespace sdw::storage

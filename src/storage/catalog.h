@@ -1,0 +1,46 @@
+// Catalog: name -> Table registry shared by all engine configurations.
+
+#ifndef SDW_STORAGE_CATALOG_H_
+#define SDW_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace sdw::storage {
+
+/// Owns all tables of a database instance. Built single-threaded at load
+/// time; read-only afterwards.
+class Catalog {
+ public:
+  Catalog() = default;
+  SDW_DISALLOW_COPY(Catalog);
+
+  /// Registers a table; aborts on duplicate names.
+  Table* AddTable(std::unique_ptr<Table> table);
+
+  /// Looks a table up by name; nullptr when absent.
+  Table* GetTable(const std::string& name) const;
+  /// Like GetTable but aborts when absent.
+  Table* MustGetTable(const std::string& name) const;
+  /// Table by catalog id.
+  Table* GetTableById(uint16_t id) const;
+
+  size_t num_tables() const { return tables_.size(); }
+  const std::vector<Table*>& tables() const { return by_id_; }
+
+  /// Sum of data_bytes over all tables.
+  size_t total_bytes() const;
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::vector<Table*> by_id_;
+};
+
+}  // namespace sdw::storage
+
+#endif  // SDW_STORAGE_CATALOG_H_

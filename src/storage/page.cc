@@ -1,0 +1,26 @@
+#include "storage/page.h"
+
+#include <cstring>
+#include <new>
+
+namespace sdw::storage {
+
+std::shared_ptr<Page> Page::Make(uint32_t tuple_size) {
+  const uint32_t capacity = PageCapacityFor(tuple_size);
+  void* mem = ::operator new(kPageSize);
+  Page* p = new (mem) Page(tuple_size, capacity);
+  return std::shared_ptr<Page>(p, [](Page* page) {
+    page->~Page();
+    ::operator delete(page);
+  });
+}
+
+std::shared_ptr<Page> Page::Clone(const Page& src) {
+  auto copy = Make(src.tuple_size_);
+  std::memcpy(copy->payload_, src.payload_, src.used_bytes());
+  copy->tuple_count_ = src.tuple_count_;
+  copy->seq_ = src.seq_;
+  return copy;
+}
+
+}  // namespace sdw::storage

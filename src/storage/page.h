@@ -1,0 +1,87 @@
+// Fixed-size (32 KB) pages holding fixed-width tuples. Pages are both the
+// unit of table storage and the unit of exchange between operators (QPipe's
+// page-based data flow and the Shared Pages List both move PagePtr values).
+
+#ifndef SDW_STORAGE_PAGE_H_
+#define SDW_STORAGE_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "common/macros.h"
+
+namespace sdw::storage {
+
+/// Page size used throughout sdw; matches the paper's 32 KB configuration.
+inline constexpr size_t kPageSize = 32 * 1024;
+
+/// A page of fixed-width tuples. The object occupies exactly kPageSize bytes;
+/// tuples are packed back to back after the header.
+class Page {
+ public:
+  /// Allocates an empty page for tuples of `tuple_size` bytes.
+  /// `tuple_size` must leave room for at least one tuple.
+  static std::shared_ptr<Page> Make(uint32_t tuple_size);
+
+  /// Deep copy (used by the push-based forwarding path of SP, which copies
+  /// result pages into every satellite's FIFO — the paper's serialization
+  /// point).
+  static std::shared_ptr<Page> Clone(const Page& src);
+
+  uint32_t tuple_size() const { return tuple_size_; }
+  uint32_t tuple_count() const { return tuple_count_; }
+  bool empty() const { return tuple_count_ == 0; }
+
+  /// Max number of tuples this page can hold.
+  uint32_t capacity() const { return capacity_; }
+  bool full() const { return tuple_count_ == capacity_; }
+
+  /// Producer-assigned sequence/position stamp (e.g. page index of a scan).
+  uint64_t seq() const { return seq_; }
+  void set_seq(uint64_t s) { seq_ = s; }
+
+  /// Pointer to tuple `i` (read).
+  const std::byte* tuple(uint32_t i) const {
+    SDW_DCHECK(i < tuple_count_);
+    return payload_ + static_cast<size_t>(i) * tuple_size_;
+  }
+
+  /// Reserves space for one more tuple and returns its writable bytes;
+  /// nullptr when the page is full.
+  std::byte* AppendTuple() {
+    if (full()) return nullptr;
+    std::byte* t = payload_ + static_cast<size_t>(tuple_count_) * tuple_size_;
+    ++tuple_count_;
+    return t;
+  }
+
+  /// Bytes of payload currently in use.
+  size_t used_bytes() const {
+    return static_cast<size_t>(tuple_count_) * tuple_size_;
+  }
+
+ private:
+  Page(uint32_t tuple_size, uint32_t capacity)
+      : tuple_size_(tuple_size), capacity_(capacity) {}
+
+  uint32_t tuple_size_;
+  uint32_t capacity_;
+  uint32_t tuple_count_ = 0;
+  uint64_t seq_ = 0;
+  std::byte payload_[];  // flexible array; allocation sized to kPageSize
+};
+
+using PagePtr = std::shared_ptr<Page>;
+
+/// Payload capacity of a page for a given tuple size.
+inline uint32_t PageCapacityFor(uint32_t tuple_size) {
+  const size_t header = sizeof(Page);
+  SDW_CHECK_MSG(tuple_size > 0 && header + tuple_size <= kPageSize,
+                "tuple size %u does not fit a page", tuple_size);
+  return static_cast<uint32_t>((kPageSize - header) / tuple_size);
+}
+
+}  // namespace sdw::storage
+
+#endif  // SDW_STORAGE_PAGE_H_

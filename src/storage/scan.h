@@ -1,0 +1,70 @@
+// Page cursors over tables through the buffer pool: a plain one-pass cursor
+// (query-centric scans) and a circular cursor that starts at an arbitrary
+// page and wraps (shared scans: QPipe's circular scan stage and CJOIN's
+// preprocessor both build on it).
+
+#ifndef SDW_STORAGE_SCAN_H_
+#define SDW_STORAGE_SCAN_H_
+
+#include <cstdint>
+
+#include "storage/buffer_pool.h"
+#include "storage/table.h"
+
+namespace sdw::storage {
+
+/// One-pass cursor: pages 0..num_pages-1 in order.
+class TableScanCursor {
+ public:
+  TableScanCursor(const Table* table, BufferPool* pool)
+      : table_(table), pool_(pool) {}
+
+  /// Next page, or nullptr at end of table.
+  const Page* Next() {
+    if (pos_ >= table_->num_pages()) return nullptr;
+    return pool_->FetchPage(*table_, pos_++);
+  }
+
+  uint64_t position() const { return pos_; }
+
+ private:
+  const Table* table_;
+  BufferPool* pool_;
+  uint64_t pos_ = 0;
+};
+
+/// Endless circular cursor starting at `start_page`; the caller decides when
+/// a consumer has seen a full cycle (each consumer's point of entry).
+class CircularPageCursor {
+ public:
+  CircularPageCursor(const Table* table, BufferPool* pool,
+                     uint64_t start_page = 0)
+      : table_(table), pool_(pool), pos_(start_page % PageCount(table)) {}
+
+  /// Fetches the current page and advances (wrapping). Returns nullptr only
+  /// for empty tables.
+  const Page* Next() {
+    if (table_->num_pages() == 0) return nullptr;
+    const Page* p = pool_->FetchPage(*table_, pos_);
+    pos_ = (pos_ + 1) % table_->num_pages();
+    return p;
+  }
+
+  /// Page index that the next call to Next() will fetch.
+  uint64_t position() const { return pos_; }
+
+  const Table* table() const { return table_; }
+
+ private:
+  static uint64_t PageCount(const Table* t) {
+    return t->num_pages() == 0 ? 1 : t->num_pages();
+  }
+
+  const Table* table_;
+  BufferPool* pool_;
+  uint64_t pos_;
+};
+
+}  // namespace sdw::storage
+
+#endif  // SDW_STORAGE_SCAN_H_

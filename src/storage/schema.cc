@@ -1,0 +1,87 @@
+#include "storage/schema.h"
+
+#include <algorithm>
+
+namespace sdw::storage {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  offsets_.reserve(columns_.size());
+  uint32_t off = 0;
+  for (const auto& c : columns_) {
+    offsets_.push_back(off);
+    off += c.width();
+  }
+  tuple_size_ = off;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    for (size_t j = i + 1; j < columns_.size(); ++j) {
+      SDW_CHECK_MSG(columns_[i].name != columns_[j].name,
+                    "duplicate column %s", columns_[i].name.c_str());
+    }
+  }
+}
+
+int Schema::ColumnIndex(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+size_t Schema::MustColumnIndex(std::string_view name) const {
+  int i = ColumnIndex(name);
+  SDW_CHECK_MSG(i >= 0, "no column named %.*s", static_cast<int>(name.size()),
+                name.data());
+  return static_cast<size_t>(i);
+}
+
+std::string_view Schema::GetChar(const std::byte* tuple, size_t col) const {
+  std::string_view raw = GetCharRaw(tuple, col);
+  size_t end = raw.size();
+  while (end > 0 && raw[end - 1] == ' ') --end;
+  return raw.substr(0, end);
+}
+
+void Schema::SetChar(std::byte* tuple, size_t col, std::string_view v) const {
+  SDW_DCHECK(columns_[col].type == ColumnType::kChar);
+  const uint32_t width = columns_[col].size;
+  char* dst = reinterpret_cast<char*>(tuple + offsets_[col]);
+  const size_t n = std::min<size_t>(v.size(), width);
+  std::memcpy(dst, v.data(), n);
+  std::memset(dst + n, ' ', width - n);
+}
+
+void Schema::CopyColumnTo(const std::byte* src, size_t src_col,
+                          const Schema& dst, std::byte* dst_tuple,
+                          size_t dst_col) const {
+  const Column& s = columns_[src_col];
+  SDW_DCHECK(s.type == dst.column(dst_col).type &&
+             s.width() == dst.column(dst_col).width());
+  std::memcpy(dst_tuple + dst.offset(dst_col), src + offsets_[src_col],
+              s.width());
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += columns_[i].name;
+    switch (columns_[i].type) {
+      case ColumnType::kInt32:
+        out += ":i32";
+        break;
+      case ColumnType::kInt64:
+        out += ":i64";
+        break;
+      case ColumnType::kDouble:
+        out += ":f64";
+        break;
+      case ColumnType::kChar:
+        out += ":c" + std::to_string(columns_[i].size);
+        break;
+    }
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace sdw::storage

@@ -1,0 +1,146 @@
+// Fixed-width tuple schemas. Tuples are raw byte rows laid out column after
+// column in declaration order; all field access goes through Schema using
+// memcpy-based accessors (alignment-agnostic), matching a row-store storage
+// manager like Shore-MT.
+
+#ifndef SDW_STORAGE_SCHEMA_H_
+#define SDW_STORAGE_SCHEMA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace sdw::storage {
+
+/// Supported column types. kChar is a fixed-width, space-padded string.
+enum class ColumnType { kInt32, kInt64, kDouble, kChar };
+
+/// Byte width of a column of type `t` (with `size` for kChar).
+inline uint32_t TypeWidth(ColumnType t, uint32_t size) {
+  switch (t) {
+    case ColumnType::kInt32:
+      return 4;
+    case ColumnType::kInt64:
+      return 8;
+    case ColumnType::kDouble:
+      return 8;
+    case ColumnType::kChar:
+      return size;
+  }
+  return 0;
+}
+
+/// One column definition.
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kInt32;
+  uint32_t size = 0;  // kChar width; ignored otherwise
+
+  uint32_t width() const { return TypeWidth(type, size); }
+};
+
+/// Ordered set of columns with precomputed offsets; describes both base-table
+/// tuples and intermediate-result tuples flowing between operators.
+class Schema {
+ public:
+  Schema() = default;
+  /// Builds a schema; aborts on duplicate column names.
+  explicit Schema(std::vector<Column> columns);
+
+  /// Convenience factories for appending while building derived schemas.
+  static Column Int32(std::string name) {
+    return {std::move(name), ColumnType::kInt32, 0};
+  }
+  static Column Int64(std::string name) {
+    return {std::move(name), ColumnType::kInt64, 0};
+  }
+  static Column Double(std::string name) {
+    return {std::move(name), ColumnType::kDouble, 0};
+  }
+  static Column Char(std::string name, uint32_t size) {
+    return {std::move(name), ColumnType::kChar, size};
+  }
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  uint32_t offset(size_t i) const { return offsets_[i]; }
+  uint32_t tuple_size() const { return tuple_size_; }
+
+  /// Index of column `name`, or -1 when absent.
+  int ColumnIndex(std::string_view name) const;
+  /// Index of column `name`; aborts when absent.
+  size_t MustColumnIndex(std::string_view name) const;
+
+  // Field accessors over a raw tuple. The caller guarantees `tuple` points at
+  // tuple_size() valid bytes and the column type matches the call.
+  int32_t GetInt32(const std::byte* tuple, size_t col) const {
+    SDW_DCHECK(columns_[col].type == ColumnType::kInt32);
+    int32_t v;
+    std::memcpy(&v, tuple + offsets_[col], sizeof(v));
+    return v;
+  }
+  int64_t GetInt64(const std::byte* tuple, size_t col) const {
+    SDW_DCHECK(columns_[col].type == ColumnType::kInt64);
+    int64_t v;
+    std::memcpy(&v, tuple + offsets_[col], sizeof(v));
+    return v;
+  }
+  double GetDouble(const std::byte* tuple, size_t col) const {
+    SDW_DCHECK(columns_[col].type == ColumnType::kDouble);
+    double v;
+    std::memcpy(&v, tuple + offsets_[col], sizeof(v));
+    return v;
+  }
+  /// Returns the fixed-width character field, trailing spaces stripped.
+  std::string_view GetChar(const std::byte* tuple, size_t col) const;
+  /// Returns the raw fixed-width character field including padding.
+  std::string_view GetCharRaw(const std::byte* tuple, size_t col) const {
+    SDW_DCHECK(columns_[col].type == ColumnType::kChar);
+    return {reinterpret_cast<const char*>(tuple + offsets_[col]),
+            columns_[col].size};
+  }
+
+  /// Reads an integer column of either width as int64.
+  int64_t GetIntAny(const std::byte* tuple, size_t col) const {
+    return columns_[col].type == ColumnType::kInt32
+               ? static_cast<int64_t>(GetInt32(tuple, col))
+               : GetInt64(tuple, col);
+  }
+
+  void SetInt32(std::byte* tuple, size_t col, int32_t v) const {
+    SDW_DCHECK(columns_[col].type == ColumnType::kInt32);
+    std::memcpy(tuple + offsets_[col], &v, sizeof(v));
+  }
+  void SetInt64(std::byte* tuple, size_t col, int64_t v) const {
+    SDW_DCHECK(columns_[col].type == ColumnType::kInt64);
+    std::memcpy(tuple + offsets_[col], &v, sizeof(v));
+  }
+  void SetDouble(std::byte* tuple, size_t col, double v) const {
+    SDW_DCHECK(columns_[col].type == ColumnType::kDouble);
+    std::memcpy(tuple + offsets_[col], &v, sizeof(v));
+  }
+  /// Writes a character field, space-padding / truncating to the fixed width.
+  void SetChar(std::byte* tuple, size_t col, std::string_view v) const;
+
+  /// Copies column `src_col` of `src` into column `dst_col` of `dst` given
+  /// matching types/widths.
+  void CopyColumnTo(const std::byte* src, size_t src_col, const Schema& dst,
+                    std::byte* dst_tuple, size_t dst_col) const;
+
+  /// Canonical one-line description, used in plan signatures.
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+  std::vector<uint32_t> offsets_;
+  uint32_t tuple_size_ = 0;
+};
+
+}  // namespace sdw::storage
+
+#endif  // SDW_STORAGE_SCHEMA_H_

@@ -1,0 +1,86 @@
+#include "storage/storage_device.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/timing.h"
+
+namespace sdw::storage {
+
+void StorageDevice::ReadPage(uint16_t table_id, uint64_t page_idx,
+                             size_t bytes) {
+  logical_reads_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.memory_resident) return;
+
+  const uint64_t key = Key(table_id, page_idx);
+  int64_t complete_at;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+
+    if (!options_.direct_io && options_.os_cache_bytes > 0 &&
+        CacheLookupOrInsert(key, bytes)) {
+      cache_hit_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+      return;
+    }
+
+    const bool sequential = (key == last_key_ + 1);
+    last_key_ = key;
+
+    const double xfer_nanos =
+        static_cast<double>(bytes) / (options_.seq_bandwidth_mbps * 1e6) * 1e9;
+    const double seek_nanos = sequential ? 0.0 : options_.seek_latency_us * 1e3;
+
+    const int64_t now = NowNanos();
+    const int64_t start = busy_until_nanos_ > now ? busy_until_nanos_ : now;
+    busy_until_nanos_ =
+        start + static_cast<int64_t>(xfer_nanos + seek_nanos);
+    complete_at = busy_until_nanos_;
+    device_bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  // Wait (outside the lock) until the simulated transfer completes. OS
+  // sleep granularity is ~1 ms, so sub-threshold waits are deferred: the
+  // device timeline still advances per read, and the caller only sleeps
+  // once its completion time runs far enough ahead of the wall clock. This
+  // keeps aggregate bandwidth/seek behavior accurate at millisecond scale
+  // without paying one rounded-up sleep per 32 KB page.
+  constexpr int64_t kSleepThresholdNanos = 5'000'000;
+  const int64_t now = NowNanos();
+  if (complete_at - now > kSleepThresholdNanos) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(complete_at - now));
+  }
+}
+
+bool StorageDevice::CacheLookupOrInsert(uint64_t key, size_t bytes) {
+  auto it = cache_index_.find(key);
+  if (it != cache_index_.end()) {
+    // Move to MRU position.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+  // Insert as MRU; evict LRU entries until within budget.
+  lru_.push_front({key, bytes});
+  cache_index_[key] = lru_.begin();
+  cache_used_bytes_ += bytes;
+  while (cache_used_bytes_ > options_.os_cache_bytes && !lru_.empty()) {
+    const CacheEntry& victim = lru_.back();
+    cache_used_bytes_ -= victim.bytes;
+    cache_index_.erase(victim.key);
+    lru_.pop_back();
+  }
+  return false;
+}
+
+void StorageDevice::ResetStats() {
+  std::unique_lock<std::mutex> lock(mu_);
+  device_bytes_read_.store(0, std::memory_order_relaxed);
+  cache_hit_bytes_.store(0, std::memory_order_relaxed);
+  logical_reads_.store(0, std::memory_order_relaxed);
+  busy_until_nanos_ = 0;
+  last_key_ = ~uint64_t{0};
+  lru_.clear();
+  cache_index_.clear();
+  cache_used_bytes_ = 0;
+}
+
+}  // namespace sdw::storage

@@ -1,0 +1,105 @@
+// Simulated storage device + OS file cache.
+//
+// Substitution (see DESIGN.md §3): the paper evaluates on two 10 kRPM SAS
+// disks in RAID-0 behind the Linux page cache. Tables here always reside in
+// RAM; what the device simulates is the *time* and *counters* of reading
+// pages, so that the I/O phenomena the paper measures are reproduced:
+//
+//  * a single sequential scan streams at the device's sequential bandwidth;
+//  * N interleaved independent scans incur a seek penalty on every switch of
+//    position, collapsing aggregate throughput (why shared scans win);
+//  * an OS file cache absorbs re-reads (why CJOIN's preprocessor overhead is
+//    masked without direct I/O, Figure 13);
+//  * direct I/O bypasses the cache.
+//
+// Memory-resident mode disables timing entirely (the paper's RAM-drive
+// setup) while still counting logical page reads.
+
+#ifndef SDW_STORAGE_STORAGE_DEVICE_H_
+#define SDW_STORAGE_STORAGE_DEVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/macros.h"
+
+namespace sdw::storage {
+
+/// Device configuration.
+struct DeviceOptions {
+  /// RAM-drive mode: reads are free (no sleeping, no device counters).
+  bool memory_resident = true;
+  /// Sequential streaming bandwidth of the simulated array.
+  double seq_bandwidth_mbps = 220.0;
+  /// Penalty charged when a read is not contiguous with the previous one.
+  double seek_latency_us = 3000.0;
+  /// OS file-cache capacity in bytes (0 disables the cache).
+  size_t os_cache_bytes = 0;
+  /// Bypass the OS cache (paper's direct-I/O runs in Figure 13).
+  bool direct_io = false;
+};
+
+/// Simulated shared storage device. Thread-safe; all concurrent readers
+/// serialize on one device timeline, modelling a single shared disk array.
+class StorageDevice {
+ public:
+  explicit StorageDevice(DeviceOptions options) : options_(options) {}
+  SDW_DISALLOW_COPY(StorageDevice);
+
+  /// Charges (and sleeps for) the simulated cost of reading page `page_idx`
+  /// of table `table_id`. `bytes` is the page size.
+  void ReadPage(uint16_t table_id, uint64_t page_idx, size_t bytes);
+
+  const DeviceOptions& options() const { return options_; }
+
+  /// Bytes actually transferred from the simulated device (cache misses).
+  uint64_t device_bytes_read() const {
+    return device_bytes_read_.load(std::memory_order_relaxed);
+  }
+  /// Bytes served from the simulated OS cache.
+  uint64_t cache_hit_bytes() const {
+    return cache_hit_bytes_.load(std::memory_order_relaxed);
+  }
+  /// Logical read requests (all modes, including memory-resident).
+  uint64_t logical_reads() const {
+    return logical_reads_.load(std::memory_order_relaxed);
+  }
+
+  /// Zeroes counters and forgets cache/positioning state.
+  void ResetStats();
+
+ private:
+  struct CacheEntry {
+    uint64_t key;
+    size_t bytes;
+  };
+
+  // Returns true when the read is served by the OS cache (no device time).
+  bool CacheLookupOrInsert(uint64_t key, size_t bytes);
+
+  static uint64_t Key(uint16_t table_id, uint64_t page_idx) {
+    return (static_cast<uint64_t>(table_id) << 48) | page_idx;
+  }
+
+  DeviceOptions options_;
+
+  std::mutex mu_;
+  int64_t busy_until_nanos_ = 0;   // device timeline
+  uint64_t last_key_ = ~uint64_t{0};  // for sequentiality detection
+
+  // OS cache: LRU list of page keys with byte budget.
+  std::list<CacheEntry> lru_;
+  std::unordered_map<uint64_t, std::list<CacheEntry>::iterator> cache_index_;
+  size_t cache_used_bytes_ = 0;
+
+  std::atomic<uint64_t> device_bytes_read_{0};
+  std::atomic<uint64_t> cache_hit_bytes_{0};
+  std::atomic<uint64_t> logical_reads_{0};
+};
+
+}  // namespace sdw::storage
+
+#endif  // SDW_STORAGE_STORAGE_DEVICE_H_

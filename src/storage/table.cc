@@ -1,0 +1,19 @@
+#include "storage/table.h"
+
+namespace sdw::storage {
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      rows_per_page_(PageCapacityFor(schema_.tuple_size())) {}
+
+std::byte* Table::AppendRow() {
+  if (pages_.empty() || pages_.back()->full()) {
+    pages_.push_back(Page::Make(schema_.tuple_size()));
+    pages_.back()->set_seq(pages_.size() - 1);
+  }
+  ++num_rows_;
+  return pages_.back()->AppendTuple();
+}
+
+}  // namespace sdw::storage

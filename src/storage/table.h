@@ -1,0 +1,65 @@
+// Heap tables: an immutable-after-load sequence of pages of fixed-width
+// tuples. Analytical workloads in the paper are read-only (data loaded once,
+// periodically refreshed), so tables are built by a single loader and then
+// shared read-only across all queries.
+
+#ifndef SDW_STORAGE_TABLE_H_
+#define SDW_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/page.h"
+#include "storage/schema.h"
+
+namespace sdw::storage {
+
+/// A named heap table with a fixed schema.
+class Table {
+ public:
+  Table(std::string name, Schema schema);
+
+  SDW_DISALLOW_COPY(Table);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  /// Catalog-assigned id; 0 until registered.
+  uint16_t id() const { return id_; }
+  void set_id(uint16_t id) { id_ = id; }
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_pages() const { return pages_.size(); }
+  /// Tuples that fit in one page of this table.
+  uint32_t rows_per_page() const { return rows_per_page_; }
+  /// Total bytes across all pages (for I/O accounting).
+  size_t data_bytes() const { return num_pages() * kPageSize; }
+
+  const Page* page(size_t i) const { return pages_[i].get(); }
+  /// Shares page `i` without copying (table outlives all queries).
+  PagePtr SharePage(size_t i) const { return pages_[i]; }
+
+  /// Appends one row; returns writable bytes for the new tuple.
+  std::byte* AppendRow();
+
+  /// Row by global index (row-id): pages are filled densely, so
+  /// row i lives at page i / rows_per_page, slot i % rows_per_page.
+  const std::byte* row(size_t idx) const {
+    SDW_DCHECK(idx < num_rows_);
+    return pages_[idx / rows_per_page_]->tuple(
+        static_cast<uint32_t>(idx % rows_per_page_));
+  }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  uint16_t id_ = 0;
+  uint32_t rows_per_page_;
+  size_t num_rows_ = 0;
+  std::vector<PagePtr> pages_;
+};
+
+}  // namespace sdw::storage
+
+#endif  // SDW_STORAGE_TABLE_H_

@@ -1,0 +1,201 @@
+// Unit tests for src/common: bitmaps, RNG, stats, string utils, thread pool,
+// breakdown accounting.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "common/bitmap.h"
+#include "common/breakdown.h"
+#include "common/cpu_meter.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/timing.h"
+#include "common/str_util.h"
+#include "common/thread_pool.h"
+
+namespace sdw {
+namespace {
+
+TEST(Bitmap, SetTestClear) {
+  Bitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_FALSE(b.Any());
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 3u);
+  b.Clear(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.Count(), 2u);
+}
+
+TEST(Bitmap, FindNextSet) {
+  Bitset b(200);
+  b.Set(3);
+  b.Set(77);
+  b.Set(199);
+  EXPECT_EQ(b.FindNextSet(0), 3u);
+  EXPECT_EQ(b.FindNextSet(4), 77u);
+  EXPECT_EQ(b.FindNextSet(78), 199u);
+  EXPECT_EQ(b.FindNextSet(200), 200u);
+  Bitset empty(64);
+  EXPECT_EQ(empty.FindNextSet(0), 64u);
+}
+
+TEST(Bitmap, FindFirstClear) {
+  Bitset b(70);
+  for (size_t i = 0; i < 70; ++i) b.Set(i);
+  EXPECT_EQ(b.FindFirstClear(), 70u);
+  b.Clear(65);
+  EXPECT_EQ(b.FindFirstClear(), 65u);
+  b.Clear(0);
+  EXPECT_EQ(b.FindFirstClear(), 0u);
+}
+
+TEST(Bitmap, SpanAndWithOr) {
+  // dst &= (a | b): the CJOIN filter step.
+  uint64_t dst[2] = {~0ull, ~0ull};
+  uint64_t a[2] = {0b1010, 0};
+  uint64_t b[2] = {0b0100, 1ull << 63};
+  bits::AndWithOr(dst, a, b, 2);
+  EXPECT_EQ(dst[0], 0b1110ull);
+  EXPECT_EQ(dst[1], 1ull << 63);
+}
+
+TEST(Bitmap, ResizeClearsTail) {
+  Bitset b(10);
+  for (size_t i = 0; i < 10; ++i) b.Set(i);
+  b.Resize(5);
+  b.Resize(10);
+  for (size_t i = 5; i < 10; ++i) EXPECT_FALSE(b.Test(i));
+}
+
+TEST(Rng, DeterministicAcrossSeeds) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.Uniform(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(Rng, SampleDistinctIsDistinctAndInRange) {
+  Rng rng(9);
+  const auto sample = rng.SampleDistinct(25, 10);
+  EXPECT_EQ(sample.size(), 10u);
+  std::set<size_t> seen(sample.begin(), sample.end());
+  EXPECT_EQ(seen.size(), 10u);
+  for (size_t v : sample) EXPECT_LT(v, 25u);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(1);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(Stats, Moments) {
+  Stats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_NEAR(s.Stddev(), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(s.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 4.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 9.0);
+}
+
+TEST(Stats, EmptyIsZero) {
+  Stats s;
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.Stddev(), 0.0);
+  EXPECT_EQ(s.Percentile(99), 0.0);
+}
+
+TEST(StrUtil, PrintfAndJoin) {
+  EXPECT_EQ(StrPrintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ","), "a,b,c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool("test");
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, BlockedTasksGetDedicatedWorkers) {
+  // Tasks that block must not starve later tasks (packets wait on channels).
+  ThreadPool pool("test");
+  std::atomic<bool> release{false};
+  std::atomic<int> blocked{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.Submit([&] {
+      blocked.fetch_add(1);
+      while (!release.load()) std::this_thread::yield();
+    });
+  }
+  std::atomic<bool> ran{false};
+  pool.Submit([&] { ran.store(true); });
+  // The fifth task must run even while four tasks block.
+  for (int spin = 0; spin < 10000 && !ran.load(); ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(ran.load());
+  release.store(true);
+  pool.WaitIdle();
+  EXPECT_EQ(blocked.load(), 4);
+}
+
+TEST(Breakdown, AccumulatesAndResets) {
+  Breakdown::Global().Reset();
+  {
+    // Busy-spin long enough that even a coarse (jiffy-granular) thread CPU
+    // clock registers progress.
+    ScopedComponentTimer t(Component::kHashing);
+    const int64_t start = ThreadCpuNanos();
+    volatile uint64_t x = 0;
+    while (ThreadCpuNanos() - start < 30'000'000) {
+      for (int i = 0; i < 100000; ++i) x = x + static_cast<uint64_t>(i);
+    }
+  }
+  EXPECT_GT(Breakdown::Global().Seconds(Component::kHashing), 0.0);
+  EXPECT_EQ(Breakdown::Global().Seconds(Component::kJoins), 0.0);
+  Breakdown::Global().Reset();
+  EXPECT_EQ(Breakdown::Global().TotalSeconds(), 0.0);
+}
+
+TEST(CpuMeter, MeasuresBusyWork) {
+  CpuMeter meter;
+  meter.Start();
+  // Burn a fixed amount of CPU time (robust to descheduling under load).
+  const int64_t start = ProcessCpuNanos();
+  volatile uint64_t x = 0;
+  while (ProcessCpuNanos() - start < 50'000'000) {
+    for (int i = 0; i < 100000; ++i) x = x + static_cast<uint64_t>(i);
+  }
+  meter.Stop();
+  EXPECT_GT(meter.WallSeconds(), 0.0);
+  EXPECT_GT(meter.CpuSeconds(), 0.04);
+  EXPECT_GT(meter.AvgCoresUsed(), 0.05);  // busy, even when descheduled
+}
+
+}  // namespace
+}  // namespace sdw

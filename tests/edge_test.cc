@@ -1,0 +1,277 @@
+// Edge cases and failure injection: empty inputs, zero-selectivity queries,
+// consumer cancellation mid-stream, page-boundary layouts, engine reuse
+// across many batches, and the §3.2 fact-predicates-in-preprocessor variant.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "baseline/volcano.h"
+#include "core/engine.h"
+#include "qpipe/operators.h"
+#include "ssb/ssb_queries.h"
+#include "ssb/ssb_schema.h"
+#include "ssb/workload.h"
+#include "test_util.h"
+
+namespace sdw {
+namespace {
+
+using core::CommModel;
+using core::EngineConfig;
+using testing::SharedSsbDb;
+using testing::TestDb;
+
+query::StarQuery ZeroSelectivityQ32() {
+  // Contradictory dimension predicate: no date row matches.
+  query::StarQuery q = ssb::MakeQ32({});
+  query::Predicate impossible;
+  impossible.And(query::AtomicPred::Int("d_year", query::CompareOp::kLt, 0));
+  q.dims[2].pred = impossible;
+  return q;
+}
+
+TEST(EdgeCases, ZeroSelectivityQueryAllConfigs) {
+  TestDb* db = SharedSsbDb();
+  for (EngineConfig config :
+       {EngineConfig::kQpipe, EngineConfig::kQpipeSp, EngineConfig::kCjoin,
+        EngineConfig::kCjoinSp}) {
+    core::EngineOptions opts;
+    opts.config = config;
+    opts.cjoin.max_queries = 16;
+    core::Engine engine(&db->catalog, db->pool.get(), opts);
+    const auto handles = engine.SubmitBatch({ZeroSelectivityQ32()});
+    handles[0]->done.wait();
+    // GROUP BY with no input: zero groups, zero rows.
+    EXPECT_EQ(handles[0]->result.num_rows(), 0u)
+        << core::EngineConfigName(config);
+  }
+}
+
+TEST(EdgeCases, WidestDisjunctionSelectsEverything) {
+  TestDb* db = SharedSsbDb();
+  ssb::Q32SelectivityParams p;
+  for (int n = 0; n < ssb::kNumNations; ++n) {
+    p.cust_nations.push_back(n);
+    p.supp_nations.push_back(n);
+  }
+  const query::StarQuery q = ssb::MakeQ32Selectivity(p);
+  const baseline::VolcanoEngine oracle(&db->catalog, db->pool.get());
+
+  core::EngineOptions opts;
+  opts.config = EngineConfig::kCjoinSp;
+  opts.cjoin.max_queries = 16;
+  core::Engine engine(&db->catalog, db->pool.get(), opts);
+  const auto handles = engine.SubmitBatch({q});
+  handles[0]->done.wait();
+  EXPECT_EQ(query::DiffResults(oracle.Execute(q), handles[0]->result), "");
+  EXPECT_GT(handles[0]->result.num_rows(), 0u);
+}
+
+TEST(EdgeCases, EmptyFactTableCjoinCompletesImmediately) {
+  // Catalog with an empty fact table but populated dimensions.
+  auto db = std::make_unique<TestDb>();
+  ssb::BuildSsbDatabase(&db->catalog, {0.01, 3});
+  auto empty = std::make_unique<storage::Table>("empty_fact",
+                                                ssb::LineorderSchema());
+  db->catalog.AddTable(std::move(empty));
+  db->device = std::make_unique<storage::StorageDevice>(
+      storage::DeviceOptions{.memory_resident = true});
+  db->pool = std::make_unique<storage::BufferPool>(db->device.get(), 0);
+
+  core::EngineOptions opts;
+  opts.config = EngineConfig::kCjoin;
+  opts.fact_table = "empty_fact";
+  opts.cjoin.max_queries = 8;
+  core::Engine engine(&db->catalog, db->pool.get(), opts);
+
+  query::StarQuery q = ssb::MakeQ32({});
+  q.fact_table = "empty_fact";
+  const auto handles = engine.SubmitBatch({q});
+  handles[0]->done.wait();
+  EXPECT_EQ(handles[0]->result.num_rows(), 0u);
+  EXPECT_EQ(engine.cjoin_stats().queries_completed, 1u);
+}
+
+TEST(EdgeCases, GlobalAggregateOverEmptyFactEmitsOneRow) {
+  auto db = std::make_unique<TestDb>();
+  auto empty = std::make_unique<storage::Table>("lineitem",
+                                                ssb::LineitemSchema());
+  db->catalog.AddTable(std::move(empty));
+  db->device = std::make_unique<storage::StorageDevice>(
+      storage::DeviceOptions{.memory_resident = true});
+  db->pool = std::make_unique<storage::BufferPool>(db->device.get(), 0);
+
+  // TPC-H Q1 has GROUP BY; strip it to test the global-aggregate contract.
+  query::StarQuery q = ssb::MakeTpchQ1();
+  q.group_by.clear();
+  q.order_by.clear();
+
+  core::EngineOptions opts;
+  opts.config = EngineConfig::kQpipeSp;
+  opts.fact_table = "lineitem";
+  core::Engine engine(&db->catalog, db->pool.get(), opts);
+  const auto handles = engine.SubmitBatch({q});
+  handles[0]->done.wait();
+  EXPECT_EQ(handles[0]->result.num_rows(), 1u);
+}
+
+TEST(EdgeCases, TupleExactlyFillsPage) {
+  // A tuple size that divides the page payload exactly: the last slot must
+  // be usable and iteration must not overrun.
+  const size_t header = storage::kPageSize - storage::PageCapacityFor(1) * 1;
+  const uint32_t tuple_size =
+      static_cast<uint32_t>((storage::kPageSize - header) / 16);
+  auto page = storage::Page::Make(tuple_size);
+  uint32_t n = 0;
+  while (page->AppendTuple() != nullptr) ++n;
+  EXPECT_EQ(n, page->capacity());
+  EXPECT_GE(static_cast<size_t>(n) * tuple_size + header,
+            storage::kPageSize - tuple_size);
+}
+
+TEST(FailureInjection, ScanStopsWhenConsumerCancels) {
+  TestDb* db = SharedSsbDb();
+  const storage::Table* fact = db->catalog.MustGetTable(ssb::kLineorder);
+
+  // A sink that accepts two pages, then reports "no consumers".
+  struct FlakySink : public core::PageSink {
+    int remaining = 2;
+    int puts = 0;
+    bool Put(storage::PagePtr) override {
+      ++puts;
+      return --remaining >= 0;
+    }
+    void Close() override {}
+  };
+
+  query::Planner planner(&db->catalog);
+  query::StarQuery q = ssb::MakeQ32({});
+  const auto plan = planner.BuildJoinPlan(q);
+  // The fact scan node is the deepest probe-side child.
+  const query::PlanNode* scan = plan.get();
+  while (scan->kind != query::PlanNode::Kind::kScan) scan = scan->child(0);
+
+  FlakySink sink;
+  qpipe::RunScan(*scan, nullptr, db->pool.get(), &sink);
+  // The operator must stop promptly instead of scanning the whole table.
+  EXPECT_LE(sink.puts, 4);
+  (void)fact;
+}
+
+TEST(FailureInjection, JoinStopsWhenConsumerCancels) {
+  TestDb* db = SharedSsbDb();
+  struct FlakySink : public core::PageSink {
+    bool Put(storage::PagePtr) override { return false; }
+    void Close() override {}
+  };
+  query::Planner planner(&db->catalog);
+  const auto plan = planner.BuildJoinPlan(ssb::MakeQ32({}));
+
+  baseline::VolcanoEngine oracle(&db->catalog, db->pool.get());
+  baseline::VectorChannel probe, build;
+  // Materialize inputs for the innermost join, then join into a dead sink.
+  const query::PlanNode* join = plan.get();
+  while (join->child(0)->kind == query::PlanNode::Kind::kHashJoin) {
+    join = join->child(0);
+  }
+  qpipe::RunScan(*join->child(0), nullptr, db->pool.get(), &probe);
+  qpipe::RunScan(*join->child(1), nullptr, db->pool.get(), &build);
+  FlakySink sink;
+  qpipe::RunHashJoin(*join, &probe, &build, &sink);  // must return, not hang
+  SUCCEED();
+}
+
+TEST(FailureInjection, EngineSurvivesManySequentialBatches) {
+  // Soak: repeated batches on one engine must not leak registrations,
+  // wedge scan services, or corrupt results.
+  TestDb* db = SharedSsbDb();
+  core::EngineOptions opts;
+  opts.config = EngineConfig::kQpipeSp;
+  core::Engine engine(&db->catalog, db->pool.get(), opts);
+  const baseline::VolcanoEngine oracle(&db->catalog, db->pool.get());
+  for (int round = 0; round < 8; ++round) {
+    const auto queries =
+        ssb::SimilarQ32Workload(4, 2, 600 + static_cast<uint64_t>(round));
+    const auto handles = engine.SubmitBatch(queries);
+    for (size_t i = 0; i < handles.size(); ++i) {
+      handles[i]->done.wait();
+      ASSERT_EQ(query::DiffResults(oracle.Execute(queries[i]),
+                                   handles[i]->result),
+                "")
+          << "round " << round << " query " << i;
+    }
+  }
+}
+
+TEST(FactPredsInPreprocessor, ResultsUnchanged) {
+  // §3.2 variant: evaluating fact predicates at the pipeline head must not
+  // change any result (only performance).
+  TestDb* db = SharedSsbDb();
+  const baseline::VolcanoEngine oracle(&db->catalog, db->pool.get());
+  const auto queries = ssb::MixedWorkload(6, 33);  // Q1.1 has fact preds
+
+  for (bool in_preprocessor : {false, true}) {
+    core::EngineOptions opts;
+    opts.config = EngineConfig::kCjoin;
+    opts.cjoin.max_queries = 16;
+    opts.cjoin.fact_preds_in_preprocessor = in_preprocessor;
+    core::Engine engine(&db->catalog, db->pool.get(), opts);
+    const auto handles = engine.SubmitBatch(queries);
+    for (size_t i = 0; i < handles.size(); ++i) {
+      handles[i]->done.wait();
+      EXPECT_EQ(query::DiffResults(oracle.Execute(queries[i]),
+                                   handles[i]->result),
+                "")
+          << "in_preprocessor=" << in_preprocessor << " query " << i;
+    }
+  }
+}
+
+TEST(ThreadConfig, CjoinThreadCountsDoNotAffectResults) {
+  TestDb* db = SharedSsbDb();
+  const baseline::VolcanoEngine oracle(&db->catalog, db->pool.get());
+  const auto queries = ssb::RandomQ32Workload(4, 44);
+  for (size_t filters : {1u, 3u}) {
+    for (size_t parts : {1u, 3u}) {
+      core::EngineOptions opts;
+      opts.config = EngineConfig::kCjoin;
+      opts.cjoin.max_queries = 16;
+      opts.cjoin.filter_threads = filters;
+      opts.cjoin.distributor_parts = parts;
+      core::Engine engine(&db->catalog, db->pool.get(), opts);
+      const auto handles = engine.SubmitBatch(queries);
+      for (size_t i = 0; i < handles.size(); ++i) {
+        handles[i]->done.wait();
+        EXPECT_EQ(query::DiffResults(oracle.Execute(queries[i]),
+                                     handles[i]->result),
+                  "")
+            << "filters=" << filters << " parts=" << parts;
+      }
+    }
+  }
+}
+
+TEST(ChannelBytes, TinyChannelsStillCorrect) {
+  // One-page channels maximize blocking/backpressure paths.
+  TestDb* db = SharedSsbDb();
+  const baseline::VolcanoEngine oracle(&db->catalog, db->pool.get());
+  const auto queries = ssb::SimilarQ32Workload(4, 1, 45);
+  for (CommModel comm : {CommModel::kPull, CommModel::kPush}) {
+    core::EngineOptions opts;
+    opts.config = EngineConfig::kQpipeSp;
+    opts.comm = comm;
+    opts.channel_bytes = storage::kPageSize;
+    core::Engine engine(&db->catalog, db->pool.get(), opts);
+    const auto handles = engine.SubmitBatch(queries);
+    for (size_t i = 0; i < handles.size(); ++i) {
+      handles[i]->done.wait();
+      EXPECT_EQ(query::DiffResults(oracle.Execute(queries[i]),
+                                   handles[i]->result),
+                "");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sdw

@@ -1,0 +1,92 @@
+// The full SSB query flight (all 13 queries) must run correctly on every
+// engine configuration — including the 4-join Q4.x profit queries, which
+// exercise SUM(a-b) aggregates and the widest GQP.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/volcano.h"
+#include "core/engine.h"
+#include "ssb/ssb_flight.h"
+#include "test_util.h"
+
+namespace sdw {
+namespace {
+
+using core::EngineConfig;
+using testing::SharedSsbDb;
+using testing::TestDb;
+
+TEST(FullFlight, ThirteenDistinctTemplates) {
+  const auto flight = ssb::FullFlight();
+  ASSERT_EQ(flight.size(), 13u);
+  std::set<std::string> sigs;
+  for (const auto& q : flight) sigs.insert(q.Signature());
+  EXPECT_EQ(sigs.size(), 13u);
+  // Flight shapes: Q1.x one join, Q2.x/Q3.x three joins, Q4.x four joins.
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(flight[i].dims.size(), 1u);
+  for (size_t i = 3; i < 10; ++i) EXPECT_EQ(flight[i].dims.size(), 3u);
+  for (size_t i = 10; i < 13; ++i) EXPECT_EQ(flight[i].dims.size(), 4u);
+}
+
+TEST(FullFlight, EveryQueryMatchesOracleOnEveryEngine) {
+  TestDb* db = SharedSsbDb();
+  const auto flight = ssb::FullFlight();
+  const baseline::VolcanoEngine oracle(&db->catalog, db->pool.get());
+  std::vector<query::ResultSet> expected;
+  expected.reserve(flight.size());
+  for (const auto& q : flight) expected.push_back(oracle.Execute(q));
+
+  for (EngineConfig config :
+       {EngineConfig::kQpipe, EngineConfig::kQpipeSp, EngineConfig::kCjoin,
+        EngineConfig::kCjoinSp}) {
+    core::EngineOptions opts;
+    opts.config = config;
+    opts.cjoin.max_queries = 32;
+    core::Engine engine(&db->catalog, db->pool.get(), opts);
+    const auto handles = engine.SubmitBatch(flight);
+    for (size_t i = 0; i < flight.size(); ++i) {
+      handles[i]->done.wait();
+      EXPECT_EQ(query::DiffResults(expected[i], handles[i]->result), "")
+          << "Q-flight index " << i << " under "
+          << core::EngineConfigName(config);
+    }
+  }
+}
+
+TEST(FullFlight, ProfitQueriesUseExactIntegerAccumulation) {
+  // SUM(lo_revenue - lo_supplycost) over int64 columns must be exact, so
+  // the planner types the output column as int64.
+  TestDb* db = SharedSsbDb();
+  const query::Planner planner(&db->catalog);
+  const auto plan = planner.BuildPlan(ssb::MakeQ41());
+  const auto& out = plan->out_schema;
+  EXPECT_EQ(out.column(out.MustColumnIndex("profit")).type,
+            storage::ColumnType::kInt64);
+}
+
+TEST(FullFlight, FlightWorkloadCoversAllTemplatesAndRuns) {
+  TestDb* db = SharedSsbDb();
+  const auto workload = ssb::FullFlightWorkload(13, 9);
+  ASSERT_EQ(workload.size(), 13u);
+
+  core::EngineOptions opts;
+  opts.config = EngineConfig::kCjoinSp;
+  opts.cjoin.max_queries = 32;
+  core::Engine engine(&db->catalog, db->pool.get(), opts);
+  const baseline::VolcanoEngine oracle(&db->catalog, db->pool.get());
+  const auto handles = engine.SubmitBatch(workload);
+  for (size_t i = 0; i < workload.size(); ++i) {
+    handles[i]->done.wait();
+    EXPECT_EQ(query::DiffResults(oracle.Execute(workload[i]),
+                                 handles[i]->result),
+              "")
+        << "workload query " << i;
+  }
+  // The GQP grew to cover all four dimensions.
+  EXPECT_EQ(engine.cjoin_pipeline()->num_filters(), 4u);
+}
+
+}  // namespace
+}  // namespace sdw

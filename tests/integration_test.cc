@@ -1,0 +1,168 @@
+// End-to-end correctness: every engine configuration × communication model
+// must produce exactly the results of the Volcano comparator on randomized
+// SSB workloads (the golden-result oracle of DESIGN.md §7).
+
+#include <gtest/gtest.h>
+
+#include "baseline/volcano.h"
+#include "core/engine.h"
+#include "ssb/ssb_schema.h"
+#include "ssb/workload.h"
+#include "test_util.h"
+
+namespace sdw {
+namespace {
+
+using core::CommModel;
+using core::EngineConfig;
+using testing::SharedSsbDb;
+using testing::SharedTpchDb;
+using testing::TestDb;
+
+struct ConfigParam {
+  EngineConfig config;
+  CommModel comm;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<ConfigParam>& info) {
+  std::string name = core::EngineConfigName(info.param.config);
+  for (auto& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name + (info.param.comm == CommModel::kPull ? "_pull" : "_push");
+}
+
+class AllConfigs : public ::testing::TestWithParam<ConfigParam> {
+ protected:
+  core::EngineOptions Options() const {
+    core::EngineOptions opts;
+    opts.config = GetParam().config;
+    opts.comm = GetParam().comm;
+    opts.cjoin.max_queries = 64;
+    return opts;
+  }
+
+  void VerifyBatch(TestDb* db, const std::vector<query::StarQuery>& queries) {
+    core::Engine engine(&db->catalog, db->pool.get(), Options());
+    const auto handles = engine.SubmitBatch(queries);
+    for (const auto& h : handles) h->done.wait();
+
+    const baseline::VolcanoEngine oracle(&db->catalog, db->pool.get());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const query::ResultSet expected = oracle.Execute(queries[i]);
+      const std::string diff = query::DiffResults(expected, handles[i]->result);
+      EXPECT_EQ(diff, "") << "query " << i << " under "
+                          << core::EngineConfigName(GetParam().config);
+    }
+  }
+};
+
+TEST_P(AllConfigs, RandomQ32Batch) {
+  VerifyBatch(SharedSsbDb(), ssb::RandomQ32Workload(6, /*seed=*/11));
+}
+
+TEST_P(AllConfigs, IdenticalQ32Batch) {
+  VerifyBatch(SharedSsbDb(), ssb::SimilarQ32Workload(6, /*distinct_plans=*/1,
+                                                     /*seed=*/12));
+}
+
+TEST_P(AllConfigs, FewPlansBatch) {
+  VerifyBatch(SharedSsbDb(), ssb::SimilarQ32Workload(10, /*distinct_plans=*/3,
+                                                     /*seed=*/13));
+}
+
+TEST_P(AllConfigs, MixedBatch) {
+  VerifyBatch(SharedSsbDb(), ssb::MixedWorkload(9, /*seed=*/14));
+}
+
+TEST_P(AllConfigs, SelectivitySweepBatch) {
+  for (double sel : {0.001, 0.05, 0.3}) {
+    VerifyBatch(SharedSsbDb(), ssb::SelectivityQ32Workload(4, sel, 15));
+  }
+}
+
+TEST_P(AllConfigs, SequentialSubmission) {
+  // Staggered arrivals: WoP may or may not be open; results must still be
+  // correct either way.
+  TestDb* db = SharedSsbDb();
+  core::Engine engine(&db->catalog, db->pool.get(), Options());
+  const auto queries = ssb::SimilarQ32Workload(6, 2, 16);
+  std::vector<qpipe::QueryHandle> handles;
+  for (const auto& q : queries) handles.push_back(engine.Submit(q));
+  for (const auto& h : handles) h->done.wait();
+
+  const baseline::VolcanoEngine oracle(&db->catalog, db->pool.get());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const query::ResultSet expected = oracle.Execute(queries[i]);
+    EXPECT_EQ(query::DiffResults(expected, handles[i]->result), "")
+        << "query " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, AllConfigs,
+    ::testing::Values(ConfigParam{EngineConfig::kQpipe, CommModel::kPull},
+                      ConfigParam{EngineConfig::kQpipe, CommModel::kPush},
+                      ConfigParam{EngineConfig::kQpipeCs, CommModel::kPull},
+                      ConfigParam{EngineConfig::kQpipeCs, CommModel::kPush},
+                      ConfigParam{EngineConfig::kQpipeSp, CommModel::kPull},
+                      ConfigParam{EngineConfig::kQpipeSp, CommModel::kPush},
+                      ConfigParam{EngineConfig::kCjoin, CommModel::kPull},
+                      ConfigParam{EngineConfig::kCjoin, CommModel::kPush},
+                      ConfigParam{EngineConfig::kCjoinSp, CommModel::kPull},
+                      ConfigParam{EngineConfig::kCjoinSp, CommModel::kPush}),
+    ParamName);
+
+TEST(TpchQ1, AllScanConfigsMatchOracle) {
+  TestDb* db = SharedTpchDb();
+  const auto queries = ssb::IdenticalQ1Workload(5);
+  const baseline::VolcanoEngine oracle(&db->catalog, db->pool.get());
+  const query::ResultSet expected = oracle.Execute(queries[0]);
+
+  for (EngineConfig config :
+       {EngineConfig::kQpipe, EngineConfig::kQpipeCs, EngineConfig::kQpipeSp}) {
+    for (CommModel comm : {CommModel::kPull, CommModel::kPush}) {
+      core::EngineOptions opts;
+      opts.config = config;
+      opts.comm = comm;
+      opts.fact_table = ssb::kLineitem;
+      core::Engine engine(&db->catalog, db->pool.get(), opts);
+      const auto handles = engine.SubmitBatch(queries);
+      for (const auto& h : handles) {
+        h->done.wait();
+        EXPECT_EQ(query::DiffResults(expected, h->result, 1e-9), "")
+            << core::EngineConfigName(config);
+      }
+    }
+  }
+}
+
+TEST(Sharing, SpCountersReflectIdenticalQueries) {
+  TestDb* db = SharedSsbDb();
+  core::EngineOptions opts;
+  opts.config = EngineConfig::kQpipeSp;
+  core::Engine engine(&db->catalog, db->pool.get(), opts);
+  const auto queries = ssb::SimilarQ32Workload(8, 1, 21);
+  const auto handles = engine.SubmitBatch(queries);
+  for (const auto& h : handles) h->done.wait();
+  const qpipe::SpCounters counters = engine.sp_counters();
+  // 8 identical queries: the topmost shared stage absorbs 7 satellites.
+  EXPECT_GE(counters.join_shares_total() + counters.scan_shares, 7u);
+}
+
+TEST(Sharing, CjoinSpSharesIdenticalPackets) {
+  TestDb* db = SharedSsbDb();
+  core::EngineOptions opts;
+  opts.config = EngineConfig::kCjoinSp;
+  opts.cjoin.max_queries = 64;
+  core::Engine engine(&db->catalog, db->pool.get(), opts);
+  const auto queries = ssb::SimilarQ32Workload(8, 1, 22);
+  const auto handles = engine.SubmitBatch(queries);
+  for (const auto& h : handles) h->done.wait();
+  EXPECT_EQ(engine.cjoin_shares(), 7u);
+  // Only one CJOIN packet should have entered the pipeline.
+  EXPECT_EQ(engine.cjoin_stats().queries_admitted, 1u);
+}
+
+}  // namespace
+}  // namespace sdw

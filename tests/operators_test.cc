@@ -1,0 +1,332 @@
+// Unit tests for the query-centric operators (scan / hash join / aggregate /
+// sort) via the synchronous VectorChannel, independent of the staged engine.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "baseline/volcano.h"
+#include "qpipe/hash_table.h"
+#include "qpipe/operators.h"
+#include "query/plan.h"
+#include "storage/catalog.h"
+
+namespace sdw::qpipe {
+namespace {
+
+using baseline::VectorChannel;
+using query::PlanNode;
+using storage::Schema;
+
+// A tiny two-table database: edges(src, dst, w) and nodes(id, label).
+class OperatorTest : public ::testing::Test {
+ protected:
+  OperatorTest() {
+    auto edges = std::make_unique<storage::Table>(
+        "edges", Schema({Schema::Int32("src"), Schema::Int32("dst"),
+                         Schema::Int64("w")}));
+    for (int i = 0; i < 100; ++i) {
+      std::byte* r = edges->AppendRow();
+      edges->schema().SetInt32(r, 0, i % 10);
+      edges->schema().SetInt32(r, 1, i % 7);
+      edges->schema().SetInt64(r, 2, i);
+    }
+    edges_ = catalog_.AddTable(std::move(edges));
+
+    auto nodes = std::make_unique<storage::Table>(
+        "nodes", Schema({Schema::Int32("id"), Schema::Char("label", 4)}));
+    for (int i = 0; i < 7; ++i) {
+      std::byte* r = nodes->AppendRow();
+      nodes->schema().SetInt32(r, 0, i);
+      nodes->schema().SetChar(r, 1, i % 2 == 0 ? "even" : "odd");
+    }
+    nodes_ = catalog_.AddTable(std::move(nodes));
+
+    device_ = std::make_unique<storage::StorageDevice>(
+        storage::DeviceOptions{.memory_resident = true});
+    pool_ = std::make_unique<storage::BufferPool>(device_.get(), 0);
+  }
+
+  std::unique_ptr<PlanNode> ScanNode(const storage::Table* table,
+                                     query::Predicate pred,
+                                     std::vector<size_t> proj) {
+    auto node = std::make_unique<PlanNode>();
+    node->kind = PlanNode::Kind::kScan;
+    node->table = table;
+    node->pred = std::move(pred);
+    node->scan_proj = std::move(proj);
+    std::vector<storage::Column> cols;
+    for (size_t c : node->scan_proj) cols.push_back(table->schema().column(c));
+    node->out_schema = Schema(std::move(cols));
+    return node;
+  }
+
+  storage::Catalog catalog_;
+  storage::Table* edges_;
+  storage::Table* nodes_;
+  std::unique_ptr<storage::StorageDevice> device_;
+  std::unique_ptr<storage::BufferPool> pool_;
+};
+
+TEST_F(OperatorTest, ScanAppliesPredicateAndProjection) {
+  query::Predicate pred;
+  pred.And(query::AtomicPred::Int("src", query::CompareOp::kEq, 3));
+  auto node = ScanNode(edges_, std::move(pred), {2});
+  VectorChannel out;
+  RunScan(*node, nullptr, pool_.get(), &out);
+  size_t n = 0;
+  while (auto page = out.Next()) {
+    for (uint32_t i = 0; i < page->tuple_count(); ++i) {
+      const int64_t w = node->out_schema.GetInt64(page->tuple(i), 0);
+      EXPECT_EQ(w % 10, 3);
+      ++n;
+    }
+  }
+  EXPECT_EQ(n, 10u);  // 100 edges, 10 with src==3
+}
+
+TEST_F(OperatorTest, ScanEmptyResult) {
+  query::Predicate pred;
+  pred.And(query::AtomicPred::Int("src", query::CompareOp::kEq, 12345));
+  auto node = ScanNode(edges_, std::move(pred), {0, 1, 2});
+  VectorChannel out;
+  RunScan(*node, nullptr, pool_.get(), &out);
+  EXPECT_EQ(out.Next(), nullptr);
+}
+
+std::unique_ptr<PlanNode> JoinNode(std::unique_ptr<PlanNode> probe,
+                                   std::unique_ptr<PlanNode> build,
+                                   size_t probe_key, size_t build_key,
+                                   std::vector<size_t> payload) {
+  auto join = std::make_unique<PlanNode>();
+  join->kind = PlanNode::Kind::kHashJoin;
+  join->probe_key = probe_key;
+  join->build_key = build_key;
+  join->build_payload = std::move(payload);
+  std::vector<storage::Column> cols;
+  for (size_t i = 0; i < probe->out_schema.num_columns(); ++i) {
+    cols.push_back(probe->out_schema.column(i));
+  }
+  for (size_t c : join->build_payload) {
+    cols.push_back(build->out_schema.column(c));
+  }
+  join->out_schema = Schema(std::move(cols));
+  join->children.push_back(std::move(probe));
+  join->children.push_back(std::move(build));
+  return join;
+}
+
+TEST_F(OperatorTest, HashJoinMatchesNestedLoopSemantics) {
+  auto probe = ScanNode(edges_, query::Predicate::True(), {0, 1, 2});
+  auto build = ScanNode(nodes_, query::Predicate::True(), {0, 1});
+  auto join = JoinNode(std::move(probe), std::move(build), /*probe_key=*/1,
+                       /*build_key=*/0, /*payload=*/{1});
+
+  VectorChannel probe_out, build_out, out;
+  RunScan(*join->child(0), nullptr, pool_.get(), &probe_out);
+  RunScan(*join->child(1), nullptr, pool_.get(), &build_out);
+  RunHashJoin(*join, &probe_out, &build_out, &out);
+
+  size_t n = 0;
+  while (auto page = out.Next()) {
+    for (uint32_t i = 0; i < page->tuple_count(); ++i) {
+      const std::byte* t = page->tuple(i);
+      const int32_t dst = join->out_schema.GetInt32(t, 1);
+      const auto label = join->out_schema.GetChar(t, 3);
+      EXPECT_EQ(label, dst % 2 == 0 ? "even" : "odd");
+      ++n;
+    }
+  }
+  EXPECT_EQ(n, 100u);  // every edge matches exactly one node
+}
+
+TEST_F(OperatorTest, HashJoinDuplicateBuildKeys) {
+  // Build side with duplicate keys: join output multiplies matches.
+  auto probe = ScanNode(nodes_, query::Predicate::True(), {0, 1});
+  auto build = ScanNode(edges_, query::Predicate::True(), {1, 2});
+  auto join = JoinNode(std::move(probe), std::move(build), /*probe_key=*/0,
+                       /*build_key=*/0, /*payload=*/{1});
+  VectorChannel probe_out, build_out, out;
+  RunScan(*join->child(0), nullptr, pool_.get(), &probe_out);
+  RunScan(*join->child(1), nullptr, pool_.get(), &build_out);
+  RunHashJoin(*join, &probe_out, &build_out, &out);
+  size_t n = 0;
+  while (auto page = out.Next()) n += page->tuple_count();
+  EXPECT_EQ(n, 100u);  // each edge joins its dst node exactly once
+}
+
+TEST_F(OperatorTest, HashJoinEmptyBuildYieldsNothing) {
+  query::Predicate none;
+  none.And(query::AtomicPred::Int("id", query::CompareOp::kLt, 0));
+  auto probe = ScanNode(edges_, query::Predicate::True(), {0, 1, 2});
+  auto build = ScanNode(nodes_, std::move(none), {0, 1});
+  auto join = JoinNode(std::move(probe), std::move(build), 1, 0, {1});
+  VectorChannel probe_out, build_out, out;
+  RunScan(*join->child(0), nullptr, pool_.get(), &probe_out);
+  RunScan(*join->child(1), nullptr, pool_.get(), &build_out);
+  RunHashJoin(*join, &probe_out, &build_out, &out);
+  EXPECT_EQ(out.Next(), nullptr);
+}
+
+std::unique_ptr<PlanNode> AggNode(std::unique_ptr<PlanNode> child,
+                                  std::vector<size_t> group_cols,
+                                  std::vector<query::BoundAgg> aggs) {
+  auto agg = std::make_unique<PlanNode>();
+  agg->kind = PlanNode::Kind::kAggregate;
+  agg->group_cols = std::move(group_cols);
+  agg->aggs = std::move(aggs);
+  std::vector<storage::Column> cols;
+  for (size_t c : agg->group_cols) {
+    cols.push_back(child->out_schema.column(c));
+  }
+  for (const auto& a : agg->aggs) {
+    if (a.integer_exact || a.kind == query::AggSpec::Kind::kCount) {
+      cols.push_back(Schema::Int64(a.out_name));
+    } else {
+      cols.push_back(Schema::Double(a.out_name));
+    }
+  }
+  agg->out_schema = Schema(std::move(cols));
+  agg->children.push_back(std::move(child));
+  return agg;
+}
+
+TEST_F(OperatorTest, AggregateGroupsAndSums) {
+  auto scan = ScanNode(edges_, query::Predicate::True(), {0, 2});
+  query::BoundAgg sum;
+  sum.kind = query::AggSpec::Kind::kSum;
+  sum.col_a = 1;
+  sum.integer_exact = true;
+  sum.out_name = "total";
+  query::BoundAgg count;
+  count.kind = query::AggSpec::Kind::kCount;
+  count.out_name = "n";
+  auto agg = AggNode(std::move(scan), {0}, {sum, count});
+
+  VectorChannel in, out;
+  RunScan(*agg->child(0), nullptr, pool_.get(), &in);
+  RunAggregate(*agg, &in, &out);
+
+  size_t groups = 0;
+  while (auto page = out.Next()) {
+    for (uint32_t i = 0; i < page->tuple_count(); ++i) {
+      const std::byte* t = page->tuple(i);
+      const int32_t src = agg->out_schema.GetInt32(t, 0);
+      const int64_t total = agg->out_schema.GetInt64(t, 1);
+      const int64_t n = agg->out_schema.GetInt64(t, 2);
+      // w values for src s: s, s+10, ..., s+90 -> sum = 10s + 450.
+      EXPECT_EQ(total, 10 * src + 450);
+      EXPECT_EQ(n, 10);
+      ++groups;
+    }
+  }
+  EXPECT_EQ(groups, 10u);
+}
+
+TEST_F(OperatorTest, GlobalAggregateOnEmptyInputEmitsOneRow) {
+  query::Predicate none;
+  none.And(query::AtomicPred::Int("src", query::CompareOp::kLt, 0));
+  auto scan = ScanNode(edges_, std::move(none), {2});
+  query::BoundAgg sum;
+  sum.kind = query::AggSpec::Kind::kSum;
+  sum.col_a = 0;
+  sum.integer_exact = true;
+  sum.out_name = "total";
+  auto agg = AggNode(std::move(scan), {}, {sum});
+  VectorChannel in, out;
+  RunScan(*agg->child(0), nullptr, pool_.get(), &in);
+  RunAggregate(*agg, &in, &out);
+  auto page = out.Next();
+  ASSERT_NE(page, nullptr);
+  EXPECT_EQ(page->tuple_count(), 1u);
+  EXPECT_EQ(agg->out_schema.GetInt64(page->tuple(0), 0), 0);
+}
+
+TEST_F(OperatorTest, AvgAndDiscountAggregates) {
+  auto scan = ScanNode(edges_, query::Predicate::True(), {2});
+  query::BoundAgg avg;
+  avg.kind = query::AggSpec::Kind::kAvg;
+  avg.col_a = 0;
+  avg.out_name = "avg_w";
+  auto agg = AggNode(std::move(scan), {}, {avg});
+  VectorChannel in, out;
+  RunScan(*agg->child(0), nullptr, pool_.get(), &in);
+  RunAggregate(*agg, &in, &out);
+  auto page = out.Next();
+  ASSERT_NE(page, nullptr);
+  EXPECT_DOUBLE_EQ(agg->out_schema.GetDouble(page->tuple(0), 0), 49.5);
+}
+
+TEST_F(OperatorTest, SortOrdersByKeysWithDirections) {
+  auto scan = ScanNode(edges_, query::Predicate::True(), {0, 2});
+  auto sort = std::make_unique<PlanNode>();
+  sort->kind = PlanNode::Kind::kSort;
+  sort->out_schema = scan->out_schema;
+  sort->sort_keys = {{0, true}, {1, false}};  // src asc, w desc
+  sort->children.push_back(std::move(scan));
+
+  VectorChannel in, out;
+  RunScan(*sort->child(0), nullptr, pool_.get(), &in);
+  RunSort(*sort, &in, &out);
+
+  int32_t prev_src = -1;
+  int64_t prev_w = 0;
+  size_t n = 0;
+  while (auto page = out.Next()) {
+    for (uint32_t i = 0; i < page->tuple_count(); ++i) {
+      const int32_t src = sort->out_schema.GetInt32(page->tuple(i), 0);
+      const int64_t w = sort->out_schema.GetInt64(page->tuple(i), 1);
+      EXPECT_GE(src, prev_src);
+      if (src == prev_src) {
+        EXPECT_LE(w, prev_w);
+      }
+      prev_src = src;
+      prev_w = w;
+      ++n;
+    }
+  }
+  EXPECT_EQ(n, 100u);
+}
+
+TEST(HashTable, InsertBuildProbe) {
+  Int64HashTable ht;
+  for (int64_t k = 0; k < 100; ++k) {
+    ht.Insert(HashKey(k % 10), k % 10, static_cast<uint64_t>(k));
+  }
+  ht.Build();
+  EXPECT_EQ(ht.CountMatches(HashKey(3), 3), 10u);
+  EXPECT_EQ(ht.CountMatches(HashKey(42), 42), 0u);
+  // Incremental growth: insert more, rebuild, probe again.
+  ht.Insert(HashKey(42), 42, 1);
+  ht.Build();
+  EXPECT_EQ(ht.CountMatches(HashKey(42), 42), 1u);
+  EXPECT_EQ(ht.CountMatches(HashKey(3), 3), 10u);
+}
+
+TEST(HashTable, EmptyTableProbeIsSafe) {
+  Int64HashTable ht;
+  ht.Build();
+  EXPECT_EQ(ht.CountMatches(HashKey(1), 1), 0u);
+}
+
+TEST(PageWriterTest, SpillsAcrossPages) {
+  baseline::VectorChannel out;
+  const uint32_t tuple_size = 1000;
+  PageWriter writer(&out, tuple_size);
+  const uint32_t per_page = storage::PageCapacityFor(tuple_size);
+  const uint32_t total = per_page * 2 + 3;
+  for (uint32_t i = 0; i < total; ++i) {
+    ASSERT_NE(writer.AppendTuple(), nullptr);
+  }
+  writer.Flush();
+  size_t pages = 0, tuples = 0;
+  while (auto page = out.Next()) {
+    ++pages;
+    tuples += page->tuple_count();
+  }
+  EXPECT_EQ(pages, 3u);
+  EXPECT_EQ(tuples, total);
+}
+
+}  // namespace
+}  // namespace sdw::qpipe

@@ -1,0 +1,236 @@
+// Unit tests for src/query: predicate evaluation/canonicalization, planner
+// schemas and signatures, result comparison.
+
+#include <gtest/gtest.h>
+
+#include "query/plan.h"
+#include "query/predicate.h"
+#include "query/result.h"
+#include "ssb/ssb_queries.h"
+#include "ssb/ssb_schema.h"
+#include "test_util.h"
+
+namespace sdw::query {
+namespace {
+
+using storage::Schema;
+
+Schema PredSchema() {
+  return Schema({Schema::Int32("x"), Schema::Int64("y"),
+                 Schema::Char("s", 6), Schema::Double("d")});
+}
+
+std::vector<std::byte> MakeTuple(const Schema& schema, int32_t x, int64_t y,
+                                 std::string_view s, double d) {
+  std::vector<std::byte> t(schema.tuple_size());
+  schema.SetInt32(t.data(), 0, x);
+  schema.SetInt64(t.data(), 1, y);
+  schema.SetChar(t.data(), 2, s);
+  schema.SetDouble(t.data(), 3, d);
+  return t;
+}
+
+TEST(Predicate, TrueAcceptsEverything) {
+  const Schema s = PredSchema();
+  const auto t = MakeTuple(s, 1, 2, "a", 3.0);
+  EXPECT_TRUE(Predicate::True().Eval(s, t.data()));
+  EXPECT_TRUE(Predicate::True().IsTrue());
+}
+
+TEST(Predicate, IntComparisons) {
+  const Schema s = PredSchema();
+  const auto t = MakeTuple(s, 10, -5, "a", 0);
+  auto eval = [&](CompareOp op, int64_t v) {
+    Predicate p;
+    p.And(AtomicPred::Int("x", op, v));
+    return p.Eval(s, t.data());
+  };
+  EXPECT_TRUE(eval(CompareOp::kEq, 10));
+  EXPECT_FALSE(eval(CompareOp::kEq, 11));
+  EXPECT_TRUE(eval(CompareOp::kNe, 11));
+  EXPECT_TRUE(eval(CompareOp::kLt, 11));
+  EXPECT_TRUE(eval(CompareOp::kLe, 10));
+  EXPECT_FALSE(eval(CompareOp::kGt, 10));
+  EXPECT_TRUE(eval(CompareOp::kGe, 10));
+}
+
+TEST(Predicate, StringComparisonsIgnoreTrailingPadding) {
+  const Schema s = PredSchema();
+  const auto t = MakeTuple(s, 0, 0, "abc", 0);
+  Predicate p;
+  p.And(AtomicPred::Str("s", CompareOp::kEq, "abc"));
+  EXPECT_TRUE(p.Eval(s, t.data()));
+}
+
+TEST(Predicate, ConjunctionAndDisjunction) {
+  const Schema s = PredSchema();
+  const auto t = MakeTuple(s, 10, 20, "abc", 0);
+  Predicate p;
+  p.AndAnyOf({AtomicPred::Int("x", CompareOp::kEq, 99),
+              AtomicPred::Int("y", CompareOp::kEq, 20)});  // true via y
+  p.And(AtomicPred::Str("s", CompareOp::kEq, "abc"));
+  EXPECT_TRUE(p.Eval(s, t.data()));
+  p.And(AtomicPred::Int("x", CompareOp::kGt, 50));
+  EXPECT_FALSE(p.Eval(s, t.data()));
+}
+
+TEST(Predicate, DoubleColumnComparesAgainstIntLiteral) {
+  const Schema s = PredSchema();
+  const auto t = MakeTuple(s, 0, 0, "", 2.5);
+  Predicate p;
+  p.And(AtomicPred::Int("d", CompareOp::kGt, 2));
+  EXPECT_TRUE(p.Eval(s, t.data()));
+}
+
+TEST(Predicate, SignatureIsOrderCanonical) {
+  Predicate a;
+  a.And(AtomicPred::Int("x", CompareOp::kGe, 1));
+  a.AndAnyOf({AtomicPred::Str("s", CompareOp::kEq, "u"),
+              AtomicPred::Str("s", CompareOp::kEq, "v")});
+  Predicate b;  // same predicate, different construction order
+  b.AndAnyOf({AtomicPred::Str("s", CompareOp::kEq, "v"),
+              AtomicPred::Str("s", CompareOp::kEq, "u")});
+  b.And(AtomicPred::Int("x", CompareOp::kGe, 1));
+  EXPECT_EQ(a.Signature(), b.Signature());
+
+  Predicate c;
+  c.And(AtomicPred::Int("x", CompareOp::kGe, 2));
+  EXPECT_NE(a.Signature(), c.Signature());
+}
+
+TEST(Predicate, ReferencedColumnsDeduplicated) {
+  Predicate p;
+  p.And(AtomicPred::Int("x", CompareOp::kGe, 1));
+  p.And(AtomicPred::Int("x", CompareOp::kLe, 9));
+  p.And(AtomicPred::Int("y", CompareOp::kEq, 0));
+  EXPECT_EQ(p.ReferencedColumns(),
+            (std::vector<std::string>{"x", "y"}));
+}
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  PlannerTest() : planner_(&sdw::testing::SharedSsbDb()->catalog) {}
+  Planner planner_;
+};
+
+TEST_F(PlannerTest, Q32PlanShape) {
+  const StarQuery q = ssb::MakeQ32({});
+  const auto plan = planner_.BuildPlan(q);
+  // sort <- agg <- join(date) <- join(cust) <- join(supp) <- scan(fact)
+  ASSERT_EQ(plan->kind, PlanNode::Kind::kSort);
+  const PlanNode* agg = plan->child(0);
+  ASSERT_EQ(agg->kind, PlanNode::Kind::kAggregate);
+  const PlanNode* j3 = agg->child(0);
+  ASSERT_EQ(j3->kind, PlanNode::Kind::kHashJoin);
+  const PlanNode* j2 = j3->child(0);
+  ASSERT_EQ(j2->kind, PlanNode::Kind::kHashJoin);
+  const PlanNode* j1 = j2->child(0);
+  ASSERT_EQ(j1->kind, PlanNode::Kind::kHashJoin);
+  EXPECT_EQ(j1->child(0)->kind, PlanNode::Kind::kScan);
+  EXPECT_EQ(j1->child(1)->table->name(), ssb::kSupplier);
+  EXPECT_EQ(j2->child(1)->table->name(), ssb::kCustomer);
+  EXPECT_EQ(j3->child(1)->table->name(), ssb::kDate);
+
+  // Output schema: group columns then the aggregate.
+  EXPECT_EQ(plan->out_schema.column(0).name, "c_city");
+  EXPECT_EQ(plan->out_schema.column(1).name, "s_city");
+  EXPECT_EQ(plan->out_schema.column(2).name, "d_year");
+  EXPECT_EQ(plan->out_schema.column(3).name, "revenue");
+  EXPECT_EQ(plan->out_schema.column(3).type, storage::ColumnType::kInt64);
+}
+
+TEST_F(PlannerTest, JoinOutputSchemaMatchesJoinPlan) {
+  for (const StarQuery& q :
+       {ssb::MakeQ32({}), ssb::MakeQ11({}), ssb::MakeQ21({})}) {
+    const auto join_plan = planner_.BuildJoinPlan(q);
+    EXPECT_EQ(join_plan->out_schema.ToString(),
+              planner_.JoinOutputSchema(q).ToString());
+  }
+}
+
+TEST_F(PlannerTest, IdenticalQueriesShareSignatures) {
+  const StarQuery a = ssb::MakeQ32({});
+  const StarQuery b = ssb::MakeQ32({});
+  EXPECT_EQ(planner_.BuildPlan(a)->signature, planner_.BuildPlan(b)->signature);
+  ssb::Q32Params p;
+  p.cust_nation = 3;
+  const StarQuery c = ssb::MakeQ32(p);
+  EXPECT_NE(planner_.BuildPlan(a)->signature, planner_.BuildPlan(c)->signature);
+}
+
+TEST_F(PlannerTest, CommonSubPlanSignaturesMatchAcrossDifferentQueries) {
+  // Same supplier nation, different customer nation: the first join's
+  // signature must match (what QPipe-SP shares), the second must not.
+  ssb::Q32Params pa, pb;
+  pa.cust_nation = 1;
+  pb.cust_nation = 2;
+  const auto plan_a = planner_.BuildPlan(ssb::MakeQ32(pa));
+  const auto plan_b = planner_.BuildPlan(ssb::MakeQ32(pb));
+  const PlanNode* j1a = plan_a->child(0)->child(0)->child(0)->child(0);
+  const PlanNode* j1b = plan_b->child(0)->child(0)->child(0)->child(0);
+  EXPECT_EQ(j1a->signature, j1b->signature);
+  const PlanNode* j2a = plan_a->child(0)->child(0)->child(0);
+  const PlanNode* j2b = plan_b->child(0)->child(0)->child(0);
+  EXPECT_NE(j2a->signature, j2b->signature);
+}
+
+TEST_F(PlannerTest, FactProjectionCoversNeeds) {
+  const StarQuery q = ssb::MakeQ11({});
+  const auto cols = planner_.FactProjection(q);
+  const auto& fact =
+      sdw::testing::SharedSsbDb()->catalog.MustGetTable(ssb::kLineorder)->schema();
+  std::vector<std::string> names;
+  for (size_t c : cols) names.push_back(fact.column(c).name);
+  // FK + fact predicate columns + aggregate inputs, in schema order.
+  EXPECT_EQ(names, (std::vector<std::string>{"lo_orderdate", "lo_quantity",
+                                             "lo_extendedprice",
+                                             "lo_discount"}));
+}
+
+TEST(ResultSet, DiffDetectsMismatches) {
+  Schema s({Schema::Int64("a"), Schema::Double("b")});
+  ResultSet x(s), y(s), z(s);
+  std::vector<std::byte> row(s.tuple_size());
+  s.SetInt64(row.data(), 0, 1);
+  s.SetDouble(row.data(), 1, 1.0);
+  x.AddRow(row.data());
+  y.AddRow(row.data());
+  EXPECT_EQ(DiffResults(x, y), "");
+  // Tolerant double comparison.
+  s.SetDouble(row.data(), 1, 1.0 + 1e-12);
+  z.AddRow(row.data());
+  EXPECT_EQ(DiffResults(x, z, 1e-9), "");
+  // Row count mismatch.
+  y.AddRow(row.data());
+  EXPECT_NE(DiffResults(x, y), "");
+  // Value mismatch.
+  ResultSet w(s);
+  s.SetInt64(row.data(), 0, 2);
+  w.AddRow(row.data());
+  EXPECT_NE(DiffResults(x, w), "");
+}
+
+TEST(ResultSet, CanonicalRowsSorted) {
+  Schema s({Schema::Int32("a")});
+  ResultSet r(s);
+  for (int32_t v : {3, 1, 2}) {
+    std::vector<std::byte> row(s.tuple_size());
+    s.SetInt32(row.data(), 0, v);
+    r.AddRow(row.data());
+  }
+  EXPECT_EQ(r.CanonicalRows(), (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(StarQuerySig, SignatureCoversAllParts) {
+  StarQuery a = ssb::MakeQ32({});
+  StarQuery b = a;
+  EXPECT_EQ(a.Signature(), b.Signature());
+  b.group_by.pop_back();
+  EXPECT_NE(a.Signature(), b.Signature());
+  StarQuery c = a;
+  c.order_by[0].ascending = false;
+  EXPECT_NE(a.Signature(), c.Signature());
+}
+
+}  // namespace
+}  // namespace sdw::query

@@ -1,0 +1,301 @@
+// Unit + property tests for the Shared Pages List (paper §4): WoP semantics,
+// bounded capacity, last-reader reclamation, cancellation, and randomized
+// multi-consumer schedules.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include "common/rng.h"
+#include "core/shared_pages_list.h"
+
+namespace sdw::core {
+namespace {
+
+storage::PagePtr MakePage(int64_t value) {
+  auto page = storage::Page::Make(8);
+  std::byte* t = page->AppendTuple();
+  std::memcpy(t, &value, 8);
+  page->set_seq(static_cast<uint64_t>(value));
+  return page;
+}
+
+int64_t PageValue(const storage::PagePtr& page) {
+  int64_t v;
+  std::memcpy(&v, page->tuple(0), 8);
+  return v;
+}
+
+TEST(SharedPagesList, SingleProducerSingleConsumer) {
+  SharedPagesList spl(0);
+  auto reader = spl.TryAttachFromStart();
+  ASSERT_NE(reader, nullptr);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(spl.Put(MakePage(i)));
+  spl.Close();
+  for (int i = 0; i < 10; ++i) {
+    auto page = reader->Next();
+    ASSERT_NE(page, nullptr);
+    EXPECT_EQ(PageValue(page), i);
+  }
+  EXPECT_EQ(reader->Next(), nullptr);
+}
+
+TEST(SharedPagesList, StepWopClosesOnFirstEmission) {
+  SharedPagesList spl(0);
+  auto primary = spl.TryAttachFromStart();
+  ASSERT_NE(primary, nullptr);
+  EXPECT_TRUE(spl.NothingEmitted());
+  EXPECT_TRUE(spl.Put(MakePage(0)));
+  EXPECT_FALSE(spl.NothingEmitted());
+  // The step window has closed: no more from-start satellites.
+  EXPECT_EQ(spl.TryAttachFromStart(), nullptr);
+  // Linear attach still possible.
+  auto late = spl.AttachAtCurrent();
+  ASSERT_NE(late, nullptr);
+  EXPECT_TRUE(spl.Put(MakePage(1)));
+  spl.Close();
+  EXPECT_EQ(PageValue(late->Next()), 1);  // missed page 0 by entry point
+  EXPECT_EQ(late->Next(), nullptr);
+  primary->CancelReader();
+}
+
+TEST(SharedPagesList, MultipleReadersSeeEveryPage) {
+  SharedPagesList spl(0);
+  std::vector<std::unique_ptr<SharedPagesList::Reader>> readers;
+  for (int r = 0; r < 5; ++r) {
+    auto reader = spl.TryAttachFromStart();
+    ASSERT_NE(reader, nullptr);
+    readers.push_back(std::move(reader));
+  }
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(spl.Put(MakePage(i)));
+  spl.Close();
+  for (auto& reader : readers) {
+    for (int i = 0; i < 20; ++i) {
+      auto page = reader->Next();
+      ASSERT_NE(page, nullptr);
+      EXPECT_EQ(PageValue(page), i);
+    }
+    EXPECT_EQ(reader->Next(), nullptr);
+  }
+}
+
+TEST(SharedPagesList, LastReaderReclaimsNodes) {
+  SharedPagesList spl(0);
+  auto r1 = spl.TryAttachFromStart();
+  auto r2 = spl.TryAttachFromStart();
+  for (int i = 0; i < 4; ++i) spl.Put(MakePage(i));
+  EXPECT_EQ(spl.buffered_bytes(), 4 * storage::kPageSize);
+  // r1 passes everything; nothing reclaimed while r2 lags.
+  for (int i = 0; i < 4; ++i) r1->Next();
+  EXPECT_GE(spl.buffered_bytes(), 3 * storage::kPageSize);
+  // r2 catches up: nodes reclaimed behind it.
+  for (int i = 0; i < 4; ++i) r2->Next();
+  spl.Close();
+  EXPECT_EQ(r1->Next(), nullptr);  // releases r1's last held node
+  EXPECT_EQ(r2->Next(), nullptr);
+  EXPECT_EQ(spl.buffered_bytes(), 0u);
+}
+
+TEST(SharedPagesList, BoundBlocksProducerUntilConsumed) {
+  SharedPagesList spl(2 * storage::kPageSize);
+  auto reader = spl.TryAttachFromStart();
+  std::atomic<int> produced{0};
+  std::thread producer([&] {
+    for (int i = 0; i < 6; ++i) {
+      spl.Put(MakePage(i));
+      produced.fetch_add(1);
+    }
+    spl.Close();
+  });
+  // Producer can buffer at most 2 pages ahead.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_LE(produced.load(), 2);
+  for (int i = 0; i < 6; ++i) {
+    auto page = reader->Next();
+    ASSERT_NE(page, nullptr);
+    EXPECT_EQ(PageValue(page), i);
+  }
+  EXPECT_EQ(reader->Next(), nullptr);
+  producer.join();
+  EXPECT_LE(spl.buffered_bytes(), 2 * storage::kPageSize);
+}
+
+TEST(SharedPagesList, CancelUnblocksProducer) {
+  SharedPagesList spl(storage::kPageSize);
+  auto reader = spl.TryAttachFromStart();
+  std::thread producer([&] {
+    int i = 0;
+    while (spl.Put(MakePage(i))) ++i;  // eventually false after cancel
+  });
+  auto page = reader->Next();
+  ASSERT_NE(page, nullptr);
+  reader->CancelReader();
+  producer.join();  // Put returned false
+  EXPECT_EQ(spl.num_active_readers(), 0u);
+}
+
+TEST(SharedPagesList, PutWithNoReadersReturnsFalse) {
+  SharedPagesList spl(0);
+  auto reader = spl.TryAttachFromStart();
+  reader->CancelReader();
+  EXPECT_FALSE(spl.Put(MakePage(0)));
+}
+
+TEST(SharedPagesList, CancelMidStreamReleasesBacklog) {
+  SharedPagesList spl(0);
+  auto fast = spl.TryAttachFromStart();
+  auto slow = spl.TryAttachFromStart();
+  for (int i = 0; i < 8; ++i) spl.Put(MakePage(i));
+  for (int i = 0; i < 8; ++i) fast->Next();
+  EXPECT_GT(spl.buffered_bytes(), 0u);  // slow holds the backlog
+  slow->CancelReader();
+  spl.Close();
+  EXPECT_EQ(fast->Next(), nullptr);
+  EXPECT_EQ(spl.buffered_bytes(), 0u);
+}
+
+TEST(SharedPagesList, LateAttachSeesOnlySubsequentPages) {
+  SharedPagesList spl(0);
+  auto primary = spl.TryAttachFromStart();
+  for (int i = 0; i < 3; ++i) spl.Put(MakePage(i));
+  auto late = spl.AttachAtCurrent();  // linear WoP: entry at page 3
+  for (int i = 3; i < 6; ++i) spl.Put(MakePage(i));
+  spl.Close();
+  for (int i = 3; i < 6; ++i) {
+    auto page = late->Next();
+    ASSERT_NE(page, nullptr);
+    EXPECT_EQ(PageValue(page), i);
+  }
+  EXPECT_EQ(late->Next(), nullptr);
+  primary->CancelReader();
+}
+
+// Property test: random reader attach times, speeds and cancellations; every
+// uncancelled reader must observe exactly the contiguous suffix of pages from
+// its entry point, in order, and the list must fully drain.
+class SplProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SplProperty, RandomScheduleDeliversContiguousSuffixes) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const int num_pages = 40 + static_cast<int>(rng.Index(60));
+  const int num_readers = 2 + static_cast<int>(rng.Index(6));
+  const size_t bound = (1 + rng.Index(4)) * storage::kPageSize;
+
+  SharedPagesList spl(bound);
+  struct ReaderState {
+    std::unique_ptr<SharedPagesList::Reader> reader;
+    std::vector<int64_t> seen;
+    bool cancel_early;
+    size_t cancel_after;
+  };
+  std::vector<ReaderState> states(static_cast<size_t>(num_readers));
+
+  // First reader attaches from the start; the rest attach from worker
+  // threads at random times (linear WoP).
+  states[0].reader = spl.TryAttachFromStart();
+  ASSERT_NE(states[0].reader, nullptr);
+  for (auto& s : states) {
+    s.cancel_early = rng.Bernoulli(0.3);
+    s.cancel_after = rng.Index(static_cast<size_t>(num_pages));
+  }
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  // Late attachers.
+  std::mutex attach_mu;
+  for (int r = 1; r < num_readers; ++r) {
+    threads.emplace_back([&, r] {
+      std::this_thread::sleep_for(std::chrono::microseconds(50 * r));
+      std::unique_lock<std::mutex> lock(attach_mu);
+      states[static_cast<size_t>(r)].reader = spl.AttachAtCurrent();
+    });
+  }
+  for (auto& t : threads) t.join();
+  threads.clear();
+
+  // Consumers.
+  for (int r = 0; r < num_readers; ++r) {
+    threads.emplace_back([&, r] {
+      ReaderState& s = states[static_cast<size_t>(r)];
+      if (s.reader == nullptr) return;  // closed before attach (unlikely)
+      while (true) {
+        if (s.cancel_early && s.seen.size() >= s.cancel_after) {
+          s.reader->CancelReader();
+          return;
+        }
+        auto page = s.reader->Next();
+        if (page == nullptr) return;
+        s.seen.push_back(PageValue(page));
+      }
+    });
+  }
+
+  // Producer.
+  for (int i = 0; i < num_pages; ++i) {
+    if (!spl.Put(MakePage(i))) break;  // all readers cancelled
+  }
+  spl.Close();
+  done.store(true);
+  for (auto& t : threads) t.join();
+
+  for (auto& s : states) {
+    if (s.seen.empty()) continue;
+    // Contiguous ascending suffix starting at the entry point.
+    for (size_t i = 1; i < s.seen.size(); ++i) {
+      ASSERT_EQ(s.seen[i], s.seen[i - 1] + 1);
+    }
+    EXPECT_LT(s.seen.back(), num_pages);
+  }
+  EXPECT_EQ(spl.buffered_bytes(), 0u);
+  // Drained readers remain attached until destroyed.
+  for (auto& s : states) s.reader.reset();
+  EXPECT_EQ(spl.num_active_readers(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SplProperty, ::testing::Range(0, 12));
+
+// Stress: heavy concurrent churn of attach/read/cancel while producing.
+TEST(SharedPagesList, ConcurrentChurnStress) {
+  SharedPagesList spl(4 * storage::kPageSize);
+  auto primary = spl.TryAttachFromStart();
+  std::atomic<int64_t> total_seen{0};
+
+  std::thread producer([&] {
+    for (int i = 0; i < 300; ++i) {
+      if (!spl.Put(MakePage(i))) break;
+    }
+    spl.Close();
+  });
+
+  std::vector<std::thread> churners;
+  for (int c = 0; c < 4; ++c) {
+    churners.emplace_back([&, c] {
+      Rng rng(static_cast<uint64_t>(c));
+      for (int k = 0; k < 20; ++k) {
+        auto r = spl.AttachAtCurrent();
+        if (r == nullptr) return;
+        const size_t reads = rng.Index(10);
+        for (size_t i = 0; i < reads; ++i) {
+          if (r->Next() == nullptr) break;
+          total_seen.fetch_add(1);
+        }
+        r->CancelReader();
+      }
+    });
+  }
+
+  std::thread primary_consumer([&] {
+    while (primary->Next() != nullptr) total_seen.fetch_add(1);
+  });
+
+  producer.join();
+  primary_consumer.join();
+  for (auto& t : churners) t.join();
+  EXPECT_EQ(spl.buffered_bytes(), 0u);
+  EXPECT_GE(total_seen.load(), 300);
+}
+
+}  // namespace
+}  // namespace sdw::core

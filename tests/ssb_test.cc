@@ -1,0 +1,229 @@
+// Unit tests for src/ssb: generator cardinalities and integrity, template
+// selectivities, the similarity and selectivity workload knobs.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/volcano.h"
+#include "ssb/ssb_generator.h"
+#include "ssb/ssb_queries.h"
+#include "ssb/ssb_schema.h"
+#include "ssb/workload.h"
+#include "test_util.h"
+
+namespace sdw::ssb {
+namespace {
+
+using testing::SharedSsbDb;
+using testing::TestDb;
+
+TEST(SsbSchema, NationRegionVocabulary) {
+  EXPECT_EQ(NationName(23), "UNITED KINGDOM");
+  EXPECT_EQ(RegionName(NationRegion(24)), "AMERICA");  // UNITED STATES
+  std::set<int> regions;
+  for (int n = 0; n < kNumNations; ++n) regions.insert(NationRegion(n));
+  EXPECT_EQ(regions.size(), 5u);
+  EXPECT_EQ(CityName(23, 4), "UNITED KI4");
+  EXPECT_EQ(CityName(0, 0).size(), 10u);
+}
+
+TEST(SsbGenerator, Cardinalities) {
+  TestDb* db = SharedSsbDb();  // SF 0.01
+  EXPECT_EQ(db->catalog.MustGetTable(kLineorder)->num_rows(),
+            SsbLineorderRows(0.01));
+  EXPECT_EQ(db->catalog.MustGetTable(kCustomer)->num_rows(),
+            SsbCustomerRows(0.01));
+  EXPECT_EQ(db->catalog.MustGetTable(kSupplier)->num_rows(),
+            SsbSupplierRows(0.01));
+  EXPECT_EQ(db->catalog.MustGetTable(kPart)->num_rows(), SsbPartRows(0.01));
+  EXPECT_EQ(db->catalog.MustGetTable(kDate)->num_rows(), 2556u);
+}
+
+TEST(SsbGenerator, DateDimensionCalendar) {
+  TestDb* db = SharedSsbDb();
+  const storage::Table* date = db->catalog.MustGetTable(kDate);
+  const storage::Schema& s = date->schema();
+  const size_t key = s.MustColumnIndex("d_datekey");
+  const size_t year = s.MustColumnIndex("d_year");
+  EXPECT_EQ(s.GetInt32(date->row(0), key), 19920101);
+  // SSB fixes the date dimension at 2556 rows; with the two leap years
+  // (1992, 1996) the 2556th day from 1992-01-01 is 1998-12-30.
+  EXPECT_EQ(s.GetInt32(date->row(2555), key), 19981230);
+  // 1992 and 1996 are leap years: 1992-02-29 exists at day index 31+28=59.
+  EXPECT_EQ(s.GetInt32(date->row(59), key), 19920229);
+  std::set<int32_t> years;
+  for (size_t i = 0; i < date->num_rows(); i += 50) {
+    years.insert(s.GetInt32(date->row(i), year));
+  }
+  EXPECT_EQ(*years.begin(), kFirstYear);
+  EXPECT_EQ(*years.rbegin(), kLastYear);
+}
+
+TEST(SsbGenerator, ForeignKeyIntegrity) {
+  TestDb* db = SharedSsbDb();
+  const storage::Table* lo = db->catalog.MustGetTable(kLineorder);
+  const storage::Schema& s = lo->schema();
+  const auto customers =
+      static_cast<int32_t>(db->catalog.MustGetTable(kCustomer)->num_rows());
+  const auto suppliers =
+      static_cast<int32_t>(db->catalog.MustGetTable(kSupplier)->num_rows());
+  const auto parts =
+      static_cast<int32_t>(db->catalog.MustGetTable(kPart)->num_rows());
+  const size_t ck = s.MustColumnIndex("lo_custkey");
+  const size_t sk = s.MustColumnIndex("lo_suppkey");
+  const size_t pk = s.MustColumnIndex("lo_partkey");
+  const size_t od = s.MustColumnIndex("lo_orderdate");
+  for (size_t i = 0; i < lo->num_rows(); i += 97) {
+    const std::byte* t = lo->row(i);
+    EXPECT_GE(s.GetInt32(t, ck), 1);
+    EXPECT_LE(s.GetInt32(t, ck), customers);
+    EXPECT_GE(s.GetInt32(t, sk), 1);
+    EXPECT_LE(s.GetInt32(t, sk), suppliers);
+    EXPECT_GE(s.GetInt32(t, pk), 1);
+    EXPECT_LE(s.GetInt32(t, pk), parts);
+    const int32_t datekey = s.GetInt32(t, od);
+    EXPECT_GE(datekey, 19920101);
+    EXPECT_LE(datekey, 19981231);
+  }
+}
+
+TEST(SsbGenerator, RevenueConsistency) {
+  TestDb* db = SharedSsbDb();
+  const storage::Table* lo = db->catalog.MustGetTable(kLineorder);
+  const storage::Schema& s = lo->schema();
+  const size_t price = s.MustColumnIndex("lo_extendedprice");
+  const size_t disc = s.MustColumnIndex("lo_discount");
+  const size_t rev = s.MustColumnIndex("lo_revenue");
+  for (size_t i = 0; i < lo->num_rows(); i += 101) {
+    const std::byte* t = lo->row(i);
+    EXPECT_EQ(s.GetInt64(t, rev),
+              s.GetInt64(t, price) * (100 - s.GetInt32(t, disc)) / 100);
+  }
+}
+
+TEST(SsbGenerator, DeterministicForSeed) {
+  storage::Catalog a, b;
+  BuildSsbDatabase(&a, {0.005, 99});
+  BuildSsbDatabase(&b, {0.005, 99});
+  const storage::Table* ta = a.MustGetTable(kLineorder);
+  const storage::Table* tb = b.MustGetTable(kLineorder);
+  ASSERT_EQ(ta->num_rows(), tb->num_rows());
+  for (size_t i = 0; i < ta->num_rows(); i += 37) {
+    EXPECT_EQ(std::memcmp(ta->row(i), tb->row(i), ta->schema().tuple_size()),
+              0);
+  }
+}
+
+// Fraction of `table` rows matching `pred`.
+double MatchFraction(const storage::Table* table,
+                     const query::Predicate& pred) {
+  const auto bound = pred.Bind(table->schema());
+  size_t n = 0;
+  for (size_t i = 0; i < table->num_rows(); ++i) {
+    if (bound.Eval(table->schema(), table->row(i))) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(table->num_rows());
+}
+
+TEST(Queries, Q32SelectivityIsProductOfDimensionFractions) {
+  // Measured fact selectivity of a Q3.2 instance must equal the product of
+  // its per-dimension match fractions (FKs are uniform), which at full
+  // scale approaches the paper's (1/25)(1/25)(years/7).
+  TestDb* db = SharedSsbDb();
+  const baseline::VolcanoEngine oracle(&db->catalog, db->pool.get());
+  Q32Params p;
+  p.year_lo = 1992;
+  p.year_hi = 1998;
+  query::StarQuery q = MakeQ32(p);
+  double expected = 1.0;
+  for (const auto& dim : q.dims) {
+    expected *= MatchFraction(db->catalog.MustGetTable(dim.dim_table),
+                              dim.pred);
+  }
+  // Count joined tuples: drop group-by/sort, count rows out of the join.
+  q.group_by.clear();
+  q.aggregates = {{query::AggSpec::Kind::kCount, "", "", "", "n"}};
+  q.order_by.clear();
+  const query::ResultSet result = oracle.Execute(q);
+  ASSERT_EQ(result.num_rows(), 1u);
+  const double n =
+      static_cast<double>(result.schema().GetInt64(result.row(0), 0));
+  const double total = static_cast<double>(
+      db->catalog.MustGetTable(kLineorder)->num_rows());
+  EXPECT_NEAR(n / total, expected, expected * 0.35 + 1e-4);
+}
+
+TEST(Workloads, PickSelectivityApproximatesTargets) {
+  for (double target : {0.001, 0.01, 0.1, 0.2, 0.3}) {
+    const SelectivityChoice c = PickSelectivity(target);
+    EXPECT_GT(c.achieved, target * 0.6);
+    EXPECT_LT(c.achieved, target * 1.6);
+  }
+  // Paper's minimum: one nation each, one year => 0.023 %.
+  const SelectivityChoice c = PickSelectivity(0.0002);
+  EXPECT_EQ(c.cust_nations, 1);
+  EXPECT_EQ(c.supp_nations, 1);
+  EXPECT_EQ(c.years, 1);
+}
+
+TEST(Workloads, SimilarWorkloadUsesExactlyNPlans) {
+  for (size_t plans : {1u, 4u, 16u}) {
+    const auto queries = SimilarQ32Workload(64, plans, 5);
+    std::set<std::string> sigs;
+    for (const auto& q : queries) sigs.insert(q.Signature());
+    EXPECT_EQ(sigs.size(), plans);
+  }
+}
+
+TEST(Workloads, RandomWorkloadHasHighDiversity) {
+  const auto queries = RandomQ32Workload(64, 6);
+  std::set<std::string> sigs;
+  for (const auto& q : queries) sigs.insert(q.Signature());
+  EXPECT_GT(sigs.size(), 32u);
+}
+
+TEST(Workloads, MixedWorkloadRoundRobin) {
+  const auto queries = MixedWorkload(9, 7);
+  ASSERT_EQ(queries.size(), 9u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    switch (i % 3) {
+      case 0:  // Q1.1: one dimension (date), fact predicate present
+        EXPECT_EQ(queries[i].dims.size(), 1u);
+        EXPECT_FALSE(queries[i].fact_pred.IsTrue());
+        break;
+      case 1:  // Q2.1: three dimensions, part first
+        EXPECT_EQ(queries[i].dims.size(), 3u);
+        EXPECT_EQ(queries[i].dims[0].dim_table, kPart);
+        break;
+      default:  // Q3.2
+        EXPECT_EQ(queries[i].dims.size(), 3u);
+        EXPECT_EQ(queries[i].dims[0].dim_table, kSupplier);
+        break;
+    }
+  }
+}
+
+TEST(Workloads, IdenticalQ1AllEqual) {
+  const auto queries = IdenticalQ1Workload(5);
+  for (const auto& q : queries) {
+    EXPECT_EQ(q.Signature(), queries[0].Signature());
+    EXPECT_TRUE(q.dims.empty());
+  }
+}
+
+TEST(TpchGenerator, LineitemShape) {
+  TestDb* db = testing::SharedTpchDb();
+  const storage::Table* li = db->catalog.MustGetTable(kLineitem);
+  EXPECT_EQ(li->num_rows(), TpchLineitemRows(0.01));
+  const storage::Schema& s = li->schema();
+  const size_t rf = s.MustColumnIndex("l_returnflag");
+  std::set<std::string> flags;
+  for (size_t i = 0; i < li->num_rows(); i += 53) {
+    flags.insert(std::string(s.GetChar(li->row(i), rf)));
+  }
+  EXPECT_EQ(flags, (std::set<std::string>{"A", "N", "R"}));
+}
+
+}  // namespace
+}  // namespace sdw::ssb

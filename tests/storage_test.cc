@@ -1,0 +1,253 @@
+// Unit tests for src/storage: schemas, pages, tables, the simulated storage
+// device (sequential vs seek cost, OS cache, direct I/O) and the buffer pool.
+
+#include <gtest/gtest.h>
+
+#include "common/timing.h"
+#include "storage/buffer_pool.h"
+#include "storage/catalog.h"
+#include "storage/scan.h"
+#include "storage/schema.h"
+#include "storage/storage_device.h"
+#include "storage/table.h"
+
+namespace sdw::storage {
+namespace {
+
+Schema TestSchema() {
+  return Schema({Schema::Int32("a"), Schema::Int64("b"), Schema::Double("c"),
+                 Schema::Char("d", 8)});
+}
+
+TEST(Schema, OffsetsAndWidths) {
+  const Schema s = TestSchema();
+  EXPECT_EQ(s.num_columns(), 4u);
+  EXPECT_EQ(s.offset(0), 0u);
+  EXPECT_EQ(s.offset(1), 4u);
+  EXPECT_EQ(s.offset(2), 12u);
+  EXPECT_EQ(s.offset(3), 20u);
+  EXPECT_EQ(s.tuple_size(), 28u);
+}
+
+TEST(Schema, FieldRoundTrip) {
+  const Schema s = TestSchema();
+  std::vector<std::byte> buf(s.tuple_size());
+  s.SetInt32(buf.data(), 0, -42);
+  s.SetInt64(buf.data(), 1, 1234567890123LL);
+  s.SetDouble(buf.data(), 2, 2.5);
+  s.SetChar(buf.data(), 3, "hi");
+  EXPECT_EQ(s.GetInt32(buf.data(), 0), -42);
+  EXPECT_EQ(s.GetInt64(buf.data(), 1), 1234567890123LL);
+  EXPECT_DOUBLE_EQ(s.GetDouble(buf.data(), 2), 2.5);
+  EXPECT_EQ(s.GetChar(buf.data(), 3), "hi");           // trimmed
+  EXPECT_EQ(s.GetCharRaw(buf.data(), 3), "hi      ");  // padded
+}
+
+TEST(Schema, CharTruncation) {
+  const Schema s = TestSchema();
+  std::vector<std::byte> buf(s.tuple_size());
+  s.SetChar(buf.data(), 3, "exactly-eight-plus");
+  EXPECT_EQ(s.GetChar(buf.data(), 3), "exactly-");
+}
+
+TEST(Schema, ColumnIndexLookup) {
+  const Schema s = TestSchema();
+  EXPECT_EQ(s.ColumnIndex("c"), 2);
+  EXPECT_EQ(s.ColumnIndex("missing"), -1);
+  EXPECT_EQ(s.MustColumnIndex("d"), 3u);
+}
+
+TEST(Page, AppendUntilFull) {
+  auto page = Page::Make(100);
+  const uint32_t cap = page->capacity();
+  EXPECT_EQ(cap, PageCapacityFor(100));
+  EXPECT_GT(cap, 300u);  // 32KB / 100B
+  uint32_t n = 0;
+  while (page->AppendTuple() != nullptr) ++n;
+  EXPECT_EQ(n, cap);
+  EXPECT_TRUE(page->full());
+}
+
+TEST(Page, CloneIsDeep) {
+  auto page = Page::Make(8);
+  std::byte* t = page->AppendTuple();
+  int64_t v = 99;
+  std::memcpy(t, &v, 8);
+  page->set_seq(7);
+  auto copy = Page::Clone(*page);
+  v = 11;
+  std::memcpy(t, &v, 8);
+  int64_t got;
+  std::memcpy(&got, copy->tuple(0), 8);
+  EXPECT_EQ(got, 99);
+  EXPECT_EQ(copy->seq(), 7u);
+  EXPECT_EQ(copy->tuple_count(), 1u);
+}
+
+TEST(Table, RowIndexingAcrossPages) {
+  Table t("t", Schema({Schema::Int64("x")}));
+  const size_t n = static_cast<size_t>(t.rows_per_page()) * 3 + 5;
+  for (size_t i = 0; i < n; ++i) {
+    std::byte* row = t.AppendRow();
+    t.schema().SetInt64(row, 0, static_cast<int64_t>(i));
+  }
+  EXPECT_EQ(t.num_rows(), n);
+  EXPECT_EQ(t.num_pages(), 4u);
+  for (size_t i : {size_t{0}, static_cast<size_t>(t.rows_per_page()) + 1,
+                   n - 1}) {
+    EXPECT_EQ(t.schema().GetInt64(t.row(i), 0), static_cast<int64_t>(i));
+  }
+}
+
+TEST(Catalog, RegisterAndLookup) {
+  Catalog c;
+  auto* t1 = c.AddTable(std::make_unique<Table>("one", TestSchema()));
+  auto* t2 = c.AddTable(std::make_unique<Table>("two", TestSchema()));
+  EXPECT_EQ(c.GetTable("one"), t1);
+  EXPECT_EQ(c.GetTable("absent"), nullptr);
+  EXPECT_EQ(c.GetTableById(t2->id()), t2);
+  EXPECT_EQ(c.num_tables(), 2u);
+}
+
+TEST(StorageDevice, MemoryResidentIsFree) {
+  StorageDevice dev({.memory_resident = true});
+  const int64_t start = NowNanos();
+  for (int i = 0; i < 100; ++i) dev.ReadPage(1, static_cast<uint64_t>(i), kPageSize);
+  EXPECT_LT(NowNanos() - start, 50'000'000);  // far under any disk time
+  EXPECT_EQ(dev.device_bytes_read(), 0u);
+  EXPECT_EQ(dev.logical_reads(), 100u);
+}
+
+TEST(StorageDevice, SequentialFasterThanRandom) {
+  DeviceOptions opts;
+  opts.memory_resident = false;
+  opts.seq_bandwidth_mbps = 5000;  // make seeks dominate
+  opts.seek_latency_us = 2000;
+  {
+    StorageDevice dev(opts);
+    WallTimer t;
+    for (int i = 0; i < 20; ++i) dev.ReadPage(1, static_cast<uint64_t>(i), kPageSize);
+    const double seq = t.ElapsedSeconds();
+    EXPECT_LT(seq, 0.02);  // one seek + cheap transfers
+  }
+  {
+    StorageDevice dev(opts);
+    WallTimer t;
+    for (int i = 0; i < 20; ++i) {
+      dev.ReadPage(1, static_cast<uint64_t>((i * 7) % 20), kPageSize);
+    }
+    const double random = t.ElapsedSeconds();
+    EXPECT_GT(random, 0.03);  // ~20 seeks at 2ms
+  }
+}
+
+TEST(StorageDevice, OsCacheAbsorbsRereads) {
+  DeviceOptions opts;
+  opts.memory_resident = false;
+  opts.seq_bandwidth_mbps = 10000;
+  opts.seek_latency_us = 100;
+  opts.os_cache_bytes = 100 * kPageSize;
+  StorageDevice dev(opts);
+  for (int i = 0; i < 10; ++i) dev.ReadPage(1, static_cast<uint64_t>(i), kPageSize);
+  const uint64_t cold = dev.device_bytes_read();
+  for (int i = 0; i < 10; ++i) dev.ReadPage(1, static_cast<uint64_t>(i), kPageSize);
+  EXPECT_EQ(dev.device_bytes_read(), cold);  // all hits
+  EXPECT_EQ(dev.cache_hit_bytes(), 10 * kPageSize);
+}
+
+TEST(StorageDevice, DirectIoBypassesCache) {
+  DeviceOptions opts;
+  opts.memory_resident = false;
+  opts.seq_bandwidth_mbps = 10000;
+  opts.seek_latency_us = 10;
+  opts.os_cache_bytes = 100 * kPageSize;
+  opts.direct_io = true;
+  StorageDevice dev(opts);
+  for (int r = 0; r < 2; ++r) {
+    for (int i = 0; i < 10; ++i) dev.ReadPage(1, static_cast<uint64_t>(i), kPageSize);
+  }
+  EXPECT_EQ(dev.device_bytes_read(), 20 * kPageSize);
+  EXPECT_EQ(dev.cache_hit_bytes(), 0u);
+}
+
+TEST(StorageDevice, CacheEvictsAtCapacity) {
+  DeviceOptions opts;
+  opts.memory_resident = false;
+  opts.seq_bandwidth_mbps = 10000;
+  opts.seek_latency_us = 10;
+  opts.os_cache_bytes = 4 * kPageSize;
+  StorageDevice dev(opts);
+  for (int i = 0; i < 8; ++i) dev.ReadPage(1, static_cast<uint64_t>(i), kPageSize);
+  // Page 0 was evicted; re-reading misses.
+  const uint64_t before = dev.device_bytes_read();
+  dev.ReadPage(1, 0, kPageSize);
+  EXPECT_EQ(dev.device_bytes_read(), before + kPageSize);
+}
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  BufferPoolTest() {
+    table_ = std::make_unique<Table>("t", Schema({Schema::Int64("x")}));
+    const size_t rows = static_cast<size_t>(table_->rows_per_page()) * 10;
+    for (size_t i = 0; i < rows; ++i) {
+      table_->schema().SetInt64(table_->AppendRow(), 0,
+                                static_cast<int64_t>(i));
+    }
+    table_->set_id(3);
+  }
+  std::unique_ptr<Table> table_;
+};
+
+TEST_F(BufferPoolTest, HitsAfterFirstTouch) {
+  StorageDevice dev({.memory_resident = true});
+  BufferPool pool(&dev, 0);
+  for (int r = 0; r < 2; ++r) {
+    for (uint64_t p = 0; p < table_->num_pages(); ++p) {
+      EXPECT_EQ(pool.FetchPage(*table_, p), table_->page(p));
+    }
+  }
+  EXPECT_EQ(pool.misses(), table_->num_pages());
+  EXPECT_EQ(pool.hits(), table_->num_pages());
+}
+
+TEST_F(BufferPoolTest, BoundedPoolEvicts) {
+  StorageDevice dev({.memory_resident = true});
+  BufferPool pool(&dev, 4 * kPageSize);
+  for (int r = 0; r < 2; ++r) {
+    for (uint64_t p = 0; p < 10; ++p) pool.FetchPage(*table_, p);
+  }
+  // With capacity 4 over a 10-page cyclic scan, every access misses.
+  EXPECT_EQ(pool.misses(), 20u);
+  EXPECT_EQ(pool.hits(), 0u);
+}
+
+TEST_F(BufferPoolTest, ClearForgetsResidency) {
+  StorageDevice dev({.memory_resident = true});
+  BufferPool pool(&dev, 0);
+  pool.FetchPage(*table_, 0);
+  pool.Clear();
+  pool.FetchPage(*table_, 0);
+  EXPECT_EQ(pool.misses(), 1u);  // counters were reset by Clear
+}
+
+TEST_F(BufferPoolTest, CursorsIterateAllPages) {
+  StorageDevice dev({.memory_resident = true});
+  BufferPool pool(&dev, 0);
+  TableScanCursor cursor(table_.get(), &pool);
+  size_t pages = 0;
+  while (cursor.Next() != nullptr) ++pages;
+  EXPECT_EQ(pages, table_->num_pages());
+
+  CircularPageCursor circular(table_.get(), &pool, /*start_page=*/7);
+  std::set<uint64_t> seen;
+  for (size_t i = 0; i < table_->num_pages(); ++i) {
+    EXPECT_EQ(circular.position(), (7 + i) % table_->num_pages());
+    const Page* p = circular.Next();
+    ASSERT_NE(p, nullptr);
+    seen.insert(p->seq());
+  }
+  EXPECT_EQ(seen.size(), table_->num_pages());  // full wrap, each page once
+}
+
+}  // namespace
+}  // namespace sdw::storage

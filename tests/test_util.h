@@ -1,0 +1,59 @@
+// Shared fixtures: small SSB / TPC-H databases built once per test binary.
+
+#ifndef SDW_TESTS_TEST_UTIL_H_
+#define SDW_TESTS_TEST_UTIL_H_
+
+#include <memory>
+
+#include "ssb/ssb_generator.h"
+#include "storage/buffer_pool.h"
+#include "storage/catalog.h"
+#include "storage/storage_device.h"
+
+namespace sdw::testing {
+
+/// A catalog plus its simulated device and buffer pool.
+struct TestDb {
+  storage::Catalog catalog;
+  std::unique_ptr<storage::StorageDevice> device;
+  std::unique_ptr<storage::BufferPool> pool;
+};
+
+/// Builds an SSB database (memory-resident device by default).
+inline std::unique_ptr<TestDb> MakeSsbDb(double sf, uint64_t seed = 42,
+                                         bool memory_resident = true) {
+  auto db = std::make_unique<TestDb>();
+  ssb::BuildSsbDatabase(&db->catalog, {sf, seed});
+  storage::DeviceOptions dev;
+  dev.memory_resident = memory_resident;
+  db->device = std::make_unique<storage::StorageDevice>(dev);
+  db->pool = std::make_unique<storage::BufferPool>(db->device.get(),
+                                                   /*capacity_bytes=*/0);
+  return db;
+}
+
+/// Builds a TPC-H (lineitem-only) database.
+inline std::unique_ptr<TestDb> MakeTpchDb(double sf, uint64_t seed = 7) {
+  auto db = std::make_unique<TestDb>();
+  ssb::BuildTpchQ1Database(&db->catalog, {sf, seed});
+  storage::DeviceOptions dev;
+  db->device = std::make_unique<storage::StorageDevice>(dev);
+  db->pool = std::make_unique<storage::BufferPool>(db->device.get(), 0);
+  return db;
+}
+
+/// Process-wide tiny SSB database (SF 0.01) for fast tests.
+inline TestDb* SharedSsbDb() {
+  static TestDb* db = MakeSsbDb(0.01).release();
+  return db;
+}
+
+/// Process-wide tiny TPC-H database.
+inline TestDb* SharedTpchDb() {
+  static TestDb* db = MakeTpchDb(0.01).release();
+  return db;
+}
+
+}  // namespace sdw::testing
+
+#endif  // SDW_TESTS_TEST_UTIL_H_
