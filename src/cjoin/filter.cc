@@ -1,5 +1,8 @@
 #include "cjoin/filter.h"
 
+#include <bit>
+#include <cstring>
+
 #include "common/breakdown.h"
 #include "storage/scan.h"
 
@@ -13,7 +16,12 @@ Filter::Filter(const storage::Table* dim_table, std::string fact_fk_column,
       position_(position),
       words_(bits::WordsFor(slots)),
       pass_mask_(slots),
-      dim_pk_col_idx_(dim_table->schema().MustColumnIndex(dim_pk_column_)) {}
+      dim_pk_col_idx_(dim_table->schema().MustColumnIndex(dim_pk_column_)) {
+  // Sentinel entry (see filter.h): present from birth so Process is safe
+  // even before the first admission.
+  entry_rows_.push_back(kNoDimRow);
+  entry_bits_.resize(words_, 0);
+}
 
 void Filter::AdmitQuery(uint32_t slot, const query::Predicate& pred,
                         storage::BufferPool* pool) {
@@ -24,6 +32,10 @@ void Filter::AdmitQuery(uint32_t slot, const query::Predicate& pred,
   // (Entries are keyed by PK; PKs are unique per dimension, so at most one
   // entry per row exists.) The scan+selection work is charged to kScans at
   // page granularity — per-row timers would dominate admission cost.
+  // Drop the sentinel entry while the arrays grow; re-appended below.
+  entry_rows_.pop_back();
+  entry_bits_.resize(entry_bits_.size() - words_);
+
   storage::TableScanCursor cursor(dim_table_, pool);
   uint64_t row_base = 0;
   while (true) {
@@ -51,6 +63,8 @@ void Filter::AdmitQuery(uint32_t slot, const query::Predicate& pred,
     }
     row_base += n;
   }
+  entry_rows_.push_back(kNoDimRow);                    // sentinel
+  entry_bits_.resize(entry_bits_.size() + words_, 0);  // sentinel
   {
     ScopedComponentTimer t(Component::kHashing);
     ht_.Build();
@@ -58,25 +72,164 @@ void Filter::AdmitQuery(uint32_t slot, const query::Predicate& pred,
 }
 
 void Filter::CleanSlot(uint32_t slot) {
+  // (Harmlessly clears the always-zero sentinel entry too.)
   for (size_t e = 0; e < entry_rows_.size(); ++e) {
     bits::Clear(entry_bits_.data() + e * words_, slot);
   }
 }
 
-void Filter::Process(TupleBatch* batch, const storage::Schema& fact_schema,
-                     size_t fact_fk_col_idx) const {
+void Filter::BindFactColumn(const storage::Schema& fact_schema) {
+  const size_t col = fact_schema.MustColumnIndex(fact_fk_column_);
+  fk_offset_ = fact_schema.offset(col);
+  fk_is_int32_ = fact_schema.column(col).type == storage::ColumnType::kInt32;
+  fk_bound_ = true;
+}
+
+void Filter::Process(TupleBatch* batch, FilterScratch* scratch) const {
+  SDW_DCHECK(fk_bound_);
+  const uint32_t n = batch->num_tuples;
+  if (n == 0) return;
+  const storage::Page& page = *batch->fact_page;
+  const size_t words = batch->words_per_tuple;
+  const uint64_t* pass = pass_mask_.words();
+
+  // All-live batches (every tuple upstream of the first selective filter)
+  // take dense fast paths: contiguous key gather and contiguous bitmap
+  // update, no compaction or indirection.
+  const uint64_t* live = batch->live_words();
+  const size_t live_words = bits::WordsFor(n);
+  const size_t full_words = n / 64;  // words that must be all-ones
+  const size_t rem = n % 64;
+  bool all_live =
+      rem == 0 || live[live_words - 1] == (uint64_t{1} << rem) - 1;
+  for (size_t w = 0; all_live && w < full_words; ++w) {
+    all_live = live[w] == ~uint64_t{0};
+  }
+
+  // Pass 1 (the paper's "Hashing" work): gather the live tuples' FK keys
+  // with one fixed-stride load each (no per-tuple schema interpretation)
+  // and resolve all probes in a single batched, prefetching call.
+  {
+    ScopedComponentTimer t(Component::kHashing);
+    const size_t stride = page.tuple_size();
+    const std::byte* base = page.tuple(0) + fk_offset_;
+    scratch->rows.clear();
+    scratch->keys.clear();
+    if (all_live) {
+      scratch->keys.resize(n);
+      int64_t* keys = scratch->keys.data();
+      if (fk_is_int32_) {
+        for (uint32_t i = 0; i < n; ++i) {
+          int32_t v;
+          std::memcpy(&v, base + i * stride, sizeof(v));
+          keys[i] = v;
+        }
+      } else {
+        for (uint32_t i = 0; i < n; ++i) {
+          std::memcpy(&keys[i], base + i * stride, sizeof(int64_t));
+        }
+      }
+    } else {
+      for (size_t w = 0; w < live_words; ++w) {
+        uint64_t word = live[w];
+        while (word != 0) {
+          const uint32_t i = static_cast<uint32_t>(
+              w * 64 + static_cast<size_t>(std::countr_zero(word)));
+          word &= word - 1;
+          const std::byte* src = base + i * stride;
+          int64_t key;
+          if (fk_is_int32_) {
+            int32_t v;
+            std::memcpy(&v, src, sizeof(v));
+            key = v;
+          } else {
+            std::memcpy(&key, src, sizeof(key));
+          }
+          scratch->rows.push_back(i);
+          scratch->keys.push_back(key);
+        }
+      }
+    }
+    scratch->values.resize(scratch->keys.size());
+    ht_.ProbeBatch(scratch->keys.data(), scratch->keys.size(),
+                   scratch->values.data());
+  }
+
+  // Pass 2 (the paper's "Joins" work): bitwise AND with match|pass, record
+  // the joined dimension row, and kill tuples whose bitmap goes empty so no
+  // later stage touches them again.
+  {
+    ScopedComponentTimer t(Component::kJoins);
+    // Misses are redirected to the sentinel entry with a cmov — no
+    // data-dependent hit/miss branch in the loop (a miss ANDs with
+    // 0|pass_mask and re-writes the initial kNoDimRow).
+    const uint64_t sentinel = entry_rows_.size() - 1;
+    // Matched entries land at random offsets in entry_bits_/entry_rows_;
+    // running a few tuples ahead keeps those loads in flight.
+    constexpr size_t kLookahead = 8;
+    const size_t live_count = scratch->keys.size();
+    const uint32_t* rows = scratch->rows.data();
+    const uint64_t* values = scratch->values.data();
+    const uint64_t* entry_bits = entry_bits_.data();
+    const uint32_t* entry_rows = entry_rows_.data();
+    auto prefetch_entry = [&](size_t j) {
+      if (j < live_count) {
+        const uint64_t idx = values[j] < sentinel ? values[j] : sentinel;
+        SDW_PREFETCH(&entry_bits[idx * words_]);
+        SDW_PREFETCH(&entry_rows[idx]);
+      }
+    };
+    for (size_t j = 0; j < kLookahead && j < live_count; ++j) {
+      prefetch_entry(j);
+    }
+    if (words == 1) {
+      // Fast path for the common ≤64-query-slot case: the whole bitmap
+      // state is one word per tuple, so the AND/any kernels collapse to
+      // straight-line scalar ops over a contiguous word array.
+      const uint64_t pass0 = pass[0];
+      uint64_t* bw = batch->bits.data();
+      uint32_t* dims = batch->dim_rows.data();
+      const uint32_t nf = batch->num_filters;
+      for (size_t j = 0; j < live_count; ++j) {
+        prefetch_entry(j + kLookahead);
+        const uint32_t i = all_live ? static_cast<uint32_t>(j) : rows[j];
+        const uint64_t idx = values[j] < sentinel ? values[j] : sentinel;
+        const uint64_t b = bw[i] & (entry_bits[idx] | pass0);
+        dims[i * nf + position_] = entry_rows[idx];
+        bw[i] = b;
+        if (b == 0) batch->kill_tuple(i);
+      }
+    } else {
+      for (size_t j = 0; j < live_count; ++j) {
+        prefetch_entry(j + kLookahead);
+        const uint32_t i = all_live ? static_cast<uint32_t>(j) : rows[j];
+        const uint64_t idx = values[j] < sentinel ? values[j] : sentinel;
+        uint64_t* tb = batch->tuple_bits(i);
+        const uint64_t any =
+            bits::AndWithOrAny(tb, entry_bits + idx * words_, pass, words);
+        batch->tuple_dim_rows(i)[position_] = entry_rows[idx];
+        if (any == 0) batch->kill_tuple(i);
+      }
+    }
+  }
+}
+
+void Filter::ProcessScalar(TupleBatch* batch,
+                           const storage::Schema& fact_schema,
+                           size_t fact_fk_col_idx) const {
   const storage::Page& page = *batch->fact_page;
   const uint32_t n = batch->num_tuples;
   const size_t words = batch->words_per_tuple;
   const uint64_t* pass = pass_mask_.words();
 
-  // Pass 1 (the paper's "Hashing" work): probe the shared hash table for
-  // every live tuple, recording the matched entry (or none).
+  // Pass 1: probe the shared hash table for every live tuple, recording the
+  // matched entry (or none) — one schema-interpreted key decode plus one
+  // dependent-load chain walk per tuple.
   std::vector<uint32_t> match_entry(n, kNoDimRow);
   {
     ScopedComponentTimer t(Component::kHashing);
     for (uint32_t i = 0; i < n; ++i) {
-      if (!bits::Any(batch->tuple_bits(i), words)) continue;  // dead tuple
+      if (!batch->tuple_live(i)) continue;  // dead tuple
       const int64_t key = fact_schema.GetIntAny(page.tuple(i), fact_fk_col_idx);
       ht_.ForEachMatch(qpipe::HashKey(key), key, [&](uint64_t entry_idx) {
         match_entry[i] = static_cast<uint32_t>(entry_idx);
@@ -84,13 +237,12 @@ void Filter::Process(TupleBatch* batch, const storage::Schema& fact_schema,
     }
   }
 
-  // Pass 2 (the paper's "Joins" work): bitwise AND with match|pass and
-  // record the joined dimension row.
+  // Pass 2: bitwise AND with match|pass and record the joined dimension row.
   {
     ScopedComponentTimer t(Component::kJoins);
     for (uint32_t i = 0; i < n; ++i) {
+      if (!batch->tuple_live(i)) continue;
       uint64_t* tb = batch->tuple_bits(i);
-      if (!bits::Any(tb, words)) continue;
       if (match_entry[i] == kNoDimRow) {
         bits::AndWith(tb, pass, words);
       } else {
@@ -98,6 +250,7 @@ void Filter::Process(TupleBatch* batch, const storage::Schema& fact_schema,
         bits::AndWithOr(tb, match, pass, words);
         batch->tuple_dim_rows(i)[position_] = entry_rows_[match_entry[i]];
       }
+      if (!bits::Any(tb, words)) batch->kill_tuple(i);
     }
   }
 }

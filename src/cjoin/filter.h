@@ -25,6 +25,15 @@
 
 namespace sdw::cjoin {
 
+/// Per-worker reusable scratch for Filter::Process. Each filter-worker
+/// thread owns one; the vectors grow to the high-water batch size once and
+/// are reused, so steady-state processing performs no heap allocation.
+struct FilterScratch {
+  std::vector<uint32_t> rows;     // batch tuple index of each live tuple
+  std::vector<int64_t> keys;      // gathered FK keys, live tuples compacted
+  std::vector<uint64_t> values;   // ProbeBatch output (entry index or miss)
+};
+
 /// Shared selection + hash join over one dimension.
 class Filter {
  public:
@@ -62,11 +71,24 @@ class Filter {
   /// Clears `slot`'s bit from every hash-table entry (slot recycling).
   void CleanSlot(uint32_t slot);
 
-  /// Processes one batch in a filter-worker thread: probes every live tuple,
-  /// ANDs bitmaps, records joined dimension rows. `fact_schema` /
-  /// `fact_fk_col_idx` locate the foreign key on the fact tuples.
-  void Process(TupleBatch* batch, const storage::Schema& fact_schema,
-               size_t fact_fk_col_idx) const;
+  /// Precomputes the fact FK column's byte offset and width so Process can
+  /// gather keys with fixed-stride loads instead of per-tuple schema
+  /// interpretation. Called once when the filter joins a pipeline.
+  void BindFactColumn(const storage::Schema& fact_schema);
+
+  /// Processes one batch in a filter-worker thread: gathers the FK keys of
+  /// all live tuples (fixed offset + stride), probes them in one batched
+  /// call, ANDs bitmaps, records joined dimension rows, and clears the
+  /// batch's live bit for tuples whose bitmap goes empty. Requires
+  /// BindFactColumn. `scratch` is the calling worker's reusable scratch.
+  void Process(TupleBatch* batch, FilterScratch* scratch) const;
+
+  /// Retained per-tuple reference implementation (one GetIntAny + one
+  /// dependent-load probe per tuple) — the differential-test and benchmark
+  /// baseline for Process. Produces bit-identical bitmaps / dim_rows / live
+  /// masks.
+  void ProcessScalar(TupleBatch* batch, const storage::Schema& fact_schema,
+                     size_t fact_fk_col_idx) const;
 
   /// Number of distinct dimension tuples currently referenced (hash table
   /// size) — the shared-operator bookkeeping the paper discusses.
@@ -84,11 +106,20 @@ class Filter {
   // Admission-path index with the same mapping (supports incremental
   // insert-or-find while ht_ is frozen for probing).
   std::unordered_map<int64_t, uint32_t> pk_to_entry_;
-  std::vector<uint32_t> entry_rows_;    // dim row id per entry
-  std::vector<uint64_t> entry_bits_;    // words_ match bits per entry
+  // Per-entry arrays, always followed by one sentinel entry (zero match
+  // bits, kNoDimRow row id) that ProbeBatch misses are redirected to — this
+  // keeps the Process hot loop branchless (no data-dependent hit/miss
+  // branch; a miss ANDs with 0|pass and re-writes kNoDimRow).
+  std::vector<uint32_t> entry_rows_;    // dim row id per entry (+ sentinel)
+  std::vector<uint64_t> entry_bits_;    // words_ match bits per entry (+")
   Bitset pass_mask_;
 
   size_t dim_pk_col_idx_;
+
+  // Fact FK gather plan, precomputed by BindFactColumn.
+  uint32_t fk_offset_ = 0;
+  bool fk_is_int32_ = false;
+  bool fk_bound_ = false;
 };
 
 }  // namespace sdw::cjoin

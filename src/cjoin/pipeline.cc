@@ -1,5 +1,6 @@
 #include "cjoin/pipeline.h"
 
+#include <algorithm>
 #include <bit>
 #include <unordered_map>
 
@@ -21,6 +22,11 @@ CjoinPipeline::CjoinPipeline(const storage::Catalog* catalog,
       active_mask_(options.max_queries),
       to_filters_(options.queue_capacity),
       to_distributor_(options.queue_capacity),
+      // Upper bound on batches alive at once: both queues full plus one in
+      // the hands of every stage thread. Sizing the pool to that high-water
+      // mark makes the steady state allocation-free.
+      batch_pool_(2 * to_filters_.capacity() + options.filter_threads +
+                  options.distributor_parts + 1),
       cursor_(fact_table, pool) {
   free_slots_.reserve(options_.max_queries);
   for (size_t s = options_.max_queries; s > 0; --s) {
@@ -71,12 +77,17 @@ void CjoinPipeline::SubmitMany(std::vector<Submission> submissions) {
 
 CjoinStats CjoinPipeline::stats() const {
   std::unique_lock<std::mutex> lock(mu_);
-  return stats_;
+  CjoinStats s = stats_;
+  s.batch_pool_hits = batch_pool_.hits() - pool_hits_base_;
+  s.batch_pool_misses = batch_pool_.misses() - pool_misses_base_;
+  return s;
 }
 
 void CjoinPipeline::ResetStats() {
   std::unique_lock<std::mutex> lock(mu_);
   stats_ = CjoinStats{};
+  pool_hits_base_ = batch_pool_.hits();
+  pool_misses_base_ = batch_pool_.misses();
 }
 
 size_t CjoinPipeline::num_filters() const {
@@ -122,24 +133,26 @@ void CjoinPipeline::PreprocessorLoop() {
     }
     if (raw == nullptr) continue;  // empty fact table
 
-    auto batch = std::make_shared<TupleBatch>();
+    BatchPtr batch = batch_pool_.Acquire();
     batch->fact_page = fact_->SharePage(page_index);
     batch->page_index = page_index;
-    batch->num_tuples = raw->tuple_count();
-    batch->words_per_tuple = static_cast<uint32_t>(words_);
-    batch->num_filters = static_cast<uint32_t>(filters_.size());
     {
       // Annotate every tuple with the active-query bitmap (paper: the
-      // preprocessor attaches the bitmaps).
+      // preprocessor attaches the bitmaps). The batch comes from the
+      // recycling pool, so in steady state these resizes stay within the
+      // vectors' retained capacity — no allocation.
       ScopedComponentTimer t(Component::kMisc);
-      batch->bits.resize(static_cast<size_t>(batch->num_tuples) * words_);
+      batch->ResetFor(raw->tuple_count(), static_cast<uint32_t>(words_),
+                      static_cast<uint32_t>(filters_.size()));
       const uint64_t* mask = active_mask_.words();
-      for (uint32_t i = 0; i < batch->num_tuples; ++i) {
-        bits::Copy(batch->tuple_bits(i), mask, words_);
+      if (words_ == 1) {
+        // ≤64-slot fast path: one word per tuple.
+        std::fill(batch->bits.begin(), batch->bits.end(), mask[0]);
+      } else {
+        for (uint32_t i = 0; i < batch->num_tuples; ++i) {
+          bits::Copy(batch->tuple_bits(i), mask, words_);
+        }
       }
-      batch->dim_rows.assign(
-          static_cast<size_t>(batch->num_tuples) * batch->num_filters,
-          kNoDimRow);
       if (options_.fact_preds_in_preprocessor) {
         // §3.2 variant: the preprocessor evaluates fact predicates per
         // query per tuple — fewer tuples flow, but the single-threaded
@@ -155,11 +168,21 @@ void CjoinPipeline::PreprocessorLoop() {
             }
           }
         }
+        // Re-derive liveness: tuples failing every query's predicate are
+        // dead before they reach the first filter.
+        for (uint32_t i = 0; i < batch->num_tuples; ++i) {
+          if (!bits::Any(batch->tuple_bits(i), words_)) batch->kill_tuple(i);
+        }
       }
     }
 
     in_flight_.fetch_add(1, std::memory_order_acq_rel);
-    to_filters_.Put(std::move(batch));
+    if (!to_filters_.Put(std::move(batch))) {
+      // Queue closed mid-shutdown: the batch will never reach the
+      // distributor, so rebalance the in-flight count here or DrainPipeline
+      // would hang forever waiting on the dropped batch.
+      ForgetDroppedBatch();
+    }
 
     {
       std::unique_lock<std::mutex> lock(mu_);
@@ -179,6 +202,13 @@ void CjoinPipeline::DrainPipeline() {
   std::unique_lock<std::mutex> lock(drain_mu_);
   drain_cv_.wait(lock,
                  [&] { return in_flight_.load(std::memory_order_acquire) == 0; });
+}
+
+void CjoinPipeline::ForgetDroppedBatch() {
+  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    drain_cv_.notify_all();
+  }
 }
 
 void CjoinPipeline::CompleteQueryLocked(uint32_t slot) {
@@ -235,8 +265,7 @@ Filter* CjoinPipeline::GetOrCreateFilterLocked(const query::DimJoin& dim) {
        s = active_mask_.FindNextSet(s + 1)) {
     filter->SetPass(static_cast<uint32_t>(s));
   }
-  filter_fk_idx_.push_back(
-      fact_->schema().MustColumnIndex(dim.fact_fk_column));
+  filter->BindFactColumn(fact_->schema());
   filters_.push_back(std::move(filter));
   return filters_.back().get();
 }
@@ -327,12 +356,14 @@ void CjoinPipeline::DoAdmissionsLocked() {
 // ------------------------------------------------------------ filter workers
 
 void CjoinPipeline::FilterWorkerLoop() {
-  const storage::Schema& fact_schema = fact_->schema();
+  // Per-worker scratch: grows to the high-water batch size once, then all
+  // Process calls run allocation-free.
+  FilterScratch scratch;
   while (BatchPtr batch = to_filters_.Take()) {
     for (uint32_t f = 0; f < batch->num_filters; ++f) {
-      filters_[f]->Process(batch.get(), fact_schema, filter_fk_idx_[f]);
+      filters_[f]->Process(batch.get(), &scratch);
     }
-    to_distributor_.Put(std::move(batch));
+    if (!to_distributor_.Put(std::move(batch))) ForgetDroppedBatch();
   }
 }
 
@@ -348,15 +379,37 @@ void CjoinPipeline::DistributorPartLoop() {
       ScopedComponentTimer t(Component::kMisc);
       by_slot.clear();
       const size_t words = batch->words_per_tuple;
-      for (uint32_t i = 0; i < batch->num_tuples; ++i) {
-        const uint64_t* tb = batch->tuple_bits(i);
-        for (size_t w = 0; w < words; ++w) {
-          uint64_t word = tb[w];
-          while (word != 0) {
-            const uint32_t slot = static_cast<uint32_t>(
-                w * 64 + static_cast<size_t>(std::countr_zero(word)));
-            word &= word - 1;
-            by_slot[slot].push_back(i);
+      // Walk only the live tuples (the filters cleared the live bit of any
+      // tuple whose bitmap went empty), so fully-filtered tuples cost one
+      // skipped mask bit here instead of `words` loads each.
+      const uint64_t* live = batch->live_words();
+      const size_t live_words = bits::WordsFor(batch->num_tuples);
+      for (size_t lw = 0; lw < live_words; ++lw) {
+        uint64_t lword = live[lw];
+        while (lword != 0) {
+          const uint32_t i = static_cast<uint32_t>(
+              lw * 64 + static_cast<size_t>(std::countr_zero(lword)));
+          lword &= lword - 1;
+          const uint64_t* tb = batch->tuple_bits(i);
+          if (words == 1) {
+            // ≤64-slot fast path: single-word slot extraction.
+            uint64_t word = tb[0];
+            while (word != 0) {
+              const uint32_t slot =
+                  static_cast<uint32_t>(std::countr_zero(word));
+              word &= word - 1;
+              by_slot[slot].push_back(i);
+            }
+            continue;
+          }
+          for (size_t w = 0; w < words; ++w) {
+            uint64_t word = tb[w];
+            while (word != 0) {
+              const uint32_t slot = static_cast<uint32_t>(
+                  w * 64 + static_cast<size_t>(std::countr_zero(word)));
+              word &= word - 1;
+              by_slot[slot].push_back(i);
+            }
           }
         }
       }
@@ -392,6 +445,9 @@ void CjoinPipeline::DistributorPartLoop() {
       }
     }
 
+    // Retire the batch into the recycling pool before releasing the drain:
+    // its vectors keep their capacity for the preprocessor's next page.
+    batch_pool_.Release(std::move(batch));
     if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::unique_lock<std::mutex> lock(drain_mu_);
       drain_cv_.notify_all();

@@ -65,6 +65,10 @@ struct CjoinStats {
   uint64_t queries_admitted = 0;
   uint64_t queries_completed = 0;
   uint64_t fact_pages_scanned = 0;
+  /// Batch recycling pool hits/misses: a warm pipeline should show a hit
+  /// rate near 1 (zero per-batch heap allocation in steady state).
+  uint64_t batch_pool_hits = 0;
+  uint64_t batch_pool_misses = 0;
 };
 
 /// The always-on shared-operator pipeline evaluating all concurrent star
@@ -135,6 +139,10 @@ class CjoinPipeline {
   /// Blocks until no batch is in flight (pipeline paused).
   void DrainPipeline();
 
+  /// Rebalances in_flight_ for a batch dropped by a closed queue, so drain
+  /// waiters are not left hanging during shutdown.
+  void ForgetDroppedBatch();
+
   // The *Locked helpers require mu_ held and the pipeline drained.
   void DoCompletionsLocked();
   void DoAdmissionsLocked();
@@ -160,11 +168,15 @@ class CjoinPipeline {
   std::vector<uint32_t> dirty_slots_;
   std::vector<uint32_t> completions_due_;
   std::vector<std::unique_ptr<Filter>> filters_;
-  std::vector<size_t> filter_fk_idx_;  // fact-schema column of each FK
   CjoinStats stats_;
+  // Pool-counter snapshots taken at ResetStats so stats() reports per-run
+  // hit rates.
+  uint64_t pool_hits_base_ = 0;
+  uint64_t pool_misses_base_ = 0;
 
   BatchQueue to_filters_;
   BatchQueue to_distributor_;
+  BatchPool batch_pool_;
   std::atomic<int> in_flight_{0};
   std::mutex drain_mu_;
   std::condition_variable drain_cv_;

@@ -1,30 +1,150 @@
 #include "cjoin/tuple_batch.h"
 
+#include <bit>
+#include <chrono>
+
 namespace sdw::cjoin {
 
-void BatchQueue::Put(BatchPtr batch) {
-  std::unique_lock<std::mutex> lock(mu_);
-  put_cv_.wait(lock, [&] { return queue_.size() < capacity_ || closed_; });
-  if (closed_) return;
-  queue_.push_back(std::move(batch));
-  take_cv_.notify_one();
+namespace {
+// Backstop for the (theoretical) lost-wakeup window between a fast-path
+// ring operation and a waiter parking: waiters re-check at this cadence.
+constexpr std::chrono::milliseconds kWaitSlice{1};
+}  // namespace
+
+BatchQueue::BatchQueue(size_t capacity)
+    : capacity_(std::bit_ceil(capacity < 2 ? size_t{2} : capacity)),
+      mask_(capacity_ - 1),
+      slots_(new Slot[capacity_]) {
+  for (size_t i = 0; i < capacity_; ++i) {
+    slots_[i].seq.store(i, std::memory_order_relaxed);
+  }
+}
+
+bool BatchQueue::TryPut(BatchPtr* batch) {
+  size_t pos = tail_.load(std::memory_order_relaxed);
+  for (;;) {
+    Slot& s = slots_[pos & mask_];
+    const size_t seq = s.seq.load(std::memory_order_acquire);
+    const intptr_t dif =
+        static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+    if (dif == 0) {
+      if (tail_.compare_exchange_weak(pos, pos + 1,
+                                      std::memory_order_relaxed)) {
+        s.batch = std::move(*batch);
+        s.seq.store(pos + 1, std::memory_order_release);
+        return true;
+      }
+    } else if (dif < 0) {
+      return false;  // full
+    } else {
+      pos = tail_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+bool BatchQueue::TryTake(BatchPtr* batch) {
+  size_t pos = head_.load(std::memory_order_relaxed);
+  for (;;) {
+    Slot& s = slots_[pos & mask_];
+    const size_t seq = s.seq.load(std::memory_order_acquire);
+    const intptr_t dif =
+        static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+    if (dif == 0) {
+      if (head_.compare_exchange_weak(pos, pos + 1,
+                                      std::memory_order_relaxed)) {
+        *batch = std::move(s.batch);
+        s.seq.store(pos + capacity_, std::memory_order_release);
+        return true;
+      }
+    } else if (dif < 0) {
+      return false;  // empty
+    } else {
+      pos = head_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+bool BatchQueue::Put(BatchPtr batch) {
+  if (closed_.load(std::memory_order_acquire)) return false;
+  bool ok = TryPut(&batch);
+  if (!ok) {
+    // Full: park on the slow path until a consumer frees a slot or close.
+    std::unique_lock<std::mutex> lock(mu_);
+    waiting_producers_.fetch_add(1, std::memory_order_seq_cst);
+    for (;;) {
+      if (closed_.load(std::memory_order_acquire)) break;
+      if (TryPut(&batch)) {
+        ok = true;
+        break;
+      }
+      not_full_.wait_for(lock, kWaitSlice);
+    }
+    waiting_producers_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+  if (ok) {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (waiting_consumers_.load(std::memory_order_relaxed) != 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      not_empty_.notify_one();
+    }
+  }
+  return ok;
 }
 
 BatchPtr BatchQueue::Take() {
-  std::unique_lock<std::mutex> lock(mu_);
-  take_cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
-  if (queue_.empty()) return nullptr;
-  BatchPtr batch = std::move(queue_.front());
-  queue_.pop_front();
-  put_cv_.notify_one();
+  BatchPtr batch;
+  bool ok = TryTake(&batch);
+  if (!ok) {
+    std::unique_lock<std::mutex> lock(mu_);
+    waiting_consumers_.fetch_add(1, std::memory_order_seq_cst);
+    for (;;) {
+      if (TryTake(&batch)) {
+        ok = true;
+        break;
+      }
+      // Closed and (post-check) empty: drained. Producers must stop before
+      // Close for a complete drain; the pipeline joins them first.
+      if (closed_.load(std::memory_order_acquire)) break;
+      not_empty_.wait_for(lock, kWaitSlice);
+    }
+    waiting_consumers_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+  if (ok) {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (waiting_producers_.load(std::memory_order_relaxed) != 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      not_full_.notify_one();
+    }
+  }
   return batch;
 }
 
 void BatchQueue::Close() {
-  std::unique_lock<std::mutex> lock(mu_);
-  closed_ = true;
-  put_cv_.notify_all();
-  take_cv_.notify_all();
+  closed_.store(true, std::memory_order_seq_cst);
+  std::lock_guard<std::mutex> lock(mu_);
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+BatchPtr BatchPool::Acquire() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      BatchPtr batch = std::move(free_.back());
+      free_.pop_back();
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return batch;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_shared<TupleBatch>();
+}
+
+void BatchPool::Release(BatchPtr batch) {
+  if (batch == nullptr || batch.use_count() != 1) return;
+  batch->fact_page.reset();  // return the page to its owner promptly
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_.size() < max_cached_) free_.push_back(std::move(batch));
 }
 
 }  // namespace sdw::cjoin

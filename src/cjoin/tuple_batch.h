@@ -1,17 +1,19 @@
-// Annotated fact-tuple batches flowing through the CJOIN pipeline, and the
+// Annotated fact-tuple batches flowing through the CJOIN pipeline, the
 // bounded MPMC queue connecting the preprocessor, filter workers and
-// distributor parts (paper §2.5, Figure 4).
+// distributor parts (paper §2.5, Figure 4), and the batch recycling pool
+// that makes the steady-state pipeline allocation-free.
 
 #ifndef SDW_CJOIN_TUPLE_BATCH_H_
 #define SDW_CJOIN_TUPLE_BATCH_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "common/bitmap.h"
 #include "common/macros.h"
 #include "storage/page.h"
 
@@ -34,6 +36,11 @@ struct TupleBatch {
   std::vector<uint64_t> bits;
   /// num_tuples × num_filters joined dimension row ids (tuple-major).
   std::vector<uint32_t> dim_rows;
+  /// WordsFor(num_tuples) liveness words: bit t stays set while tuple t can
+  /// still match at least one query. Filters clear the bit the moment a
+  /// tuple's bitmap goes empty, so downstream stages skip dead tuples
+  /// without touching their (possibly multi-word) bitmap rows.
+  std::vector<uint64_t> live;
 
   uint64_t* tuple_bits(uint32_t t) { return bits.data() + t * words_per_tuple; }
   const uint64_t* tuple_bits(uint32_t t) const {
@@ -46,32 +53,109 @@ struct TupleBatch {
     return dim_rows.data() + t * num_filters;
   }
   const std::byte* fact_tuple(uint32_t t) const { return fact_page->tuple(t); }
+
+  uint64_t* live_words() { return live.data(); }
+  const uint64_t* live_words() const { return live.data(); }
+  bool tuple_live(uint32_t t) const { return bits::Test(live.data(), t); }
+  void kill_tuple(uint32_t t) { bits::Clear(live.data(), t); }
+
+  /// Sizes the annotation arrays for a page of `n` tuples, reusing whatever
+  /// capacity survived from the batch's previous life in the pool. All
+  /// tuples start live; `bits` content is left for the caller to fill.
+  void ResetFor(uint32_t n, uint32_t words, uint32_t filters) {
+    num_tuples = n;
+    words_per_tuple = words;
+    num_filters = filters;
+    bits.resize(static_cast<size_t>(n) * words);
+    dim_rows.assign(static_cast<size_t>(n) * filters, kNoDimRow);
+    live.resize(bits::WordsFor(n));
+    bits::FillOnes(live.data(), n);
+  }
 };
 
 using BatchPtr = std::shared_ptr<TupleBatch>;
 
 /// Bounded multi-producer / multi-consumer batch queue.
+///
+/// The common case — a slot is free to produce into / an item is ready to
+/// consume — runs on a lock-free bounded ring buffer (per-slot sequence
+/// numbers, Vyukov-style). The mutex + condition variables are touched only
+/// on the blocking slow path (queue full / queue empty / close).
 class BatchQueue {
  public:
-  explicit BatchQueue(size_t capacity) : capacity_(capacity) {}
+  /// `capacity` is rounded up to a power of two (min 2).
+  explicit BatchQueue(size_t capacity);
   SDW_DISALLOW_COPY(BatchQueue);
 
-  /// Blocks while full; no-op when closed.
-  void Put(BatchPtr batch);
+  /// Blocks while full. Returns true when the batch was enqueued; false when
+  /// the queue was closed first — the batch is dropped and the caller must
+  /// rebalance any in-flight accounting (see CjoinPipeline::DrainPipeline).
+  bool Put(BatchPtr batch);
 
   /// Blocks for the next batch; nullptr once closed and drained.
   BatchPtr Take();
 
-  /// Wakes all waiters; Take drains remaining batches then returns nullptr.
+  /// Wakes all waiters; Take drains remaining batches then returns nullptr,
+  /// Put returns false.
   void Close();
 
+  size_t capacity() const { return capacity_; }
+
  private:
-  const size_t capacity_;
+  struct Slot {
+    std::atomic<size_t> seq;
+    BatchPtr batch;
+  };
+
+  /// Non-blocking enqueue; false when the ring is full.
+  bool TryPut(BatchPtr* batch);
+  /// Non-blocking dequeue; false when the ring is empty.
+  bool TryTake(BatchPtr* batch);
+
+  const size_t capacity_;  // power of two
+  const size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  alignas(64) std::atomic<size_t> tail_{0};  // next Put ticket
+  alignas(64) std::atomic<size_t> head_{0};  // next Take ticket
+  alignas(64) std::atomic<bool> closed_{false};
+
+  // Slow path only. Waiter counts let the fast path skip the mutex when
+  // nobody is blocked; a seq_cst fence pairs the count check with the ring
+  // update (store-buffering), and the timed waits below are a backstop.
   std::mutex mu_;
-  std::condition_variable put_cv_;
-  std::condition_variable take_cv_;
-  std::deque<BatchPtr> queue_;
-  bool closed_ = false;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::atomic<int> waiting_producers_{0};
+  std::atomic<int> waiting_consumers_{0};
+};
+
+/// Recycling pool for TupleBatch objects: the preprocessor acquires, the
+/// distributor releases once a batch retires. Recycled batches keep their
+/// vector capacities, so a warm pipeline performs zero heap allocations per
+/// batch; the hit/miss counters make that steady state observable
+/// (CjoinStats::batch_pool_{hits,misses}).
+class BatchPool {
+ public:
+  /// At most `max_cached` idle batches are retained.
+  explicit BatchPool(size_t max_cached) : max_cached_(max_cached) {}
+  SDW_DISALLOW_COPY(BatchPool);
+
+  /// Pops a recycled batch, or allocates a fresh one (a pool miss).
+  BatchPtr Acquire();
+
+  /// Returns a retired batch to the pool (drops it when the pool is full or
+  /// someone else still holds a reference).
+  void Release(BatchPtr batch);
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  const size_t max_cached_;
+  std::mutex mu_;
+  std::vector<BatchPtr> free_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
 };
 
 }  // namespace sdw::cjoin

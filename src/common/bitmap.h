@@ -57,6 +57,19 @@ inline void AndWithOr(uint64_t* dst, const uint64_t* a, const uint64_t* b,
   for (size_t w = 0; w < nwords; ++w) dst[w] &= (a[w] | b[w]);
 }
 
+/// Fused filter kernel: dst &= (a | b), returning the OR of the resulting
+/// words — zero iff the span went empty. Saves the separate Any() pass on
+/// the multi-word filter path (the result words are still in registers).
+inline uint64_t AndWithOrAny(uint64_t* dst, const uint64_t* a,
+                             const uint64_t* b, size_t nwords) {
+  uint64_t acc = 0;
+  for (size_t w = 0; w < nwords; ++w) {
+    dst[w] &= (a[w] | b[w]);
+    acc |= dst[w];
+  }
+  return acc;
+}
+
 /// True if any bit is set in the span.
 inline bool Any(const uint64_t* words, size_t nwords) {
   for (size_t w = 0; w < nwords; ++w) {
@@ -80,6 +93,15 @@ inline void Zero(uint64_t* words, size_t nwords) {
 /// Copies `nwords` words from src to dst.
 inline void Copy(uint64_t* dst, const uint64_t* src, size_t nwords) {
   std::memcpy(dst, src, nwords * sizeof(uint64_t));
+}
+
+/// Sets the first `nbits` bits and clears any trailing bits of the last
+/// word, so word-granular scans of the span never see phantom set bits.
+inline void FillOnes(uint64_t* words, size_t nbits) {
+  const size_t full = nbits / 64;
+  for (size_t w = 0; w < full; ++w) words[w] = ~uint64_t{0};
+  const size_t rem = nbits % 64;
+  if (rem != 0) words[full] = (uint64_t{1} << rem) - 1;
 }
 
 /// Index of the lowest set bit at or after `from`, or `nbits` if none.

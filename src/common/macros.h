@@ -41,6 +41,15 @@
   } while (0)
 #endif
 
+/// Best-effort read prefetch of the cache line holding `addr` (no-op on
+/// compilers without __builtin_prefetch). Used by batch-at-a-time probe
+/// loops to overlap dependent hash-bucket loads.
+#if defined(__GNUC__) || defined(__clang__)
+#define SDW_PREFETCH(addr) __builtin_prefetch((addr), 0, 1)
+#else
+#define SDW_PREFETCH(addr) ((void)(addr))
+#endif
+
 /// Deletes copy constructor and copy assignment for `TypeName`.
 #define SDW_DISALLOW_COPY(TypeName)      \
   TypeName(const TypeName&) = delete;    \

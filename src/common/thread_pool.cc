@@ -21,8 +21,12 @@ void ThreadPool::Submit(std::function<void()> task) {
   SDW_CHECK_MSG(!shutdown_, "Submit on shut-down pool %s", name_.c_str());
   queue_.push_back(std::move(task));
   ++active_tasks_;
+  // Spawn unless the queued tasks are already covered by distinct idle
+  // workers. Comparing against the whole queue (not just "is anyone idle")
+  // matters: tasks are packets that may block for their entire lifetime, so
+  // two tasks sharing one worker can deadlock an operator pipeline.
   const bool need_worker =
-      idle_workers_ == 0 &&
+      idle_workers_ < queue_.size() &&
       (max_threads_ == 0 || threads_.size() < max_threads_);
   if (need_worker) {
     threads_.emplace_back([this] { WorkerLoop(); });

@@ -91,8 +91,12 @@ class Engine {
 
  private:
   const EngineOptions options_;
-  std::unique_ptr<cjoin::CjoinPipeline> pipeline_;
+  // Destruction order (reverse of declaration) is load-bearing: the staged
+  // engine goes first (drains queries), then the GQP pipeline (joins its
+  // threads, which may still be running completion hooks), and the CJOIN
+  // stage — whose SP registry those hooks call into — strictly last.
   std::unique_ptr<CjoinStage> cjoin_stage_;
+  std::unique_ptr<cjoin::CjoinPipeline> pipeline_;
   std::unique_ptr<qpipe::QpipeEngine> qpipe_;
 };
 

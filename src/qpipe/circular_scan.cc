@@ -46,10 +46,17 @@ class CircularScanService::CycleLimitedReader : public core::PageSource {
   void CancelReader() override {
     if (done_) return;
     done_ = true;
+    // Drop the service's consumer count BEFORE detaching from the SPL:
+    // in the reverse order the service sees work pending while the SPL has
+    // no readers, so its Put degenerates to a non-blocking drop and the
+    // scan free-runs the cursor (wasted page fetches) until this thread
+    // gets the service lock.
+    {
+      std::unique_lock<std::mutex> lock(service_->mu_);
+      SDW_DCHECK(service_->pull_consumers_ > 0);
+      --service_->pull_consumers_;
+    }
     reader_->CancelReader();
-    std::unique_lock<std::mutex> lock(service_->mu_);
-    SDW_DCHECK(service_->pull_consumers_ > 0);
-    --service_->pull_consumers_;
   }
 
  private:

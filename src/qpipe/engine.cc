@@ -117,8 +117,12 @@ std::unique_ptr<core::PageSource> QpipeEngine::BuildProducer(
     inputs->push_back(BuildProducer(ctx, child.get(), deferred));
   }
 
-  deferred->push_back([this, node, ex, inputs, sp_on, stage] {
-    stage->pool.Submit([this, node, ex, inputs, sp_on, stage] {
+  // The packet closure shares ownership of the query context: `node` points
+  // into ctx->plan, and the submitting client may drop its handle as soon as
+  // the results drain — which can happen between our Close() and the
+  // registry Unregister below (or even mid-operator for a fast consumer).
+  deferred->push_back([this, ctx, node, ex, inputs, sp_on, stage] {
+    stage->pool.Submit([this, ctx, node, ex, inputs, sp_on, stage] {
       RunPacket(node, ex.get(), *inputs);
       ex->sink()->Close();
       if (sp_on) stage->registry.Unregister(node->signature, ex.get());

@@ -60,6 +60,16 @@ class Int64HashTable {
     return n;
   }
 
+  /// ProbeBatch result for keys with no matching entry.
+  static constexpr uint64_t kMissValue = ~uint64_t{0};
+
+  /// Batch-at-a-time probe: hashes the whole key array, software-prefetches
+  /// bucket heads (and first chain nodes) in groups, then resolves chains.
+  /// out_values[i] receives the value of the first matching entry in chain
+  /// order, or kMissValue. For unique-key tables (e.g. the CJOIN filters,
+  /// keyed by dimension PKs) this is the unique match.
+  void ProbeBatch(const int64_t* keys, size_t n, uint64_t* out_values) const;
+
   /// All stored entries, for whole-table iteration (CJOIN admission).
   struct Entry {
     uint64_t hash;

@@ -1,0 +1,76 @@
+// Unit tests for the bit-manipulation primitives, including the tail-masked
+// FillOnes used by the CJOIN live-tuple masks.
+
+#include "common/bitmap.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "common/macros.h"
+
+using namespace sdw;
+
+static void TestSetClearTest() {
+  uint64_t w[3] = {0, 0, 0};
+  bits::Set(w, 0);
+  bits::Set(w, 63);
+  bits::Set(w, 64);
+  bits::Set(w, 150);
+  SDW_CHECK(bits::Test(w, 0) && bits::Test(w, 63) && bits::Test(w, 64) &&
+            bits::Test(w, 150));
+  SDW_CHECK(!bits::Test(w, 1) && !bits::Test(w, 149));
+  SDW_CHECK(bits::Popcount(w, 3) == 4);
+  bits::Clear(w, 63);
+  SDW_CHECK(!bits::Test(w, 63));
+  SDW_CHECK(bits::Any(w, 3));
+  bits::Zero(w, 3);
+  SDW_CHECK(!bits::Any(w, 3));
+}
+
+static void TestAndKernels() {
+  const uint64_t orig[2] = {0xFF00FF00FF00FF00ULL, 0x0123456789ABCDEFULL};
+  const uint64_t a[2] = {0x00FF00FF00FF00FFULL, 0xFFFF0000FFFF0000ULL};
+  const uint64_t b[2] = {0xF0F0F0F0F0F0F0F0ULL, 0x0000FFFF0000FFFFULL};
+  uint64_t and_or[2] = {orig[0], orig[1]};
+  bits::AndWithOr(and_or, a, b, 2);
+  for (int i = 0; i < 2; ++i) SDW_CHECK(and_or[i] == (orig[i] & (a[i] | b[i])));
+  uint64_t plain[2] = {orig[0], orig[1]};
+  bits::AndWith(plain, a, 2);
+  for (int i = 0; i < 2; ++i) SDW_CHECK(plain[i] == (orig[i] & a[i]));
+}
+
+static void TestFillOnes() {
+  for (size_t nbits : {size_t{1}, size_t{63}, size_t{64}, size_t{65},
+                       size_t{127}, size_t{128}, size_t{200}}) {
+    const size_t nwords = bits::WordsFor(nbits);
+    std::vector<uint64_t> w(nwords, 0xDEADBEEFDEADBEEFULL);
+    bits::FillOnes(w.data(), nbits);
+    SDW_CHECK(bits::Popcount(w.data(), nwords) == nbits);
+    for (size_t i = 0; i < nbits; ++i) SDW_CHECK(bits::Test(w.data(), i));
+    // No phantom bits beyond nbits in the last word.
+    for (size_t i = nbits; i < nwords * 64; ++i) {
+      SDW_CHECK(!bits::Test(w.data(), i));
+    }
+  }
+}
+
+static void TestFindNextSet() {
+  Bitset s(130);
+  s.Set(3);
+  s.Set(64);
+  s.Set(129);
+  SDW_CHECK(s.FindNextSet(0) == 3);
+  SDW_CHECK(s.FindNextSet(4) == 64);
+  SDW_CHECK(s.FindNextSet(65) == 129);
+  SDW_CHECK(s.FindNextSet(130) == 130);
+  SDW_CHECK(s.Count() == 3);
+}
+
+int main() {
+  TestSetClearTest();
+  TestAndKernels();
+  TestFillOnes();
+  TestFindNextSet();
+  std::printf("bitmap_test: OK\n");
+  return 0;
+}

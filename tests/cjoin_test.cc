@@ -46,12 +46,12 @@ TEST(Filter, MatchAndPassSemantics) {
   // Process one fact page with all three bits set.
   auto batch = std::make_shared<TupleBatch>();
   batch->fact_page = fact->SharePage(0);
-  batch->num_tuples = batch->fact_page->tuple_count();
-  batch->words_per_tuple = 1;
-  batch->num_filters = 1;
-  batch->bits.assign(batch->num_tuples, 0b111);
-  batch->dim_rows.assign(batch->num_tuples, kNoDimRow);
-  filter.Process(batch.get(), fs, fs.MustColumnIndex("lo_suppkey"));
+  batch->ResetFor(batch->fact_page->tuple_count(), /*words=*/1,
+                  /*filters=*/1);
+  std::fill(batch->bits.begin(), batch->bits.end(), 0b111);
+  filter.BindFactColumn(fs);
+  FilterScratch scratch;
+  filter.Process(batch.get(), &scratch);
 
   const storage::Schema& ss = supplier->schema();
   const size_t nation_col = ss.MustColumnIndex("s_nation");
@@ -86,14 +86,15 @@ TEST(Filter, CleanSlotRemovesStaleBits) {
   const storage::Schema& fs = fact->schema();
   auto batch = std::make_shared<TupleBatch>();
   batch->fact_page = fact->SharePage(0);
-  batch->num_tuples = batch->fact_page->tuple_count();
-  batch->words_per_tuple = 1;
-  batch->num_filters = 1;
-  batch->bits.assign(batch->num_tuples, 1ull << 5);
-  batch->dim_rows.assign(batch->num_tuples, kNoDimRow);
-  filter.Process(batch.get(), fs, fs.MustColumnIndex("lo_suppkey"));
+  batch->ResetFor(batch->fact_page->tuple_count(), /*words=*/1,
+                  /*filters=*/1);
+  std::fill(batch->bits.begin(), batch->bits.end(), 1ull << 5);
+  filter.BindFactColumn(fs);
+  FilterScratch scratch;
+  filter.Process(batch.get(), &scratch);
   for (uint32_t i = 0; i < batch->num_tuples; ++i) {
     EXPECT_EQ(batch->bits[i], 0u);
+    EXPECT_FALSE(batch->tuple_live(i));  // filtered tuples are killed too
   }
 }
 
