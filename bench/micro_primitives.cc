@@ -1,9 +1,11 @@
 // Google-benchmark microbenchmarks for the primitives underlying the paper's
 // effects: page transport (FIFO put/get, SPL put/get with N readers, the
 // push-model deep copy), query-bitmap operations (the shared-operator
-// bookkeeping), hash table build/probe, predicate evaluation, and the CJOIN
+// bookkeeping), hash table build/probe, predicate evaluation, the CJOIN
 // filter hot path (scalar reference vs. the batched/prefetching
-// implementation, plus the steady-state batch recycling rate). These are the
+// implementation), the distributor slot-grouping hot path (per-batch map vs.
+// the recycled arena scratch), admission latency (serial vs. one-scan
+// batched epochs), and the steady-state recycling rates. These are the
 // ablation-level numbers behind the figure-level benches; see bench/README.md
 // for how to read the Hashing/Joins buckets and the baseline workflow.
 
@@ -11,8 +13,10 @@
 
 #include <cstring>
 #include <thread>
+#include <unordered_map>
 
 #include "cjoin/filter.h"
+#include "cjoin/pipeline.h"
 #include "cjoin/tuple_batch.h"
 #include "common/bitmap.h"
 #include "common/rng.h"
@@ -382,6 +386,161 @@ void BM_FilterProcessBatched(benchmark::State& state) {
 }
 BENCHMARK(BM_FilterProcessBatched)->Arg(64)->Arg(256)->UseManualTime();
 
+// ---------------------------------------------------------------------------
+// CJOIN distributor hot path: grouping a batch's live tuples by query slot.
+// Scalar = the seed's per-batch rebuilt unordered_map<slot, vector>; batched
+// = the recycled flat counting-sort scratch (DistributorScratch). The
+// acceptance bar for the rework was batched >= 1.3x scalar tuples/sec at 64
+// slots. Arg = query slots (64 -> one bitmap word, 256 -> four).
+
+class DistributorFixture {
+ public:
+  static constexpr uint32_t kTuplesPerBatch = 4096;
+  static constexpr size_t kBatches = 8;
+
+  explicit DistributorFixture(size_t slots) {
+    Rng rng(13);
+    const size_t words = bits::WordsFor(slots);
+    // Mimic a post-filter population: ~1/8 of the slots active, ~70% of the
+    // tuples still live, each live tuple matching a random subset of the
+    // active slots.
+    std::vector<uint32_t> active;
+    for (size_t s = 0; s < slots; ++s) {
+      if (s % 8 == 0) active.push_back(static_cast<uint32_t>(s));
+    }
+    for (size_t b = 0; b < kBatches; ++b) {
+      auto batch = std::make_shared<cjoin::TupleBatch>();
+      batch->ResetFor(kTuplesPerBatch, static_cast<uint32_t>(words), 1);
+      for (uint32_t i = 0; i < kTuplesPerBatch; ++i) {
+        uint64_t* tb = batch->tuple_bits(i);
+        bits::Zero(tb, words);
+        if (rng.Bernoulli(0.7)) {
+          for (uint32_t s : active) {
+            if (rng.Bernoulli(0.5)) bits::Set(tb, s);
+          }
+        }
+        if (!bits::Any(tb, words)) batch->kill_tuple(i);
+      }
+      tuples_per_pass_ += kTuplesPerBatch;
+      batches_.push_back(std::move(batch));
+    }
+  }
+
+  static DistributorFixture& Get(size_t slots) {
+    static DistributorFixture f64(64);
+    static DistributorFixture f256(256);
+    return slots == 64 ? f64 : f256;
+  }
+
+  uint64_t tuples_per_pass_ = 0;
+  std::vector<cjoin::BatchPtr> batches_;
+};
+
+void BM_DistributePartScalar(benchmark::State& state) {
+  DistributorFixture& f =
+      DistributorFixture::Get(static_cast<size_t>(state.range(0)));
+  std::unordered_map<uint32_t, std::vector<uint32_t>> by_slot;
+  uint64_t pairs = 0;
+  for (auto _ : state) {
+    for (const auto& b : f.batches_) {
+      cjoin::DistributePartScalar(*b, &by_slot);
+      pairs += by_slot.size();
+    }
+  }
+  benchmark::DoNotOptimize(pairs);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.tuples_per_pass_));
+}
+BENCHMARK(BM_DistributePartScalar)->Arg(64)->Arg(256);
+
+void BM_DistributePartBatched(benchmark::State& state) {
+  DistributorFixture& f =
+      DistributorFixture::Get(static_cast<size_t>(state.range(0)));
+  cjoin::DistributorScratch scratch;
+  uint64_t pairs = 0;
+  for (auto _ : state) {
+    for (const auto& b : f.batches_) {
+      pairs += cjoin::DistributePartBatched(*b, &scratch);
+    }
+  }
+  benchmark::DoNotOptimize(pairs);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.tuples_per_pass_));
+  state.counters["scratch_grows"] = static_cast<double>(scratch.grows);
+}
+BENCHMARK(BM_DistributePartBatched)->Arg(64)->Arg(256);
+
+// ---------------------------------------------------------------------------
+// Admission latency: K pending queries admitted serially (one dimension scan
+// each, the seed behavior) vs. as one AdmitQueryBatch epoch (ONE scan for
+// all K). items/sec is admitted queries; the batched side should scale with
+// K while serial stays flat.
+
+class AdmissionFixture {
+ public:
+  static constexpr int64_t kDimRows = 30000;
+
+  AdmissionFixture() {
+    Rng rng(99);
+    storage::Schema dim_schema(
+        {storage::Schema::Int32("pk"), storage::Schema::Int32("attr")});
+    dim_ = std::make_unique<storage::Table>("dim", dim_schema);
+    for (int64_t r = 0; r < kDimRows; ++r) {
+      std::byte* row = dim_->AppendRow();
+      dim_schema.SetInt32(row, 0, static_cast<int32_t>(r));
+      dim_schema.SetInt32(row, 1, static_cast<int32_t>(rng.Uniform(0, 99)));
+    }
+    device_ = std::make_unique<storage::StorageDevice>(storage::DeviceOptions{});
+    pool_ = std::make_unique<storage::BufferPool>(device_.get(), 0);
+    for (size_t k = 0; k < 64; ++k) {
+      query::Predicate p;
+      p.And(query::AtomicPred::Int("attr", query::CompareOp::kLe,
+                                   static_cast<int64_t>(rng.Uniform(20, 90))));
+      preds_.push_back(std::move(p));
+    }
+  }
+
+  static AdmissionFixture& Get() {
+    static AdmissionFixture f;
+    return f;
+  }
+
+  std::unique_ptr<storage::Table> dim_;
+  std::unique_ptr<storage::StorageDevice> device_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::vector<query::Predicate> preds_;
+};
+
+void BM_AdmitSerial(benchmark::State& state) {
+  AdmissionFixture& f = AdmissionFixture::Get();
+  const size_t k = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    cjoin::Filter filter(f.dim_.get(), "fk", "pk", 0, 64);
+    for (size_t q = 0; q < k; ++q) {
+      filter.AdmitQuery(static_cast<uint32_t>(q), f.preds_[q], f.pool_.get());
+    }
+    benchmark::DoNotOptimize(filter.num_entries());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(k));
+}
+BENCHMARK(BM_AdmitSerial)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_AdmitBatched(benchmark::State& state) {
+  AdmissionFixture& f = AdmissionFixture::Get();
+  const size_t k = static_cast<size_t>(state.range(0));
+  std::vector<cjoin::Filter::AdmitRequest> reqs;
+  for (size_t q = 0; q < k; ++q) {
+    reqs.push_back({static_cast<uint32_t>(q), &f.preds_[q]});
+  }
+  for (auto _ : state) {
+    cjoin::Filter filter(f.dim_.get(), "fk", "pk", 0, 64);
+    filter.AdmitQueryBatch(reqs.data(), reqs.size(), f.pool_.get());
+    benchmark::DoNotOptimize(filter.num_entries());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(k));
+}
+BENCHMARK(BM_AdmitBatched)->Arg(1)->Arg(8)->Arg(32);
+
 // Steady-state CJOIN pipeline over a small SSB instance: items/sec is fact
 // pages through the GQP; the pool_hit_rate counter is the batch recycling
 // rate (1.0 == zero per-batch heap allocation on a warm pipeline).
@@ -403,12 +562,15 @@ void BM_CjoinPipelineSteady(benchmark::State& state) {
   harness::RunBatch(&engine, &pool, queries, true, nullptr);
 
   uint64_t pages = 0, hits = 0, misses = 0;
+  uint64_t scratch_reuses = 0, scratch_grows = 0;
   for (auto _ : state) {
     harness::RunMetrics m =
         harness::RunBatch(&engine, &pool, queries, true, nullptr);
     pages += m.cjoin.fact_pages_scanned;
     hits += m.cjoin.batch_pool_hits;
     misses += m.cjoin.batch_pool_misses;
+    scratch_reuses += m.cjoin.distributor_scratch_reuses;
+    scratch_grows += m.cjoin.distributor_scratch_grows;
   }
   state.SetItemsProcessed(static_cast<int64_t>(pages));
   state.counters["pool_hit_rate"] =
@@ -416,6 +578,13 @@ void BM_CjoinPipelineSteady(benchmark::State& state) {
           ? 0.0
           : static_cast<double>(hits) / static_cast<double>(hits + misses);
   state.counters["pool_misses"] = static_cast<double>(misses);
+  // Distributor analogue of the pool hit rate: 1.0 means the grouping
+  // scratch never grew (zero per-batch heap allocation) on the warm runs.
+  state.counters["scratch_reuse_rate"] =
+      scratch_reuses + scratch_grows == 0
+          ? 0.0
+          : static_cast<double>(scratch_reuses) /
+                static_cast<double>(scratch_reuses + scratch_grows);
 }
 // Real time: the pipeline's work happens in its own threads, so CPU-time
 // budgeting would run this for far more iterations than needed.

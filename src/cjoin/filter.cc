@@ -23,19 +23,26 @@ Filter::Filter(const storage::Table* dim_table, std::string fact_fk_column,
   entry_bits_.resize(words_, 0);
 }
 
-void Filter::AdmitQuery(uint32_t slot, const query::Predicate& pred,
-                        storage::BufferPool* pool) {
+void Filter::AdmitQueryBatch(const AdmitRequest* reqs, size_t n,
+                             storage::BufferPool* pool) {
+  if (n == 0) return;
   const storage::Schema& schema = dim_table_->schema();
-  const query::Predicate::Bound bound = pred.Bind(schema);
+  // Bind every pending predicate once; the scan below is then the only pass
+  // over the dimension for the whole admission epoch.
+  std::vector<query::Predicate::Bound> bounds;
+  bounds.reserve(n);
+  for (size_t r = 0; r < n; ++r) bounds.push_back(reqs[r].pred->Bind(schema));
 
-  // Index existing entries by dimension row for fast bit setting.
-  // (Entries are keyed by PK; PKs are unique per dimension, so at most one
-  // entry per row exists.) The scan+selection work is charged to kScans at
-  // page granularity — per-row timers would dominate admission cost.
-  // Drop the sentinel entry while the arrays grow; re-appended below.
+  // Entries are keyed by PK; PKs are unique per dimension, so at most one
+  // entry per row exists — a tuple selected by several pending queries
+  // resolves its entry once and sets all their bits. The scan+selection work
+  // is charged to kScans at page granularity — per-row timers would dominate
+  // admission cost. Drop the sentinel entry while the arrays grow;
+  // re-appended below.
   entry_rows_.pop_back();
   entry_bits_.resize(entry_bits_.size() - words_);
 
+  constexpr uint32_t kNoEntry = ~uint32_t{0};
   storage::TableScanCursor cursor(dim_table_, pool);
   uint64_t row_base = 0;
   while (true) {
@@ -46,22 +53,28 @@ void Filter::AdmitQuery(uint32_t slot, const query::Predicate& pred,
     }
     if (page == nullptr) break;
     ScopedComponentTimer t(Component::kScans);
-    const uint32_t n = page->tuple_count();
-    for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t count = page->tuple_count();
+    for (uint32_t i = 0; i < count; ++i) {
       const std::byte* tuple = page->tuple(i);
-      if (!bound.IsTrue() && !bound.Eval(schema, tuple)) continue;
-      const uint32_t row = static_cast<uint32_t>(row_base + i);
-      const int64_t pk = schema.GetIntAny(tuple, dim_pk_col_idx_);
-      auto [it, inserted] = pk_to_entry_.try_emplace(
-          pk, static_cast<uint32_t>(entry_rows_.size()));
-      if (inserted) {
-        entry_rows_.push_back(row);
-        entry_bits_.resize(entry_bits_.size() + words_, 0);
-        ht_.Insert(qpipe::HashKey(pk), pk, it->second);
+      uint32_t entry = kNoEntry;  // resolved by the first selecting query
+      for (size_t r = 0; r < n; ++r) {
+        if (!bounds[r].IsTrue() && !bounds[r].Eval(schema, tuple)) continue;
+        if (entry == kNoEntry) {
+          const uint32_t row = static_cast<uint32_t>(row_base + i);
+          const int64_t pk = schema.GetIntAny(tuple, dim_pk_col_idx_);
+          auto [it, inserted] = pk_to_entry_.try_emplace(
+              pk, static_cast<uint32_t>(entry_rows_.size()));
+          if (inserted) {
+            entry_rows_.push_back(row);
+            entry_bits_.resize(entry_bits_.size() + words_, 0);
+            ht_.Insert(qpipe::HashKey(pk), pk, it->second);
+          }
+          entry = it->second;
+        }
+        bits::Set(entry_bits_.data() + entry * words_, reqs[r].slot);
       }
-      bits::Set(entry_bits_.data() + it->second * words_, slot);
     }
-    row_base += n;
+    row_base += count;
   }
   entry_rows_.push_back(kNoDimRow);                    // sentinel
   entry_bits_.resize(entry_bits_.size() + words_, 0);  // sentinel
@@ -69,6 +82,7 @@ void Filter::AdmitQuery(uint32_t slot, const query::Predicate& pred,
     ScopedComponentTimer t(Component::kHashing);
     ht_.Build();
   }
+  admission_scans_.Add(1);
 }
 
 void Filter::CleanSlot(uint32_t slot) {

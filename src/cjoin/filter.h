@@ -18,6 +18,7 @@
 
 #include "cjoin/tuple_batch.h"
 #include "common/bitmap.h"
+#include "common/stats.h"
 #include "qpipe/hash_table.h"
 #include "query/predicate.h"
 #include "storage/buffer_pool.h"
@@ -55,11 +56,34 @@ class Filter {
     return dim == dim_table_ && fk == fact_fk_column_ && pk == dim_pk_column_;
   }
 
-  /// Admission: scans the dimension (through the buffer pool), evaluates the
-  /// query's predicate, and sets the query's bit on every selected tuple.
-  /// Called only while the pipeline is paused.
+  /// One pending admission of a batched admission epoch: the query's slot
+  /// and its selection on this dimension. The predicate must stay alive for
+  /// the duration of the AdmitQueryBatch call.
+  struct AdmitRequest {
+    uint32_t slot;
+    const query::Predicate* pred;
+  };
+
+  /// Batched admission: ONE scan of the dimension (through the buffer pool)
+  /// serves every pending query in `reqs` — each tuple is evaluated against
+  /// all pending predicates and the bits of the matching queries' slots are
+  /// set, so an admission pause costs one scan per dimension however many
+  /// queries were waiting (SharedDB-style amortization). Called only while
+  /// the pipeline is paused.
+  void AdmitQueryBatch(const AdmitRequest* reqs, size_t n,
+                       storage::BufferPool* pool);
+
+  /// Single-query admission: a batch of one.
   void AdmitQuery(uint32_t slot, const query::Predicate& pred,
-                  storage::BufferPool* pool);
+                  storage::BufferPool* pool) {
+    const AdmitRequest req{slot, &pred};
+    AdmitQueryBatch(&req, 1, pool);
+  }
+
+  /// Dimension scans performed by admissions — one per AdmitQueryBatch call
+  /// regardless of how many queries the batch carried. The stress tests
+  /// assert one scan per dimension per admission epoch through this counter.
+  uint64_t admission_scans() const { return admission_scans_.value(); }
 
   /// Marks `slot` as not referencing this dimension (pass-through).
   void SetPass(uint32_t slot) { pass_mask_.Set(slot); }
@@ -113,6 +137,7 @@ class Filter {
   std::vector<uint32_t> entry_rows_;    // dim row id per entry (+ sentinel)
   std::vector<uint64_t> entry_bits_;    // words_ match bits per entry (+")
   Bitset pass_mask_;
+  Counter admission_scans_;
 
   size_t dim_pk_col_idx_;
 

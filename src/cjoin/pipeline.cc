@@ -80,6 +80,12 @@ CjoinStats CjoinPipeline::stats() const {
   CjoinStats s = stats_;
   s.batch_pool_hits = batch_pool_.hits() - pool_hits_base_;
   s.batch_pool_misses = batch_pool_.misses() - pool_misses_base_;
+  s.distributor_scratch_reuses =
+      dist_scratch_reuses_.value() - dist_reuses_base_;
+  s.distributor_scratch_grows = dist_scratch_grows_.value() - dist_grows_base_;
+  uint64_t scans = 0;
+  for (const auto& f : filters_) scans += f->admission_scans();
+  s.admission_dim_scans = scans - admission_scans_base_;
   return s;
 }
 
@@ -88,6 +94,10 @@ void CjoinPipeline::ResetStats() {
   stats_ = CjoinStats{};
   pool_hits_base_ = batch_pool_.hits();
   pool_misses_base_ = batch_pool_.misses();
+  dist_reuses_base_ = dist_scratch_reuses_.value();
+  dist_grows_base_ = dist_scratch_grows_.value();
+  admission_scans_base_ = 0;
+  for (const auto& f : filters_) admission_scans_base_ += f->admission_scans();
 }
 
 size_t CjoinPipeline::num_filters() const {
@@ -216,7 +226,7 @@ void CjoinPipeline::CompleteQueryLocked(uint32_t slot) {
   SDW_CHECK(aq != nullptr);
   {
     std::unique_lock<std::mutex> out_lock(aq->out_mu);
-    aq->writer->Flush();
+    aq->out_buf.DrainInto(aq->sink.get());
     aq->sink->Close();
   }
   if (aq->on_complete) aq->on_complete();
@@ -306,26 +316,49 @@ void CjoinPipeline::BuildProjection(const query::StarQuery& q,
 void CjoinPipeline::DoAdmissionsLocked() {
   if (pending_.empty()) return;
   WallTimer timer;
+
+  // Phase 1 — materialize: allocate slots, build the ActiveQuery state, and
+  // create/look up every referenced filter, grouping the epoch's pending
+  // (slot, predicate) pairs by filter so phase 3 runs ONE dimension scan
+  // per filter for the whole epoch, however many queries were waiting.
+  std::vector<uint32_t> epoch_slots;
+  epoch_slots.reserve(pending_.size());
+  std::vector<std::pair<Filter*, std::vector<Filter::AdmitRequest>>> scans;
   for (auto& p : pending_) {
     const uint32_t slot = AllocSlotLocked();
     auto aq = std::make_unique<ActiveQuery>();
     aq->slot = slot;
     aq->q = p.q;
     aq->out_schema = std::move(p.out_schema);
+    aq->out_tuple_size = aq->out_schema.tuple_size();
     aq->sink = std::move(p.sink);
     aq->on_complete = std::move(p.on_complete);
-    aq->fact_pred = p.q.fact_pred.Bind(fact_->schema());
-    aq->writer = std::make_unique<qpipe::PageWriter>(
-        aq->sink.get(), aq->out_schema.tuple_size());
-
-    // Update / extend filters: scan the dimensions, set this query's bits.
-    for (const auto& dim : p.q.dims) {
-      GetOrCreateFilterLocked(dim)->AdmitQuery(slot, dim.pred, pool_);
+    aq->fact_pred = aq->q.fact_pred.Bind(fact_->schema());
+    slots_[slot] = std::move(aq);
+    epoch_slots.push_back(slot);
+    // The predicate pointers reference the ActiveQuery's own copy of the
+    // query, which stays put in slots_ through the phase-3 scans.
+    for (const auto& dim : slots_[slot]->q.dims) {
+      Filter* f = GetOrCreateFilterLocked(dim);
+      auto it = std::find_if(scans.begin(), scans.end(),
+                             [f](const auto& e) { return e.first == f; });
+      if (it == scans.end()) {
+        scans.emplace_back(f, std::vector<Filter::AdmitRequest>{});
+        it = std::prev(scans.end());
+      }
+      it->second.push_back({slot, &dim.pred});
     }
-    // Mark pass-through on every filter the query does not reference.
+  }
+  pending_.clear();
+
+  // Phase 2 — wire the GQP: every filter the epoch needed now exists, so
+  // pass-through masks and projection plans see filters created by *any*
+  // query of the epoch, not only earlier-submitted ones.
+  for (uint32_t slot : epoch_slots) {
+    ActiveQuery* aq = slots_[slot].get();
     for (auto& f : filters_) {
       bool referenced = false;
-      for (const auto& dim : p.q.dims) {
+      for (const auto& dim : aq->q.dims) {
         if (f->Matches(catalog_->MustGetTable(dim.dim_table),
                        dim.fact_fk_column, dim.dim_pk_column)) {
           referenced = true;
@@ -334,21 +367,27 @@ void CjoinPipeline::DoAdmissionsLocked() {
       }
       if (!referenced) f->SetPass(slot);
     }
+    BuildProjection(aq->q, aq->out_schema, aq);
+  }
 
-    BuildProjection(p.q, aq->out_schema, aq.get());
+  // Phase 3 — one scan per referenced dimension for the whole epoch (the
+  // SharedDB-style amortized admission; stat-asserted by the stress test).
+  for (auto& [f, reqs] : scans) {
+    f->AdmitQueryBatch(reqs.data(), reqs.size(), pool_);
+  }
 
-    // Point of entry: the circular scan's current position; the query
-    // completes after one full cycle.
+  // Phase 4 — activate: point of entry is the circular scan's current
+  // position; each query completes after one full cycle.
+  for (uint32_t slot : epoch_slots) {
+    ActiveQuery* aq = slots_[slot].get();
     aq->pages_remaining = fact_->num_pages();
-    slots_[slot] = std::move(aq);
     active_mask_.Set(slot);
     ++active_count_;
     ++stats_.queries_admitted;
-    if (slots_[slot]->pages_remaining == 0) {
+    if (aq->pages_remaining == 0) {
       CompleteQueryLocked(slot);  // empty fact table: nothing to join
     }
   }
-  pending_.clear();
   ++stats_.admission_batches;
   stats_.admission_seconds += timer.ElapsedSeconds();
 }
@@ -369,79 +408,212 @@ void CjoinPipeline::FilterWorkerLoop() {
 
 // --------------------------------------------------------- distributor parts
 
+namespace {
+
+/// Applies `fn(tuple_index, slot)` to every set query bit of every live
+/// tuple — the scalar reference's (slot, tuple) pair enumeration. The
+/// batched path (DistributePartBatched) carries its own copy of this decode
+/// loop because it fuses the `seen[w] |= word` touched-slot OR into it;
+/// changes to the walk order or slot decoding must be mirrored there (the
+/// differential test pins the two against each other). Walking the live
+/// mask first makes fully-filtered tuples cost one skipped mask bit instead
+/// of `words` bitmap loads each.
+template <typename Fn>
+inline void ForEachLiveSlotPair(const TupleBatch& batch, Fn&& fn) {
+  const size_t words = batch.words_per_tuple;
+  const uint64_t* live = batch.live_words();
+  const size_t live_words = bits::WordsFor(batch.num_tuples);
+  for (size_t lw = 0; lw < live_words; ++lw) {
+    uint64_t lword = live[lw];
+    while (lword != 0) {
+      const uint32_t i = static_cast<uint32_t>(
+          lw * 64 + static_cast<size_t>(std::countr_zero(lword)));
+      lword &= lword - 1;
+      const uint64_t* tb = batch.tuple_bits(i);
+      if (words == 1) {
+        // ≤64-slot fast path: single-word slot extraction.
+        uint64_t word = tb[0];
+        while (word != 0) {
+          fn(i, static_cast<uint32_t>(std::countr_zero(word)));
+          word &= word - 1;
+        }
+        continue;
+      }
+      for (size_t w = 0; w < words; ++w) {
+        uint64_t word = tb[w];
+        while (word != 0) {
+          fn(i, static_cast<uint32_t>(
+                    w * 64 + static_cast<size_t>(std::countr_zero(word))));
+          word &= word - 1;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+size_t DistributePartBatched(const TupleBatch& batch,
+                             DistributorScratch* scratch) {
+  // Capacity snapshot: any growth below makes this an allocating batch.
+  const size_t cap_arena = scratch->arena.capacity();
+  const size_t cap_counts = scratch->counts.capacity();
+  const size_t cap_touched = scratch->touched.capacity();
+  const size_t cap_seen = scratch->seen.capacity();
+
+  // Reset: zero only the cursors the previous batch touched, so the
+  // per-batch cost is O(active slots), not O(slot capacity).
+  for (uint32_t s : scratch->touched) scratch->counts[s] = 0;
+  scratch->touched.clear();
+  const size_t words = batch.words_per_tuple;
+  const size_t max_slots = words * 64;
+  if (scratch->counts.size() < max_slots) {
+    scratch->counts.resize(max_slots, 0);
+  }
+  scratch->seen.assign(words, 0);
+  // Bucket stride: room for every tuple of the largest page seen so far.
+  // Monotonic and geometry-driven — slot churn never resizes the arena.
+  if (batch.num_tuples > scratch->stride) scratch->stride = batch.num_tuples;
+  const size_t stride = scratch->stride;
+  if (scratch->arena.size() < max_slots * stride) {
+    scratch->arena.resize(max_slots * stride);
+  }
+
+  // One decode pass: store each (slot, tuple) pair straight into its slot's
+  // arena bucket via the slot's fill cursor. Touched-slot discovery is an
+  // OR per bitmap word (`seen`), not a per-pair branch.
+  {
+    uint32_t* arena = scratch->arena.data();
+    uint32_t* counts = scratch->counts.data();
+    uint64_t* seen = scratch->seen.data();
+    const uint64_t* live = batch.live_words();
+    const size_t live_words = bits::WordsFor(batch.num_tuples);
+    for (size_t lw = 0; lw < live_words; ++lw) {
+      uint64_t lword = live[lw];
+      while (lword != 0) {
+        const uint32_t i = static_cast<uint32_t>(
+            lw * 64 + static_cast<size_t>(std::countr_zero(lword)));
+        lword &= lword - 1;
+        const uint64_t* tb = batch.tuple_bits(i);
+        for (size_t w = 0; w < words; ++w) {
+          uint64_t word = tb[w];
+          seen[w] |= word;
+          while (word != 0) {
+            const uint32_t slot = static_cast<uint32_t>(
+                w * 64 + static_cast<size_t>(std::countr_zero(word)));
+            word &= word - 1;
+            arena[slot * stride + counts[slot]++] = i;
+          }
+        }
+      }
+    }
+  }
+
+  // Touched slots fall out of the seen words, in ascending slot order.
+  size_t total = 0;
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t sw = scratch->seen[w];
+    while (sw != 0) {
+      const uint32_t slot = static_cast<uint32_t>(
+          w * 64 + static_cast<size_t>(std::countr_zero(sw)));
+      sw &= sw - 1;
+      scratch->touched.push_back(slot);
+      total += scratch->counts[slot];
+    }
+  }
+
+  const bool grew = scratch->arena.capacity() != cap_arena ||
+                    scratch->counts.capacity() != cap_counts ||
+                    scratch->touched.capacity() != cap_touched ||
+                    scratch->seen.capacity() != cap_seen;
+  ++(grew ? scratch->grows : scratch->reuses);
+  return total;
+}
+
+void DistributePartScalar(
+    const TupleBatch& batch,
+    std::unordered_map<uint32_t, std::vector<uint32_t>>* by_slot) {
+  by_slot->clear();
+  ForEachLiveSlotPair(batch, [&](uint32_t i, uint32_t slot) {
+    (*by_slot)[slot].push_back(i);
+  });
+}
+
+void CjoinPipeline::EmitGroup(uint32_t slot, const TupleBatch& batch,
+                              const storage::Schema& fact_schema,
+                              const uint32_t* idxs, size_t n) {
+  ActiveQuery* aq = slots_[slot].get();
+  SDW_DCHECK(aq != nullptr);
+  // Take exclusive ownership of one of the query's open output pages — the
+  // critical section is a pointer swap; predicate evaluation and projection
+  // below run without the lock.
+  storage::PagePtr page;
+  {
+    std::unique_lock<std::mutex> out_lock(aq->out_mu);
+    if (!aq->out_buf.ok()) return;  // consumers gone
+    page = aq->out_buf.TakePage();
+  }
+  for (size_t k = 0; k < n; ++k) {
+    const uint32_t i = idxs[k];
+    const std::byte* fact_row = batch.fact_tuple(i);
+    // Fact predicates are evaluated on CJOIN's output tuples unless the
+    // preprocessor already applied them (§3.2).
+    if (!options_.fact_preds_in_preprocessor && !aq->fact_pred.IsTrue() &&
+        !aq->fact_pred.Eval(fact_schema, fact_row)) {
+      continue;
+    }
+    if (page == nullptr) page = storage::Page::Make(aq->out_tuple_size);
+    std::byte* dst = page->AppendTuple();
+    if (dst == nullptr) {
+      // Page full: hand it to the sink and start a fresh one. Emission
+      // order across parts is insignificant (query results are multisets).
+      bool ok;
+      {
+        std::unique_lock<std::mutex> out_lock(aq->out_mu);
+        ok = aq->out_buf.ok() && aq->sink->Put(std::move(page));
+        if (!ok) aq->out_buf.MarkFailed();
+      }
+      if (!ok) return;  // consumers gone
+      page = storage::Page::Make(aq->out_tuple_size);
+      dst = page->AppendTuple();
+    }
+    const uint32_t* dim_rows = batch.tuple_dim_rows(i);
+    for (const auto& m : aq->moves) {
+      const std::byte* src;
+      if (m.from_fact) {
+        src = fact_row + m.src_off;
+      } else {
+        const uint32_t row = dim_rows[m.filter_pos];
+        SDW_DCHECK(row != kNoDimRow);
+        src = filters_[m.filter_pos]->dim_table()->row(row) + m.src_off;
+      }
+      std::memcpy(dst + m.dst_off, src, m.len);
+    }
+  }
+  if (page != nullptr) {
+    std::unique_lock<std::mutex> out_lock(aq->out_mu);
+    aq->out_buf.PutBack(std::move(page));
+  }
+}
+
 void CjoinPipeline::DistributorPartLoop() {
   const storage::Schema& fact_schema = fact_->schema();
-  // Per-part scratch: slot -> matching tuple indexes in the current batch.
-  std::unordered_map<uint32_t, std::vector<uint32_t>> by_slot;
+  // Per-part scratch: recycled flat slot→tuple-index grouping (counting-sort
+  // layout). It grows to the high-water mark once; after that every batch is
+  // grouped with zero heap allocation — tracked by the scratch-reuse stats.
+  DistributorScratch scratch;
 
   while (BatchPtr batch = to_distributor_.Take()) {
     {
       ScopedComponentTimer t(Component::kMisc);
-      by_slot.clear();
-      const size_t words = batch->words_per_tuple;
-      // Walk only the live tuples (the filters cleared the live bit of any
-      // tuple whose bitmap went empty), so fully-filtered tuples cost one
-      // skipped mask bit here instead of `words` loads each.
-      const uint64_t* live = batch->live_words();
-      const size_t live_words = bits::WordsFor(batch->num_tuples);
-      for (size_t lw = 0; lw < live_words; ++lw) {
-        uint64_t lword = live[lw];
-        while (lword != 0) {
-          const uint32_t i = static_cast<uint32_t>(
-              lw * 64 + static_cast<size_t>(std::countr_zero(lword)));
-          lword &= lword - 1;
-          const uint64_t* tb = batch->tuple_bits(i);
-          if (words == 1) {
-            // ≤64-slot fast path: single-word slot extraction.
-            uint64_t word = tb[0];
-            while (word != 0) {
-              const uint32_t slot =
-                  static_cast<uint32_t>(std::countr_zero(word));
-              word &= word - 1;
-              by_slot[slot].push_back(i);
-            }
-            continue;
-          }
-          for (size_t w = 0; w < words; ++w) {
-            uint64_t word = tb[w];
-            while (word != 0) {
-              const uint32_t slot = static_cast<uint32_t>(
-                  w * 64 + static_cast<size_t>(std::countr_zero(word)));
-              word &= word - 1;
-              by_slot[slot].push_back(i);
-            }
-          }
-        }
-      }
-
-      for (auto& [slot, idxs] : by_slot) {
-        ActiveQuery* aq = slots_[slot].get();
-        SDW_DCHECK(aq != nullptr);
-        std::unique_lock<std::mutex> out_lock(aq->out_mu);
-        for (uint32_t i : idxs) {
-          const std::byte* fact_row = batch->fact_tuple(i);
-          // Fact predicates are evaluated on CJOIN's output tuples unless
-          // the preprocessor already applied them (§3.2).
-          if (!options_.fact_preds_in_preprocessor &&
-              !aq->fact_pred.IsTrue() &&
-              !aq->fact_pred.Eval(fact_schema, fact_row)) {
-            continue;
-          }
-          std::byte* dst = aq->writer->AppendTuple();
-          if (dst == nullptr) break;  // consumers gone
-          const uint32_t* dim_rows = batch->tuple_dim_rows(i);
-          for (const auto& m : aq->moves) {
-            const std::byte* src;
-            if (m.from_fact) {
-              src = fact_row + m.src_off;
-            } else {
-              const uint32_t row = dim_rows[m.filter_pos];
-              SDW_DCHECK(row != kNoDimRow);
-              src = filters_[m.filter_pos]->dim_table()->row(row) + m.src_off;
-            }
-            std::memcpy(dst + m.dst_off, src, m.len);
-          }
-        }
+      const uint64_t grows_before = scratch.grows;
+      DistributePartBatched(*batch, &scratch);
+      (scratch.grows == grows_before ? dist_scratch_reuses_
+                                     : dist_scratch_grows_)
+          .Add(1);
+      for (size_t g = 0; g < scratch.num_groups(); ++g) {
+        EmitGroup(scratch.group_slot(g), *batch, fact_schema,
+                  scratch.group_begin(g), scratch.group_size(g));
       }
     }
 

@@ -25,12 +25,13 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "cjoin/filter.h"
 #include "cjoin/tuple_batch.h"
+#include "common/stats.h"
 #include "core/page_channel.h"
-#include "qpipe/operators.h"
 #include "query/plan.h"
 #include "query/star_query.h"
 #include "storage/buffer_pool.h"
@@ -69,7 +70,66 @@ struct CjoinStats {
   /// rate near 1 (zero per-batch heap allocation in steady state).
   uint64_t batch_pool_hits = 0;
   uint64_t batch_pool_misses = 0;
+  /// Dimension scans performed by admissions: batched admission does ONE
+  /// scan per referenced dimension per admission epoch, however many queries
+  /// were pending — admission_dim_scans / admission_batches stays flat in
+  /// the batch size.
+  uint64_t admission_dim_scans = 0;
+  /// Distributor grouping-scratch recycling: batches grouped within the
+  /// scratch's retained capacity vs. batches that had to grow a scratch
+  /// vector. A warm distributor must show grows ~ 0 — zero per-batch heap
+  /// allocation, the distributor analogue of the batch-pool hit rate.
+  uint64_t distributor_scratch_reuses = 0;
+  uint64_t distributor_scratch_grows = 0;
 };
+
+/// Per-part reusable scratch for grouping a batch's live tuples by query
+/// slot — a recycled flat slot→indexes layout, the distributor's analogue
+/// of FilterScratch (it replaces the per-batch slot→vector hash map the
+/// seed distributor rebuilt for every batch). The arena is a slot-major
+/// bucket matrix: `stride` index cells per slot (stride = the largest page
+/// tuple count seen), with per-slot fill cursors in `counts` — each
+/// (slot, tuple) pair costs one bitmap decode and one cursor-indexed store,
+/// with no hashing and no per-append capacity check. The arena's size
+/// depends only on the batch geometry (slot capacity × page tuples), never
+/// on which slots are occupied, so steady state performs zero heap
+/// allocation per batch even as completed queries' slots are recycled —
+/// observable through the reuses/grows counters. (Two alternatives were
+/// benchmarked: a contiguous counting-sort layout lost to its second
+/// scatter pass, and per-slot growable vectors re-allocate on slot churn.)
+struct DistributorScratch {
+  std::vector<uint32_t> arena;    // max_slots × stride bucket matrix
+  std::vector<uint32_t> counts;   // per-slot fill cursor == group size
+  std::vector<uint32_t> touched;  // slots with >= 1 tuple, ascending
+  std::vector<uint64_t> seen;     // OR of all live bitmaps (one per word):
+                                  // touched slots fall out of this for free
+                                  // instead of a per-pair discovery branch
+  size_t stride = 0;              // arena cells per slot (monotonic)
+  uint64_t reuses = 0;            // batches grouped within retained capacity
+  uint64_t grows = 0;             // batches that grew some vector
+
+  size_t num_groups() const { return touched.size(); }
+  uint32_t group_slot(size_t g) const { return touched[g]; }
+  const uint32_t* group_begin(size_t g) const {
+    return arena.data() + touched[g] * stride;
+  }
+  size_t group_size(size_t g) const { return counts[touched[g]]; }
+};
+
+/// Groups the batch's live tuples by query slot into `scratch`: groups come
+/// out in ascending slot order with tuple indexes ascending within each
+/// group. Dead tuples are skipped via the live mask without touching their
+/// bitmaps. Returns the total number of (slot, tuple) pairs. Performs no
+/// heap allocation once the scratch reached its high-water size.
+size_t DistributePartBatched(const TupleBatch& batch,
+                             DistributorScratch* scratch);
+
+/// Scalar reference for DistributePartBatched — the seed distributor's
+/// per-batch rebuilt slot→tuple-indexes map. Kept as the differential-test
+/// and benchmark baseline; must produce the same groups (compared as sets).
+void DistributePartScalar(
+    const TupleBatch& batch,
+    std::unordered_map<uint32_t, std::vector<uint32_t>>* by_slot);
 
 /// The always-on shared-operator pipeline evaluating all concurrent star
 /// queries over one fact table.
@@ -121,13 +181,17 @@ class CjoinPipeline {
     uint32_t slot = 0;
     query::StarQuery q;
     storage::Schema out_schema;
+    uint32_t out_tuple_size = 0;
     std::shared_ptr<core::PageSink> sink;
     std::function<void()> on_complete;
     query::Predicate::Bound fact_pred;
     std::vector<ProjMove> moves;
     uint64_t pages_remaining = 0;
+    // Output path: distributor parts take/put partial pages under out_mu (a
+    // pointer swap) and project into them without the lock; the sink is
+    // touched under out_mu only when a page fills or at completion.
     std::mutex out_mu;
-    std::unique_ptr<qpipe::PageWriter> writer;
+    SlotOutputBuffer out_buf;
   };
 
   using PendingQuery = Submission;
@@ -135,6 +199,14 @@ class CjoinPipeline {
   void PreprocessorLoop();
   void FilterWorkerLoop();
   void DistributorPartLoop();
+
+  /// Emits one slot's group of a batch: evaluates the query's fact
+  /// predicates, projects matching tuples into the query's buffered output
+  /// pages (taken/returned under out_mu; filled without it), and hands full
+  /// pages to the sink. Runs in a distributor-part thread.
+  void EmitGroup(uint32_t slot, const TupleBatch& batch,
+                 const storage::Schema& fact_schema, const uint32_t* idxs,
+                 size_t n);
 
   /// Blocks until no batch is in flight (pipeline paused).
   void DrainPipeline();
@@ -169,10 +241,15 @@ class CjoinPipeline {
   std::vector<uint32_t> completions_due_;
   std::vector<std::unique_ptr<Filter>> filters_;
   CjoinStats stats_;
-  // Pool-counter snapshots taken at ResetStats so stats() reports per-run
-  // hit rates.
+  // Cross-thread stat counters, with snapshots taken at ResetStats so
+  // stats() reports per-run values.
+  Counter dist_scratch_reuses_;
+  Counter dist_scratch_grows_;
   uint64_t pool_hits_base_ = 0;
   uint64_t pool_misses_base_ = 0;
+  uint64_t dist_reuses_base_ = 0;
+  uint64_t dist_grows_base_ = 0;
+  uint64_t admission_scans_base_ = 0;
 
   BatchQueue to_filters_;
   BatchQueue to_distributor_;

@@ -126,6 +126,26 @@ void BatchQueue::Close() {
   not_empty_.notify_all();
 }
 
+storage::PagePtr SlotOutputBuffer::TakePage() {
+  if (open_.empty()) return nullptr;
+  storage::PagePtr page = std::move(open_.back());
+  open_.pop_back();
+  return page;
+}
+
+void SlotOutputBuffer::PutBack(storage::PagePtr page) {
+  if (page != nullptr) open_.push_back(std::move(page));
+}
+
+void SlotOutputBuffer::DrainInto(core::PageSink* sink) {
+  for (auto& page : open_) {
+    if (page != nullptr && !page->empty()) {
+      if (!sink->Put(std::move(page))) ok_ = false;
+    }
+  }
+  open_.clear();
+}
+
 BatchPtr BatchPool::Acquire() {
   {
     std::lock_guard<std::mutex> lock(mu_);

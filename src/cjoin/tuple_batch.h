@@ -15,6 +15,7 @@
 
 #include "common/bitmap.h"
 #include "common/macros.h"
+#include "core/page_channel.h"
 #include "storage/page.h"
 
 namespace sdw::cjoin {
@@ -127,6 +128,44 @@ class BatchQueue {
   std::condition_variable not_empty_;
   std::atomic<int> waiting_producers_{0};
   std::atomic<int> waiting_consumers_{0};
+};
+
+/// Per-query output page buffering for the distributor parts.
+///
+/// A part takes exclusive ownership of one open (partially filled) output
+/// page — a pointer swap under the query's output mutex — appends projected
+/// tuples to it without the lock, and puts the partial page back; pages that
+/// fill up go straight to the query's sink. The buffer holds at most one
+/// partial page per distributor part, so the critical section the parts
+/// contend on shrinks from "evaluate + project every matching tuple" to two
+/// pointer moves per (batch, query) pair.
+///
+/// Synchronization is the *caller's* job: every method requires the owning
+/// query's output mutex to be held.
+class SlotOutputBuffer {
+ public:
+  SlotOutputBuffer() = default;
+  SDW_DISALLOW_COPY(SlotOutputBuffer);
+
+  /// Pops an open partial page, or nullptr when none is buffered (the caller
+  /// starts a fresh page lazily, outside the lock).
+  storage::PagePtr TakePage();
+
+  /// Returns a partial (possibly empty) page for a later emitter to fill.
+  void PutBack(storage::PagePtr page);
+
+  /// Sink failure latch: once a Put reports no consumers remain, emitters
+  /// stop producing for this query.
+  bool ok() const { return ok_; }
+  void MarkFailed() { ok_ = false; }
+
+  /// Flushes every buffered non-empty page into `sink` (completion path) and
+  /// drops the rest.
+  void DrainInto(core::PageSink* sink);
+
+ private:
+  std::vector<storage::PagePtr> open_;  // bounded by the distributor parts
+  bool ok_ = true;
 };
 
 /// Recycling pool for TupleBatch objects: the preprocessor acquires, the

@@ -5,13 +5,29 @@
 #ifndef SDW_COMMON_STATS_H_
 #define SDW_COMMON_STATS_H_
 
+#include <atomic>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
 
 namespace sdw {
+
+/// Monotonic event counter shared across threads. Hot paths Add() with a
+/// relaxed atomic (no synchronization cost); readers take point-in-time
+/// snapshots and difference them against a base recorded at reset (see
+/// CjoinPipeline's per-run stat bases). Used for the CJOIN distributor
+/// scratch-reuse and admission-scan counters.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
 
 /// Accumulates samples and exposes mean / stddev / min / max / percentiles.
 class Stats {

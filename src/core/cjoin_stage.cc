@@ -71,6 +71,8 @@ void CjoinStage::FlushStaged() {
     std::unique_lock<std::mutex> lock(staged_mu_);
     batch.swap(staged_);
   }
+  if (batch.empty()) return;
+  epochs_.Add(1);
   pipeline_->SubmitMany(std::move(batch));
 }
 

@@ -116,8 +116,13 @@ class QpipeEngine {
  private:
   struct Stage {
     explicit Stage(const std::string& name) : pool(name) {}
-    ThreadPool pool;
+    // Declaration order is load-bearing: packet workers touch the registry
+    // (Unregister after closing their sink) past the point the submitting
+    // query's results drain, so ~Stage must join the pool BEFORE the
+    // registry dies — members are destroyed in reverse declaration order.
+    // (Caught by the TSAN CI job.)
     SpRegistry registry;
+    ThreadPool pool;
   };
 
   Stage* StageFor(query::PlanNode::Kind kind);

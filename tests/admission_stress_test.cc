@@ -1,0 +1,335 @@
+// Admission churn stress test for the CJOIN pipeline's batched (epoch)
+// admission and the zero-allocation distributor:
+//  * deterministic epochs: K queries submitted together land in ONE
+//    admission pause costing exactly one dimension scan per distinct
+//    referenced dimension (stat-asserted via CjoinStats::admission_dim_scans
+//    and admission_batches), while the pipeline is still serving the
+//    previous epoch's queries;
+//  * batch-admitted queries produce results identical to the same queries
+//    admitted serially (one epoch each) and to the Volcano oracle — no lost
+//    or duplicated tuples;
+//  * concurrent churn: several submitter threads admit and finish queries
+//    against the running pipeline; every result still matches the oracle;
+//  * steady state: with the distributor scratch at its high-water mark, a
+//    repeat run performs zero scratch growth (zero per-batch heap
+//    allocation, CjoinStats::distributor_scratch_{reuses,grows}).
+
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "baseline/volcano.h"
+#include "cjoin/pipeline.h"
+#include "common/macros.h"
+#include "common/rng.h"
+#include "query/plan.h"
+#include "query/result.h"
+#include "ssb/ssb_generator.h"
+#include "ssb/ssb_queries.h"
+#include "ssb/ssb_schema.h"
+#include "ssb/workload.h"
+#include "storage/buffer_pool.h"
+#include "storage/storage_device.h"
+
+using namespace sdw;
+
+namespace {
+
+/// Thread-safe sink accumulating every emitted page for later verification.
+class CollectSink : public core::PageSink {
+ public:
+  bool Put(storage::PagePtr page) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    pages_.push_back(std::move(page));
+    return true;
+  }
+  void Close() override {}
+
+  query::ResultSet ToResultSet(const storage::Schema& schema) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    query::ResultSet rs(schema);
+    for (const auto& page : pages_) {
+      for (uint32_t t = 0; t < page->tuple_count(); ++t) {
+        rs.AddRow(page->tuple(t));
+      }
+    }
+    return rs;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<storage::PagePtr> pages_;
+};
+
+struct Submitted {
+  query::StarQuery q;
+  storage::Schema schema;
+  std::shared_ptr<CollectSink> sink;
+};
+
+class Harness {
+ public:
+  Harness() {
+    ssb::SsbOptions ssb_opts;
+    ssb_opts.scale_factor = 0.01;
+    ssb::BuildSsbDatabase(&catalog_, ssb_opts);
+    device_ = std::make_unique<storage::StorageDevice>(storage::DeviceOptions{});
+    pool_ = std::make_unique<storage::BufferPool>(device_.get(), 0);
+    oracle_ = std::make_unique<baseline::VolcanoEngine>(&catalog_, pool_.get());
+    planner_ = std::make_unique<query::Planner>(&catalog_);
+
+    cjoin::CjoinOptions opts;
+    opts.max_queries = 32;
+    opts.filter_threads = 2;
+    opts.distributor_parts = 2;
+    pipeline_ = std::make_unique<cjoin::CjoinPipeline>(
+        &catalog_, pool_.get(), catalog_.MustGetTable(ssb::kLineorder), opts);
+  }
+
+  /// Submits all queries as one atomic batch (one admission epoch).
+  std::vector<Submitted> SubmitEpoch(
+      const std::vector<query::StarQuery>& queries) {
+    std::vector<Submitted> out;
+    std::vector<cjoin::CjoinPipeline::Submission> subs;
+    for (const auto& q : queries) {
+      Submitted s{q, planner_->JoinOutputSchema(q),
+                  std::make_shared<CollectSink>()};
+      subs.push_back({q, s.schema, s.sink, [this] {
+                        std::lock_guard<std::mutex> lock(done_mu_);
+                        ++done_;
+                        done_cv_.notify_all();
+                      }});
+      out.push_back(std::move(s));
+    }
+    pipeline_->SubmitMany(std::move(subs));
+    return out;
+  }
+
+  /// Blocks until the pipeline has admitted `target` queries in total.
+  void WaitAdmitted(uint64_t target) {
+    while (pipeline_->stats().queries_admitted +
+               admitted_before_reset_ < target) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+
+  /// Blocks until `target` queries have completed in total.
+  void WaitDone(size_t target) {
+    std::unique_lock<std::mutex> lock(done_mu_);
+    done_cv_.wait(lock, [&] { return done_ >= target; });
+  }
+
+  void ResetStats() {
+    admitted_before_reset_ += pipeline_->stats().queries_admitted;
+    pipeline_->ResetStats();
+  }
+
+  /// Asserts the submitted query's collected output equals the oracle's
+  /// join sub-plan result (multiset compare: catches loss AND duplication).
+  void VerifyAgainstOracle(const Submitted& s, const char* what) {
+    const query::ResultSet actual = s.sink->ToResultSet(s.schema);
+    const auto plan = planner_->BuildJoinPlan(s.q);
+    const query::ResultSet expected = oracle_->ExecutePlan(*plan);
+    const std::string diff = query::DiffResults(expected, actual);
+    SDW_CHECK_MSG(diff.empty(), "%s: %s (query %s)", what, diff.c_str(),
+                  s.q.Signature().c_str());
+  }
+
+  /// Distinct dimensions referenced by a set of queries — the expected
+  /// number of admission scans for one epoch carrying them.
+  static size_t DistinctDims(const std::vector<query::StarQuery>& queries) {
+    std::set<std::tuple<std::string, std::string, std::string>> dims;
+    for (const auto& q : queries) {
+      for (const auto& d : q.dims) {
+        dims.insert({d.dim_table, d.fact_fk_column, d.dim_pk_column});
+      }
+    }
+    return dims.size();
+  }
+
+  storage::Catalog catalog_;
+  std::unique_ptr<storage::StorageDevice> device_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::unique_ptr<baseline::VolcanoEngine> oracle_;
+  std::unique_ptr<query::Planner> planner_;
+  std::unique_ptr<cjoin::CjoinPipeline> pipeline_;
+
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  size_t done_ = 0;
+  uint64_t admitted_before_reset_ = 0;
+};
+
+// Phase A: N deterministic epochs of K queries each, submitted while the
+// pipeline is still serving earlier epochs. Each epoch must cost one
+// admission batch and one dimension scan per distinct referenced dimension
+// — regardless of K.
+void PhaseDeterministicEpochs(Harness* h, std::vector<Submitted>* all) {
+  constexpr size_t kEpochs = 4;
+  uint64_t submitted = 0;
+  for (size_t e = 0; e < kEpochs; ++e) {
+    // Heterogeneous epochs: Q3.2 variants share supplier/customer/date;
+    // Q2.1 adds the part dimension in epoch 1 (dynamic filter creation).
+    std::vector<query::StarQuery> qs = ssb::RandomQ32Workload(3, 100 + e);
+    if (e == 1) qs.push_back(ssb::MakeQ21({}));
+    const cjoin::CjoinStats before = h->pipeline_->stats();
+    auto subs = h->SubmitEpoch(qs);
+    submitted += qs.size();
+    h->WaitAdmitted(submitted);
+    const cjoin::CjoinStats after = h->pipeline_->stats();
+
+    SDW_CHECK_MSG(after.admission_batches == before.admission_batches + 1,
+                  "epoch %zu split into %llu admission batches", e,
+                  static_cast<unsigned long long>(after.admission_batches -
+                                                  before.admission_batches));
+    const uint64_t scans = after.admission_dim_scans - before.admission_dim_scans;
+    SDW_CHECK_MSG(scans == Harness::DistinctDims(qs),
+                  "epoch %zu: %llu dimension scans for %zu queries over %zu "
+                  "distinct dims (want one scan per dim)",
+                  e, static_cast<unsigned long long>(scans), qs.size(),
+                  Harness::DistinctDims(qs));
+    for (auto& s : subs) all->push_back(std::move(s));
+  }
+}
+
+// Phase B: the same K queries admitted once as a batch and once serially
+// (one epoch each) must produce identical results.
+void PhaseBatchVsSerial(Harness* h, size_t* done_target) {
+  const auto qs = ssb::RandomQ32Workload(4, 777);
+
+  const cjoin::CjoinStats b0 = h->pipeline_->stats();
+  auto batched = h->SubmitEpoch(qs);
+  *done_target += qs.size();
+  h->WaitDone(*done_target);
+  const cjoin::CjoinStats b1 = h->pipeline_->stats();
+  const uint64_t batched_scans = b1.admission_dim_scans - b0.admission_dim_scans;
+  SDW_CHECK(b1.admission_batches == b0.admission_batches + 1);
+  SDW_CHECK(batched_scans == Harness::DistinctDims(qs));
+
+  std::vector<Submitted> serial;
+  for (const auto& q : qs) {
+    auto one = h->SubmitEpoch({q});
+    *done_target += 1;
+    h->WaitDone(*done_target);  // full completion => guaranteed own epoch
+    serial.push_back(std::move(one.front()));
+  }
+  const cjoin::CjoinStats b2 = h->pipeline_->stats();
+  const uint64_t serial_scans = b2.admission_dim_scans - b1.admission_dim_scans;
+  // Serial admission pays one scan per (query, dim); the batch amortized
+  // shared dimensions into single scans.
+  uint64_t per_query_dims = 0;
+  for (const auto& q : qs) per_query_dims += q.dims.size();
+  SDW_CHECK_MSG(serial_scans == per_query_dims,
+                "serial admissions did %llu scans, want %llu",
+                static_cast<unsigned long long>(serial_scans),
+                static_cast<unsigned long long>(per_query_dims));
+  SDW_CHECK_MSG(batched_scans < serial_scans,
+                "batched admission did not amortize dimension scans");
+
+  for (size_t i = 0; i < qs.size(); ++i) {
+    h->VerifyAgainstOracle(batched[i], "batch-admitted");
+    h->VerifyAgainstOracle(serial[i], "serially admitted");
+    const query::ResultSet rb = batched[i].sink->ToResultSet(batched[i].schema);
+    const query::ResultSet rs = serial[i].sink->ToResultSet(serial[i].schema);
+    const std::string diff = query::DiffResults(rb, rs);
+    SDW_CHECK_MSG(diff.empty(), "batch vs serial results differ: %s",
+                  diff.c_str());
+  }
+}
+
+// Phase C: concurrent submitter threads churn admissions and completions
+// against the running pipeline.
+void PhaseConcurrentChurn(Harness* h, std::vector<Submitted>* all,
+                          size_t* done_target) {
+  constexpr size_t kThreads = 3;
+  constexpr size_t kPerThread = 6;
+  std::mutex collected_mu;
+  std::vector<std::thread> submitters;
+  for (size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([h, t, all, &collected_mu] {
+      Rng rng(9000 + t);
+      for (size_t i = 0; i < kPerThread; ++i) {
+        std::vector<query::StarQuery> qs;
+        switch (rng.Index(3)) {
+          case 0:
+            qs = ssb::RandomQ32Workload(1, 5000 + t * 100 + i);
+            break;
+          case 1:
+            qs.push_back(ssb::MakeQ11({}));
+            break;
+          default:
+            qs.push_back(ssb::MakeQ21({}));
+            break;
+        }
+        auto subs = h->SubmitEpoch(qs);
+        {
+          std::lock_guard<std::mutex> lock(collected_mu);
+          for (auto& s : subs) all->push_back(std::move(s));
+        }
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(rng.Uniform(0, 500)));
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  *done_target += kThreads * kPerThread;
+  h->WaitDone(*done_target);
+}
+
+// Phase D: steady-state zero-allocation. Running an identical epoch twice,
+// the second pass must reuse the distributor scratch without a single
+// growth event.
+void PhaseSteadyStateScratch(Harness* h, size_t* done_target) {
+  const auto qs = ssb::RandomQ32Workload(4, 4242);
+
+  auto warm = h->SubmitEpoch(qs);  // warms the scratch to its high-water mark
+  *done_target += qs.size();
+  h->WaitDone(*done_target);
+
+  h->ResetStats();
+  auto steady = h->SubmitEpoch(qs);
+  *done_target += qs.size();
+  h->WaitDone(*done_target);
+
+  const cjoin::CjoinStats s = h->pipeline_->stats();
+  SDW_CHECK_MSG(s.distributor_scratch_grows == 0,
+                "steady-state distributor grew its scratch %llu times",
+                static_cast<unsigned long long>(s.distributor_scratch_grows));
+  SDW_CHECK_MSG(s.distributor_scratch_reuses > 0,
+                "no distributor batches observed in steady state");
+  SDW_CHECK(s.distributor_scratch_reuses >= s.fact_pages_scanned);
+
+  for (auto& sub : warm) h->VerifyAgainstOracle(sub, "warm epoch");
+  for (auto& sub : steady) h->VerifyAgainstOracle(sub, "steady epoch");
+}
+
+}  // namespace
+
+int main() {
+  Harness h;
+  std::vector<Submitted> all;
+  size_t done_target = 0;
+
+  PhaseDeterministicEpochs(&h, &all);
+  done_target += all.size();
+  h.WaitDone(done_target);
+
+  PhaseBatchVsSerial(&h, &done_target);
+  PhaseConcurrentChurn(&h, &all, &done_target);
+
+  // Every query admitted in phases A and C: results exactly match the
+  // oracle — no lost and no duplicated tuples under churn.
+  for (const auto& s : all) h.VerifyAgainstOracle(s, "churn");
+
+  PhaseSteadyStateScratch(&h, &done_target);
+
+  const cjoin::CjoinStats final_stats = h.pipeline_->stats();
+  SDW_CHECK(h.pipeline_->num_active_queries() == 0);
+  (void)final_stats;
+  std::printf("admission_stress_test: OK (%zu queries)\n", done_target);
+  return 0;
+}

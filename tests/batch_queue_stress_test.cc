@@ -2,7 +2,9 @@
 //  * multi-producer / multi-consumer delivery with no loss or duplication,
 //  * FIFO order per producer stream under a single consumer,
 //  * Put-after-Close reports the drop (returns false),
-//  * Take drains enqueued batches after Close, then returns nullptr.
+//  * Take drains enqueued batches after Close, then returns nullptr,
+//  * drop reports after a mid-stream Close rebalance pipeline-style
+//    in-flight accounting exactly (delivered + dropped == produced).
 
 #include "cjoin/tuple_batch.h"
 
@@ -102,6 +104,61 @@ static void TestMpmcStress() {
   for (uint64_t i = 0; i < all.size(); ++i) SDW_CHECK(all[i] == i);
 }
 
+static void TestPostCloseDropRebalance() {
+  // Mirrors CjoinPipeline's in-flight accounting around Put's drop report
+  // (ForgetDroppedBatch): every Put is preceded by an in-flight increment; a
+  // drop (Put returning false after Close) must rebalance it, and consumers
+  // decrement per delivered batch. After a mid-stream Close with producers
+  // still blocked on a full ring, the counter must return to zero and every
+  // batch must be either delivered or reported dropped — none silently
+  // swallowed.
+  constexpr size_t kProducers = 3;
+  constexpr uint64_t kPerProducer = 200;
+  BatchQueue q(4);
+  std::atomic<int> in_flight{0};
+  std::atomic<uint64_t> delivered{0};
+  std::atomic<uint64_t> dropped{0};
+
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, &in_flight, &dropped, p] {
+      for (uint64_t i = 0; i < kPerProducer; ++i) {
+        in_flight.fetch_add(1);
+        if (!q.Put(MakeBatch(p * kPerProducer + i))) {
+          dropped.fetch_add(1);
+          in_flight.fetch_sub(1);  // the pipeline's rebalance step
+        }
+      }
+    });
+  }
+  // A deliberately slow consumer keeps the ring full so Close lands while
+  // producers are blocked in Put (the blocked-Put drop path) and while many
+  // batches are still unsubmitted (the fast post-Close drop path).
+  std::thread consumer([&q, &in_flight, &delivered] {
+    while (BatchPtr b = q.Take()) {
+      delivered.fetch_add(1);
+      in_flight.fetch_sub(1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  for (auto& t : producers) t.join();
+  consumer.join();
+
+  SDW_CHECK_MSG(in_flight.load() == 0,
+                "in-flight accounting leaked %d after drop rebalance",
+                in_flight.load());
+  SDW_CHECK_MSG(delivered.load() + dropped.load() == kProducers * kPerProducer,
+                "delivered %llu + dropped %llu != produced %llu",
+                static_cast<unsigned long long>(delivered.load()),
+                static_cast<unsigned long long>(dropped.load()),
+                static_cast<unsigned long long>(kProducers * kPerProducer));
+  // The Close raced a saturated pipeline: both outcomes must have occurred.
+  SDW_CHECK(delivered.load() > 0);
+  SDW_CHECK(dropped.load() > 0);
+}
+
 static void TestBatchPoolRecycling() {
   BatchPool pool(2);
   SDW_CHECK(pool.misses() == 0 && pool.hits() == 0);
@@ -126,6 +183,7 @@ int main() {
   TestPutAfterCloseReportsDrop();
   TestBlockedPutWakesOnClose();
   TestMpmcStress();
+  TestPostCloseDropRebalance();
   TestBatchPoolRecycling();
   std::printf("batch_queue_stress_test: OK\n");
   return 0;

@@ -182,10 +182,15 @@ TEST_P(CircularScanTest, CancellingConsumerDoesNotBlockOthers) {
 TEST_P(CircularScanTest, SharedScanFetchesEachPageOnceForManyConsumers) {
   CircularScanService service(table_, pool_.get(), GetParam(), 256 * 1024);
   pool_->Clear();
+  // Attach all four consumers up front (before anything drains) so they
+  // share one cycle by construction; attaching inside the threads made the
+  // bound depend on thread-startup skew, which sanitizer slowdowns amplify
+  // into spurious extra cycles.
+  std::vector<std::unique_ptr<core::PageSource>> sources;
+  for (int c = 0; c < 4; ++c) sources.push_back(service.Attach());
   std::vector<std::thread> threads;
-  for (int c = 0; c < 4; ++c) {
-    threads.emplace_back([&] {
-      auto src = service.Attach();
+  for (auto& src : sources) {
+    threads.emplace_back([&src] {
       while (src->Next() != nullptr) {
       }
     });

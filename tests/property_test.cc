@@ -6,7 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "baseline/volcano.h"
+#include "cjoin/filter.h"
+#include "cjoin/pipeline.h"
+#include "cjoin/tuple_batch.h"
+#include "common/bitmap.h"
 #include "common/rng.h"
 #include "core/engine.h"
 #include "ssb/ssb_schema.h"
@@ -161,6 +167,101 @@ TEST_P(RandomQueryProperty, AllEnginesAgreeWithOracle) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomQueryProperty, ::testing::Range(0, 10));
+
+// Live-tuple mask invariants through the filter→distributor hot path: after
+// a chain of filters, (a) a tuple is live iff its bitmap is non-empty, (b)
+// the distributor's grouping covers exactly the live tuples — dead tuples
+// never reach an output group, and the number of distinct distributed tuples
+// equals the popcount of the live mask — and (c) every (slot, tuple) pair
+// the grouping emits is backed by that tuple's bitmap bit.
+class DistributorLiveMaskProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistributorLiveMaskProperty, LiveMaskMatchesDistribution) {
+  TestDb* db = SharedSsbDb();
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 7);
+  const storage::Table* fact = db->catalog.MustGetTable(ssb::kLineorder);
+  const storage::Schema& fs = fact->schema();
+  constexpr size_t kSlots = 64;
+
+  // Two filters with randomized per-slot predicates; unreferenced slots
+  // pass. Batched admission: all of a filter's queries share one scan.
+  cjoin::Filter f1(db->catalog.MustGetTable(ssb::kSupplier), "lo_suppkey",
+                   "s_suppkey", 0, kSlots);
+  cjoin::Filter f2(db->catalog.MustGetTable(ssb::kCustomer), "lo_custkey",
+                   "c_custkey", 1, kSlots);
+  f1.BindFactColumn(fs);
+  f2.BindFactColumn(fs);
+  std::vector<query::Predicate> preds(2 * kSlots);
+  std::vector<cjoin::Filter::AdmitRequest> reqs1, reqs2;
+  for (size_t s = 0; s < kSlots; ++s) {
+    for (size_t which = 0; which < 2; ++which) {
+      cjoin::Filter& f = which == 0 ? f1 : f2;
+      if (!rng.Bernoulli(0.5)) {
+        f.SetPass(static_cast<uint32_t>(s));
+        continue;
+      }
+      query::Predicate& p = preds[which * kSlots + s];
+      p.And(query::AtomicPred::Str(
+          which == 0 ? "s_region" : "c_region", query::CompareOp::kEq,
+          std::string(ssb::RegionName(rng.Index(5)))));
+      (which == 0 ? reqs1 : reqs2)
+          .push_back({static_cast<uint32_t>(s), &p});
+    }
+  }
+  f1.AdmitQueryBatch(reqs1.data(), reqs1.size(), db->pool.get());
+  f2.AdmitQueryBatch(reqs2.data(), reqs2.size(), db->pool.get());
+  EXPECT_EQ(f1.admission_scans(), 1u);
+  EXPECT_EQ(f2.admission_scans(), 1u);
+
+  cjoin::FilterScratch fscratch;
+  cjoin::DistributorScratch dscratch;
+  const size_t pages = std::min<size_t>(fact->num_pages(), 8);
+  for (size_t pi = 0; pi < pages; ++pi) {
+    cjoin::TupleBatch batch;
+    batch.fact_page = fact->SharePage(pi);
+    batch.ResetFor(batch.fact_page->tuple_count(), /*words=*/1,
+                   /*filters=*/2);
+    bits::FillOnes(batch.bits.data(), batch.bits.size() * 64);
+    f1.Process(&batch, &fscratch);
+    f2.Process(&batch, &fscratch);
+
+    // (a) live bit iff non-empty bitmap.
+    for (uint32_t i = 0; i < batch.num_tuples; ++i) {
+      ASSERT_EQ(batch.tuple_live(i),
+                bits::Any(batch.tuple_bits(i), batch.words_per_tuple))
+          << "page " << pi << " tuple " << i;
+    }
+
+    const size_t pairs = cjoin::DistributePartBatched(batch, &dscratch);
+    std::set<uint32_t> distributed;
+    size_t seen_pairs = 0;
+    for (size_t g = 0; g < dscratch.num_groups(); ++g) {
+      const uint32_t slot = dscratch.group_slot(g);
+      for (size_t k = 0; k < dscratch.group_size(g); ++k) {
+        const uint32_t i = dscratch.group_begin(g)[k];
+        ++seen_pairs;
+        distributed.insert(i);
+        // (c) the pair is backed by the tuple's bitmap, and the tuple is
+        // live — a dead tuple never reaches an output group.
+        ASSERT_TRUE(batch.tuple_live(i)) << "dead tuple distributed";
+        ASSERT_TRUE(bits::Test(batch.tuple_bits(i), slot));
+      }
+    }
+    EXPECT_EQ(seen_pairs, pairs);
+
+    // (b) distributed tuples == live tuples, exactly.
+    const size_t live_count =
+        bits::Popcount(batch.live_words(), bits::WordsFor(batch.num_tuples));
+    EXPECT_EQ(distributed.size(), live_count) << "page " << pi;
+    for (uint32_t i = 0; i < batch.num_tuples; ++i) {
+      EXPECT_EQ(distributed.count(i) != 0, batch.tuple_live(i))
+          << "page " << pi << " tuple " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistributorLiveMaskProperty,
+                         ::testing::Range(0, 6));
 
 }  // namespace
 }  // namespace sdw
