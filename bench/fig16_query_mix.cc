@@ -28,10 +28,10 @@ double RunEnginePoint(BenchDb* db, core::EngineConfig config, size_t queries,
 
 double RunVolcanoPoint(BenchDb* db, size_t queries, uint64_t seed,
                        int iterations) {
-  const baseline::VolcanoEngine volcano(&db->catalog, db->pool.get());
+  baseline::VolcanoEngine volcano(&db->catalog, db->pool.get());
   Stats means;
   for (int it = 0; it < iterations + 1; ++it) {
-    const auto m = harness::RunVolcanoBatch(
+    const auto m = harness::RunBatch(
         &volcano, db->pool.get(),
         ssb::MixedWorkload(queries, seed + static_cast<uint64_t>(it)));
     if (it > 0) means.Add(m.response_seconds.Mean());
@@ -53,8 +53,8 @@ double RunEngineThroughput(BenchDb* db, core::EngineConfig config,
 }
 
 double RunVolcanoThroughput(BenchDb* db, size_t clients, double seconds) {
-  const baseline::VolcanoEngine volcano(&db->catalog, db->pool.get());
-  const auto m = harness::RunVolcanoClosedLoop(
+  baseline::VolcanoEngine volcano(&db->catalog, db->pool.get());
+  const auto m = harness::RunClosedLoop(
       &volcano, db->pool.get(),
       [](size_t i) { return ssb::MixedWorkload(1, 9000 + i)[0]; }, clients,
       seconds);

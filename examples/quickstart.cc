@@ -1,15 +1,24 @@
 // Quickstart: build a small Star Schema Benchmark database, start the
 // integrated engine in its recommended configuration, run one analytical
-// query, and print the results.
+// query through the asynchronous ticket API, and print the results.
 //
 //   $ ./quickstart
 //
 // The public API in five steps:
-//   1. storage::Catalog + ssb::BuildSsbDatabase   — load data
-//   2. storage::StorageDevice + BufferPool        — I/O layer (memory mode)
-//   3. core::Engine with EngineOptions            — pick a configuration
-//   4. ssb::MakeQ32 / query::StarQuery            — describe the query
-//   5. engine.SubmitBatch(...) -> QueryHandle     — run and read results
+//   1. storage::Catalog + ssb::BuildSsbDatabase     — load data
+//   2. storage::StorageDevice + BufferPool          — I/O layer (memory mode)
+//   3. core::Engine with EngineOptions              — pick a configuration
+//      (Engine is a core::ExecutorClient — swap in baseline::VolcanoEngine
+//      or any future backend without touching client code)
+//   4. ssb::MakeQ32 / query::StarQuery              — describe the query
+//   5. engine.Submit(query, SubmitOptions) -> QueryTicket
+//      ticket.Wait() -> Status, ticket.result()     — run and read results
+//
+// The ticket is the whole client lifecycle: Wait() returns the terminal
+// Status (OK / CANCELLED / DEADLINE_EXCEEDED / ... — see common/status.h),
+// ticket.Cancel() detaches mid-flight, SubmitOptions carries per-query
+// deadlines and row limits, and ticket.metrics() reports timing and
+// sharing for this one query.
 
 #include <cstdio>
 
@@ -47,13 +56,23 @@ int main() {
   params.year_hi = 1997;
   const query::StarQuery q = ssb::MakeQ32(params);
 
-  // 5. Submit, wait, read.
-  const auto handles = engine.SubmitBatch({q});
-  handles[0]->done.wait();
-  const query::ResultSet& result = handles[0]->result;
+  // 5. Submit asynchronously, wait for the terminal status, read results.
+  //    SubmitOptions could add a deadline (deadline_nanos), a row_limit, or
+  //    a client_tag here; ticket.Cancel() would detach the query mid-run.
+  core::SubmitOptions submit_opts;
+  submit_opts.client_tag = "quickstart";
+  core::QueryTicket ticket = engine.Submit(q, submit_opts);
+  const Status status = ticket.Wait();
+  if (!status.ok()) {
+    std::printf("query failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const query::ResultSet& result = ticket.result();
+  const core::QueryMetrics metrics = ticket.metrics();
 
-  std::printf("\nSSB Q3.2 returned %zu rows in %.1f ms:\n", result.num_rows(),
-              handles[0]->response_seconds() * 1e3);
+  std::printf("\nSSB Q3.2 returned %zu rows in %.1f ms (%llu result pages):\n",
+              result.num_rows(), metrics.response_seconds() * 1e3,
+              static_cast<unsigned long long>(metrics.pages_read));
   std::printf("  %-12s %-12s %-6s %s\n", "c_city", "s_city", "year",
               "revenue");
   const size_t show = result.num_rows() < 10 ? result.num_rows() : 10;

@@ -1,8 +1,11 @@
 #include "baseline/volcano.h"
 
+#include "common/timing.h"
 #include "qpipe/operators.h"
 
 namespace sdw::baseline {
+
+VolcanoEngine::~VolcanoEngine() { WaitAll(); }
 
 query::ResultSet VolcanoEngine::Execute(const query::StarQuery& q) const {
   const query::Planner planner(catalog_);
@@ -14,12 +17,71 @@ query::ResultSet VolcanoEngine::ExecutePlan(
     const query::PlanNode& plan) const {
   VectorChannel out;
   Evaluate(plan, &out);
+  // Exact reservation: the materialized channel knows the result size, so
+  // the aggregation/sort output lands in one allocation.
+  uint64_t total_rows = 0;
+  while (storage::PagePtr page = out.Next()) total_rows += page->tuple_count();
+  out.Rewind();
   query::ResultSet result(plan.out_schema);
+  result.Reserve(total_rows);
   while (storage::PagePtr page = out.Next()) {
     const uint32_t n = page->tuple_count();
     for (uint32_t i = 0; i < n; ++i) result.AddRow(page->tuple(i));
   }
   return result;
+}
+
+void VolcanoEngine::ExecuteInto(const query::StarQuery& q,
+                                core::QueryLifecycle* life) const {
+  Status why;
+  if (life->ShouldStop(&why)) {  // cancelled or expired before admission
+    life->Finish(std::move(why));
+    return;
+  }
+  try {
+    *life->mutable_result() = Execute(q);
+    life->AddRowsStreamed(life->result().num_rows());
+    life->Finish(Status::Ok());
+  } catch (const std::exception& e) {
+    life->Finish(
+        Status::Internal(std::string("volcano execution exception: ") +
+                         e.what()));
+  }
+}
+
+core::QueryTicket VolcanoEngine::Submit(const query::StarQuery& q,
+                                        const core::SubmitOptions& opts) {
+  auto life = std::make_shared<core::QueryLifecycle>(
+      next_qid_.fetch_add(1, std::memory_order_relaxed), opts);
+  life->set_submit_nanos(NowNanos());
+  ExecuteInto(q, life.get());
+  return core::QueryTicket(std::move(life));
+}
+
+std::vector<core::QueryTicket> VolcanoEngine::SubmitBatch(
+    const std::vector<query::StarQuery>& queries,
+    const core::SubmitOptions& opts) {
+  std::vector<core::QueryTicket> tickets;
+  tickets.reserve(queries.size());
+  for (const auto& q : queries) {
+    auto life = std::make_shared<core::QueryLifecycle>(
+        next_qid_.fetch_add(1, std::memory_order_relaxed), opts);
+    life->set_submit_nanos(NowNanos());
+    tickets.emplace_back(life);
+    std::unique_lock<std::mutex> lock(threads_mu_);
+    threads_.emplace_back(
+        [this, q, life = std::move(life)] { ExecuteInto(q, life.get()); });
+  }
+  return tickets;
+}
+
+void VolcanoEngine::WaitAll() {
+  std::vector<std::thread> threads;
+  {
+    std::unique_lock<std::mutex> lock(threads_mu_);
+    threads.swap(threads_);
+  }
+  for (auto& t : threads) t.join();
 }
 
 void VolcanoEngine::Evaluate(const query::PlanNode& node,

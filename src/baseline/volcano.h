@@ -10,10 +10,14 @@
 #ifndef SDW_BASELINE_VOLCANO_H_
 #define SDW_BASELINE_VOLCANO_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "core/page_channel.h"
+#include "core/query_ticket.h"
 #include "query/plan.h"
 #include "query/result.h"
 #include "query/star_query.h"
@@ -49,10 +53,17 @@ class VectorChannel : public core::PageSink, public core::PageSource {
 };
 
 /// The query-centric engine: one thread, one query, no sharing.
-class VolcanoEngine {
+///
+/// Also an ExecutorClient backend, so the harness drivers run it through the
+/// same ticket API as the integrated engine: Submit executes synchronously
+/// in the caller's thread (the closed-loop client blocks in Wait anyway),
+/// SubmitBatch spawns one thread per query — the paper's "concurrent
+/// query-centric engines" comparator shape.
+class VolcanoEngine : public core::ExecutorClient {
  public:
   VolcanoEngine(const storage::Catalog* catalog, storage::BufferPool* pool)
       : catalog_(catalog), pool_(pool) {}
+  ~VolcanoEngine() override;
 
   SDW_DISALLOW_COPY(VolcanoEngine);
 
@@ -62,12 +73,29 @@ class VolcanoEngine {
   /// Executes a pre-built plan (used by tests to cross-check the planner).
   query::ResultSet ExecutePlan(const query::PlanNode& plan) const;
 
+  // ExecutorClient:
+  core::QueryTicket Submit(
+      const query::StarQuery& q,
+      const core::SubmitOptions& opts = core::SubmitOptions()) override;
+  std::vector<core::QueryTicket> SubmitBatch(
+      const std::vector<query::StarQuery>& queries,
+      const core::SubmitOptions& opts = core::SubmitOptions()) override;
+  void WaitAll() override;
+
  private:
   /// Evaluates `node`, leaving its output in `out`.
   void Evaluate(const query::PlanNode& node, VectorChannel* out) const;
 
+  /// Runs one submission to a terminal state (deadline/cancel checked at
+  /// admission; execution itself is synchronous and uninterruptible).
+  void ExecuteInto(const query::StarQuery& q, core::QueryLifecycle* life) const;
+
   const storage::Catalog* catalog_;
   storage::BufferPool* pool_;
+
+  std::atomic<uint64_t> next_qid_{1};
+  std::mutex threads_mu_;
+  std::vector<std::thread> threads_;  // batch workers; reaped in WaitAll
 };
 
 }  // namespace sdw::baseline

@@ -59,11 +59,15 @@ CjoinPipeline::~CjoinPipeline() {
 void CjoinPipeline::Submit(const query::StarQuery& q,
                            storage::Schema out_schema,
                            std::shared_ptr<core::PageSink> sink,
-                           std::function<void()> on_complete) {
-  std::vector<Submission> one;
-  one.push_back(
-      {q, std::move(out_schema), std::move(sink), std::move(on_complete)});
-  SubmitMany(std::move(one));
+                           std::function<void(const Status&)> on_complete) {
+  Submission one;
+  one.q = q;
+  one.out_schema = std::move(out_schema);
+  one.sink = std::move(sink);
+  one.on_complete = std::move(on_complete);
+  std::vector<Submission> subs;
+  subs.push_back(std::move(one));
+  SubmitMany(std::move(subs));
 }
 
 void CjoinPipeline::SubmitMany(std::vector<Submission> submissions) {
@@ -110,6 +114,12 @@ size_t CjoinPipeline::num_active_queries() const {
   return active_count_;
 }
 
+void CjoinPipeline::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock,
+                [&] { return active_count_ == 0 && pending_.empty(); });
+}
+
 // ------------------------------------------------------------- preprocessor
 
 void CjoinPipeline::PreprocessorLoop() {
@@ -125,6 +135,7 @@ void CjoinPipeline::PreprocessorLoop() {
         lock.lock();
         DoCompletionsLocked();
         DoAdmissionsLocked();
+        if (active_count_ == 0 && pending_.empty()) idle_cv_.notify_all();
       }
       if (stop_.load()) return;
       if (active_count_ == 0) {
@@ -200,7 +211,12 @@ void CjoinPipeline::PreprocessorLoop() {
       for (size_t s = active_mask_.FindNextSet(0); s < active_mask_.size();
            s = active_mask_.FindNextSet(s + 1)) {
         ActiveQuery* aq = slots_[s].get();
-        if (aq != nullptr && --aq->pages_remaining == 0) {
+        if (aq == nullptr || aq->completion_queued) continue;
+        // Cycle complete, or the query's consumers detached (cancel,
+        // deadline, row-limit truncation): either way the slot retires at
+        // the next pause instead of scanning on.
+        if (--aq->pages_remaining == 0 || aq->Detached()) {
+          aq->completion_queued = true;
           completions_due_.push_back(static_cast<uint32_t>(s));
         }
       }
@@ -224,15 +240,30 @@ void CjoinPipeline::ForgetDroppedBatch() {
 void CjoinPipeline::CompleteQueryLocked(uint32_t slot) {
   ActiveQuery* aq = slots_[slot].get();
   SDW_CHECK(aq != nullptr);
-  {
-    std::unique_lock<std::mutex> out_lock(aq->out_mu);
-    aq->out_buf.DrainInto(aq->sink.get());
-    aq->sink->Close();
+  const bool early = aq->pages_remaining > 0;
+  Status final_status = Status::Ok();
+  if (early) {
+    // Early retire (cancel/detach): drop buffered output and fail through
+    // the shared finish-before-close sequence. The pipeline is drained at
+    // every retire point, so no EmitGroup races the sink here.
+    final_status = aq->life != nullptr ? aq->life->cancel_status()
+                                       : Status::Cancelled("query detached");
+    FailQuery(aq->life, aq->on_complete, aq->sink.get(), final_status);
+  } else {
+    {
+      std::unique_lock<std::mutex> out_lock(aq->out_mu);
+      aq->out_buf.DrainInto(aq->sink.get());
+      aq->sink->Close();
+    }
+    if (aq->on_complete) aq->on_complete(final_status);
   }
-  if (aq->on_complete) aq->on_complete();
   active_mask_.Clear(slot);
   --active_count_;
-  ++stats_.queries_completed;
+  if (early) {
+    ++stats_.queries_cancelled;
+  } else {
+    ++stats_.queries_completed;
+  }
   for (auto& f : filters_) f->RemoveQuery(slot);
   dirty_slots_.push_back(slot);
   slots_[slot].reset();
@@ -243,20 +274,36 @@ void CjoinPipeline::DoCompletionsLocked() {
   completions_due_.clear();
 }
 
-uint32_t CjoinPipeline::AllocSlotLocked() {
+uint32_t CjoinPipeline::TryAllocSlotLocked() {
   if (!free_slots_.empty()) {
     const uint32_t slot = free_slots_.back();
     free_slots_.pop_back();
     return slot;
   }
-  SDW_CHECK_MSG(!dirty_slots_.empty(),
-                "CJOIN query-slot capacity (%zu) exhausted",
-                options_.max_queries);
+  if (dirty_slots_.empty()) return kNoSlot;  // capacity exhausted
   const uint32_t slot = dirty_slots_.back();
   dirty_slots_.pop_back();
+  ++stats_.slot_recycles;
   // Cleanse stale match bits left by the slot's previous occupant.
   for (auto& f : filters_) f->CleanSlot(slot);
   return slot;
+}
+
+void CjoinPipeline::FailQuery(
+    const std::shared_ptr<core::QueryLifecycle>& life,
+    const std::function<void(const Status&)>& on_complete,
+    core::PageSink* sink, const Status& why) {
+  // Order is load-bearing: lifecycles (the owner's, and under SP every
+  // consumer's via on_complete) must complete with the error BEFORE the
+  // sink closes — closing wakes client drains on a truncated stream, and
+  // their Finish(Ok) must lose the first-wins race against this error.
+  if (life != nullptr) life->Finish(why);
+  if (on_complete) on_complete(why);
+  if (sink != nullptr) sink->Close();
+}
+
+void CjoinPipeline::RejectPendingLocked(PendingQuery* p, const Status& why) {
+  FailQuery(p->life, p->on_complete, p->sink.get(), why);
 }
 
 Filter* CjoinPipeline::GetOrCreateFilterLocked(const query::DimJoin& dim) {
@@ -324,14 +371,47 @@ void CjoinPipeline::DoAdmissionsLocked() {
   std::vector<uint32_t> epoch_slots;
   epoch_slots.reserve(pending_.size());
   std::vector<std::pair<Filter*, std::vector<Filter::AdmitRequest>>> scans;
+  const int64_t now = NowNanos();
   for (auto& p : pending_) {
-    const uint32_t slot = AllocSlotLocked();
+    // Deadline-driven admission: an expired query is rejected here, before
+    // it costs a slot or any dimension scan. Likewise a query whose client
+    // already detached (cancelled while pending / during this pause).
+    // A shared packet (group `cancelled` override installed) is exempt from
+    // the owner-deadline rejection: satellites without deadlines may depend
+    // on it, so the owner's expiry only detaches the owner (its drain stops
+    // at the deadline) and the packet retires via the group signal.
+    if (!p.cancelled && p.life != nullptr && p.life->deadline_nanos() != 0 &&
+        now > p.life->deadline_nanos()) {
+      RejectPendingLocked(&p, Status::DeadlineExceeded(
+                                  "deadline expired before CJOIN admission"));
+      ++stats_.queries_expired;
+      continue;
+    }
+    if ((p.cancelled && p.cancelled()) ||
+        (!p.cancelled && p.life != nullptr && p.life->Detached())) {
+      RejectPendingLocked(
+          &p, p.life != nullptr ? p.life->cancel_status()
+                                : Status::Cancelled("cancelled while pending"));
+      ++stats_.queries_cancelled;
+      continue;
+    }
+    const uint32_t slot = TryAllocSlotLocked();
+    if (slot == kNoSlot) {
+      RejectPendingLocked(
+          &p, Status::ResourceExhausted(
+                  "CJOIN query-slot capacity (" +
+                  std::to_string(options_.max_queries) + ") exhausted"));
+      ++stats_.queries_rejected;
+      continue;
+    }
     auto aq = std::make_unique<ActiveQuery>();
     aq->slot = slot;
     aq->q = p.q;
     aq->out_schema = std::move(p.out_schema);
     aq->out_tuple_size = aq->out_schema.tuple_size();
     aq->sink = std::move(p.sink);
+    aq->life = std::move(p.life);
+    aq->cancelled = std::move(p.cancelled);
     aq->on_complete = std::move(p.on_complete);
     aq->fact_pred = aq->q.fact_pred.Bind(fact_->schema());
     slots_[slot] = std::move(aq);
@@ -384,6 +464,9 @@ void CjoinPipeline::DoAdmissionsLocked() {
     active_mask_.Set(slot);
     ++active_count_;
     ++stats_.queries_admitted;
+    if (aq->life != nullptr) {
+      aq->life->SetAdmissionEpoch(stats_.admission_batches + 1);
+    }
     if (aq->pages_remaining == 0) {
       CompleteQueryLocked(slot);  // empty fact table: nothing to join
     }
@@ -544,6 +627,13 @@ void CjoinPipeline::EmitGroup(uint32_t slot, const TupleBatch& batch,
                               const uint32_t* idxs, size_t n) {
   ActiveQuery* aq = slots_[slot].get();
   SDW_DCHECK(aq != nullptr);
+  // Stale-slot suppression: once the query's consumers detached (cancel /
+  // deadline / row-limit), stop projecting for it — batches annotated
+  // before the cancel was observed may still carry its bit until the slot
+  // retires at the next admission pause. Under SP the signal is group-wide,
+  // so a host with live satellites keeps emitting. Reads the preprocessor's
+  // per-page cached decision: a relaxed load, no locks on this path.
+  if (aq->detached_cache.load(std::memory_order_relaxed)) return;
   // Take exclusive ownership of one of the query's open output pages — the
   // critical section is a pointer swap; predicate evaluation and projection
   // below run without the lock.

@@ -31,7 +31,9 @@
 #include "cjoin/filter.h"
 #include "cjoin/tuple_batch.h"
 #include "common/stats.h"
+#include "common/status.h"
 #include "core/page_channel.h"
+#include "core/query_ticket.h"
 #include "query/plan.h"
 #include "query/star_query.h"
 #include "storage/buffer_pool.h"
@@ -65,6 +67,20 @@ struct CjoinStats {
   uint64_t admission_batches = 0;
   uint64_t queries_admitted = 0;
   uint64_t queries_completed = 0;
+  /// Queries whose client cancelled/detached: admitted ones retired at an
+  /// admission pause before finishing their scan cycle (their slots return
+  /// to the dirty pool for reuse), plus pending ones rejected before
+  /// allocation. So queries_admitted <= queries_completed +
+  /// queries_cancelled, with equality when no pending query was cancelled.
+  uint64_t queries_cancelled = 0;
+  /// Pending queries rejected at admission because their deadline had
+  /// already expired — before costing a slot or a dimension scan.
+  uint64_t queries_expired = 0;
+  /// Pending queries rejected because no query slot was available.
+  uint64_t queries_rejected = 0;
+  /// Admissions that reused a previously-occupied (dirty) slot — shows
+  /// cancelled/completed slots actually recycling under churn.
+  uint64_t slot_recycles = 0;
   uint64_t fact_pages_scanned = 0;
   /// Batch recycling pool hits/misses: a warm pipeline should show a hit
   /// rate near 1 (zero per-batch heap allocation in steady state).
@@ -143,19 +159,31 @@ class CjoinPipeline {
 
   /// One query submission: join-pipeline output rows — schema `out_schema`,
   /// which must equal the query-centric join sub-plan's output schema — are
-  /// written to `sink`; at completion the sink is closed and `on_complete`
-  /// runs (in the preprocessor thread).
+  /// written to `sink`; at completion (or rejection, or early retirement)
+  /// the sink is closed and `on_complete` runs with the terminal status (in
+  /// the preprocessor thread). Every submission reaches on_complete exactly
+  /// once — a rejected query must never hang its client.
   struct Submission {
     query::StarQuery q;
     storage::Schema out_schema;
     std::shared_ptr<core::PageSink> sink;
-    std::function<void()> on_complete;
+    /// Client lifecycle (may be null for direct pipeline tests). Supplies
+    /// the deadline (enforced at admission) and the default cancel/detach
+    /// signal, and is completed with the terminal status on the pipeline's
+    /// error/cancel paths so no ticket is left unsatisfied.
+    std::shared_ptr<core::QueryLifecycle> life;
+    /// Overrides the cancel signal (checked each scanned page and at
+    /// admission). Used by CJOIN-SP, where a shared packet must retire only
+    /// once ALL consumers — host and satellites — have detached, not when
+    /// the host's own query cancels. Defaults to life->Detached().
+    std::function<bool()> cancelled;
+    std::function<void(const Status&)> on_complete;
   };
 
   /// Submits a star query.
   void Submit(const query::StarQuery& q, storage::Schema out_schema,
               std::shared_ptr<core::PageSink> sink,
-              std::function<void()> on_complete);
+              std::function<void(const Status&)> on_complete);
 
   /// Submits several queries atomically so they join one admission batch
   /// (one pipeline pause) — the paper's batched admission (§3.2).
@@ -166,6 +194,12 @@ class CjoinPipeline {
   void ResetStats();
   size_t num_filters() const;
   size_t num_active_queries() const;
+
+  /// Blocks until the pipeline holds no pending or active query. Needed
+  /// before teardown when queries can finish client-side ahead of their
+  /// slot (a cancelled ticket completes immediately; its slot retires at
+  /// the next admission pause).
+  void WaitIdle();
 
  private:
   /// Projection step from fact row or joined dimension row to output tuple.
@@ -183,10 +217,36 @@ class CjoinPipeline {
     storage::Schema out_schema;
     uint32_t out_tuple_size = 0;
     std::shared_ptr<core::PageSink> sink;
-    std::function<void()> on_complete;
+    std::shared_ptr<core::QueryLifecycle> life;
+    std::function<bool()> cancelled;
+    std::function<void(const Status&)> on_complete;
     query::Predicate::Bound fact_pred;
     std::vector<ProjMove> moves;
     uint64_t pages_remaining = 0;
+    /// Set once the slot is queued on completions_due_, so the cancel check
+    /// and the cycle-complete check cannot double-queue it.
+    bool completion_queued = false;
+
+    /// True once the query's consumers no longer want output (explicit
+    /// cancel, completed ticket, or — under SP — every consumer detached).
+    /// Evaluated by the preprocessor (once per scanned page, under mu_);
+    /// the result is cached in `detached_cache` so the distributor's
+    /// per-group suppression check stays a relaxed atomic load instead of
+    /// taking the SP registry lock on the hot path.
+    bool Detached() {
+      bool d;
+      if (cancelled) {
+        d = cancelled();
+      } else {
+        d = life != nullptr && life->Detached();
+      }
+      if (d) detached_cache.store(true, std::memory_order_relaxed);
+      return d;
+    }
+
+    /// Hot-path view of Detached(): at most one page stale.
+    std::atomic<bool> detached_cache{false};
+
     // Output path: distributor parts take/put partial pages under out_mu (a
     // pointer swap) and project into them without the lock; the sink is
     // touched under out_mu only when a page fills or at completion.
@@ -218,11 +278,26 @@ class CjoinPipeline {
   // The *Locked helpers require mu_ held and the pipeline drained.
   void DoCompletionsLocked();
   void DoAdmissionsLocked();
-  uint32_t AllocSlotLocked();
+  /// Allocates a slot, recycling a dirty one when the free pool is empty;
+  /// returns kNoSlot when capacity is exhausted (the caller rejects).
+  static constexpr uint32_t kNoSlot = ~uint32_t{0};
+  uint32_t TryAllocSlotLocked();
   Filter* GetOrCreateFilterLocked(const query::DimJoin& dim);
   void BuildProjection(const query::StarQuery& q,
                        const storage::Schema& out_schema, ActiveQuery* aq);
+  /// Retires a slot. A slot retired before its scan cycle finished
+  /// (pages_remaining > 0) completes with the query's cancel status and is
+  /// counted as cancelled; otherwise it completes kOk.
   void CompleteQueryLocked(uint32_t slot);
+  /// Terminates a query with a non-OK status: completes the lifecycle and
+  /// runs on_complete BEFORE closing the sink (the ordering is what keeps a
+  /// client drain's Finish(Ok)-on-truncated-stream from winning the
+  /// first-wins race). Shared by the pending-reject and early-retire paths.
+  static void FailQuery(const std::shared_ptr<core::QueryLifecycle>& life,
+                        const std::function<void(const Status&)>& on_complete,
+                        core::PageSink* sink, const Status& why);
+  /// Fails a pending submission without admitting it.
+  void RejectPendingLocked(PendingQuery* p, const Status& why);
 
   const storage::Catalog* catalog_;
   storage::BufferPool* pool_;
@@ -232,6 +307,7 @@ class CjoinPipeline {
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
   std::vector<PendingQuery> pending_;
   std::vector<std::unique_ptr<ActiveQuery>> slots_;
   Bitset active_mask_;

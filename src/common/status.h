@@ -2,6 +2,29 @@
 //
 // sdw does not use exceptions (Google style). Functions that can fail for
 // reasons the caller should handle return Status or Result<T>.
+//
+// Query-lifecycle taxonomy (the terminal states a QueryTicket can report —
+// see core/query_ticket.h):
+//
+//   kOk                — the query ran to completion; the full result set is
+//                        available. Also reported when a client-imposed
+//                        row_limit stopped the drain early: the truncation
+//                        was requested, so the (partial) result is valid.
+//   kCancelled         — Cancel() was observed before the result finished
+//                        draining. The result set is incomplete and must not
+//                        be read. A Cancel() that arrives after completion is
+//                        a no-op: the ticket stays kOk.
+//   kDeadlineExceeded  — the query's SubmitOptions deadline expired, either
+//                        at admission (rejected before any work: no packet
+//                        wiring, no CJOIN dimension scan) or while the result
+//                        was draining. The result set is incomplete.
+//   kResourceExhausted — admission was rejected outright (e.g. the CJOIN
+//                        pipeline ran out of query slots). No work was done.
+//   kInternal          — an engine fault (e.g. a packet worker threw); the
+//                        ticket is completed instead of hanging forever.
+//
+// Every ticket terminates in exactly one of these states: no submission path
+// may leave a ticket's Wait() blocked indefinitely.
 
 #ifndef SDW_COMMON_STATUS_H_
 #define SDW_COMMON_STATUS_H_
@@ -23,6 +46,7 @@ enum class StatusCode {
   kResourceExhausted,
   kFailedPrecondition,
   kCancelled,
+  kDeadlineExceeded,
   kInternal,
 };
 
@@ -43,6 +67,8 @@ inline const char* StatusCodeName(StatusCode code) {
       return "FAILED_PRECONDITION";
     case StatusCode::kCancelled:
       return "CANCELLED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
     case StatusCode::kInternal:
       return "INTERNAL";
   }
@@ -77,6 +103,9 @@ class Status {
   }
   static Status Cancelled(std::string m) {
     return Status(StatusCode::kCancelled, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));

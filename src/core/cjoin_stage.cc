@@ -28,9 +28,11 @@ qpipe::QpipeEngine::JoinDelegate CjoinStage::MakeDelegate() {
              -> std::unique_ptr<PageSource> {
     const std::string& sig = join_root->signature;
 
-    // SP over CJOIN packets: step WoP on the packet's output exchange.
+    // SP over CJOIN packets: step WoP on the packet's output exchange. The
+    // satellite's lifecycle is recorded against the host, so the packet
+    // retires early only when EVERY consumer detaches.
     if (sp_enabled_) {
-      if (auto src = registry_.TryAttach(sig)) {
+      if (auto src = registry_.TryAttach(sig, ctx->life)) {
         shares_.fetch_add(1, std::memory_order_relaxed);
         return src;
       }
@@ -39,7 +41,7 @@ qpipe::QpipeEngine::JoinDelegate CjoinStage::MakeDelegate() {
     std::shared_ptr<qpipe::Exchange> ex =
         qpipe::MakeExchange(comm_, channel_bytes_);
     auto primary = ex->OpenPrimaryReader();
-    if (sp_enabled_) registry_.Register(sig, ex);
+    if (sp_enabled_) registry_.Register(sig, ex, ctx->life);
 
     // Defer the pipeline submission to the dispatch phase so that every
     // satellite in the batch attaches before the GQP starts producing; the
@@ -48,14 +50,33 @@ qpipe::QpipeEngine::JoinDelegate CjoinStage::MakeDelegate() {
     // it lands in a single admission pause (paper §3.2).
     const query::StarQuery q = ctx->query;
     const storage::Schema out_schema = join_root->out_schema;
-    deferred->push_back([this, q, out_schema, ex, sig] {
+    std::shared_ptr<QueryLifecycle> life = ctx->life;
+    deferred->push_back([this, q, out_schema, ex, sig, life] {
       cjoin::CjoinPipeline::Submission sub;
       sub.q = q;
       sub.out_schema = out_schema;
       sub.sink = std::make_shared<ExchangeSinkHolder>(ex);
+      sub.life = life;
       if (sp_enabled_) {
-        sub.on_complete = [this, sig, ex] {
-          registry_.Unregister(sig, ex.get());
+        // Detach-on-host-cancel: the shared packet serves every attached
+        // query, so the pipeline's cancel signal is "all consumers
+        // detached", not the host's own lifecycle — a cancelled host
+        // merely stops reading while satellites keep the slot alive.
+        sub.cancelled = [this, sig, ex] {
+          return registry_.AllConsumersDetached(sig, ex.get());
+        };
+        sub.on_complete = [this, sig, ex](const Status& s) {
+          // A failed/rejected shared packet must fail every consumer — a
+          // satellite draining the truncated stream as success would report
+          // an empty result as kOk. The removal and the consumer failure
+          // must be one atomic registry operation, or a satellite attaching
+          // between them (the WoP is still open: nothing was emitted and
+          // the sink closes only after this hook returns) slips past both.
+          if (!s.ok()) {
+            registry_.UnregisterAborted(sig, ex.get(), s);
+          } else {
+            registry_.Unregister(sig, ex.get());
+          }
         };
       }
       std::unique_lock<std::mutex> lock(staged_mu_);

@@ -63,20 +63,31 @@ Engine::Engine(const storage::Catalog* catalog, storage::BufferPool* pool,
 }
 
 Engine::~Engine() {
-  // Queries must finish before the pipeline (owned here) is torn down.
+  // Queries must finish before the pipeline (owned here) is torn down. A
+  // cancelled ticket completes ahead of its CJOIN slot, so additionally
+  // wait for the pipeline to retire every slot (next admission pause).
   qpipe_->WaitAll();
+  if (pipeline_) pipeline_->WaitIdle();
 }
 
-std::vector<qpipe::QueryHandle> Engine::SubmitBatch(
-    const std::vector<query::StarQuery>& queries) {
-  return qpipe_->SubmitBatch(queries);
+std::vector<QueryTicket> Engine::SubmitBatch(
+    const std::vector<query::StarQuery>& queries, const SubmitOptions& opts) {
+  const auto handles = qpipe_->SubmitBatch(queries, opts);
+  std::vector<QueryTicket> tickets;
+  tickets.reserve(handles.size());
+  for (const auto& h : handles) tickets.emplace_back(h->life);
+  return tickets;
 }
 
-qpipe::QueryHandle Engine::Submit(const query::StarQuery& q) {
-  return qpipe_->Submit(q);
+QueryTicket Engine::Submit(const query::StarQuery& q,
+                           const SubmitOptions& opts) {
+  return QueryTicket(qpipe_->Submit(q, opts)->life);
 }
 
-void Engine::WaitAll() { qpipe_->WaitAll(); }
+void Engine::WaitAll() {
+  qpipe_->WaitAll();
+  if (pipeline_) pipeline_->WaitIdle();
+}
 
 void Engine::ResetCounters() {
   qpipe_->ResetSpCounters();

@@ -20,6 +20,7 @@
 
 #include "cjoin/pipeline.h"
 #include "core/cjoin_stage.h"
+#include "core/query_ticket.h"
 #include "qpipe/engine.h"
 
 namespace sdw::core {
@@ -53,24 +54,29 @@ struct EngineOptions {
   std::string fact_table = "lineorder";
 };
 
-/// The integrated engine.
-class Engine {
+/// The integrated engine. Submissions return QueryTickets (see
+/// core/query_ticket.h) carrying status, cancellation, deadlines and
+/// per-query metrics; the ExecutorClient interface lets harness drivers and
+/// tests run unchanged against any backend.
+class Engine : public ExecutorClient {
  public:
   Engine(const storage::Catalog* catalog, storage::BufferPool* pool,
          EngineOptions options);
-  ~Engine();
+  ~Engine() override;
 
   SDW_DISALLOW_COPY(Engine);
 
   /// Submits a batch of concurrent queries (all "arrive at the same time").
-  std::vector<qpipe::QueryHandle> SubmitBatch(
-      const std::vector<query::StarQuery>& queries);
+  std::vector<QueryTicket> SubmitBatch(
+      const std::vector<query::StarQuery>& queries,
+      const SubmitOptions& opts = SubmitOptions()) override;
 
   /// Single-query submission (closed-loop clients).
-  qpipe::QueryHandle Submit(const query::StarQuery& q);
+  QueryTicket Submit(const query::StarQuery& q,
+                     const SubmitOptions& opts = SubmitOptions()) override;
 
   /// Blocks until all submitted queries complete.
-  void WaitAll();
+  void WaitAll() override;
 
   const EngineOptions& options() const { return options_; }
   qpipe::QpipeEngine* qpipe() { return qpipe_.get(); }
@@ -87,7 +93,7 @@ class Engine {
   cjoin::CjoinStats cjoin_stats() const {
     return pipeline_ ? pipeline_->stats() : cjoin::CjoinStats{};
   }
-  void ResetCounters();
+  void ResetCounters() override;
 
  private:
   const EngineOptions options_;

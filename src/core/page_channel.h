@@ -40,6 +40,13 @@ class PageSink {
 
   /// Ends the stream. Idempotent.
   virtual void Close() = 0;
+
+  /// True once every consumer has cancelled — the producer's non-blocking
+  /// cancellation check point. Unlike waiting for a failed Put, this lets a
+  /// producer that is consuming (building, aggregating, sorting) or emitting
+  /// nothing (fully filtered) observe downstream cancellation at page
+  /// granularity. Transports without consumer tracking report false.
+  virtual bool Abandoned() const { return false; }
 };
 
 /// Communication model for SP result sharing (paper §4).

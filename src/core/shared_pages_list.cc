@@ -13,6 +13,7 @@ SharedPagesList::TryAttachFromStart() {
   std::unique_lock<std::mutex> lock(mu_);
   if (closed_ || next_seq_ != 0) return nullptr;  // WoP closed
   ++active_readers_;
+  attached_ever_ = true;
   return std::unique_ptr<Reader>(new Reader(this, 0));
 }
 
@@ -20,6 +21,7 @@ std::unique_ptr<SharedPagesList::Reader> SharedPagesList::AttachAtCurrent() {
   std::unique_lock<std::mutex> lock(mu_);
   if (closed_) return nullptr;
   ++active_readers_;
+  attached_ever_ = true;
   return std::unique_ptr<Reader>(new Reader(this, next_seq_));
 }
 
@@ -43,6 +45,13 @@ void SharedPagesList::Close() {
   std::unique_lock<std::mutex> lock(mu_);
   closed_ = true;
   consumer_cv_.notify_all();
+}
+
+bool SharedPagesList::Abandoned() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  // attached_ever_ distinguishes "all readers cancelled" from "no reader
+  // attached yet" — the latter must not look abandoned.
+  return attached_ever_ && active_readers_ == 0;
 }
 
 bool SharedPagesList::NothingEmitted() const {

@@ -80,6 +80,9 @@ class SharedPagesList : public PageSink {
   // PageSink:
   bool Put(storage::PagePtr page) override;
   void Close() override;
+  /// True once every attached reader has cancelled (at least one reader must
+  /// have attached; the primary attaches before the producer dispatches).
+  bool Abandoned() const override;
 
   /// True while nothing has been emitted (step WoP still open) and not
   /// closed.
@@ -108,6 +111,7 @@ class SharedPagesList : public PageSink {
   uint64_t next_seq_ = 0;  // seq of the next emitted page
   size_t bytes_ = 0;
   size_t active_readers_ = 0;
+  bool attached_ever_ = false;
   bool closed_ = false;
 };
 

@@ -1,6 +1,7 @@
 #include "harness/driver.h"
 
 #include <atomic>
+#include <mutex>
 #include <thread>
 
 #include "common/cpu_meter.h"
@@ -29,6 +30,34 @@ void FinishMetrics(RunMetrics* m, const CpuMeter& meter,
   SnapshotBreakdown(m);
 }
 
+/// Buckets one terminal status into the run's outcome counters.
+void TallyOutcome(const Status& s, RunMetrics* m) {
+  switch (s.code()) {
+    case StatusCode::kOk:
+      ++m->completed;
+      break;
+    case StatusCode::kCancelled:
+      ++m->cancelled;
+      break;
+    case StatusCode::kDeadlineExceeded:
+      ++m->expired;
+      break;
+    default:
+      ++m->failed;
+      break;
+  }
+}
+
+/// Engine-specific sharing counters, when the backend is the integrated
+/// engine; other ExecutorClients report zeroes.
+void CollectEngineStats(core::ExecutorClient* client, RunMetrics* m) {
+  if (auto* engine = dynamic_cast<core::Engine*>(client)) {
+    m->sp = engine->sp_counters();
+    m->cjoin_shares = engine->cjoin_shares();
+    m->cjoin = engine->cjoin_stats();
+  }
+}
+
 }  // namespace
 
 void ClearCaches(storage::BufferPool* pool) {
@@ -37,34 +66,39 @@ void ClearCaches(storage::BufferPool* pool) {
   Breakdown::Global().Reset();
 }
 
-RunMetrics RunBatch(core::Engine* engine, storage::BufferPool* pool,
+RunMetrics RunBatch(core::ExecutorClient* client, storage::BufferPool* pool,
                     const std::vector<query::StarQuery>& queries,
                     bool clear_caches,
-                    const baseline::VolcanoEngine* verify_against) {
+                    const baseline::VolcanoEngine* verify_against,
+                    const core::SubmitOptions& opts) {
   if (clear_caches) ClearCaches(pool);
-  engine->ResetCounters();
+  client->ResetCounters();
 
   RunMetrics m;
   CpuMeter meter;
   meter.Start();
-  const auto handles = engine->SubmitBatch(queries);
-  for (const auto& h : handles) h->done.wait();
+  const auto tickets = client->SubmitBatch(queries, opts);
+  std::vector<Status> finals;
+  finals.reserve(tickets.size());
+  for (const auto& t : tickets) finals.push_back(t.Wait());
+  client->WaitAll();
   meter.Stop();
 
-  for (const auto& h : handles) {
-    m.response_seconds.Add(h->response_seconds());
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    TallyOutcome(finals[i], &m);
+    if (finals[i].ok()) {
+      m.response_seconds.Add(tickets[i].metrics().response_seconds());
+    }
   }
-  m.completed = handles.size();
-  m.sp = engine->sp_counters();
-  m.cjoin_shares = engine->cjoin_shares();
-  m.cjoin = engine->cjoin_stats();
+  CollectEngineStats(client, &m);
   FinishMetrics(&m, meter, *pool->device());
 
   if (verify_against != nullptr) {
     for (size_t i = 0; i < queries.size(); ++i) {
+      if (!finals[i].ok()) continue;  // only completed queries have results
       const query::ResultSet expected = verify_against->Execute(queries[i]);
       const std::string diff =
-          query::DiffResults(expected, handles[i]->result);
+          query::DiffResults(expected, tickets[i].result());
       SDW_CHECK_MSG(diff.empty(), "query %zu result mismatch: %s", i,
                     diff.c_str());
     }
@@ -73,130 +107,60 @@ RunMetrics RunBatch(core::Engine* engine, storage::BufferPool* pool,
 }
 
 RunMetrics RunClosedLoop(
-    core::Engine* engine, storage::BufferPool* pool,
-    const std::function<query::StarQuery(size_t)>& make_query, size_t clients,
-    double duration_seconds) {
+    core::ExecutorClient* client, storage::BufferPool* pool,
+    const std::function<query::StarQuery(size_t)>& make_query,
+    const ClosedLoopOptions& options) {
   ClearCaches(pool);
-  engine->ResetCounters();
+  client->ResetCounters();
 
   RunMetrics m;
   std::atomic<size_t> next_query{0};
-  std::atomic<uint64_t> completed{0};
-  std::mutex resp_mu;
+  std::mutex tally_mu;
   Stats responses;
+  RunMetrics outcomes;  // counter fields only, merged under tally_mu
 
   CpuMeter meter;
   meter.Start();
-  const int64_t deadline =
-      NowNanos() + static_cast<int64_t>(duration_seconds * 1e9);
+  const int64_t run_deadline =
+      NowNanos() +
+      static_cast<int64_t>(options.duration_seconds * 1e9);
 
   std::vector<std::thread> threads;
-  threads.reserve(clients);
-  for (size_t c = 0; c < clients; ++c) {
+  threads.reserve(options.clients);
+  for (size_t c = 0; c < options.clients; ++c) {
     threads.emplace_back([&] {
-      while (NowNanos() < deadline) {
+      while (NowNanos() < run_deadline) {
         const size_t i = next_query.fetch_add(1, std::memory_order_relaxed);
-        auto handle = engine->Submit(make_query(i));
-        handle->done.wait();
-        completed.fetch_add(1, std::memory_order_relaxed);
+        core::SubmitOptions opts;
+        if (options.client_deadline_nanos != 0) {
+          opts.deadline_nanos = NowNanos() + options.client_deadline_nanos;
+        }
+        auto ticket = client->Submit(make_query(i), opts);
+        const Status s = ticket.Wait();
         {
-          std::unique_lock<std::mutex> lock(resp_mu);
-          responses.Add(handle->response_seconds());
+          std::unique_lock<std::mutex> lock(tally_mu);
+          TallyOutcome(s, &outcomes);
+          if (s.ok()) {
+            responses.Add(ticket.metrics().response_seconds());
+          }
         }
       }
     });
   }
   for (auto& t : threads) t.join();
+  client->WaitAll();
   meter.Stop();
 
-  m.completed = completed.load();
+  m.completed = outcomes.completed;
+  m.cancelled = outcomes.cancelled;
+  m.expired = outcomes.expired;
+  m.failed = outcomes.failed;
   m.response_seconds = responses;
   m.throughput_qph = meter.WallSeconds() > 0
                          ? static_cast<double>(m.completed) /
                                meter.WallSeconds() * 3600.0
                          : 0;
-  m.sp = engine->sp_counters();
-  m.cjoin_shares = engine->cjoin_shares();
-  m.cjoin = engine->cjoin_stats();
-  FinishMetrics(&m, meter, *pool->device());
-  return m;
-}
-
-RunMetrics RunVolcanoBatch(const baseline::VolcanoEngine* engine,
-                           storage::BufferPool* pool,
-                           const std::vector<query::StarQuery>& queries,
-                           bool clear_caches) {
-  if (clear_caches) ClearCaches(pool);
-
-  RunMetrics m;
-  std::mutex resp_mu;
-  Stats responses;
-
-  CpuMeter meter;
-  meter.Start();
-  std::vector<std::thread> threads;
-  threads.reserve(queries.size());
-  for (const auto& q : queries) {
-    threads.emplace_back([&, query = q] {
-      WallTimer timer;
-      const query::ResultSet result = engine->Execute(query);
-      (void)result;
-      std::unique_lock<std::mutex> lock(resp_mu);
-      responses.Add(timer.ElapsedSeconds());
-    });
-  }
-  for (auto& t : threads) t.join();
-  meter.Stop();
-
-  m.completed = queries.size();
-  m.response_seconds = responses;
-  FinishMetrics(&m, meter, *pool->device());
-  return m;
-}
-
-RunMetrics RunVolcanoClosedLoop(
-    const baseline::VolcanoEngine* engine, storage::BufferPool* pool,
-    const std::function<query::StarQuery(size_t)>& make_query, size_t clients,
-    double duration_seconds) {
-  ClearCaches(pool);
-
-  RunMetrics m;
-  std::atomic<size_t> next_query{0};
-  std::atomic<uint64_t> completed{0};
-  std::mutex resp_mu;
-  Stats responses;
-
-  CpuMeter meter;
-  meter.Start();
-  const int64_t deadline =
-      NowNanos() + static_cast<int64_t>(duration_seconds * 1e9);
-
-  std::vector<std::thread> threads;
-  threads.reserve(clients);
-  for (size_t c = 0; c < clients; ++c) {
-    threads.emplace_back([&] {
-      while (NowNanos() < deadline) {
-        const size_t i = next_query.fetch_add(1, std::memory_order_relaxed);
-        WallTimer timer;
-        const query::ResultSet result = engine->Execute(make_query(i));
-        (void)result;
-        completed.fetch_add(1, std::memory_order_relaxed);
-        {
-          std::unique_lock<std::mutex> lock(resp_mu);
-          responses.Add(timer.ElapsedSeconds());
-        }
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
-  meter.Stop();
-
-  m.completed = completed.load();
-  m.response_seconds = responses;
-  m.throughput_qph = meter.WallSeconds() > 0
-                         ? static_cast<double>(m.completed) /
-                               meter.WallSeconds() * 3600.0
-                         : 0;
+  CollectEngineStats(client, &m);
   FinishMetrics(&m, meter, *pool->device());
   return m;
 }

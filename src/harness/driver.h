@@ -3,6 +3,12 @@
 // closed-loop clients (throughput experiments), caches cleared before every
 // measurement, and per-run reporting of average cores used, device read rate
 // and the CPU-time breakdown.
+//
+// Both drivers are written once against core::ExecutorClient, so the same
+// RunBatch/RunClosedLoop measure the integrated engine (all five paper
+// configurations), the Volcano comparator, and any future backend. Ticket
+// statuses are tallied into completed/cancelled/expired/failed so runs with
+// deadlines or cancellation report tail behavior instead of hiding it.
 
 #ifndef SDW_HARNESS_DRIVER_H_
 #define SDW_HARNESS_DRIVER_H_
@@ -15,23 +21,39 @@
 #include "common/breakdown.h"
 #include "common/stats.h"
 #include "core/engine.h"
+#include "core/query_ticket.h"
 
 namespace sdw::harness {
 
 /// Everything measured in one experiment run.
 struct RunMetrics {
-  Stats response_seconds;   // per-query response times
+  Stats response_seconds;   // per-query response times (completed queries)
   double makespan_seconds = 0;
   double avg_cores = 0;     // process CPU / wall over the activity period
   double read_mbps = 0;     // simulated device transfer rate
   uint64_t device_bytes = 0;
-  uint64_t completed = 0;
+  uint64_t completed = 0;   // terminal kOk
+  uint64_t cancelled = 0;   // terminal kCancelled
+  uint64_t expired = 0;     // terminal kDeadlineExceeded
+  uint64_t failed = 0;      // any other terminal error
   double throughput_qph = 0;  // closed-loop runs only
 
+  // Engine-specific sharing counters; zeroes for backends without them.
   qpipe::SpCounters sp;
   uint64_t cjoin_shares = 0;
   cjoin::CjoinStats cjoin;
   std::array<double, kNumComponents> breakdown_seconds{};
+};
+
+/// Closed-loop run shape: `clients` threads, each submitting its next query
+/// as soon as the previous completes, until `duration_seconds` elapses.
+struct ClosedLoopOptions {
+  size_t clients = 1;
+  double duration_seconds = 1.0;
+  /// Per-query deadline, relative to its submission (0 = none): each
+  /// request is submitted with deadline_nanos = now + this. Expired queries
+  /// count into RunMetrics::expired — the tail-behavior knob.
+  int64_t client_deadline_nanos = 0;
 };
 
 /// Clears buffer-pool residency, device counters/cache, breakdown buckets
@@ -39,32 +61,34 @@ struct RunMetrics {
 /// measurement".
 void ClearCaches(storage::BufferPool* pool);
 
-/// Runs one simultaneous batch on the integrated engine.
-/// When `verify_against` is non-null, every query is re-executed on the
-/// Volcano comparator and results must match (used by tests/examples).
-RunMetrics RunBatch(core::Engine* engine, storage::BufferPool* pool,
+/// Runs one simultaneous batch on any ExecutorClient backend.
+/// When `verify_against` is non-null, every successfully completed query is
+/// re-executed on the Volcano comparator and results must match (used by
+/// tests/examples). `opts` applies to every query of the batch.
+RunMetrics RunBatch(core::ExecutorClient* client, storage::BufferPool* pool,
                     const std::vector<query::StarQuery>& queries,
                     bool clear_caches = true,
-                    const baseline::VolcanoEngine* verify_against = nullptr);
+                    const baseline::VolcanoEngine* verify_against = nullptr,
+                    const core::SubmitOptions& opts = core::SubmitOptions());
 
-/// Closed-loop run: `clients` threads; client c submits make_query(i) for
-/// its i-th request as soon as the previous completes; stops issuing after
-/// `duration_seconds` and drains.
-RunMetrics RunClosedLoop(core::Engine* engine, storage::BufferPool* pool,
-                         const std::function<query::StarQuery(size_t)>& make_query,
-                         size_t clients, double duration_seconds);
+/// Closed-loop run: client c submits make_query(i) for the i-th request as
+/// soon as the previous completes; stops issuing after the duration and
+/// drains.
+RunMetrics RunClosedLoop(
+    core::ExecutorClient* client, storage::BufferPool* pool,
+    const std::function<query::StarQuery(size_t)>& make_query,
+    const ClosedLoopOptions& options);
 
-/// Batch run on the Volcano comparator: one thread per query, no sharing.
-RunMetrics RunVolcanoBatch(const baseline::VolcanoEngine* engine,
-                           storage::BufferPool* pool,
-                           const std::vector<query::StarQuery>& queries,
-                           bool clear_caches = true);
-
-/// Closed-loop run on the Volcano comparator.
-RunMetrics RunVolcanoClosedLoop(
-    const baseline::VolcanoEngine* engine, storage::BufferPool* pool,
+/// Convenience overload with the classic (clients, seconds) shape.
+inline RunMetrics RunClosedLoop(
+    core::ExecutorClient* client, storage::BufferPool* pool,
     const std::function<query::StarQuery(size_t)>& make_query, size_t clients,
-    double duration_seconds);
+    double duration_seconds) {
+  ClosedLoopOptions options;
+  options.clients = clients;
+  options.duration_seconds = duration_seconds;
+  return RunClosedLoop(client, pool, make_query, options);
+}
 
 }  // namespace sdw::harness
 

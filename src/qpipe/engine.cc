@@ -86,7 +86,8 @@ void QpipeEngine::RecordShare(const PlanNode* node) {
 
 std::unique_ptr<core::PageSource> QpipeEngine::BuildProducer(
     const QueryHandle& ctx, const PlanNode* node,
-    std::vector<std::function<void()>>* deferred) {
+    std::vector<std::function<void()>>* deferred,
+    std::vector<HostRef>* host_path) {
   // GQP integration: delegate whole join sub-plans to the CJOIN stage.
   if (join_delegate_ && node->kind == PlanNode::Kind::kHashJoin) {
     return join_delegate_(ctx.get(), node, deferred);
@@ -96,10 +97,13 @@ std::unique_ptr<core::PageSource> QpipeEngine::BuildProducer(
   const bool sp_on = SpEnabledFor(node->kind);
 
   // Simultaneous Pipelining: attach as a satellite when an identical
-  // sub-plan is in flight with an open window of opportunity.
+  // sub-plan is in flight with an open window of opportunity. The attaching
+  // query's lifecycle is recorded against the host so the host's owner can
+  // cancel without starving satellites (see SpRegistry).
   if (sp_on) {
-    if (auto src = stage->registry.TryAttach(node->signature)) {
+    if (auto src = stage->registry.TryAttach(node->signature, ctx->life)) {
       RecordShare(node);
+      if (node == ctx->plan.get()) ctx->life->SetFullyShared();
       return src;
     }
   }
@@ -108,30 +112,70 @@ std::unique_ptr<core::PageSource> QpipeEngine::BuildProducer(
   std::shared_ptr<Exchange> ex =
       MakeExchange(options_.comm, options_.channel_bytes);
   auto primary = ex->OpenPrimaryReader();
-  if (sp_on) stage->registry.Register(node->signature, ex);
+  // Ancestor snapshot BEFORE registering self: on abort, this packet fails
+  // the consumers of every host above it (their streams truncate through
+  // ordinary EOS), while its own consumers are handled atomically below.
+  auto ancestors = std::make_shared<std::vector<HostRef>>(*host_path);
+  if (sp_on) {
+    stage->registry.Register(node->signature, ex, ctx->life);
+    host_path->push_back({stage, node, ex});
+  }
 
   // Wire children before deferring our own dispatch.
   auto inputs =
       std::make_shared<std::vector<std::shared_ptr<core::PageSource>>>();
   for (const auto& child : node->children) {
-    inputs->push_back(BuildProducer(ctx, child.get(), deferred));
+    inputs->push_back(BuildProducer(ctx, child.get(), deferred, host_path));
   }
+  if (sp_on) host_path->pop_back();
 
   // The packet closure shares ownership of the query context: `node` points
   // into ctx->plan, and the submitting client may drop its handle as soon as
   // the results drain — which can happen between our Close() and the
   // registry Unregister below (or even mid-operator for a fast consumer).
-  deferred->push_back([this, ctx, node, ex, inputs, sp_on, stage] {
-    stage->pool.Submit([this, ctx, node, ex, inputs, sp_on, stage] {
-      RunPacket(node, ex.get(), *inputs);
-      ex->sink()->Close();
-      if (sp_on) stage->registry.Unregister(node->signature, ex.get());
+  deferred->push_back([this, ctx, node, ex, inputs, sp_on, stage, ancestors] {
+    stage->pool.Submit([this, ctx, node, ex, inputs, sp_on, stage,
+                        ancestors] {
+      // Silent-hang guard: a packet that stops early — consumers vanished
+      // or a fault below us threw — must complete every ticket it feeds
+      // with an error instead of leaving a truncated stream that drains as
+      // a seemingly-complete result: its own consumers (atomically, so no
+      // late satellite can attach to the aborted producer), the consumers
+      // of every ancestor host, and for faults the owner itself.
+      bool completed = false;
+      Status why =
+          Status::Cancelled("shared producer stopped: consumers detached");
+      try {
+        completed = RunPacket(node, ex.get(), *inputs);
+      } catch (const std::exception& e) {
+        for (const auto& in : *inputs) in->CancelReader();
+        why = Status::Internal(std::string("packet worker exception: ") +
+                               e.what());
+        ctx->life->Finish(why);
+      } catch (...) {
+        for (const auto& in : *inputs) in->CancelReader();
+        why = Status::Internal("packet worker exception");
+        ctx->life->Finish(why);
+      }
+      if (completed) {
+        ex->sink()->Close();
+        if (sp_on) stage->registry.Unregister(node->signature, ex.get());
+      } else {
+        if (sp_on) {
+          stage->registry.UnregisterAborted(node->signature, ex.get(), why);
+        }
+        for (const auto& h : *ancestors) {
+          h.stage->registry.FinishConsumers(h.node->signature, h.ex.get(),
+                                            why);
+        }
+        ex->sink()->Close();
+      }
     });
   });
   return primary;
 }
 
-void QpipeEngine::RunPacket(
+bool QpipeEngine::RunPacket(
     const PlanNode* node, Exchange* ex,
     const std::vector<std::shared_ptr<core::PageSource>>& inputs) {
   switch (node->kind) {
@@ -140,27 +184,26 @@ void QpipeEngine::RunPacket(
       if (options_.sp_scan) {
         raw = scan_services_->Get(node->table)->Attach();
       }
-      RunScan(*node, raw.get(), pool_, ex->sink());
-      break;
+      return RunScan(*node, raw.get(), pool_, ex->sink());
     }
     case PlanNode::Kind::kHashJoin:
-      RunHashJoin(*node, inputs[0].get(), inputs[1].get(), ex->sink());
-      break;
+      return RunHashJoin(*node, inputs[0].get(), inputs[1].get(), ex->sink());
     case PlanNode::Kind::kAggregate:
-      RunAggregate(*node, inputs[0].get(), ex->sink());
-      break;
+      return RunAggregate(*node, inputs[0].get(), ex->sink());
     case PlanNode::Kind::kSort:
-      RunSort(*node, inputs[0].get(), ex->sink());
-      break;
+      return RunSort(*node, inputs[0].get(), ex->sink());
   }
+  return true;
 }
 
 std::vector<QueryHandle> QpipeEngine::SubmitBatch(
-    const std::vector<query::StarQuery>& queries) {
+    const std::vector<query::StarQuery>& queries,
+    const core::SubmitOptions& opts) {
   const query::Planner planner(catalog_);
   std::vector<QueryHandle> handles;
   handles.reserve(queries.size());
   std::vector<std::function<void()>> deferred;
+  // Parallel to handles; null for queries rejected before wiring.
   std::vector<std::shared_ptr<core::PageSource>> readers;
   readers.reserve(queries.size());
 
@@ -170,45 +213,106 @@ std::vector<QueryHandle> QpipeEngine::SubmitBatch(
   for (const query::StarQuery& q : queries) {
     auto ctx = std::make_shared<QueryContext>();
     ctx->qid = next_qid_.fetch_add(1, std::memory_order_relaxed);
+    ctx->life = std::make_shared<core::QueryLifecycle>(ctx->qid, opts);
+    ctx->life->set_submit_nanos(NowNanos());
+    // Deadline-driven admission: an already-expired query is rejected
+    // before costing any wiring or packet work.
+    if (opts.deadline_nanos != 0 && NowNanos() > opts.deadline_nanos) {
+      ctx->life->Finish(
+          Status::DeadlineExceeded("deadline expired before admission"));
+      readers.push_back(nullptr);
+      handles.push_back(std::move(ctx));
+      continue;
+    }
     ctx->query = q;
     ctx->plan = planner.BuildPlan(q);
-    ctx->done = ctx->promise.get_future().share();
-    ctx->submit_nanos = NowNanos();
-    ctx->result.set_schema(ctx->plan->out_schema);
-    readers.push_back(BuildProducer(ctx, ctx->plan.get(), &deferred));
+    ctx->result().set_schema(ctx->plan->out_schema);
+    std::vector<HostRef> host_path;  // per-query ancestor-host stack
+    readers.push_back(
+        BuildProducer(ctx, ctx->plan.get(), &deferred, &host_path));
     handles.push_back(std::move(ctx));
   }
 
   {
     std::unique_lock<std::mutex> lock(mu_);
-    for (const auto& h : handles) active_.push_back(h);
+    for (size_t i = 0; i < handles.size(); ++i) {
+      if (readers[i] != nullptr) active_.push_back(handles[i]);
+    }
   }
 
   // Phase 2: dispatch packets, then result sinks.
   for (auto& d : deferred) d();
   if (batch_flush_) batch_flush_();
   for (size_t i = 0; i < handles.size(); ++i) {
+    if (readers[i] == nullptr) continue;  // rejected before wiring
     QueryHandle ctx = handles[i];
     std::shared_ptr<core::PageSource> reader = readers[i];
-    sink_pool_.Submit([this, ctx, reader] {
-      while (storage::PagePtr page = reader->Next()) {
-        ScopedComponentTimer t(Component::kMisc);
-        const uint32_t n = page->tuple_count();
-        for (uint32_t r = 0; r < n; ++r) ctx->result.AddRow(page->tuple(r));
-      }
-      ctx->finish_nanos = NowNanos();
-      {
-        std::unique_lock<std::mutex> lock(mu_);
-        std::erase(active_, ctx);
-      }
-      ctx->promise.set_value();
-    });
+    // Cancel hook: cancelling the query cancels its root reader, which
+    // wakes a blocked drain below and — via PageSink::Abandoned — unwinds
+    // the producer chain. Shared producers keep running while any satellite
+    // still reads them (the host merely detaches).
+    ctx->life->SetCancelCallback([reader] { reader->CancelReader(); });
+    sink_pool_.Submit([this, ctx, reader] { DrainResult(ctx, reader.get()); });
   }
   return handles;
 }
 
-QueryHandle QpipeEngine::Submit(const query::StarQuery& q) {
-  return SubmitBatch({q})[0];
+void QpipeEngine::DrainResult(const QueryHandle& ctx,
+                              core::PageSource* reader) {
+  core::QueryLifecycle* life = ctx->life.get();
+  query::ResultSet* result = life->mutable_result();
+  const uint64_t row_limit = life->options().row_limit;
+  Status final_status = Status::Ok();
+  bool stopped = false;
+  try {
+    while (storage::PagePtr page = reader->Next()) {
+      // Exchange-boundary lifecycle check: cancellation or an expired
+      // deadline stops the drain between pages.
+      if (life->ShouldStop(&final_status)) {
+        stopped = true;
+        break;
+      }
+      ScopedComponentTimer t(Component::kMisc);
+      const uint32_t n = page->tuple_count();
+      const size_t rows_before = result->num_rows();
+      result->Reserve(rows_before + n);
+      for (uint32_t r = 0; r < n; ++r) {
+        result->AddRow(page->tuple(r));
+        if (row_limit != 0 && result->num_rows() >= row_limit) {
+          stopped = true;  // client-requested truncation: still kOk
+          break;
+        }
+      }
+      life->AddPagesRead(1);
+      life->AddRowsStreamed(result->num_rows() - rows_before);
+      if (stopped) break;
+    }
+    // The cancel hook may have cancelled the reader while the drain was
+    // blocked in Next(): the stream then ends early and the loop exits
+    // without seeing ShouldStop, so re-check before declaring success.
+    if (!stopped && final_status.ok()) {
+      Status why;
+      if (life->ShouldStop(&why)) final_status = why;
+    }
+  } catch (const std::exception& e) {
+    final_status =
+        Status::Internal(std::string("result drain exception: ") + e.what());
+    stopped = true;
+  } catch (...) {
+    final_status = Status::Internal("result drain exception");
+    stopped = true;
+  }
+  if (stopped) reader->CancelReader();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    std::erase(active_, ctx);
+  }
+  life->Finish(std::move(final_status));
+}
+
+QueryHandle QpipeEngine::Submit(const query::StarQuery& q,
+                                const core::SubmitOptions& opts) {
+  return SubmitBatch({q}, opts)[0];
 }
 
 void QpipeEngine::WaitAll() {
@@ -219,7 +323,7 @@ void QpipeEngine::WaitAll() {
       if (active_.empty()) return;
       h = active_.back();
     }
-    h->done.wait();
+    h->life->Wait();
   }
 }
 

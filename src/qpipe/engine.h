@@ -76,11 +76,15 @@ class QpipeEngine {
 
   /// Submits a batch: wires packets for all queries (detecting SP sharing
   /// within the batch and against in-flight queries), then dispatches.
+  /// Queries whose deadline already expired are rejected before wiring
+  /// (their handle's lifecycle completes kDeadlineExceeded immediately).
   std::vector<QueryHandle> SubmitBatch(
-      const std::vector<query::StarQuery>& queries);
+      const std::vector<query::StarQuery>& queries,
+      const core::SubmitOptions& opts = core::SubmitOptions());
 
   /// Single-query convenience wrapper.
-  QueryHandle Submit(const query::StarQuery& q);
+  QueryHandle Submit(const query::StarQuery& q,
+                     const core::SubmitOptions& opts = core::SubmitOptions());
 
   /// Blocks until every submitted query has completed.
   void WaitAll();
@@ -130,14 +134,34 @@ class QpipeEngine {
   void RecordShare(const query::PlanNode* node);
   static int JoinDepth(const query::PlanNode* node);
 
+  /// A registered host exchange on the path from a packet to its query's
+  /// root. When a packet aborts, consumers of every ancestor host must be
+  /// failed too: their streams are truncated through the ordinary EOS the
+  /// intermediate operators emit.
+  struct HostRef {
+    Stage* stage;
+    const query::PlanNode* node;
+    std::shared_ptr<Exchange> ex;
+  };
+
   /// Builds the producer pipeline for `node`, returning the reader of its
-  /// output. Dispatch closures are appended to `deferred`.
+  /// output. Dispatch closures are appended to `deferred`; `host_path`
+  /// carries the registered hosts above `node` (maintained across the
+  /// recursion; each packet snapshots its ancestors for the abort path).
   std::unique_ptr<core::PageSource> BuildProducer(
       const QueryHandle& ctx, const query::PlanNode* node,
-      std::vector<std::function<void()>>* deferred);
+      std::vector<std::function<void()>>* deferred,
+      std::vector<HostRef>* host_path);
 
-  void RunPacket(const query::PlanNode* node, Exchange* ex,
+  /// Returns true when the operator ran to completion, false when it
+  /// stopped early because its consumers vanished.
+  bool RunPacket(const query::PlanNode* node, Exchange* ex,
                  const std::vector<std::shared_ptr<core::PageSource>>& inputs);
+
+  /// Sink task: drains the query's root reader into its result set,
+  /// honoring cancellation, deadline and row_limit, and completes the
+  /// lifecycle (exactly once, whatever happened upstream).
+  void DrainResult(const QueryHandle& ctx, core::PageSource* reader);
 
   const storage::Catalog* catalog_;
   storage::BufferPool* pool_;

@@ -42,14 +42,20 @@ bool TeeSink::Put(storage::PagePtr page) {
     emitted_ = true;
     sats = satellites_;
   }
+  size_t delivered = 0;
   for (auto& s : sats) {
-    if (!s->Put(storage::Page::Clone(*page))) {
+    if (s->Put(storage::Page::Clone(*page))) {
+      ++delivered;
+    } else {
       // Satellite cancelled; drop it so we stop copying for it.
       std::unique_lock<std::mutex> lock(mu_);
       std::erase(satellites_, s);
     }
   }
-  return primary_->Put(std::move(page));
+  // The producer must keep running while ANY consumer remains: a cancelled
+  // primary (host detached) with live satellites is not end-of-stream.
+  if (primary_->Put(std::move(page))) ++delivered;
+  return delivered > 0;
 }
 
 void TeeSink::Close() {
@@ -61,6 +67,15 @@ void TeeSink::Close() {
   }
   for (auto& s : sats) s->Close();
   primary_->Close();
+}
+
+bool TeeSink::Abandoned() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!primary_->Abandoned()) return false;
+  for (const auto& s : satellites_) {
+    if (!s->Abandoned()) return false;
+  }
+  return true;
 }
 
 bool TeeSink::TryAddSatellite(std::shared_ptr<FifoBuffer> satellite) {

@@ -84,6 +84,8 @@ class TeeSink : public core::PageSink {
 
   bool Put(storage::PagePtr page) override;
   void Close() override;
+  /// True once the primary consumer and every satellite have cancelled.
+  bool Abandoned() const override;
 
   /// Adds a satellite FIFO while the step WoP is open; false otherwise.
   bool TryAddSatellite(std::shared_ptr<FifoBuffer> satellite);
@@ -91,7 +93,7 @@ class TeeSink : public core::PageSink {
  private:
   std::shared_ptr<FifoBuffer> primary_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::vector<std::shared_ptr<FifoBuffer>> satellites_;
   bool emitted_ = false;
   bool closed_ = false;

@@ -43,6 +43,11 @@ void FifoBuffer::CancelReader() {
   producer_cv_.notify_all();
 }
 
+bool FifoBuffer::Abandoned() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cancelled_;
+}
+
 size_t FifoBuffer::buffered_bytes() const {
   std::unique_lock<std::mutex> lock(mu_);
   return bytes_;

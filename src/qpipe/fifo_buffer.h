@@ -27,6 +27,8 @@ class FifoBuffer : public core::PageSink, public core::PageSource {
   // PageSink:
   bool Put(storage::PagePtr page) override;
   void Close() override;
+  /// True once the (single) consumer cancelled.
+  bool Abandoned() const override;
 
   // PageSource:
   storage::PagePtr Next() override;

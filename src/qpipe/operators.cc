@@ -74,7 +74,7 @@ double NumericValue(const storage::Schema& schema, const std::byte* tuple,
 
 // ------------------------------------------------------------------- RunScan
 
-void RunScan(const query::PlanNode& node, core::PageSource* raw_pages,
+bool RunScan(const query::PlanNode& node, core::PageSource* raw_pages,
              storage::BufferPool* pool, core::PageSink* out) {
   const storage::Schema& base = node.table->schema();
   const query::Predicate::Bound pred = node.pred.Bind(base);
@@ -94,26 +94,35 @@ void RunScan(const query::PlanNode& node, core::PageSource* raw_pages,
     return true;
   };
 
+  // `out->Abandoned()` is the per-page cancellation check point: a fully
+  // filtered scan may emit nothing for many pages, so a failed Put alone
+  // would never tell it that every consumer cancelled.
+  bool stopped = false;
   if (raw_pages != nullptr) {
     // Shared circular scan: consume one full cycle of raw pages.
     while (storage::PagePtr page = raw_pages->Next()) {
-      if (!process_page(*page)) {
+      if (out->Abandoned() || !process_page(*page)) {
         raw_pages->CancelReader();
+        stopped = true;
         break;
       }
     }
   } else {
     storage::TableScanCursor cursor(node.table, pool);
     while (const storage::Page* page = cursor.Next()) {
-      if (!process_page(*page)) break;
+      if (out->Abandoned() || !process_page(*page)) {
+        stopped = true;
+        break;
+      }
     }
   }
   writer.Flush();
+  return !stopped && writer.ok();
 }
 
 // --------------------------------------------------------------- RunHashJoin
 
-void RunHashJoin(const query::PlanNode& node, core::PageSource* probe,
+bool RunHashJoin(const query::PlanNode& node, core::PageSource* probe,
                  core::PageSource* build, core::PageSink* out) {
   const storage::Schema& probe_schema = node.child(0)->out_schema;
   const storage::Schema& build_schema = node.child(1)->out_schema;
@@ -129,6 +138,13 @@ void RunHashJoin(const query::PlanNode& node, core::PageSource* probe,
   Int64HashTable ht;
   std::vector<std::pair<uint64_t, int64_t>> hashes;
   while (storage::PagePtr page = build->Next()) {
+    if (out->Abandoned()) {
+      // Consumers cancelled mid-build: stop consuming and release both
+      // producers instead of building a table nobody will probe.
+      build->CancelReader();
+      probe->CancelReader();
+      return false;
+    }
     const uint32_t n = page->tuple_count();
     hashes.clear();
     {
@@ -157,6 +173,11 @@ void RunHashJoin(const query::PlanNode& node, core::PageSource* probe,
   PageWriter writer(out, node.out_schema.tuple_size());
   std::vector<std::pair<uint32_t, const std::byte*>> matches;
   while (storage::PagePtr page = probe->Next()) {
+    if (out->Abandoned()) {
+      probe->CancelReader();
+      build->CancelReader();
+      return false;
+    }
     const uint32_t n = page->tuple_count();
     matches.clear();
     {
@@ -178,7 +199,7 @@ void RunHashJoin(const query::PlanNode& node, core::PageSource* probe,
           probe->CancelReader();
           build->CancelReader();
           writer.Flush();
-          return;
+          return false;
         }
         std::memcpy(dst, page->tuple(i), probe_width);
         ApplyMoves(payload_moves, build_tuple, dst);
@@ -186,6 +207,7 @@ void RunHashJoin(const query::PlanNode& node, core::PageSource* probe,
     }
   }
   writer.Flush();
+  return writer.ok();
 }
 
 // -------------------------------------------------------------- RunAggregate
@@ -277,7 +299,7 @@ void EmitAcc(const query::BoundAgg& agg, const storage::Schema& out,
 
 }  // namespace
 
-void RunAggregate(const query::PlanNode& node, core::PageSource* in,
+bool RunAggregate(const query::PlanNode& node, core::PageSource* in,
                   core::PageSink* out) {
   const storage::Schema& child = node.child(0)->out_schema;
   const storage::Schema& out_schema = node.out_schema;
@@ -294,6 +316,12 @@ void RunAggregate(const query::PlanNode& node, core::PageSource* in,
   key.reserve(key_width);
 
   while (storage::PagePtr page = in->Next()) {
+    if (out->Abandoned()) {
+      // Aggregation consumes its whole input before emitting anything, so
+      // this is the only point where downstream cancellation can reach it.
+      in->CancelReader();
+      return false;
+    }
     ScopedComponentTimer t(Component::kAggregation);
     const uint32_t n = page->tuple_count();
     for (uint32_t i = 0; i < n; ++i) {
@@ -331,17 +359,22 @@ void RunAggregate(const query::PlanNode& node, core::PageSource* in,
     }
   }
   writer.Flush();
+  return writer.ok();
 }
 
 // ------------------------------------------------------------------- RunSort
 
-void RunSort(const query::PlanNode& node, core::PageSource* in,
+bool RunSort(const query::PlanNode& node, core::PageSource* in,
              core::PageSink* out) {
   const storage::Schema& schema = node.out_schema;
 
   std::vector<storage::PagePtr> pages;
   std::vector<const std::byte*> rows;
   while (storage::PagePtr page = in->Next()) {
+    if (out->Abandoned()) {
+      in->CancelReader();
+      return false;
+    }
     const uint32_t n = page->tuple_count();
     for (uint32_t i = 0; i < n; ++i) rows.push_back(page->tuple(i));
     pages.push_back(std::move(page));
@@ -388,6 +421,7 @@ void RunSort(const query::PlanNode& node, core::PageSource* in,
     std::memcpy(dst, row, schema.tuple_size());
   }
   writer.Flush();
+  return writer.ok();
 }
 
 }  // namespace sdw::qpipe

@@ -36,22 +36,27 @@ class PageWriter {
   bool ok_ = true;
 };
 
+// Each operator returns true when it ran to completion and false when it
+// stopped early because its consumers vanished (out->Abandoned() or a failed
+// Put) — the engine uses the distinction to fail satellites that would
+// otherwise drain the truncated stream as a complete result.
+
 /// Table scan with selection and projection. When `raw_pages` is non-null the
 /// scan consumes the shared circular-scan stream; otherwise it runs its own
 /// cursor through the buffer pool (query-centric scan).
-void RunScan(const query::PlanNode& node, core::PageSource* raw_pages,
+bool RunScan(const query::PlanNode& node, core::PageSource* raw_pages,
              storage::BufferPool* pool, core::PageSink* out);
 
 /// Hash join: drains `build` into a hash table, then probes with `probe`.
-void RunHashJoin(const query::PlanNode& node, core::PageSource* probe,
+bool RunHashJoin(const query::PlanNode& node, core::PageSource* probe,
                  core::PageSource* build, core::PageSink* out);
 
 /// Hash aggregation with the paper workloads' aggregate kinds.
-void RunAggregate(const query::PlanNode& node, core::PageSource* in,
+bool RunAggregate(const query::PlanNode& node, core::PageSource* in,
                   core::PageSink* out);
 
 /// Full sort (materializing); used for ORDER BY.
-void RunSort(const query::PlanNode& node, core::PageSource* in,
+bool RunSort(const query::PlanNode& node, core::PageSource* in,
              core::PageSink* out);
 
 /// Reads a numeric column (int or double) as double.

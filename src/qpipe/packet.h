@@ -1,19 +1,25 @@
-// Query context: one submitted query's plan, result, and completion state.
-// QPipe converts the plan into one packet per operator; packets are plain
-// tasks dispatched to stage thread pools and communicate through Exchanges,
-// so the "packet" itself needs no reified struct beyond the dispatch lambda —
-// the QueryContext is the shared state they all reference.
+// Query context: one submitted query's plan and lifecycle. QPipe converts
+// the plan into one packet per operator; packets are plain tasks dispatched
+// to stage thread pools and communicate through Exchanges, so the "packet"
+// itself needs no reified struct beyond the dispatch lambda — the
+// QueryContext is the shared state they all reference.
+//
+// The client-visible outcome (status, result rows, metrics, cancellation)
+// lives in the core::QueryLifecycle the context holds; clients observe it
+// through a core::QueryTicket. Cancellation is consumer-driven: a cancel
+// request cancels the query's root result reader, and producers observe the
+// loss of their consumers at exchange boundaries (PageSink::Abandoned /
+// failed Put) — which keeps SP hosts producing exactly as long as any
+// satellite still reads them.
 
 #ifndef SDW_QPIPE_PACKET_H_
 #define SDW_QPIPE_PACKET_H_
 
-#include <atomic>
 #include <cstdint>
-#include <future>
 #include <memory>
 
+#include "core/query_ticket.h"
 #include "query/plan.h"
-#include "query/result.h"
 #include "query/star_query.h"
 
 namespace sdw::qpipe {
@@ -23,21 +29,11 @@ struct QueryContext {
   uint64_t qid = 0;
   query::StarQuery query;
   std::unique_ptr<query::PlanNode> plan;
-  query::ResultSet result;
 
-  std::promise<void> promise;
-  std::shared_future<void> done;
+  /// Client-visible lifecycle: status, result, metrics, cancel token.
+  std::shared_ptr<core::QueryLifecycle> life;
 
-  int64_t submit_nanos = 0;
-  int64_t finish_nanos = 0;
-
-  /// End-to-end response time in seconds (valid after completion).
-  double response_seconds() const {
-    return static_cast<double>(finish_nanos - submit_nanos) * 1e-9;
-  }
-
-  /// True when SP satisfied the whole query from a host's results.
-  std::atomic<bool> fully_shared{false};
+  query::ResultSet& result() { return *life->mutable_result(); }
 };
 
 using QueryHandle = std::shared_ptr<QueryContext>;

@@ -5,29 +5,88 @@
 namespace sdw::qpipe {
 
 void SpRegistry::Register(const std::string& signature,
-                          std::shared_ptr<Exchange> ex) {
+                          std::shared_ptr<Exchange> ex,
+                          std::shared_ptr<core::QueryLifecycle> consumer) {
   std::unique_lock<std::mutex> lock(mu_);
-  hosts_[signature].push_back(std::move(ex));
+  Host host;
+  host.ex = std::move(ex);
+  if (consumer != nullptr) host.consumers.push_back(std::move(consumer));
+  hosts_[signature].push_back(std::move(host));
 }
 
 void SpRegistry::Unregister(const std::string& signature, const Exchange* ex) {
   std::unique_lock<std::mutex> lock(mu_);
   auto it = hosts_.find(signature);
   if (it == hosts_.end()) return;
-  std::erase_if(it->second,
-                [ex](const std::shared_ptr<Exchange>& e) { return e.get() == ex; });
+  std::erase_if(it->second, [ex](const Host& h) { return h.ex.get() == ex; });
   if (it->second.empty()) hosts_.erase(it);
 }
 
 std::unique_ptr<core::PageSource> SpRegistry::TryAttach(
-    const std::string& signature) {
+    const std::string& signature,
+    const std::shared_ptr<core::QueryLifecycle>& consumer) {
   std::unique_lock<std::mutex> lock(mu_);
   auto it = hosts_.find(signature);
   if (it == hosts_.end()) return nullptr;
-  for (auto& ex : it->second) {
-    if (auto src = ex->TryAttachSatellite()) return src;
+  for (Host& host : it->second) {
+    if (auto src = host.ex->TryAttachSatellite()) {
+      if (consumer != nullptr) host.consumers.push_back(consumer);
+      return src;
+    }
   }
   return nullptr;
+}
+
+void SpRegistry::UnregisterAborted(const std::string& signature,
+                                   const Exchange* ex, const Status& why) {
+  std::vector<std::shared_ptr<core::QueryLifecycle>> consumers;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = hosts_.find(signature);
+    if (it == hosts_.end()) return;
+    for (Host& host : it->second) {
+      if (host.ex.get() == ex) {
+        consumers = std::move(host.consumers);
+        break;
+      }
+    }
+    std::erase_if(it->second,
+                  [ex](const Host& h) { return h.ex.get() == ex; });
+    if (it->second.empty()) hosts_.erase(it);
+  }
+  for (const auto& life : consumers) life->Finish(why);
+}
+
+void SpRegistry::FinishConsumers(const std::string& signature,
+                                 const Exchange* ex, const Status& why) {
+  std::vector<std::shared_ptr<core::QueryLifecycle>> consumers;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = hosts_.find(signature);
+    if (it == hosts_.end()) return;
+    for (const Host& host : it->second) {
+      if (host.ex.get() == ex) {
+        consumers = host.consumers;
+        break;
+      }
+    }
+  }
+  for (const auto& life : consumers) life->Finish(why);
+}
+
+bool SpRegistry::AllConsumersDetached(const std::string& signature,
+                                      const Exchange* ex) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = hosts_.find(signature);
+  if (it == hosts_.end()) return false;
+  for (const Host& host : it->second) {
+    if (host.ex.get() != ex) continue;
+    if (host.consumers.empty()) return false;  // no lifecycle tracking
+    return std::all_of(
+        host.consumers.begin(), host.consumers.end(),
+        [](const auto& life) { return life->Detached(); });
+  }
+  return false;
 }
 
 size_t SpRegistry::size() const {

@@ -5,6 +5,14 @@
 // window of opportunity, the registry attaches it as a satellite: the new
 // packet is never executed and its parent reads the host's results instead
 // (paper §2.2-2.3).
+//
+// Lifecycle tracking: a host may optionally be registered together with its
+// owning query's lifecycle, and satellites attach with theirs. The registry
+// then knows every consumer of the shared work, which is what makes host
+// cancellation safe: cancelling the host's query must NOT kill the shared
+// packet while satellites still depend on it — the host merely detaches,
+// and the work is retired early only once AllConsumersDetached() (see the
+// CJOIN stage's cancel path).
 
 #ifndef SDW_QPIPE_SP_REGISTRY_H_
 #define SDW_QPIPE_SP_REGISTRY_H_
@@ -15,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/query_ticket.h"
 #include "qpipe/exchange.h"
 
 namespace sdw::qpipe {
@@ -22,24 +31,59 @@ namespace sdw::qpipe {
 /// Thread-safe signature → host-exchange registry.
 class SpRegistry {
  public:
-  /// Registers a host before its packet is dispatched.
-  void Register(const std::string& signature, std::shared_ptr<Exchange> ex);
+  /// Registers a host before its packet is dispatched. `consumer` is the
+  /// owning query's lifecycle (may be null for stages that do not track
+  /// consumers).
+  void Register(const std::string& signature, std::shared_ptr<Exchange> ex,
+                std::shared_ptr<core::QueryLifecycle> consumer = nullptr);
 
   /// Removes a host (after its packet completes).
   void Unregister(const std::string& signature, const Exchange* ex);
 
+  /// Atomically removes a host whose packet stopped early and completes
+  /// every recorded consumer with `why`. The removal and the consumer
+  /// snapshot happen under one lock acquisition, so a satellite that
+  /// attaches concurrently either lands before (and is failed with the
+  /// rest) or finds no host — it can never attach to an aborted producer
+  /// and drain the truncated stream as success.
+  void UnregisterAborted(const std::string& signature, const Exchange* ex,
+                         const Status& why);
+
   /// Attempts to attach a satellite to any registered host with this
   /// signature whose WoP is still open. Returns the satellite's reader, or
-  /// nullptr when no sharing is possible.
-  std::unique_ptr<core::PageSource> TryAttach(const std::string& signature);
+  /// nullptr when no sharing is possible. `consumer` (optional) is recorded
+  /// against the matched host for AllConsumersDetached.
+  std::unique_ptr<core::PageSource> TryAttach(
+      const std::string& signature,
+      const std::shared_ptr<core::QueryLifecycle>& consumer = nullptr);
+
+  /// Completes every lifecycle recorded against this host with `why`
+  /// (first-wins: consumers that already finished are untouched). Used when
+  /// shared work fails or is rejected — the host's owner AND every satellite
+  /// must see the error instead of draining a truncated stream as success.
+  void FinishConsumers(const std::string& signature, const Exchange* ex,
+                       const Status& why);
+
+  /// True when every lifecycle recorded against this host has detached
+  /// (cancelled or completed) — the shared work no longer has a live
+  /// consumer and may be retired early. False for unknown hosts or hosts
+  /// registered without lifecycle tracking.
+  bool AllConsumersDetached(const std::string& signature,
+                            const Exchange* ex) const;
 
   /// Number of currently registered hosts (diagnostics).
   size_t size() const;
 
  private:
+  struct Host {
+    std::shared_ptr<Exchange> ex;
+    /// Every query consuming this host's output (owner + satellites);
+    /// empty when the host was registered without lifecycle tracking.
+    std::vector<std::shared_ptr<core::QueryLifecycle>> consumers;
+  };
+
   mutable std::mutex mu_;
-  std::unordered_map<std::string, std::vector<std::shared_ptr<Exchange>>>
-      hosts_;
+  std::unordered_map<std::string, std::vector<Host>> hosts_;
 };
 
 }  // namespace sdw::qpipe

@@ -12,6 +12,12 @@ void ResultSet::AddRow(const std::byte* tuple) {
   blob_.insert(blob_.end(), tuple, tuple + n);
 }
 
+void ResultSet::Reserve(size_t rows) {
+  const size_t want = rows * schema_.tuple_size();
+  if (want <= blob_.capacity()) return;
+  blob_.reserve(std::max(want, blob_.capacity() * 2));
+}
+
 std::string ResultSet::FormatRow(size_t i) const {
   const std::byte* t = row(i);
   std::vector<std::string> fields;

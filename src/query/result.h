@@ -32,6 +32,11 @@ class ResultSet {
   /// Appends a raw tuple (schema().tuple_size() bytes).
   void AddRow(const std::byte* tuple);
 
+  /// Pre-sizes the blob for `rows` total rows. Growth is geometric, so
+  /// calling this with a slowly increasing bound (e.g. once per drained
+  /// page) stays amortized-linear instead of reallocating per call.
+  void Reserve(size_t rows);
+
   /// Row accessor.
   const std::byte* row(size_t i) const {
     return blob_.data() + i * schema_.tuple_size();

@@ -41,9 +41,9 @@ TEST(EdgeCases, ZeroSelectivityQueryAllConfigs) {
     opts.cjoin.max_queries = 16;
     core::Engine engine(&db->catalog, db->pool.get(), opts);
     const auto handles = engine.SubmitBatch({ZeroSelectivityQ32()});
-    handles[0]->done.wait();
+    ASSERT_TRUE(handles[0].Wait().ok());
     // GROUP BY with no input: zero groups, zero rows.
-    EXPECT_EQ(handles[0]->result.num_rows(), 0u)
+    EXPECT_EQ(handles[0].result().num_rows(), 0u)
         << core::EngineConfigName(config);
   }
 }
@@ -63,9 +63,9 @@ TEST(EdgeCases, WidestDisjunctionSelectsEverything) {
   opts.cjoin.max_queries = 16;
   core::Engine engine(&db->catalog, db->pool.get(), opts);
   const auto handles = engine.SubmitBatch({q});
-  handles[0]->done.wait();
-  EXPECT_EQ(query::DiffResults(oracle.Execute(q), handles[0]->result), "");
-  EXPECT_GT(handles[0]->result.num_rows(), 0u);
+  ASSERT_TRUE(handles[0].Wait().ok());
+  EXPECT_EQ(query::DiffResults(oracle.Execute(q), handles[0].result()), "");
+  EXPECT_GT(handles[0].result().num_rows(), 0u);
 }
 
 TEST(EdgeCases, EmptyFactTableCjoinCompletesImmediately) {
@@ -88,8 +88,8 @@ TEST(EdgeCases, EmptyFactTableCjoinCompletesImmediately) {
   query::StarQuery q = ssb::MakeQ32({});
   q.fact_table = "empty_fact";
   const auto handles = engine.SubmitBatch({q});
-  handles[0]->done.wait();
-  EXPECT_EQ(handles[0]->result.num_rows(), 0u);
+  ASSERT_TRUE(handles[0].Wait().ok());
+  EXPECT_EQ(handles[0].result().num_rows(), 0u);
   EXPECT_EQ(engine.cjoin_stats().queries_completed, 1u);
 }
 
@@ -112,8 +112,8 @@ TEST(EdgeCases, GlobalAggregateOverEmptyFactEmitsOneRow) {
   opts.fact_table = "lineitem";
   core::Engine engine(&db->catalog, db->pool.get(), opts);
   const auto handles = engine.SubmitBatch({q});
-  handles[0]->done.wait();
-  EXPECT_EQ(handles[0]->result.num_rows(), 1u);
+  ASSERT_TRUE(handles[0].Wait().ok());
+  EXPECT_EQ(handles[0].result().num_rows(), 1u);
 }
 
 TEST(EdgeCases, TupleExactlyFillsPage) {
@@ -195,9 +195,9 @@ TEST(FailureInjection, EngineSurvivesManySequentialBatches) {
         ssb::SimilarQ32Workload(4, 2, 600 + static_cast<uint64_t>(round));
     const auto handles = engine.SubmitBatch(queries);
     for (size_t i = 0; i < handles.size(); ++i) {
-      handles[i]->done.wait();
+      ASSERT_TRUE(handles[i].Wait().ok());
       ASSERT_EQ(query::DiffResults(oracle.Execute(queries[i]),
-                                   handles[i]->result),
+                                   handles[i].result()),
                 "")
           << "round " << round << " query " << i;
     }
@@ -219,9 +219,9 @@ TEST(FactPredsInPreprocessor, ResultsUnchanged) {
     core::Engine engine(&db->catalog, db->pool.get(), opts);
     const auto handles = engine.SubmitBatch(queries);
     for (size_t i = 0; i < handles.size(); ++i) {
-      handles[i]->done.wait();
+      ASSERT_TRUE(handles[i].Wait().ok());
       EXPECT_EQ(query::DiffResults(oracle.Execute(queries[i]),
-                                   handles[i]->result),
+                                   handles[i].result()),
                 "")
           << "in_preprocessor=" << in_preprocessor << " query " << i;
     }
@@ -242,9 +242,9 @@ TEST(ThreadConfig, CjoinThreadCountsDoNotAffectResults) {
       core::Engine engine(&db->catalog, db->pool.get(), opts);
       const auto handles = engine.SubmitBatch(queries);
       for (size_t i = 0; i < handles.size(); ++i) {
-        handles[i]->done.wait();
+        ASSERT_TRUE(handles[i].Wait().ok());
         EXPECT_EQ(query::DiffResults(oracle.Execute(queries[i]),
-                                     handles[i]->result),
+                                     handles[i].result()),
                   "")
             << "filters=" << filters << " parts=" << parts;
       }
@@ -265,9 +265,9 @@ TEST(ChannelBytes, TinyChannelsStillCorrect) {
     core::Engine engine(&db->catalog, db->pool.get(), opts);
     const auto handles = engine.SubmitBatch(queries);
     for (size_t i = 0; i < handles.size(); ++i) {
-      handles[i]->done.wait();
+      ASSERT_TRUE(handles[i].Wait().ok());
       EXPECT_EQ(query::DiffResults(oracle.Execute(queries[i]),
-                                   handles[i]->result),
+                                   handles[i].result()),
                 "");
     }
   }

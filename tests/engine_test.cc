@@ -34,7 +34,7 @@ TEST(QpipeEngine, NoSharingConfigNeverShares) {
   core::Engine engine(&db->catalog, db->pool.get(), Opts(EngineConfig::kQpipe));
   const auto handles =
       engine.SubmitBatch(ssb::SimilarQ32Workload(6, 1, 50));
-  for (const auto& h : handles) h->done.wait();
+  for (const auto& h : handles) ASSERT_TRUE(h.Wait().ok());
   const qpipe::SpCounters c = engine.sp_counters();
   EXPECT_EQ(c.scan_shares, 0u);
   EXPECT_EQ(c.join_shares_total(), 0u);
@@ -45,7 +45,7 @@ TEST(QpipeEngine, CsSharesScansButNotJoins) {
   core::Engine engine(&db->catalog, db->pool.get(),
                       Opts(EngineConfig::kQpipeCs));
   const auto handles = engine.SubmitBatch(ssb::SimilarQ32Workload(6, 1, 51));
-  for (const auto& h : handles) h->done.wait();
+  for (const auto& h : handles) ASSERT_TRUE(h.Wait().ok());
   const qpipe::SpCounters c = engine.sp_counters();
   EXPECT_GT(c.scan_shares, 0u);
   EXPECT_EQ(c.join_shares_total(), 0u);
@@ -58,7 +58,7 @@ TEST(QpipeEngine, SpSharesJoinsByDepth) {
   // Two distinct plans x several instances: the deepest shared stage is the
   // full 3-join sub-plan for instances of the same plan.
   const auto handles = engine.SubmitBatch(ssb::SimilarQ32Workload(8, 2, 52));
-  for (const auto& h : handles) h->done.wait();
+  for (const auto& h : handles) ASSERT_TRUE(h.Wait().ok());
   const qpipe::SpCounters c = engine.sp_counters();
   EXPECT_EQ(c.join_shares_by_depth[2], 6u);  // 8 queries - 2 hosts
 }
@@ -74,7 +74,7 @@ TEST(QpipeEngine, PartialOverlapSharesShallowerJoin) {
   b.cust_nation = 2;
   const auto handles =
       engine.SubmitBatch({ssb::MakeQ32(a), ssb::MakeQ32(b)});
-  for (const auto& h : handles) h->done.wait();
+  for (const auto& h : handles) ASSERT_TRUE(h.Wait().ok());
   const qpipe::SpCounters c = engine.sp_counters();
   EXPECT_EQ(c.join_shares_by_depth[0], 1u);
   EXPECT_EQ(c.join_shares_by_depth[1], 0u);
@@ -90,9 +90,9 @@ TEST(QpipeEngine, WopClosedForLateArrivals) {
                       Opts(EngineConfig::kQpipeSp));
   const auto q = ssb::SimilarQ32Workload(1, 1, 53)[0];
   auto h1 = engine.Submit(q);
-  h1->done.wait();
+  ASSERT_TRUE(h1.Wait().ok());
   auto h2 = engine.Submit(q);
-  h2->done.wait();
+  ASSERT_TRUE(h2.Wait().ok());
   EXPECT_EQ(engine.sp_counters().join_shares_total(), 0u);
 }
 
@@ -105,7 +105,7 @@ TEST(QpipeEngine, AggregationSpWhenEnabled) {
   opts.sp_sort = true;
   core::Engine engine(&db->catalog, db->pool.get(), opts);
   const auto handles = engine.SubmitBatch(ssb::SimilarQ32Workload(4, 1, 54));
-  for (const auto& h : handles) h->done.wait();
+  for (const auto& h : handles) ASSERT_TRUE(h.Wait().ok());
   const qpipe::SpCounters c = engine.sp_counters();
   EXPECT_EQ(c.sort_shares, 3u);  // topmost stage absorbs the satellites
 }
@@ -114,7 +114,7 @@ TEST(CjoinEngine, AdmissionBatchesSingleSubmissionBatch) {
   TestDb* db = SharedSsbDb();
   core::Engine engine(&db->catalog, db->pool.get(), Opts(EngineConfig::kCjoin));
   const auto handles = engine.SubmitBatch(ssb::RandomQ32Workload(6, 55));
-  for (const auto& h : handles) h->done.wait();
+  for (const auto& h : handles) ASSERT_TRUE(h.Wait().ok());
   const cjoin::CjoinStats stats = engine.cjoin_stats();
   EXPECT_EQ(stats.queries_admitted, 6u);
   // All queries arrive before the pipeline starts: one admission batch.
@@ -127,7 +127,7 @@ TEST(CjoinEngine, SharesOnlyIdenticalPackets) {
                       Opts(EngineConfig::kCjoinSp));
   // 3 distinct plans over 9 queries: 6 CJOIN packets are satellites.
   const auto handles = engine.SubmitBatch(ssb::SimilarQ32Workload(9, 3, 56));
-  for (const auto& h : handles) h->done.wait();
+  for (const auto& h : handles) ASSERT_TRUE(h.Wait().ok());
   EXPECT_EQ(engine.cjoin_shares(), 6u);
   EXPECT_EQ(engine.cjoin_stats().queries_admitted, 3u);
 }
@@ -183,13 +183,33 @@ TEST(Harness, ClosedLoopCompletesQueries) {
   EXPECT_GT(m.throughput_qph, 0.0);
 }
 
-TEST(Harness, VolcanoRunnersWork) {
+TEST(Harness, VolcanoBackendRunsThroughGenericDrivers) {
+  // The Volcano comparator is an ExecutorClient too: the SAME RunBatch that
+  // measures the integrated engine drives it (one thread per query).
   TestDb* db = SharedSsbDb();
-  const baseline::VolcanoEngine oracle(&db->catalog, db->pool.get());
-  const auto m = harness::RunVolcanoBatch(&oracle, db->pool.get(),
-                                          ssb::RandomQ32Workload(3, 58));
+  baseline::VolcanoEngine volcano(&db->catalog, db->pool.get());
+  const auto m = harness::RunBatch(&volcano, db->pool.get(),
+                                   ssb::RandomQ32Workload(3, 58));
   EXPECT_EQ(m.completed, 3u);
   EXPECT_EQ(m.response_seconds.count(), 3u);
+}
+
+TEST(Harness, ClosedLoopClientDeadlineReportsTailBehavior) {
+  // A 1 ns per-client deadline expires every request at admission: the run
+  // reports them as expired, not completed, and nothing hangs.
+  TestDb* db = SharedSsbDb();
+  core::Engine engine(&db->catalog, db->pool.get(),
+                      Opts(EngineConfig::kQpipeSp));
+  harness::ClosedLoopOptions opts;
+  opts.clients = 2;
+  opts.duration_seconds = 0.2;
+  opts.client_deadline_nanos = 1;
+  const auto m = harness::RunClosedLoop(
+      &engine, db->pool.get(),
+      [](size_t i) { return ssb::RandomQ32Workload(1, 70 + i)[0]; }, opts);
+  EXPECT_EQ(m.completed, 0u);
+  EXPECT_GT(m.expired, 0u);
+  EXPECT_EQ(m.response_seconds.count(), 0u);
 }
 
 TEST(Device, DiskResidentEngineChargesIo) {

@@ -47,8 +47,8 @@ TEST(FullFlight, EveryQueryMatchesOracleOnEveryEngine) {
     core::Engine engine(&db->catalog, db->pool.get(), opts);
     const auto handles = engine.SubmitBatch(flight);
     for (size_t i = 0; i < flight.size(); ++i) {
-      handles[i]->done.wait();
-      EXPECT_EQ(query::DiffResults(expected[i], handles[i]->result), "")
+      ASSERT_TRUE(handles[i].Wait().ok());
+      EXPECT_EQ(query::DiffResults(expected[i], handles[i].result()), "")
           << "Q-flight index " << i << " under "
           << core::EngineConfigName(config);
     }
@@ -78,9 +78,9 @@ TEST(FullFlight, FlightWorkloadCoversAllTemplatesAndRuns) {
   const baseline::VolcanoEngine oracle(&db->catalog, db->pool.get());
   const auto handles = engine.SubmitBatch(workload);
   for (size_t i = 0; i < workload.size(); ++i) {
-    handles[i]->done.wait();
+    ASSERT_TRUE(handles[i].Wait().ok());
     EXPECT_EQ(query::DiffResults(oracle.Execute(workload[i]),
-                                 handles[i]->result),
+                                 handles[i].result()),
               "")
         << "workload query " << i;
   }

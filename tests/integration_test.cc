@@ -45,12 +45,12 @@ class AllConfigs : public ::testing::TestWithParam<ConfigParam> {
   void VerifyBatch(TestDb* db, const std::vector<query::StarQuery>& queries) {
     core::Engine engine(&db->catalog, db->pool.get(), Options());
     const auto handles = engine.SubmitBatch(queries);
-    for (const auto& h : handles) h->done.wait();
+    for (const auto& h : handles) ASSERT_TRUE(h.Wait().ok());
 
     const baseline::VolcanoEngine oracle(&db->catalog, db->pool.get());
     for (size_t i = 0; i < queries.size(); ++i) {
       const query::ResultSet expected = oracle.Execute(queries[i]);
-      const std::string diff = query::DiffResults(expected, handles[i]->result);
+      const std::string diff = query::DiffResults(expected, handles[i].result());
       EXPECT_EQ(diff, "") << "query " << i << " under "
                           << core::EngineConfigName(GetParam().config);
     }
@@ -87,14 +87,14 @@ TEST_P(AllConfigs, SequentialSubmission) {
   TestDb* db = SharedSsbDb();
   core::Engine engine(&db->catalog, db->pool.get(), Options());
   const auto queries = ssb::SimilarQ32Workload(6, 2, 16);
-  std::vector<qpipe::QueryHandle> handles;
+  std::vector<core::QueryTicket> handles;
   for (const auto& q : queries) handles.push_back(engine.Submit(q));
-  for (const auto& h : handles) h->done.wait();
+  for (const auto& h : handles) ASSERT_TRUE(h.Wait().ok());
 
   const baseline::VolcanoEngine oracle(&db->catalog, db->pool.get());
   for (size_t i = 0; i < queries.size(); ++i) {
     const query::ResultSet expected = oracle.Execute(queries[i]);
-    EXPECT_EQ(query::DiffResults(expected, handles[i]->result), "")
+    EXPECT_EQ(query::DiffResults(expected, handles[i].result()), "")
         << "query " << i;
   }
 }
@@ -129,8 +129,8 @@ TEST(TpchQ1, AllScanConfigsMatchOracle) {
       core::Engine engine(&db->catalog, db->pool.get(), opts);
       const auto handles = engine.SubmitBatch(queries);
       for (const auto& h : handles) {
-        h->done.wait();
-        EXPECT_EQ(query::DiffResults(expected, h->result, 1e-9), "")
+        ASSERT_TRUE(h.Wait().ok());
+        EXPECT_EQ(query::DiffResults(expected, h.result(), 1e-9), "")
             << core::EngineConfigName(config);
       }
     }
@@ -144,7 +144,7 @@ TEST(Sharing, SpCountersReflectIdenticalQueries) {
   core::Engine engine(&db->catalog, db->pool.get(), opts);
   const auto queries = ssb::SimilarQ32Workload(8, 1, 21);
   const auto handles = engine.SubmitBatch(queries);
-  for (const auto& h : handles) h->done.wait();
+  for (const auto& h : handles) ASSERT_TRUE(h.Wait().ok());
   const qpipe::SpCounters counters = engine.sp_counters();
   // 8 identical queries: the topmost shared stage absorbs 7 satellites.
   EXPECT_GE(counters.join_shares_total() + counters.scan_shares, 7u);
@@ -158,7 +158,7 @@ TEST(Sharing, CjoinSpSharesIdenticalPackets) {
   core::Engine engine(&db->catalog, db->pool.get(), opts);
   const auto queries = ssb::SimilarQ32Workload(8, 1, 22);
   const auto handles = engine.SubmitBatch(queries);
-  for (const auto& h : handles) h->done.wait();
+  for (const auto& h : handles) ASSERT_TRUE(h.Wait().ok());
   EXPECT_EQ(engine.cjoin_shares(), 7u);
   // Only one CJOIN packet should have entered the pipeline.
   EXPECT_EQ(engine.cjoin_stats().queries_admitted, 1u);

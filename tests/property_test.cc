@@ -156,8 +156,8 @@ TEST_P(RandomQueryProperty, AllEnginesAgreeWithOracle) {
       core::Engine engine(&db->catalog, db->pool.get(), opts);
       const auto handles = engine.SubmitBatch(queries);
       for (size_t i = 0; i < queries.size(); ++i) {
-        handles[i]->done.wait();
-        EXPECT_EQ(query::DiffResults(expected[i], handles[i]->result), "")
+        ASSERT_TRUE(handles[i].Wait().ok());
+        EXPECT_EQ(query::DiffResults(expected[i], handles[i].result()), "")
             << core::EngineConfigName(config) << "/"
             << core::CommModelName(comm) << " query " << i << " sig "
             << queries[i].Signature();

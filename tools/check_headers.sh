@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Public-header hygiene: every header under src/ must compile standalone
+# (catches missing includes that only surface for external consumers of the
+# public API). Run from anywhere; CXX overrides the compiler.
+set -u
+cd "$(dirname "$0")/.."
+
+CXX="${CXX:-c++}"
+fail=0
+checked=0
+for h in $(find src -name '*.h' | sort); do
+  if ! "$CXX" -std=c++20 -fsyntax-only -Wall -Wextra -Werror -Isrc -x c++ "$h"; then
+    echo "NOT SELF-CONTAINED: $h" >&2
+    fail=1
+  fi
+  checked=$((checked + 1))
+done
+echo "header hygiene: $checked headers checked$([ $fail -eq 0 ] && echo ', all self-contained')"
+exit $fail
