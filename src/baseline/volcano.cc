@@ -38,6 +38,7 @@ void VolcanoEngine::ExecuteInto(const query::StarQuery& q,
     life->Finish(std::move(why));
     return;
   }
+  life->MarkRunStart();  // runs immediately: the comparator never queues
   try {
     *life->mutable_result() = Execute(q);
     life->AddRowsStreamed(life->result().num_rows());
@@ -61,16 +62,25 @@ core::QueryTicket VolcanoEngine::Submit(const query::StarQuery& q,
 std::vector<core::QueryTicket> VolcanoEngine::SubmitBatch(
     const std::vector<query::StarQuery>& queries,
     const core::SubmitOptions& opts) {
+  std::vector<core::SubmitRequest> requests;
+  requests.reserve(queries.size());
+  for (const auto& q : queries) requests.push_back({q, opts});
+  return SubmitRequests(requests);
+}
+
+std::vector<core::QueryTicket> VolcanoEngine::SubmitRequests(
+    const std::vector<core::SubmitRequest>& requests) {
   std::vector<core::QueryTicket> tickets;
-  tickets.reserve(queries.size());
-  for (const auto& q : queries) {
+  tickets.reserve(requests.size());
+  for (const auto& req : requests) {
     auto life = std::make_shared<core::QueryLifecycle>(
-        next_qid_.fetch_add(1, std::memory_order_relaxed), opts);
+        next_qid_.fetch_add(1, std::memory_order_relaxed), req.opts);
     life->set_submit_nanos(NowNanos());
     tickets.emplace_back(life);
     std::unique_lock<std::mutex> lock(threads_mu_);
-    threads_.emplace_back(
-        [this, q, life = std::move(life)] { ExecuteInto(q, life.get()); });
+    threads_.emplace_back([this, q = req.q, life = std::move(life)] {
+      ExecuteInto(q, life.get());
+    });
   }
   return tickets;
 }

@@ -80,6 +80,10 @@ class VolcanoEngine : public core::ExecutorClient {
   std::vector<core::QueryTicket> SubmitBatch(
       const std::vector<query::StarQuery>& queries,
       const core::SubmitOptions& opts = core::SubmitOptions()) override;
+  /// Mixed batch: still one thread per query — the query-centric engine has
+  /// no shared queue to schedule, so priority only rides along in metrics.
+  std::vector<core::QueryTicket> SubmitRequests(
+      const std::vector<core::SubmitRequest>& requests) override;
   void WaitAll() override;
 
  private:

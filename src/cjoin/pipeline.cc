@@ -74,7 +74,12 @@ void CjoinPipeline::SubmitMany(std::vector<Submission> submissions) {
   if (submissions.empty()) return;
   {
     std::unique_lock<std::mutex> lock(mu_);
-    for (auto& s : submissions) pending_.push_back(std::move(s));
+    for (auto& s : submissions) {
+      if (s.priority == 0 && s.life != nullptr) {
+        s.priority = s.life->options().priority;
+      }
+      pending_.push_back(std::move(s));
+    }
   }
   work_cv_.notify_all();
 }
@@ -214,8 +219,11 @@ void CjoinPipeline::PreprocessorLoop() {
         if (aq == nullptr || aq->completion_queued) continue;
         // Cycle complete, or the query's consumers detached (cancel,
         // deadline, row-limit truncation): either way the slot retires at
-        // the next pause instead of scanning on.
-        if (--aq->pages_remaining == 0 || aq->Detached()) {
+        // the next pause instead of scanning on. Group (SP) signals are
+        // re-evaluated every K pages only — the cached atomic answers in
+        // between, keeping the registry lock off the per-page path.
+        if (--aq->pages_remaining == 0 ||
+            aq->DetachedThrottled(options_.detach_check_interval_pages)) {
           aq->completion_queued = true;
           completions_due_.push_back(static_cast<uint32_t>(s));
         }
@@ -364,6 +372,29 @@ void CjoinPipeline::DoAdmissionsLocked() {
   if (pending_.empty()) return;
   WallTimer timer;
 
+  // Scheduling: admit by (priority desc, arrival). pending_ is already in
+  // arrival order and the sort is stable, so equal priorities keep FIFO
+  // fairness; when slots are scarce the tail of this order is what gets
+  // rejected — a high-priority query never waits behind (or loses its slot
+  // to) a long low-priority backlog. Dynamic priorities (SP shared packets)
+  // are evaluated once, here, at the pause.
+  if (options_.priority_admission && pending_.size() > 1) {
+    std::vector<int> eff(pending_.size());
+    for (size_t i = 0; i < pending_.size(); ++i) {
+      const PendingQuery& p = pending_[i];
+      eff[i] = p.priority;
+      if (p.priority_fn) eff[i] = std::max(eff[i], p.priority_fn());
+    }
+    std::vector<size_t> order(pending_.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) { return eff[a] > eff[b]; });
+    std::vector<PendingQuery> sorted;
+    sorted.reserve(pending_.size());
+    for (size_t i : order) sorted.push_back(std::move(pending_[i]));
+    pending_ = std::move(sorted);
+  }
+
   // Phase 1 — materialize: allocate slots, build the ActiveQuery state, and
   // create/look up every referenced filter, grouping the epoch's pending
   // (slot, predicate) pairs by filter so phase 3 runs ONE dimension scan
@@ -466,6 +497,8 @@ void CjoinPipeline::DoAdmissionsLocked() {
     ++stats_.queries_admitted;
     if (aq->life != nullptr) {
       aq->life->SetAdmissionEpoch(stats_.admission_batches + 1);
+      // Pending → running: queue wait ends at admission activation.
+      aq->life->MarkRunStart();
     }
     if (aq->pages_remaining == 0) {
       CompleteQueryLocked(slot);  // empty fact table: nothing to join

@@ -59,6 +59,16 @@ struct CjoinOptions {
   /// pipeline defeated the purpose of potentially flowing fewer fact tuples
   /// in the pipeline" (§3.2). Kept as an option for the ablation bench.
   bool fact_preds_in_preprocessor = false;
+  /// Order the pending queue by (priority desc, arrival) at every admission
+  /// pause, so when slots are scarce a high-priority query never loses its
+  /// slot to a long low-priority backlog. False = seed FIFO (the scheduler's
+  /// priority_enabled switch turns this off for the bench baseline).
+  bool priority_admission = true;
+  /// Scanned pages between full re-evaluations of a slot's group cancel
+  /// signal (the SP AllConsumersDetached registry walk); the cached per-slot
+  /// atomic answers in between. Lifecycle-only checks are lock-free and run
+  /// every page regardless.
+  uint32_t detach_check_interval_pages = 16;
 };
 
 /// Aggregate pipeline statistics.
@@ -178,6 +188,13 @@ class CjoinPipeline {
     /// the host's own query cancels. Defaults to life->Detached().
     std::function<bool()> cancelled;
     std::function<void(const Status&)> on_complete;
+    /// Admission priority (higher admits first when slots are scarce;
+    /// defaults to the lifecycle's submit priority when one is attached).
+    int priority = 0;
+    /// Dynamic priority override, re-evaluated at the admission pause: a
+    /// CJOIN-SP shared packet reports the max priority over its attached
+    /// consumers, so a high-priority satellite boosts the host it shares.
+    std::function<int()> priority_fn;
   };
 
   /// Submits a star query.
@@ -244,8 +261,31 @@ class CjoinPipeline {
       return d;
     }
 
-    /// Hot-path view of Detached(): at most one page stale.
+    /// Hot-path view of Detached(): at most detach_check_interval_pages
+    /// stale for SP group signals, one page for lifecycle-only queries.
     std::atomic<bool> detached_cache{false};
+
+    /// Pages until the next full `cancelled()` evaluation (SP group checks
+    /// walk the registry under its lock — the cost the throttle amortizes).
+    uint32_t detach_check_countdown = 1;
+
+    /// Per-page cancel check for the preprocessor's scan loop: lifecycle
+    /// signals (cancel/deadline/done — plain atomics) are checked every
+    /// page, but a locked group `cancelled()` walk runs only every
+    /// `interval` pages, answering from the cached per-slot atomic in
+    /// between.
+    bool DetachedThrottled(uint32_t interval) {
+      if (detached_cache.load(std::memory_order_relaxed)) return true;
+      if (!cancelled) return Detached();  // lock-free lifecycle check
+      if (detach_check_countdown > 1) {
+        --detach_check_countdown;
+        return false;
+      }
+      // interval 0 degrades to every-page checking (the pre-throttle
+      // behavior), never to an unsigned wraparound.
+      detach_check_countdown = interval < 1 ? 1 : interval;
+      return Detached();
+    }
 
     // Output path: distributor parts take/put partial pages under out_mu (a
     // pointer swap) and project into them without the lock; the sink is

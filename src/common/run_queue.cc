@@ -1,0 +1,54 @@
+#include "common/run_queue.h"
+
+#include <utility>
+
+#include "common/timing.h"
+
+namespace sdw {
+
+void PriorityRunQueue::Push(std::function<void()> task, int priority,
+                            std::function<int()> dynamic_priority) {
+  Entry e;
+  e.task = std::move(task);
+  e.priority = priority;
+  e.dynamic_priority = std::move(dynamic_priority);
+  e.enqueue_nanos = NowNanos();
+  entries_.push_back(std::move(e));
+}
+
+int64_t PriorityRunQueue::EffectivePriority(const Entry& e,
+                                            int64_t now) const {
+  int64_t p = e.priority;
+  if (e.dynamic_priority) {
+    const int64_t dyn = e.dynamic_priority();
+    if (dyn > p) p = dyn;
+  }
+  if (options_.aging_nanos > 0) {
+    p += (now - e.enqueue_nanos) / options_.aging_nanos;
+  }
+  return p;
+}
+
+std::function<void()> PriorityRunQueue::Pop() {
+  SDW_CHECK(!entries_.empty());
+  size_t best = 0;
+  if (options_.priority_enabled && entries_.size() > 1) {
+    const int64_t now = NowNanos();
+    int64_t best_p = EffectivePriority(entries_[0], now);
+    // Strict > keeps the scan stable: among equal effective priorities the
+    // earliest arrival (lowest index — the deque is in arrival order) wins,
+    // which is the FIFO-within-a-level guarantee.
+    for (size_t i = 1; i < entries_.size(); ++i) {
+      const int64_t p = EffectivePriority(entries_[i], now);
+      if (p > best_p) {
+        best_p = p;
+        best = i;
+      }
+    }
+  }
+  std::function<void()> task = std::move(entries_[best].task);
+  entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(best));
+  return task;
+}
+
+}  // namespace sdw

@@ -1,0 +1,84 @@
+// Priority run queue: the ordering policy behind every task queue in the
+// system (ThreadPool workers, and — through core::Scheduler — QPipe stage
+// dispatch). Replaces the seed's FIFO std::deque.
+//
+// Ordering rules:
+//  * higher priority pops first;
+//  * FIFO within one priority level (stable: ties break on arrival seq);
+//  * aging: a waiting task gains one effective priority level per
+//    `aging_nanos` spent queued, so a low-priority task can starve only for
+//    a bounded time however fast high-priority work keeps arriving;
+//  * a task may carry a *dynamic* priority provider, re-evaluated at pop
+//    time. QPipe uses this for priority inheritance across shared work: a
+//    host packet's provider reads the max priority of its currently
+//    attached consumers from the SpRegistry, so a satellite attaching at
+//    high priority boosts the already-queued host.
+//
+// The queue itself is externally synchronized — the owner (ThreadPool)
+// already holds a mutex around every queue operation, so locking here would
+// only double the cost. Pop is a linear scan over the queued entries: stage
+// queues hold packets (tens, not millions), and the scan is what lets
+// dynamic priorities and aging be evaluated against "now" instead of the
+// possibly-stale value at push time.
+
+#ifndef SDW_COMMON_RUN_QUEUE_H_
+#define SDW_COMMON_RUN_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/macros.h"
+
+namespace sdw {
+
+/// Scheduling policy knobs shared by every run queue.
+struct RunQueueOptions {
+  /// When false the queue degrades to the seed's FIFO (priority, dynamic
+  /// providers and aging are all ignored) — the bench baseline.
+  bool priority_enabled = true;
+  /// Nanoseconds of queue wait per effective priority level gained
+  /// (0 disables aging). Default: one level per 20 ms waited.
+  int64_t aging_nanos = 20'000'000;
+};
+
+/// Externally-synchronized priority task queue (see file comment).
+class PriorityRunQueue {
+ public:
+  explicit PriorityRunQueue(RunQueueOptions options = RunQueueOptions())
+      : options_(options) {}
+
+  SDW_DISALLOW_COPY(PriorityRunQueue);
+
+  /// Enqueues a task. `dynamic_priority`, when set, is re-evaluated at every
+  /// Pop and the effective base priority is max(priority, dynamic()).
+  void Push(std::function<void()> task, int priority = 0,
+            std::function<int()> dynamic_priority = nullptr);
+
+  /// Removes and returns the best task per the ordering rules; requires
+  /// !empty().
+  std::function<void()> Pop();
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  const RunQueueOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    std::function<void()> task;
+    int priority;
+    std::function<int()> dynamic_priority;
+    int64_t enqueue_nanos;
+  };
+
+  /// Effective priority of `e` at time `now` (base or dynamic, plus aging).
+  int64_t EffectivePriority(const Entry& e, int64_t now) const;
+
+  const RunQueueOptions options_;
+  std::deque<Entry> entries_;  // arrival order; Pop scans for the best
+};
+
+}  // namespace sdw
+
+#endif  // SDW_COMMON_RUN_QUEUE_H_

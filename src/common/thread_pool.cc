@@ -4,8 +4,8 @@
 
 namespace sdw {
 
-ThreadPool::ThreadPool(std::string name, size_t max_threads)
-    : name_(std::move(name)), max_threads_(max_threads) {}
+ThreadPool::ThreadPool(std::string name, ThreadPoolOptions options)
+    : name_(std::move(name)), options_(options), queue_(options.run_queue) {}
 
 ThreadPool::~ThreadPool() {
   {
@@ -16,10 +16,11 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+void ThreadPool::Submit(std::function<void()> task, int priority,
+                        std::function<int()> dynamic_priority) {
   std::unique_lock<std::mutex> lock(mu_);
   SDW_CHECK_MSG(!shutdown_, "Submit on shut-down pool %s", name_.c_str());
-  queue_.push_back(std::move(task));
+  queue_.Push(std::move(task), priority, std::move(dynamic_priority));
   ++active_tasks_;
   // Spawn unless the queued tasks are already covered by distinct idle
   // workers. Comparing against the whole queue (not just "is anyone idle")
@@ -27,7 +28,7 @@ void ThreadPool::Submit(std::function<void()> task) {
   // two tasks sharing one worker can deadlock an operator pipeline.
   const bool need_worker =
       idle_workers_ < queue_.size() &&
-      (max_threads_ == 0 || threads_.size() < max_threads_);
+      (options_.max_threads == 0 || threads_.size() < options_.max_threads);
   if (need_worker) {
     threads_.emplace_back([this] { WorkerLoop(); });
   }
@@ -53,8 +54,7 @@ void ThreadPool::WorkerLoop() {
       --idle_workers_;
     }
     if (queue_.empty() && shutdown_) return;
-    std::function<void()> task = std::move(queue_.front());
-    queue_.pop_front();
+    std::function<void()> task = queue_.Pop();
     lock.unlock();
     task();
     lock.lock();

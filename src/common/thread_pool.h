@@ -2,21 +2,41 @@
 // packet occupies its worker for the packet's lifetime (the staged-database
 // execution model), so the pool grows on demand up to a configurable cap and
 // parks idle workers for reuse.
+//
+// The run queue is a PriorityRunQueue (common/run_queue.h), not a FIFO:
+// when the pool is capped (or workers are otherwise saturated) the next
+// freed worker pops the highest-effective-priority task — FIFO within a
+// priority level, aging against starvation, and optional per-task dynamic
+// priority providers (QPipe's shared-packet priority inheritance). With the
+// default unlimited cap a worker is spawned per queued task and ordering is
+// moot — exactly the seed behavior.
 
 #ifndef SDW_COMMON_THREAD_POOL_H_
 #define SDW_COMMON_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/run_queue.h"
 
 namespace sdw {
+
+/// Pool configuration.
+struct ThreadPoolOptions {
+  /// Caps worker growth (0 = unlimited). Caution: tasks are packets that may
+  /// block on each other through exchanges, so a cap below the number of
+  /// mutually dependent same-stage packets can deadlock an operator
+  /// pipeline — cap only pools whose tasks are independent (scan-only
+  /// stages, scheduling experiments).
+  size_t max_threads = 0;
+  /// Ordering policy of the run queue (priority on/off, aging).
+  RunQueueOptions run_queue;
+};
 
 /// Growable pool executing std::function tasks. Tasks may block for long
 /// periods (packets waiting on page channels), so the pool spawns a new
@@ -24,13 +44,20 @@ namespace sdw {
 class ThreadPool {
  public:
   /// `name` is used for debugging; `max_threads` caps growth (0 = unlimited).
-  explicit ThreadPool(std::string name, size_t max_threads = 0);
+  explicit ThreadPool(std::string name, size_t max_threads = 0)
+      : ThreadPool(std::move(name), ThreadPoolOptions{max_threads, {}}) {}
+
+  ThreadPool(std::string name, ThreadPoolOptions options);
   ~ThreadPool();
 
   SDW_DISALLOW_COPY(ThreadPool);
 
   /// Enqueues a task; spawns a worker if none is idle (subject to the cap).
-  void Submit(std::function<void()> task);
+  /// Higher `priority` pops first; `dynamic_priority` (optional) is
+  /// re-evaluated at pop time and overrides `priority` when larger — it is
+  /// called under the pool lock and must not submit to this pool.
+  void Submit(std::function<void()> task, int priority = 0,
+              std::function<int()> dynamic_priority = nullptr);
 
   /// Blocks until all submitted tasks have finished.
   void WaitIdle();
@@ -42,12 +69,12 @@ class ThreadPool {
   void WorkerLoop();
 
   const std::string name_;
-  const size_t max_threads_;
+  const ThreadPoolOptions options_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   // signals workers
   std::condition_variable idle_cv_;   // signals WaitIdle
-  std::deque<std::function<void()>> queue_;
+  PriorityRunQueue queue_;
   std::vector<std::thread> threads_;
   size_t idle_workers_ = 0;
   size_t active_tasks_ = 0;

@@ -1,0 +1,182 @@
+#include "common/timer_wheel.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/timing.h"
+
+namespace sdw {
+
+TimerWheel::TimerWheel(Options options)
+    : options_(options), origin_nanos_(NowNanos()) {
+  SDW_CHECK(options_.tick_nanos > 0);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+TimerWheel::~TimerWheel() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+int64_t TimerWheel::TickFor(int64_t deadline_nanos) const {
+  const int64_t delta = deadline_nanos - origin_nanos_;
+  if (delta <= 0) return 0;
+  // Round up: a timer must never fire before its deadline.
+  return (delta + options_.tick_nanos - 1) / options_.tick_nanos;
+}
+
+uint64_t TimerWheel::Schedule(int64_t deadline_nanos,
+                              std::function<void()> fn) {
+  uint64_t id;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    id = next_id_++;
+    timers_.emplace(id, Timer{deadline_nanos, std::move(fn)});
+    PlaceLocked(id, deadline_nanos);
+  }
+  cv_.notify_all();  // wake the (possibly idle) wheel thread
+  return id;
+}
+
+bool TimerWheel::Cancel(uint64_t id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // The slot vectors keep the id; AdvanceOneTickLocked / cascades skip ids
+  // with no live timers_ entry (lazy deletion keeps Cancel O(1)).
+  return timers_.erase(id) != 0;
+}
+
+size_t TimerWheel::pending() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return timers_.size();
+}
+
+uint64_t TimerWheel::fired() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return fired_;
+}
+
+void TimerWheel::PlaceLocked(uint64_t id, int64_t deadline_nanos) {
+  int64_t target = TickFor(deadline_nanos);
+  // Never hang a timer on a tick the wheel already passed: the slot was
+  // collected and would not be visited again for a full rotation. (Cascades
+  // re-place before the level-0 collection of the same advance, so a
+  // cascaded timer due exactly now still fires this tick.)
+  if (target <= current_tick_) target = current_tick_ + 1;
+  for (int level = 0; level < kLevels; ++level) {
+    const int epoch_shift = kSlotBits * (level + 1);
+    // Same-epoch check: within one level-(L+1) slot span, slot indexes at
+    // level L are strictly ordered, so the timer cannot be hung on a slot
+    // the cursor already swept this rotation.
+    if ((target >> epoch_shift) == (current_tick_ >> epoch_shift)) {
+      const uint64_t slot =
+          static_cast<uint64_t>(target >> (kSlotBits * level)) & (kSlots - 1);
+      wheel_[level][slot].push_back(id);
+      return;
+    }
+  }
+  // Beyond the wheel's span (~64^4 ticks ≈ 4.6 h at the default 1 ms tick):
+  // park in the top-level slot behind the cursor; it cascades once per top
+  // rotation and is then re-hung by its true deadline.
+  const uint64_t park =
+      (static_cast<uint64_t>(current_tick_ >> (kSlotBits * (kLevels - 1))) +
+       kSlots - 1) &
+      (kSlots - 1);
+  wheel_[kLevels - 1][park].push_back(id);
+}
+
+void TimerWheel::AdvanceOneTickLocked(std::vector<Timer>* due) {
+  ++current_tick_;
+  // Cascade crossed higher-level slots first (top level outward) so their
+  // timers are re-hung before the level-0 collection below — a cascaded
+  // timer due this very tick still fires this tick.
+  for (int level = kLevels - 1; level >= 1; --level) {
+    const int shift = kSlotBits * level;
+    if ((current_tick_ & ((int64_t{1} << shift) - 1)) != 0) continue;
+    const uint64_t slot =
+        static_cast<uint64_t>(current_tick_ >> shift) & (kSlots - 1);
+    std::vector<uint64_t> ids = std::move(wheel_[level][slot]);
+    wheel_[level][slot].clear();
+    for (uint64_t id : ids) {
+      auto it = timers_.find(id);
+      if (it == timers_.end()) continue;  // cancelled
+      // Re-hang relative to the new cursor; due-now timers land on the
+      // level-0 slot collected below.
+      int64_t target = TickFor(it->second.deadline_nanos);
+      if (target <= current_tick_) {
+        wheel_[0][static_cast<uint64_t>(current_tick_) & (kSlots - 1)]
+            .push_back(id);
+      } else {
+        PlaceLocked(id, it->second.deadline_nanos);
+      }
+    }
+  }
+  auto& slot0 = wheel_[0][static_cast<uint64_t>(current_tick_) & (kSlots - 1)];
+  for (uint64_t id : slot0) {
+    auto it = timers_.find(id);
+    if (it == timers_.end()) continue;  // cancelled
+    due->push_back(std::move(it->second));
+    timers_.erase(it);
+  }
+  slot0.clear();
+}
+
+void TimerWheel::CatchUpLocked(int64_t now_tick, std::vector<Timer>* due) {
+  for (auto& level : wheel_) {
+    for (auto& slot : level) slot.clear();
+  }
+  current_tick_ = now_tick;
+  for (auto it = timers_.begin(); it != timers_.end();) {
+    if (TickFor(it->second.deadline_nanos) <= current_tick_) {
+      due->push_back(std::move(it->second));
+      it = timers_.erase(it);
+    } else {
+      PlaceLocked(it->first, it->second.deadline_nanos);
+      ++it;
+    }
+  }
+}
+
+void TimerWheel::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (timers_.empty()) {
+      // Idle: no per-tick wakeups until something is scheduled.
+      cv_.wait(lock, [&] { return stop_ || !timers_.empty(); });
+      continue;
+    }
+    const int64_t now = NowNanos();
+    const int64_t now_tick = (now - origin_nanos_) / options_.tick_nanos;
+    if (now_tick <= current_tick_) {
+      const int64_t next_boundary =
+          origin_nanos_ + (current_tick_ + 1) * options_.tick_nanos;
+      cv_.wait_for(lock, std::chrono::nanoseconds(next_boundary - now));
+      continue;
+    }
+    std::vector<Timer> due;
+    if (now_tick - current_tick_ > static_cast<int64_t>(2 * kSlots)) {
+      // Far behind (the wheel sat idle with nothing scheduled, then a
+      // timer arrived): rebuilding from the live-timer map is O(pending),
+      // where ticking the gap closed one by one under mu_ would be
+      // O(idle hours) of lock-held spinning.
+      CatchUpLocked(now_tick, &due);
+    } else {
+      while (current_tick_ < now_tick && !stop_) {
+        AdvanceOneTickLocked(&due);
+      }
+    }
+    if (!due.empty()) {
+      fired_ += due.size();
+      // Fire outside the wheel lock: callbacks take lifecycle/transport
+      // locks (RequestCancel → CancelReader) and may re-enter Schedule.
+      lock.unlock();
+      for (auto& t : due) t.fn();
+      lock.lock();
+    }
+  }
+}
+
+}  // namespace sdw

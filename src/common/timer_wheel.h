@@ -1,0 +1,111 @@
+// Hierarchical timer wheel: prompt deadline firing without polling.
+//
+// The seed enforced query deadlines only at admission and between result
+// pages, so a drain blocked in Next() noticed an expired deadline only when
+// a page happened to arrive. The wheel closes that gap: core::Scheduler
+// registers every deadline ticket here, and at expiry the wheel thread fires
+// RequestCancel(kDeadlineExceeded), which cancels the query's root reader
+// and wakes the blocked drain — no page arrival, no polling loop.
+//
+// Structure (classic hashed hierarchical wheel, Varghese & Lauck): `kLevels`
+// wheels of `kSlots` slots each. Level 0 spans one tick per slot; each
+// higher level spans kSlots× the previous. A timer is hung on the coarsest
+// level that resolves it; when the wheel advances across a higher-level
+// slot boundary, that slot's timers cascade down and are re-hung by their
+// remaining delta. Every operation is O(1) amortized, and a timer fires
+// within one tick of its deadline (default tick: 1 ms).
+//
+// Callbacks run on the wheel's own thread, outside the wheel lock. They must
+// be brief and must not block on work that itself waits for wheel callbacks
+// (RequestCancel qualifies: it flips lifecycle state and cancels a reader).
+
+#ifndef SDW_COMMON_TIMER_WHEEL_H_
+#define SDW_COMMON_TIMER_WHEEL_H_
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace sdw {
+
+/// Hierarchical timer wheel service with its own timer thread.
+class TimerWheel {
+ public:
+  struct Options {
+    /// Wheel resolution: a timer fires within one tick of its deadline.
+    int64_t tick_nanos = 1'000'000;  // 1 ms
+  };
+
+  TimerWheel() : TimerWheel(Options{}) {}
+  explicit TimerWheel(Options options);
+  ~TimerWheel();
+
+  SDW_DISALLOW_COPY(TimerWheel);
+
+  /// Schedules `fn` to fire at `deadline_nanos` (NowNanos() clock; a
+  /// deadline in the past fires on the next tick). Returns a handle for
+  /// Cancel.
+  uint64_t Schedule(int64_t deadline_nanos, std::function<void()> fn);
+
+  /// Cancels a scheduled timer. Returns true when the timer was removed
+  /// before firing; false when it already fired (or never existed).
+  bool Cancel(uint64_t id);
+
+  /// Timers scheduled and not yet fired/cancelled.
+  size_t pending() const;
+
+  /// Timers fired so far (diagnostics/tests).
+  uint64_t fired() const;
+
+  int64_t tick_nanos() const { return options_.tick_nanos; }
+
+ private:
+  static constexpr int kLevels = 4;
+  static constexpr int kSlotBits = 6;
+  static constexpr uint64_t kSlots = 1u << kSlotBits;  // 64 per level
+
+  struct Timer {
+    int64_t deadline_nanos;
+    std::function<void()> fn;
+  };
+
+  void Loop();
+  /// Hangs timer `id` (deadline known from timers_) on the wheel relative to
+  /// the current tick. Requires mu_ held.
+  void PlaceLocked(uint64_t id, int64_t deadline_nanos);
+  /// Advances the wheel by one tick, collecting due timers. Requires mu_.
+  void AdvanceOneTickLocked(std::vector<Timer>* due);
+  /// Jump-advance after a long idle gap: rebuilds the wheel from the
+  /// live-timer map at `now_tick` (O(pending)) instead of ticking the gap
+  /// closed one slot at a time. Requires mu_.
+  void CatchUpLocked(int64_t now_tick, std::vector<Timer>* due);
+
+  /// Tick index a deadline belongs to (rounded up: never fire early).
+  int64_t TickFor(int64_t deadline_nanos) const;
+
+  const Options options_;
+  const int64_t origin_nanos_;  // tick 0
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  int64_t current_tick_ = 0;
+  uint64_t next_id_ = 1;
+  uint64_t fired_ = 0;
+  /// Live timers by id; slots hold ids, lazily skipped when cancelled.
+  std::unordered_map<uint64_t, Timer> timers_;
+  std::array<std::array<std::vector<uint64_t>, kSlots>, kLevels> wheel_;
+
+  std::thread thread_;
+};
+
+}  // namespace sdw
+
+#endif  // SDW_COMMON_TIMER_WHEEL_H_

@@ -34,6 +34,7 @@ qpipe::QpipeEngine::JoinDelegate CjoinStage::MakeDelegate() {
     if (sp_enabled_) {
       if (auto src = registry_.TryAttach(sig, ctx->life)) {
         shares_.fetch_add(1, std::memory_order_relaxed);
+        ctx->life->MarkRunStart();  // scheduled with the host's packet
         return src;
       }
     }
@@ -64,6 +65,14 @@ qpipe::QpipeEngine::JoinDelegate CjoinStage::MakeDelegate() {
         // merely stops reading while satellites keep the slot alive.
         sub.cancelled = [this, sig, ex] {
           return registry_.AllConsumersDetached(sig, ex.get());
+        };
+        // Priority inheritance at admission: the shared packet bids with
+        // the max priority over its attached consumers, evaluated at the
+        // admission pause — a high-priority satellite boosts the host.
+        const int base =
+            life != nullptr ? life->options().priority : 0;
+        sub.priority_fn = [this, sig, ex, base] {
+          return registry_.MaxConsumerPriority(sig, ex.get(), base);
         };
         sub.on_complete = [this, sig, ex](const Status& s) {
           // A failed/rejected shared packet must fail every consumer — a

@@ -24,11 +24,15 @@ Engine::Engine(const storage::Catalog* catalog, storage::BufferPool* pool,
   const bool use_cjoin = options_.config == EngineConfig::kCjoin ||
                          options_.config == EngineConfig::kCjoinSp;
 
+  scheduler_ = std::make_unique<Scheduler>(options_.sched);
+
   qpipe::QpipeOptions qopts;
   qopts.comm = options_.comm;
   qopts.channel_bytes = options_.channel_bytes;
   qopts.sp_agg = options_.sp_agg;
   qopts.sp_sort = options_.sp_sort;
+  qopts.scheduler = scheduler_.get();
+  qopts.stage_max_workers = options_.stage_max_workers;
   switch (options_.config) {
     case EngineConfig::kQpipe:
       break;
@@ -50,8 +54,14 @@ Engine::Engine(const storage::Catalog* catalog, storage::BufferPool* pool,
 
   if (use_cjoin) {
     const storage::Table* fact = catalog->MustGetTable(options_.fact_table);
+    cjoin::CjoinOptions copts = options_.cjoin;
+    // One policy everywhere: the scheduler's FIFO switch also turns off
+    // priority-ordered admission in the GQP — while still honoring a
+    // caller who disabled only the CJOIN knob.
+    copts.priority_admission =
+        options_.sched.priority_enabled && options_.cjoin.priority_admission;
     pipeline_ = std::make_unique<cjoin::CjoinPipeline>(catalog, pool, fact,
-                                                       options_.cjoin);
+                                                       copts);
     cjoin_stage_ = std::make_unique<CjoinStage>(
         pipeline_.get(), options_.comm, options_.channel_bytes,
         options_.config == EngineConfig::kCjoinSp);
@@ -82,6 +92,15 @@ std::vector<QueryTicket> Engine::SubmitBatch(
 QueryTicket Engine::Submit(const query::StarQuery& q,
                            const SubmitOptions& opts) {
   return QueryTicket(qpipe_->Submit(q, opts)->life);
+}
+
+std::vector<QueryTicket> Engine::SubmitRequests(
+    const std::vector<SubmitRequest>& requests) {
+  const auto handles = qpipe_->SubmitRequests(requests);
+  std::vector<QueryTicket> tickets;
+  tickets.reserve(handles.size());
+  for (const auto& h : handles) tickets.emplace_back(h->life);
+  return tickets;
 }
 
 void Engine::WaitAll() {

@@ -21,6 +21,7 @@
 #include "cjoin/pipeline.h"
 #include "core/cjoin_stage.h"
 #include "core/query_ticket.h"
+#include "core/scheduler.h"
 #include "qpipe/engine.h"
 
 namespace sdw::core {
@@ -52,6 +53,14 @@ struct EngineOptions {
   cjoin::CjoinOptions cjoin;
   /// Fact table the GQP pipeline is built over.
   std::string fact_table = "lineorder";
+  /// Scheduling policy: one core::Scheduler per engine threads priority,
+  /// aging and deadline (timer-wheel) enforcement through every queue —
+  /// stage dispatch, result sinks and CJOIN admission.
+  /// sched.priority_enabled = false reproduces the seed's FIFO everywhere.
+  SchedulerOptions sched;
+  /// Caps every QPipe stage pool (0 = unlimited). See
+  /// qpipe::QpipeOptions::stage_max_workers for the deadlock caveat.
+  size_t stage_max_workers = 0;
 };
 
 /// The integrated engine. Submissions return QueryTickets (see
@@ -75,10 +84,16 @@ class Engine : public ExecutorClient {
   QueryTicket Submit(const query::StarQuery& q,
                      const SubmitOptions& opts = SubmitOptions()) override;
 
+  /// Mixed batch: per-query options inside one arrival batch.
+  std::vector<QueryTicket> SubmitRequests(
+      const std::vector<SubmitRequest>& requests) override;
+
   /// Blocks until all submitted queries complete.
   void WaitAll() override;
 
   const EngineOptions& options() const { return options_; }
+  /// The engine's scheduling subsystem (priority policy + timer wheel).
+  Scheduler* scheduler() { return scheduler_.get(); }
   qpipe::QpipeEngine* qpipe() { return qpipe_.get(); }
   /// Null unless a CJOIN configuration.
   cjoin::CjoinPipeline* cjoin_pipeline() { return pipeline_.get(); }
@@ -99,8 +114,11 @@ class Engine : public ExecutorClient {
   const EngineOptions options_;
   // Destruction order (reverse of declaration) is load-bearing: the staged
   // engine goes first (drains queries), then the GQP pipeline (joins its
-  // threads, which may still be running completion hooks), and the CJOIN
-  // stage — whose SP registry those hooks call into — strictly last.
+  // threads, which may still be running completion hooks), the CJOIN
+  // stage — whose SP registry those hooks call into — next, and the
+  // scheduler (whose timer wheel fires into all of the above) strictly
+  // last-constructed/first-outliving, i.e. declared first.
+  std::unique_ptr<Scheduler> scheduler_;
   std::unique_ptr<CjoinStage> cjoin_stage_;
   std::unique_ptr<cjoin::CjoinPipeline> pipeline_;
   std::unique_ptr<qpipe::QpipeEngine> qpipe_;

@@ -40,6 +40,7 @@ void QueryLifecycle::RequestCancel(Status reason) {
 
 bool QueryLifecycle::Finish(Status final_status) {
   std::function<void()> dropped;
+  std::function<void()> finish_hook;
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (done_.load(std::memory_order_relaxed)) return false;
@@ -47,10 +48,26 @@ bool QueryLifecycle::Finish(Status final_status) {
     metrics_.finish_nanos = NowNanos();
     dropped = std::move(cancel_cb_);  // release the hook's resources
     cancel_cb_ = nullptr;
+    finish_hook = std::move(finish_hook_);
+    finish_hook_ = nullptr;
     done_.store(true, std::memory_order_release);
   }
   cv_.notify_all();
+  if (finish_hook) finish_hook();  // outside mu_: takes the wheel's lock
   return true;
+}
+
+void QueryLifecycle::SetFinishHook(std::function<void()> hook) {
+  bool fire_now = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (done_.load(std::memory_order_relaxed)) {
+      fire_now = true;
+    } else {
+      finish_hook_ = std::move(hook);
+    }
+  }
+  if (fire_now && hook) hook();
 }
 
 void QueryLifecycle::SetCancelCallback(std::function<void()> cb) {
@@ -85,12 +102,19 @@ Status QueryLifecycle::cancel_status() const {
   return Status::Cancelled("query detached");
 }
 
+void QueryLifecycle::MarkRunStart() {
+  int64_t expected = 0;
+  run_start_.compare_exchange_strong(expected, NowNanos(),
+                                     std::memory_order_relaxed);
+}
+
 QueryMetrics QueryLifecycle::metrics() const {
   QueryMetrics m;
   {
     std::unique_lock<std::mutex> lock(mu_);
     m = metrics_;
   }
+  m.run_start_nanos = run_start_.load(std::memory_order_relaxed);
   m.pages_read = pages_.load(std::memory_order_relaxed);
   m.rows = rows_.load(std::memory_order_relaxed);
   m.fully_shared = fully_shared_.load(std::memory_order_relaxed);

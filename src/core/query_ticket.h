@@ -43,9 +43,11 @@ namespace sdw::core {
 
 /// Per-submission client options.
 struct SubmitOptions {
-  /// Scheduling hint for future prioritizing backends (higher = sooner).
-  /// Recorded on the lifecycle; the current engines treat all priorities
-  /// equally.
+  /// Scheduling priority (higher = sooner). The core::Scheduler threads it
+  /// through every queue: QPipe stage dispatch pops packets by effective
+  /// priority (a shared packet inherits the max of its attached consumers),
+  /// and CJOIN admission orders its pending queue by (priority, arrival) so
+  /// scarce query slots go to the highest bidder.
   int priority = 0;
   /// Absolute deadline in NowNanos() time (0 = none). An expired query is
   /// rejected at admission — before packet wiring (QPipe) or before costing
@@ -64,6 +66,11 @@ struct QueryMetrics {
   uint64_t qid = 0;
   int64_t submit_nanos = 0;
   int64_t finish_nanos = 0;   // 0 until terminal
+  /// When the query's work first got scheduled (first packet popped from a
+  /// stage run queue, CJOIN admission activation, or SP satellite attach;
+  /// 0 until then). submit → run_start is queue wait, run_start → finish is
+  /// run time — the split that makes scheduling effects measurable.
+  int64_t run_start_nanos = 0;
   uint64_t pages_read = 0;    // result pages drained into the ResultSet
   uint64_t rows = 0;          // rows streamed so far (live during the run)
   /// True when the whole query was satisfied from an SP host's results
@@ -76,6 +83,20 @@ struct QueryMetrics {
   /// End-to-end response time in seconds (valid after completion).
   double response_seconds() const {
     return static_cast<double>(finish_nanos - submit_nanos) * 1e-9;
+  }
+  /// Time spent queued before the work first ran (valid once run_start_nanos
+  /// is set; the full response time for queries rejected before running;
+  /// 0 while the query is still waiting to be scheduled).
+  double queue_wait_seconds() const {
+    const int64_t until = run_start_nanos != 0 ? run_start_nanos
+                                               : finish_nanos;
+    if (until == 0) return 0;  // live snapshot of a still-queued query
+    return static_cast<double>(until - submit_nanos) * 1e-9;
+  }
+  /// Time from first scheduling to completion (0 for never-started queries).
+  double run_seconds() const {
+    if (run_start_nanos == 0) return 0;
+    return static_cast<double>(finish_nanos - run_start_nanos) * 1e-9;
   }
 };
 
@@ -140,6 +161,12 @@ class QueryLifecycle {
   /// cancellation was already requested; dropped at Finish.
   void SetCancelCallback(std::function<void()> cb);
 
+  /// Installs a hook run once when the query reaches a terminal state (or
+  /// immediately if it already has). The Scheduler uses it to cancel the
+  /// query's deadline timer, so early completions do not leave stale wheel
+  /// entries ticking until their deadline passes.
+  void SetFinishHook(std::function<void()> hook);
+
   /// True when the client no longer wants output: cancellation requested or
   /// the ticket already completed (e.g. a row_limit truncation). Engines use
   /// this to retire resources early.
@@ -154,6 +181,10 @@ class QueryLifecycle {
 
   query::ResultSet* mutable_result() { return &result_; }
   void set_submit_nanos(int64_t t) { metrics_.submit_nanos = t; }
+  /// Records the first moment the query's work was actually scheduled
+  /// (earliest caller wins; later calls are no-ops). Engines call this from
+  /// packet workers, CJOIN admission and SP attach points.
+  void MarkRunStart();
   void AddPagesRead(uint64_t n) {
     pages_.fetch_add(n, std::memory_order_relaxed);
   }
@@ -175,9 +206,11 @@ class QueryLifecycle {
   Status final_status_;           // guarded by mu_ until done_ is published
   Status cancel_reason_;          // guarded by mu_
   std::function<void()> cancel_cb_;  // guarded by mu_; fired outside it
+  std::function<void()> finish_hook_;  // guarded by mu_; fired outside it
 
   query::ResultSet result_;  // written only by the engine's drain thread
   QueryMetrics metrics_;     // nanos guarded by mu_ after submission
+  std::atomic<int64_t> run_start_{0};
   std::atomic<uint64_t> pages_{0};
   std::atomic<uint64_t> rows_{0};
   std::atomic<bool> fully_shared_{false};
@@ -237,6 +270,12 @@ class QueryTicket {
   std::shared_ptr<QueryLifecycle> life_;
 };
 
+/// One query plus its own options — the element of a mixed batch.
+struct SubmitRequest {
+  query::StarQuery q;
+  SubmitOptions opts;
+};
+
 /// Engine-side interface every execution backend implements.
 class ExecutorClient {
  public:
@@ -250,6 +289,13 @@ class ExecutorClient {
   virtual std::vector<QueryTicket> SubmitBatch(
       const std::vector<query::StarQuery>& queries,
       const SubmitOptions& opts = SubmitOptions()) = 0;
+
+  /// Submits a batch where every query carries its own options — mixed
+  /// priorities/deadlines inside one arrival ("at the same time") batch, so
+  /// the scheduler's admission ordering and priority inheritance are
+  /// exercised within a single admission pause.
+  virtual std::vector<QueryTicket> SubmitRequests(
+      const std::vector<SubmitRequest>& requests) = 0;
 
   /// Blocks until every submitted query is terminal.
   virtual void WaitAll() = 0;

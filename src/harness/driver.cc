@@ -87,7 +87,9 @@ RunMetrics RunBatch(core::ExecutorClient* client, storage::BufferPool* pool,
   for (size_t i = 0; i < tickets.size(); ++i) {
     TallyOutcome(finals[i], &m);
     if (finals[i].ok()) {
-      m.response_seconds.Add(tickets[i].metrics().response_seconds());
+      const core::QueryMetrics qm = tickets[i].metrics();
+      m.response_seconds.Add(qm.response_seconds());
+      m.queue_wait_seconds.Add(qm.queue_wait_seconds());
     }
   }
   CollectEngineStats(client, &m);
@@ -117,6 +119,9 @@ RunMetrics RunClosedLoop(
   std::atomic<size_t> next_query{0};
   std::mutex tally_mu;
   Stats responses;
+  Stats queue_waits;
+  Stats responses_high;
+  Stats responses_low;
   RunMetrics outcomes;  // counter fields only, merged under tally_mu
 
   CpuMeter meter;
@@ -128,10 +133,13 @@ RunMetrics RunClosedLoop(
   std::vector<std::thread> threads;
   threads.reserve(options.clients);
   for (size_t c = 0; c < options.clients; ++c) {
-    threads.emplace_back([&] {
+    const bool high_class = c < options.high_priority_clients;
+    threads.emplace_back([&, high_class] {
       while (NowNanos() < run_deadline) {
         const size_t i = next_query.fetch_add(1, std::memory_order_relaxed);
         core::SubmitOptions opts;
+        opts.priority =
+            high_class ? options.high_priority : options.low_priority;
         if (options.client_deadline_nanos != 0) {
           opts.deadline_nanos = NowNanos() + options.client_deadline_nanos;
         }
@@ -141,7 +149,13 @@ RunMetrics RunClosedLoop(
           std::unique_lock<std::mutex> lock(tally_mu);
           TallyOutcome(s, &outcomes);
           if (s.ok()) {
-            responses.Add(ticket.metrics().response_seconds());
+            const core::QueryMetrics qm = ticket.metrics();
+            responses.Add(qm.response_seconds());
+            queue_waits.Add(qm.queue_wait_seconds());
+            if (options.high_priority_clients > 0) {
+              (high_class ? responses_high : responses_low)
+                  .Add(qm.response_seconds());
+            }
           }
         }
       }
@@ -156,6 +170,9 @@ RunMetrics RunClosedLoop(
   m.expired = outcomes.expired;
   m.failed = outcomes.failed;
   m.response_seconds = responses;
+  m.queue_wait_seconds = queue_waits;
+  m.response_seconds_high = responses_high;
+  m.response_seconds_low = responses_low;
   m.throughput_qph = meter.WallSeconds() > 0
                          ? static_cast<double>(m.completed) /
                                meter.WallSeconds() * 3600.0

@@ -28,6 +28,14 @@ namespace sdw::harness {
 /// Everything measured in one experiment run.
 struct RunMetrics {
   Stats response_seconds;   // per-query response times (completed queries)
+  /// Queue wait (submit → first scheduling) of completed queries — the
+  /// scheduler-visible half of the response time (see QueryMetrics).
+  Stats queue_wait_seconds;
+  /// Per-class response times in mixed-priority closed-loop runs (empty
+  /// otherwise): the high-priority class is the one whose p99 the scheduler
+  /// is defending against the low-priority flood.
+  Stats response_seconds_high;
+  Stats response_seconds_low;
   double makespan_seconds = 0;
   double avg_cores = 0;     // process CPU / wall over the activity period
   double read_mbps = 0;     // simulated device transfer rate
@@ -54,6 +62,13 @@ struct ClosedLoopOptions {
   /// request is submitted with deadline_nanos = now + this. Expired queries
   /// count into RunMetrics::expired — the tail-behavior knob.
   int64_t client_deadline_nanos = 0;
+  /// Mixed-priority client mode: the first `high_priority_clients` threads
+  /// submit at `high_priority`, the rest at `low_priority`; per-class
+  /// response times land in RunMetrics::response_seconds_{high,low}. 0
+  /// keeps the classic single-class shape (every client at low_priority).
+  size_t high_priority_clients = 0;
+  int high_priority = 10;
+  int low_priority = 0;
 };
 
 /// Clears buffer-pool residency, device counters/cache, breakdown buckets

@@ -12,12 +12,25 @@ using query::PlanNode;
 QpipeEngine::QpipeEngine(const storage::Catalog* catalog,
                          storage::BufferPool* pool, QpipeOptions options)
     : catalog_(catalog), pool_(pool), options_(options) {
+  sched_ = options_.scheduler;
+  if (sched_ == nullptr) {
+    owned_scheduler_ = std::make_unique<core::Scheduler>();
+    sched_ = owned_scheduler_.get();
+  }
   scan_services_ = std::make_unique<CircularScanMap>(pool_, options_.comm,
                                                      options_.channel_bytes);
-  scan_stage_ = std::make_unique<Stage>("tscan");
-  join_stage_ = std::make_unique<Stage>("hjoin");
-  agg_stage_ = std::make_unique<Stage>("agg");
-  sort_stage_ = std::make_unique<Stage>("sort");
+  // Every run queue in the engine follows the scheduler's one policy —
+  // priority with FIFO fairness and aging, or plain FIFO when disabled.
+  ThreadPoolOptions stage_pool;
+  stage_pool.max_threads = options_.stage_max_workers;
+  stage_pool.run_queue = sched_->run_queue_options();
+  scan_stage_ = std::make_unique<Stage>("tscan", stage_pool);
+  join_stage_ = std::make_unique<Stage>("hjoin", stage_pool);
+  agg_stage_ = std::make_unique<Stage>("agg", stage_pool);
+  sort_stage_ = std::make_unique<Stage>("sort", stage_pool);
+  ThreadPoolOptions sink_pool_opts;  // never capped: drains must always run
+  sink_pool_opts.run_queue = sched_->run_queue_options();
+  sink_pool_ = std::make_unique<ThreadPool>("sink", sink_pool_opts);
 }
 
 QpipeEngine::~QpipeEngine() { WaitAll(); }
@@ -103,6 +116,9 @@ std::unique_ptr<core::PageSource> QpipeEngine::BuildProducer(
   if (sp_on) {
     if (auto src = stage->registry.TryAttach(node->signature, ctx->life)) {
       RecordShare(node);
+      // The satellite's work is scheduled with the host's: from here on the
+      // query waits on production, not on a run queue.
+      ctx->life->MarkRunStart();
       if (node == ctx->plan.get()) ctx->life->SetFullyShared();
       return src;
     }
@@ -134,8 +150,21 @@ std::unique_ptr<core::PageSource> QpipeEngine::BuildProducer(
   // the results drain — which can happen between our Close() and the
   // registry Unregister below (or even mid-operator for a fast consumer).
   deferred->push_back([this, ctx, node, ex, inputs, sp_on, stage, ancestors] {
-    stage->pool.Submit([this, ctx, node, ex, inputs, sp_on, stage,
-                        ancestors] {
+    // Stage dispatch pops by effective priority. A host packet's priority
+    // is dynamic: the registry reports the max over its attached consumers
+    // at pop time, so a satellite attaching at high priority boosts the
+    // queued host (priority inheritance across shared work).
+    const int base_priority = core::Scheduler::PriorityOf(ctx->life.get());
+    std::function<int()> dynamic;
+    if (sp_on) {
+      dynamic = [stage, sig = node->signature, ex, base_priority] {
+        return stage->registry.MaxConsumerPriority(sig, ex.get(),
+                                                   base_priority);
+      };
+    }
+    stage->pool.Submit(
+        [this, ctx, node, ex, inputs, sp_on, stage, ancestors] {
+      ctx->life->MarkRunStart();
       // Silent-hang guard: a packet that stops early — consumers vanished
       // or a fault below us threw — must complete every ticket it feeds
       // with an error instead of leaving a truncated stream that drains as
@@ -170,7 +199,8 @@ std::unique_ptr<core::PageSource> QpipeEngine::BuildProducer(
         }
         ex->sink()->Close();
       }
-    });
+        },
+        base_priority, std::move(dynamic));
   });
   return primary;
 }
@@ -196,36 +226,40 @@ bool QpipeEngine::RunPacket(
   return true;
 }
 
-std::vector<QueryHandle> QpipeEngine::SubmitBatch(
-    const std::vector<query::StarQuery>& queries,
-    const core::SubmitOptions& opts) {
+std::vector<QueryHandle> QpipeEngine::SubmitRequests(
+    const std::vector<core::SubmitRequest>& requests) {
   const query::Planner planner(catalog_);
   std::vector<QueryHandle> handles;
-  handles.reserve(queries.size());
+  handles.reserve(requests.size());
   std::vector<std::function<void()>> deferred;
   // Parallel to handles; null for queries rejected before wiring.
   std::vector<std::shared_ptr<core::PageSource>> readers;
-  readers.reserve(queries.size());
+  readers.reserve(requests.size());
 
   // Phase 1: wire every query's packets. Hosts registered here are visible
   // to later queries in the same batch, so common sub-plans attach before
   // anything runs — the "all queries arrive at the same time" setup.
-  for (const query::StarQuery& q : queries) {
+  for (const core::SubmitRequest& req : requests) {
     auto ctx = std::make_shared<QueryContext>();
     ctx->qid = next_qid_.fetch_add(1, std::memory_order_relaxed);
-    ctx->life = std::make_shared<core::QueryLifecycle>(ctx->qid, opts);
+    ctx->life = std::make_shared<core::QueryLifecycle>(ctx->qid, req.opts);
     ctx->life->set_submit_nanos(NowNanos());
     // Deadline-driven admission: an already-expired query is rejected
     // before costing any wiring or packet work.
-    if (opts.deadline_nanos != 0 && NowNanos() > opts.deadline_nanos) {
+    if (req.opts.deadline_nanos != 0 &&
+        NowNanos() > req.opts.deadline_nanos) {
       ctx->life->Finish(
           Status::DeadlineExceeded("deadline expired before admission"));
       readers.push_back(nullptr);
       handles.push_back(std::move(ctx));
       continue;
     }
-    ctx->query = q;
-    ctx->plan = planner.BuildPlan(q);
+    // Deadline tickets are the timer wheel's: expiry fires RequestCancel
+    // promptly even while the drain is blocked in Next() with no page or
+    // EOS on the way.
+    sched_->WatchDeadline(ctx->life);
+    ctx->query = req.q;
+    ctx->plan = planner.BuildPlan(req.q);
     ctx->result().set_schema(ctx->plan->out_schema);
     std::vector<HostRef> host_path;  // per-query ancestor-host stack
     readers.push_back(
@@ -252,9 +286,19 @@ std::vector<QueryHandle> QpipeEngine::SubmitBatch(
     // the producer chain. Shared producers keep running while any satellite
     // still reads them (the host merely detaches).
     ctx->life->SetCancelCallback([reader] { reader->CancelReader(); });
-    sink_pool_.Submit([this, ctx, reader] { DrainResult(ctx, reader.get()); });
+    sink_pool_->Submit([this, ctx, reader] { DrainResult(ctx, reader.get()); },
+                       core::Scheduler::PriorityOf(ctx->life.get()));
   }
   return handles;
+}
+
+std::vector<QueryHandle> QpipeEngine::SubmitBatch(
+    const std::vector<query::StarQuery>& queries,
+    const core::SubmitOptions& opts) {
+  std::vector<core::SubmitRequest> requests;
+  requests.reserve(queries.size());
+  for (const query::StarQuery& q : queries) requests.push_back({q, opts});
+  return SubmitRequests(requests);
 }
 
 void QpipeEngine::DrainResult(const QueryHandle& ctx,

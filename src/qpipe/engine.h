@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "core/scheduler.h"
 #include "qpipe/circular_scan.h"
 #include "qpipe/exchange.h"
 #include "qpipe/packet.h"
@@ -48,6 +49,17 @@ struct QpipeOptions {
   bool sp_sort = false;
   /// Byte bound of every FIFO / SPL (paper uses 256 KB).
   size_t channel_bytes = 256 * 1024;
+  /// Scheduler governing the stage run queues (priority/aging policy) and
+  /// deadline enforcement (timer wheel). When null the engine owns a
+  /// default-configured one.
+  core::Scheduler* scheduler = nullptr;
+  /// Caps every stage pool's worker count (0 = unlimited, the seed
+  /// behavior). A cap makes the priority run queue observable — freed
+  /// workers pop the highest-priority packet — but see the
+  /// ThreadPoolOptions deadlock caveat: same-stage packets that feed each
+  /// other (nested joins) can deadlock under a cap, so cap only for
+  /// independent-packet workloads (scan stages, scheduling experiments).
+  size_t stage_max_workers = 0;
 };
 
 /// SP sharing counters (the paper reports these per experiment, e.g. the
@@ -82,6 +94,12 @@ class QpipeEngine {
       const std::vector<query::StarQuery>& queries,
       const core::SubmitOptions& opts = core::SubmitOptions());
 
+  /// The general batch shape: each query carries its own options, so one
+  /// arrival batch can mix priorities and deadlines (the scheduler orders
+  /// dispatch and admission within it).
+  std::vector<QueryHandle> SubmitRequests(
+      const std::vector<core::SubmitRequest>& requests);
+
   /// Single-query convenience wrapper.
   QueryHandle Submit(const query::StarQuery& q,
                      const core::SubmitOptions& opts = core::SubmitOptions());
@@ -97,6 +115,8 @@ class QpipeEngine {
   const QpipeOptions& options() const { return options_; }
   const storage::Catalog* catalog() const { return catalog_; }
   storage::BufferPool* buffer_pool() const { return pool_; }
+  /// The scheduler in effect (injected or engine-owned).
+  core::Scheduler* scheduler() const { return sched_; }
 
   /// Hook used by the CJOIN integration (core::CjoinStage): when set, join
   /// sub-plans are evaluated by the delegate (the GQP) instead of
@@ -119,7 +139,8 @@ class QpipeEngine {
 
  private:
   struct Stage {
-    explicit Stage(const std::string& name) : pool(name) {}
+    Stage(const std::string& name, const ThreadPoolOptions& opts)
+        : pool(name, opts) {}
     // Declaration order is load-bearing: packet workers touch the registry
     // (Unregister after closing their sink) past the point the submitting
     // query's results drain, so ~Stage must join the pool BEFORE the
@@ -167,12 +188,18 @@ class QpipeEngine {
   storage::BufferPool* pool_;
   const QpipeOptions options_;
 
+  // Owned fallback when QpipeOptions::scheduler is null; sched_ is the one
+  // actually used. Declared before the stages so the timer wheel outlives
+  // every queue it can fire into.
+  std::unique_ptr<core::Scheduler> owned_scheduler_;
+  core::Scheduler* sched_;
+
   std::unique_ptr<CircularScanMap> scan_services_;
   std::unique_ptr<Stage> scan_stage_;
   std::unique_ptr<Stage> join_stage_;
   std::unique_ptr<Stage> agg_stage_;
   std::unique_ptr<Stage> sort_stage_;
-  ThreadPool sink_pool_{"sink"};
+  std::unique_ptr<ThreadPool> sink_pool_;
 
   JoinDelegate join_delegate_;
   std::function<void()> batch_flush_;

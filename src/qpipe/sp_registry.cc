@@ -74,6 +74,25 @@ void SpRegistry::FinishConsumers(const std::string& signature,
   for (const auto& life : consumers) life->Finish(why);
 }
 
+int SpRegistry::MaxConsumerPriority(const std::string& signature,
+                                    const Exchange* ex, int fallback) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = hosts_.find(signature);
+  if (it == hosts_.end()) return fallback;
+  for (const Host& host : it->second) {
+    if (host.ex.get() != ex) continue;
+    int best = fallback;
+    for (const auto& life : host.consumers) {
+      // Only live consumers bid: a cancelled/finished high-priority
+      // satellite must not keep boosting the host it no longer reads.
+      if (life->Detached()) continue;
+      best = std::max(best, life->options().priority);
+    }
+    return best;
+  }
+  return fallback;
+}
+
 bool SpRegistry::AllConsumersDetached(const std::string& signature,
                                       const Exchange* ex) const {
   std::unique_lock<std::mutex> lock(mu_);

@@ -64,6 +64,15 @@ class SpRegistry {
   void FinishConsumers(const std::string& signature, const Exchange* ex,
                        const Status& why);
 
+  /// Effective scheduling priority of a shared packet: the max submit-time
+  /// priority over every consumer recorded against this host (owner +
+  /// satellites), or `fallback` when the host is unknown or untracked.
+  /// QPipe's stage run queues call this at pop time, which is what makes a
+  /// satellite attaching at high priority boost the already-queued host
+  /// (priority inheritance across shared work).
+  int MaxConsumerPriority(const std::string& signature, const Exchange* ex,
+                          int fallback) const;
+
   /// True when every lifecycle recorded against this host has detached
   /// (cancelled or completed) — the shared work no longer has a live
   /// consumer and may be retired early. False for unknown hosts or hosts

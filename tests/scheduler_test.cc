@@ -1,0 +1,386 @@
+// Unit tests for the scheduling primitives behind core::Scheduler:
+//  * PriorityRunQueue — priority ordering, FIFO stability within a level,
+//    aging against starvation, dynamic (inheritance) providers, and the
+//    FIFO degradation switch;
+//  * ThreadPool on the priority run queue — capped pools pop by priority,
+//    and boosting a queued task's dynamic priority reorders it (the
+//    mechanism behind shared-packet priority inheritance);
+//  * TimerWheel — expiry-latency bound, never-early firing, cancellation,
+//    hierarchical cascading across level horizons, and a concurrent
+//    schedule/cancel/fire stress run (ASAN+TSAN clean).
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/run_queue.h"
+#include "common/stats.h"
+#include "common/thread_pool.h"
+#include "common/timer_wheel.h"
+#include "common/timing.h"
+#include "core/scheduler.h"
+
+using namespace sdw;
+
+namespace {
+
+// ------------------------------------------------------------ run queue
+
+void TestRunQueuePriorityOrder() {
+  RunQueueOptions opts;
+  opts.aging_nanos = 0;  // pure priority for determinism
+  PriorityRunQueue q(opts);
+  std::vector<int> order;
+  // Tags: (priority). Arrival: a(0), b(5), c(1), d(5), e(0).
+  q.Push([&] { order.push_back(0); }, 0);
+  q.Push([&] { order.push_back(1); }, 5);
+  q.Push([&] { order.push_back(2); }, 1);
+  q.Push([&] { order.push_back(3); }, 5);
+  q.Push([&] { order.push_back(4); }, 0);
+  while (!q.empty()) q.Pop()();
+  // Priority 5 first (FIFO within the level: 1 before 3), then 1, then the
+  // two zeros in arrival order.
+  const std::vector<int> expected = {1, 3, 2, 0, 4};
+  SDW_CHECK(order == expected);
+}
+
+void TestRunQueueFifoWhenDisabled() {
+  RunQueueOptions opts;
+  opts.priority_enabled = false;
+  PriorityRunQueue q(opts);
+  std::vector<int> order;
+  q.Push([&] { order.push_back(0); }, 0);
+  q.Push([&] { order.push_back(1); }, 100);
+  q.Push([&] { order.push_back(2); }, 50);
+  while (!q.empty()) q.Pop()();
+  const std::vector<int> expected = {0, 1, 2};  // seed FIFO: arrival order
+  SDW_CHECK(order == expected);
+}
+
+void TestRunQueueAgingPreventsStarvation() {
+  RunQueueOptions opts;
+  opts.aging_nanos = 1'000'000;  // +1 level per ms waited
+  PriorityRunQueue q(opts);
+  bool low_ran = false;
+  q.Push([&] { low_ran = true; }, 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  // A fresh priority-5 task loses to the 10 ms-old priority-0 task: its
+  // effective priority aged past 5.
+  q.Push([] {}, 5);
+  q.Pop()();
+  SDW_CHECK_MSG(low_ran, "aged low-priority task did not pop first");
+
+  // Starvation bound: keep feeding fresh priority-8 tasks; the priority-0
+  // task must still pop within a bounded number of rounds because its age
+  // boost grows without limit while every competitor starts fresh.
+  PriorityRunQueue q2(opts);
+  bool starved_ran = false;
+  q2.Push([&] { starved_ran = true; }, 0);
+  int rounds = 0;
+  while (!starved_ran) {
+    SDW_CHECK_MSG(++rounds < 1000, "low-priority task starved");
+    q2.Push([] {}, 8);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    q2.Pop()();  // one competitor (or the starved task) runs per round
+  }
+  std::printf("  aging: starved task ran after %d rounds\n", rounds);
+}
+
+void TestRunQueueDynamicPriority() {
+  RunQueueOptions opts;
+  opts.aging_nanos = 0;
+  PriorityRunQueue q(opts);
+  std::vector<int> order;
+  std::atomic<int> boost{0};
+  // a: base 0 with a dynamic provider; b: fixed 3.
+  q.Push([&] { order.push_back(0); }, 0, [&] { return boost.load(); });
+  q.Push([&] { order.push_back(1); }, 3);
+  // Boost AFTER both are queued — pop-time evaluation must see it.
+  boost.store(9);
+  q.Pop()();
+  q.Pop()();
+  const std::vector<int> expected = {0, 1};
+  SDW_CHECK(order == expected);
+}
+
+// ----------------------------------------------------------- thread pool
+
+/// A gate that holds the pool's only worker busy until released.
+struct Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+  void Open() {
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      open = true;
+    }
+    cv.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return open; });
+  }
+};
+
+void TestThreadPoolPriorityPop() {
+  ThreadPoolOptions opts;
+  opts.max_threads = 1;
+  opts.run_queue.aging_nanos = 0;
+  ThreadPool pool("sched-test", opts);
+  Gate gate;
+  std::mutex mu;
+  std::vector<int> order;
+  auto record = [&](int tag) {
+    std::unique_lock<std::mutex> lock(mu);
+    order.push_back(tag);
+  };
+  std::atomic<bool> blocker_running{false};
+  pool.Submit([&] {  // occupies the only worker
+    blocker_running.store(true);
+    gate.Wait();
+  });
+  while (!blocker_running.load()) std::this_thread::yield();
+  pool.Submit([&] { record(0); }, 0);
+  pool.Submit([&] { record(1); }, 7);
+  pool.Submit([&] { record(2); }, 3);
+  gate.Open();
+  pool.WaitIdle();
+  const std::vector<int> expected = {1, 2, 0};
+  SDW_CHECK(order == expected);
+  SDW_CHECK(pool.num_threads() == 1);
+}
+
+void TestThreadPoolDynamicBoostReorders() {
+  // The priority-inheritance mechanism at pool level: a queued task whose
+  // dynamic priority rises (a satellite attached to its host) must pop
+  // ahead of a task that outranked it at submit time.
+  ThreadPoolOptions opts;
+  opts.max_threads = 1;
+  opts.run_queue.aging_nanos = 0;
+  ThreadPool pool("boost-test", opts);
+  Gate gate;
+  std::mutex mu;
+  std::vector<int> order;
+  auto record = [&](int tag) {
+    std::unique_lock<std::mutex> lock(mu);
+    order.push_back(tag);
+  };
+  std::atomic<int> host_priority{0};
+  std::atomic<bool> blocker_running{false};
+  pool.Submit([&] {
+    blocker_running.store(true);
+    gate.Wait();
+  });
+  while (!blocker_running.load()) std::this_thread::yield();
+  pool.Submit([&] { record(0); }, 0, [&] { return host_priority.load(); });
+  pool.Submit([&] { record(1); }, 5);
+  host_priority.store(9);  // "high-priority satellite attaches"
+  gate.Open();
+  pool.WaitIdle();
+  const std::vector<int> expected = {0, 1};
+  SDW_CHECK(order == expected);
+}
+
+// ----------------------------------------------------------- timer wheel
+
+void TestWheelExpiryLatencyBound() {
+  TimerWheel::Options opts;
+  opts.tick_nanos = 1'000'000;  // 1 ms
+  TimerWheel wheel(opts);
+  constexpr int kTimers = 64;
+  std::vector<std::atomic<int64_t>> fired_at(kTimers);
+  for (auto& f : fired_at) f.store(0);
+  std::vector<int64_t> deadlines(kTimers);
+  const int64_t base = NowNanos();
+  for (int i = 0; i < kTimers; ++i) {
+    // Deadlines spread over 5..69 ms out.
+    deadlines[i] = base + (5 + i) * 1'000'000;
+    wheel.Schedule(deadlines[i],
+                   [&fired_at, i] { fired_at[i].store(NowNanos()); });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  SDW_CHECK(wheel.pending() == 0);
+  Stats lat_ms_stats;
+  for (int i = 0; i < kTimers; ++i) {
+    const int64_t at = fired_at[i].load();
+    SDW_CHECK_MSG(at != 0, "timer %d never fired", i);
+    // Never early.
+    SDW_CHECK_MSG(at >= deadlines[i], "timer %d fired %.3f ms early", i,
+                  static_cast<double>(deadlines[i] - at) * 1e-6);
+    lat_ms_stats.Add(static_cast<double>(at - deadlines[i]) * 1e-6);
+  }
+  // The wheel guarantees firing within ~one tick of the deadline; the
+  // median bound keeps the assertion robust against CI scheduling noise,
+  // and the max bound catches a wheel that degraded to coarse polling.
+  std::printf("  wheel expiry latency: median %.3f ms, max %.3f ms\n",
+              lat_ms_stats.Percentile(50), lat_ms_stats.Max());
+  SDW_CHECK_MSG(lat_ms_stats.Percentile(50) <= 5.0,
+                "median expiry latency %.3f ms exceeds 5 ms (tick = 1 ms)",
+                lat_ms_stats.Percentile(50));
+  SDW_CHECK_MSG(lat_ms_stats.Max() <= 60.0,
+                "max expiry latency %.3f ms looks like polling, not a wheel",
+                lat_ms_stats.Max());
+}
+
+void TestWheelCancel() {
+  TimerWheel wheel;
+  std::atomic<bool> fired{false};
+  const uint64_t id =
+      wheel.Schedule(NowNanos() + 20'000'000, [&] { fired.store(true); });
+  SDW_CHECK(wheel.Cancel(id));
+  SDW_CHECK(!wheel.Cancel(id));  // second cancel: already gone
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  SDW_CHECK(!fired.load());
+  SDW_CHECK(wheel.pending() == 0);
+}
+
+void TestWheelHierarchyCascades() {
+  // Coarse horizons land on higher wheel levels (64 ticks per level step);
+  // they must cascade down and fire in deadline order, never early.
+  TimerWheel::Options opts;
+  opts.tick_nanos = 200'000;  // 0.2 ms tick so level-2 horizons stay testable
+  TimerWheel wheel(opts);
+  std::mutex mu;
+  std::vector<int> order;
+  const int64_t base = NowNanos();
+  struct Probe {
+    int tag;
+    int64_t ticks_out;
+  };
+  // 3 ticks (level 0), 100 ticks (level 1), 4100 ticks (level 2: > 64^2).
+  const std::vector<Probe> probes = {{0, 3}, {1, 100}, {2, 4100}};
+  for (const auto& p : probes) {
+    wheel.Schedule(base + p.ticks_out * opts.tick_nanos, [&mu, &order, p] {
+      std::unique_lock<std::mutex> lock(mu);
+      order.push_back(p.tag);
+    });
+  }
+  // 4100 ticks * 0.2 ms = 820 ms; wait it out with margin.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1100));
+  std::unique_lock<std::mutex> lock(mu);
+  const std::vector<int> expected = {0, 1, 2};
+  SDW_CHECK_MSG(order == expected, "cascade firing order wrong (%zu fired)",
+                order.size());
+}
+
+void TestWheelCatchUpAfterIdle() {
+  // After sitting idle (no timers, cursor parked) far past the catch-up
+  // threshold, a freshly scheduled short deadline must still fire promptly
+  // — the wheel rebuilds from the live-timer map instead of ticking the
+  // whole idle gap closed under its lock.
+  TimerWheel wheel;  // 1 ms tick; catch-up kicks in past 128 ticks
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  std::atomic<int64_t> fired_at{0};
+  const int64_t deadline = NowNanos() + 10'000'000;  // 10 ms
+  wheel.Schedule(deadline, [&] { fired_at.store(NowNanos()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  SDW_CHECK_MSG(fired_at.load() != 0, "timer after idle gap never fired");
+  SDW_CHECK(fired_at.load() >= deadline);
+  SDW_CHECK_MSG((fired_at.load() - deadline) < 50'000'000,
+                "post-idle fire %.1f ms late",
+                static_cast<double>(fired_at.load() - deadline) * 1e-6);
+}
+
+void TestWheelConcurrentStress() {
+  TimerWheel wheel;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::atomic<uint64_t> fired{0};
+  std::atomic<uint64_t> cancelled{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<uint64_t> ids;
+      for (int i = 0; i < kPerThread; ++i) {
+        const int64_t deadline =
+            NowNanos() + ((t + i) % 40) * 1'000'000;  // 0..39 ms out
+        ids.push_back(wheel.Schedule(
+            deadline, [&] { fired.fetch_add(1, std::memory_order_relaxed); }));
+        if (i % 3 == 0) {
+          // Cancel a recent timer; it may already have fired (races are the
+          // point — the wheel must stay consistent either way).
+          if (wheel.Cancel(ids[static_cast<size_t>(i) / 2])) {
+            cancelled.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  SDW_CHECK(wheel.pending() == 0);
+  SDW_CHECK_MSG(fired.load() + cancelled.load() == kThreads * kPerThread,
+                "fired %llu + cancelled %llu != scheduled %d",
+                static_cast<unsigned long long>(fired.load()),
+                static_cast<unsigned long long>(cancelled.load()),
+                kThreads * kPerThread);
+  SDW_CHECK(wheel.fired() == fired.load());
+}
+
+// ------------------------------------------------------------- scheduler
+
+void TestSchedulerWatchDeadline() {
+  core::Scheduler sched;
+  // A watched deadline completes a lifecycle's pending cancel state.
+  auto life = std::make_shared<core::QueryLifecycle>(1, core::SubmitOptions{
+      .priority = 0, .deadline_nanos = NowNanos() + 10'000'000});
+  sched.WatchDeadline(life);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  SDW_CHECK(life->cancel_requested());
+  Status why;
+  SDW_CHECK(life->ShouldStop(&why));
+  SDW_CHECK(why.code() == StatusCode::kDeadlineExceeded);
+
+  // A query that finishes first must NOT be disturbed — and its wheel
+  // timer is disarmed at Finish instead of lingering until the deadline.
+  auto done = std::make_shared<core::QueryLifecycle>(2, core::SubmitOptions{
+      .priority = 0, .deadline_nanos = NowNanos() + 10'000'000'000});
+  sched.WatchDeadline(done);
+  SDW_CHECK(sched.wheel().pending() == 1);
+  done->Finish(Status::Ok());
+  SDW_CHECK_MSG(sched.wheel().pending() == 0,
+                "finish did not cancel the deadline timer");
+  SDW_CHECK(done->status().ok());
+
+  // No deadline → nothing armed.
+  auto plain = std::make_shared<core::QueryLifecycle>(3, core::SubmitOptions{});
+  sched.WatchDeadline(plain);
+  SDW_CHECK(sched.wheel().pending() == 0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("run queue: priority order\n");
+  TestRunQueuePriorityOrder();
+  std::printf("run queue: FIFO when disabled\n");
+  TestRunQueueFifoWhenDisabled();
+  std::printf("run queue: aging prevents starvation\n");
+  TestRunQueueAgingPreventsStarvation();
+  std::printf("run queue: dynamic priority\n");
+  TestRunQueueDynamicPriority();
+  std::printf("thread pool: priority pop\n");
+  TestThreadPoolPriorityPop();
+  std::printf("thread pool: dynamic boost reorders\n");
+  TestThreadPoolDynamicBoostReorders();
+  std::printf("timer wheel: expiry latency bound\n");
+  TestWheelExpiryLatencyBound();
+  std::printf("timer wheel: cancel\n");
+  TestWheelCancel();
+  std::printf("timer wheel: hierarchy cascades\n");
+  TestWheelHierarchyCascades();
+  std::printf("timer wheel: catch-up after idle\n");
+  TestWheelCatchUpAfterIdle();
+  std::printf("timer wheel: concurrent stress\n");
+  TestWheelConcurrentStress();
+  std::printf("scheduler: watch deadline\n");
+  TestSchedulerWatchDeadline();
+  std::printf("OK\n");
+  return 0;
+}
