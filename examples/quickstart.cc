@@ -25,9 +25,19 @@
 // and SubmitOptions{deadline_nanos} is enforced by the timer wheel — the
 // expired ticket completes DEADLINE_EXCEEDED promptly, even if no result
 // page ever arrives to notice it on.
+//
+// Step 7 shows the failure semantics: storage faults surface as terminal
+// ticket statuses from the taxonomy in common/status.h (DATA_LOSS /
+// UNAVAILABLE for unreadable data, RESOURCE_EXHAUSTED + retry_after for
+// overload, DEADLINE_EXCEEDED for stalls), and a fault is isolated to the
+// queries attached to the shared scan when it struck — the engine itself
+// keeps serving. The demo uses the deterministic FaultInjector the chaos
+// suite is built on (common/fault_injector.h); EngineOptions::resilience
+// holds the admission memory budget and stall-watchdog knobs.
 
 #include <cstdio>
 
+#include "common/fault_injector.h"
 #include "common/timing.h"
 #include "core/engine.h"
 #include "ssb/ssb_generator.h"
@@ -137,5 +147,39 @@ int main() {
               "%.1f ms\n",
               expired.ToString().c_str(),
               expiring.metrics().response_seconds() * 1e3);
-  return 0;
+
+  // 7. Failure semantics. A CJOIN engine shares ONE circular fact-table
+  //    scan across all concurrent queries; a permanent page error must not
+  //    take the engine down with it. Inject one (seeded, replayable — this
+  //    is exactly how tests/chaos_test.cc drives the engine), watch the
+  //    attached query fail DATA_LOSS, then run the same query again: the
+  //    scan skipped the poisoned page and keeps serving later admissions.
+  //
+  //    EngineOptions::resilience adds the other two failure modes:
+  //      .memory_budget_bytes  — admission sheds RESOURCE_EXHAUSTED with a
+  //                              [retry_after_ms=N] hint instead of queueing
+  //                              unboundedly (see common/retry.h);
+  //      .scan_stall_nanos     — a watchdog converts busy-without-progress
+  //                              into DEADLINE_EXCEEDED instead of a hang.
+  core::EngineOptions cjoin_opts;
+  cjoin_opts.config = core::EngineConfig::kCjoin;
+  core::Engine cjoin_engine(&catalog, &pool, cjoin_opts);
+  FaultInjector::Global().Enable(/*seed=*/42);
+  FaultSpec media_error;
+  media_error.kind = FaultKind::kPermanent;
+  media_error.one_shot_at = 1;  // the next fact-page read fails, once
+  media_error.message = "quickstart: simulated media error";
+  const auto fact_id =
+      static_cast<uint64_t>(catalog.MustGetTable(ssb::kLineorder)->id());
+  media_error.key_lo = fact_id << 48;  // only lineorder pages
+  media_error.key_hi = (fact_id << 48) | 0xFFFFFFFFFFFFull;
+  FaultInjector::Global().Arm("storage.read", media_error);
+
+  const Status faulted = cjoin_engine.Submit(q).Wait();
+  FaultInjector::Global().Disable();
+  const Status after = cjoin_engine.Submit(q).Wait();
+  std::printf("\nFault isolation: query under injected page fault -> %s\n"
+              "                 same query, same engine, afterwards -> %s\n",
+              faulted.ToString().c_str(), after.ToString().c_str());
+  return after.ok() ? 0 : 1;
 }

@@ -8,17 +8,45 @@ namespace sdw::baseline {
 VolcanoEngine::~VolcanoEngine() { WaitAll(); }
 
 query::ResultSet VolcanoEngine::Execute(const query::StarQuery& q) const {
+  query::ResultSet result;
+  const Status s = ExecuteChecked(q, &result);
+  // An oracle that silently returned a truncated result would corrupt every
+  // differential check built on it — fail loudly instead.
+  SDW_CHECK_MSG(s.ok(), "VolcanoEngine::Execute hit a storage fault: %s",
+                s.ToString().c_str());
+  return result;
+}
+
+Status VolcanoEngine::ExecuteChecked(const query::StarQuery& q,
+                                     query::ResultSet* out) const {
   const query::Planner planner(catalog_);
   const std::unique_ptr<query::PlanNode> plan = planner.BuildPlan(q);
-  return ExecutePlan(*plan);
+  VectorChannel channel;
+  Status s = Evaluate(*plan, &channel);
+  if (!s.ok()) return s;
+  // Exact reservation: the materialized channel knows the result size, so
+  // the aggregation/sort output lands in one allocation.
+  uint64_t total_rows = 0;
+  while (storage::PagePtr page = channel.Next()) {
+    total_rows += page->tuple_count();
+  }
+  channel.Rewind();
+  query::ResultSet result(plan->out_schema);
+  result.Reserve(total_rows);
+  while (storage::PagePtr page = channel.Next()) {
+    const uint32_t n = page->tuple_count();
+    for (uint32_t i = 0; i < n; ++i) result.AddRow(page->tuple(i));
+  }
+  *out = std::move(result);
+  return Status::Ok();
 }
 
 query::ResultSet VolcanoEngine::ExecutePlan(
     const query::PlanNode& plan) const {
   VectorChannel out;
-  Evaluate(plan, &out);
-  // Exact reservation: the materialized channel knows the result size, so
-  // the aggregation/sort output lands in one allocation.
+  const Status s = Evaluate(plan, &out);
+  SDW_CHECK_MSG(s.ok(), "VolcanoEngine::ExecutePlan hit a storage fault: %s",
+                s.ToString().c_str());
   uint64_t total_rows = 0;
   while (storage::PagePtr page = out.Next()) total_rows += page->tuple_count();
   out.Rewind();
@@ -40,7 +68,11 @@ void VolcanoEngine::ExecuteInto(const query::StarQuery& q,
   }
   life->MarkRunStart();  // runs immediately: the comparator never queues
   try {
-    *life->mutable_result() = Execute(q);
+    Status s = ExecuteChecked(q, life->mutable_result());
+    if (!s.ok()) {
+      life->Finish(std::move(s));
+      return;
+    }
     life->AddRowsStreamed(life->result().num_rows());
     life->Finish(Status::Ok());
   } catch (const std::exception& e) {
@@ -94,34 +126,31 @@ void VolcanoEngine::WaitAll() {
   for (auto& t : threads) t.join();
 }
 
-void VolcanoEngine::Evaluate(const query::PlanNode& node,
-                             VectorChannel* out) const {
+Status VolcanoEngine::Evaluate(const query::PlanNode& node,
+                               VectorChannel* out) const {
   using Kind = query::PlanNode::Kind;
   switch (node.kind) {
     case Kind::kScan:
-      qpipe::RunScan(node, /*raw_pages=*/nullptr, pool_, out);
-      break;
+      return qpipe::RunScan(node, /*raw_pages=*/nullptr, pool_, out);
     case Kind::kHashJoin: {
       VectorChannel probe;
       VectorChannel build;
-      Evaluate(*node.child(0), &probe);
-      Evaluate(*node.child(1), &build);
-      qpipe::RunHashJoin(node, &probe, &build, out);
-      break;
+      if (Status s = Evaluate(*node.child(0), &probe); !s.ok()) return s;
+      if (Status s = Evaluate(*node.child(1), &build); !s.ok()) return s;
+      return qpipe::RunHashJoin(node, &probe, &build, out);
     }
     case Kind::kAggregate: {
       VectorChannel in;
-      Evaluate(*node.child(0), &in);
-      qpipe::RunAggregate(node, &in, out);
-      break;
+      if (Status s = Evaluate(*node.child(0), &in); !s.ok()) return s;
+      return qpipe::RunAggregate(node, &in, out);
     }
     case Kind::kSort: {
       VectorChannel in;
-      Evaluate(*node.child(0), &in);
-      qpipe::RunSort(node, &in, out);
-      break;
+      if (Status s = Evaluate(*node.child(0), &in); !s.ok()) return s;
+      return qpipe::RunSort(node, &in, out);
     }
   }
+  return Status::Ok();
 }
 
 }  // namespace sdw::baseline

@@ -67,8 +67,14 @@ class VolcanoEngine : public core::ExecutorClient {
 
   SDW_DISALLOW_COPY(VolcanoEngine);
 
-  /// Plans and executes `q` synchronously in the calling thread.
+  /// Plans and executes `q` synchronously in the calling thread. Aborts on a
+  /// storage fault: callers using Execute as a correctness oracle must run
+  /// with fault injection disabled (use ExecuteChecked to handle errors).
   query::ResultSet Execute(const query::StarQuery& q) const;
+
+  /// Fallible variant: fills `*out` and returns OK, or propagates the first
+  /// storage fault the plan hit (leaving `*out` unspecified).
+  Status ExecuteChecked(const query::StarQuery& q, query::ResultSet* out) const;
 
   /// Executes a pre-built plan (used by tests to cross-check the planner).
   query::ResultSet ExecutePlan(const query::PlanNode& plan) const;
@@ -87,8 +93,9 @@ class VolcanoEngine : public core::ExecutorClient {
   void WaitAll() override;
 
  private:
-  /// Evaluates `node`, leaving its output in `out`.
-  void Evaluate(const query::PlanNode& node, VectorChannel* out) const;
+  /// Evaluates `node`, leaving its output in `out`; non-OK when a storage
+  /// fault truncated the evaluation.
+  Status Evaluate(const query::PlanNode& node, VectorChannel* out) const;
 
   /// Runs one submission to a terminal state (deadline/cancel checked at
   /// admission; execution itself is synchronous and uninterruptible).

@@ -23,9 +23,9 @@ Filter::Filter(const storage::Table* dim_table, std::string fact_fk_column,
   entry_bits_.resize(words_, 0);
 }
 
-void Filter::AdmitQueryBatch(const AdmitRequest* reqs, size_t n,
-                             storage::BufferPool* pool) {
-  if (n == 0) return;
+Status Filter::AdmitQueryBatch(const AdmitRequest* reqs, size_t n,
+                               storage::BufferPool* pool) {
+  if (n == 0) return Status::Ok();
   const storage::Schema& schema = dim_table_->schema();
   // Bind every pending predicate once; the scan below is then the only pass
   // over the dimension for the whole admission epoch.
@@ -45,12 +45,18 @@ void Filter::AdmitQueryBatch(const AdmitRequest* reqs, size_t n,
   constexpr uint32_t kNoEntry = ~uint32_t{0};
   storage::TableScanCursor cursor(dim_table_, pool);
   uint64_t row_base = 0;
+  Status scan_status;  // first terminal read error (transients are retried
+                       // inside the cursor); the partial state stays safe
   while (true) {
-    const storage::Page* page;
-    {
+    Result<const storage::Page*> fetched = [&] {
       ScopedComponentTimer t(Component::kScans);
-      page = cursor.Next();
+      return cursor.Next();
+    }();
+    if (!fetched.ok()) {
+      scan_status = fetched.status();
+      break;
     }
+    const storage::Page* page = fetched.value();
     if (page == nullptr) break;
     ScopedComponentTimer t(Component::kScans);
     const uint32_t count = page->tuple_count();
@@ -79,10 +85,13 @@ void Filter::AdmitQueryBatch(const AdmitRequest* reqs, size_t n,
   entry_rows_.push_back(kNoDimRow);                    // sentinel
   entry_bits_.resize(entry_bits_.size() + words_, 0);  // sentinel
   {
+    // Rebuild even on a failed scan: entries inserted before the failure are
+    // in ht_ and must stay probe-consistent with the entry arrays.
     ScopedComponentTimer t(Component::kHashing);
     ht_.Build();
   }
   admission_scans_.Add(1);
+  return scan_status;
 }
 
 void Filter::CleanSlot(uint32_t slot) {

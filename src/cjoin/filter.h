@@ -69,15 +69,19 @@ class Filter {
   /// all pending predicates and the bits of the matching queries' slots are
   /// set, so an admission pause costs one scan per dimension however many
   /// queries were waiting (SharedDB-style amortization). Called only while
-  /// the pipeline is paused.
-  void AdmitQueryBatch(const AdmitRequest* reqs, size_t n,
-                       storage::BufferPool* pool);
+  /// the pipeline is paused. Non-OK when the dimension scan failed: the
+  /// filter's internal state stays consistent (sentinel restored, hash table
+  /// rebuilt) but the batch's match bits are incomplete — the caller must
+  /// fail the batch's queries and recycle their slots (CleanSlot erases the
+  /// partial bits on reuse, exactly as for completed queries).
+  Status AdmitQueryBatch(const AdmitRequest* reqs, size_t n,
+                         storage::BufferPool* pool);
 
   /// Single-query admission: a batch of one.
-  void AdmitQuery(uint32_t slot, const query::Predicate& pred,
-                  storage::BufferPool* pool) {
+  Status AdmitQuery(uint32_t slot, const query::Predicate& pred,
+                    storage::BufferPool* pool) {
     const AdmitRequest req{slot, &pred};
-    AdmitQueryBatch(&req, 1, pool);
+    return AdmitQueryBatch(&req, 1, pool);
   }
 
   /// Dimension scans performed by admissions — one per AdmitQueryBatch call

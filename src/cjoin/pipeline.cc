@@ -95,6 +95,13 @@ CjoinStats CjoinPipeline::stats() const {
   uint64_t scans = 0;
   for (const auto& f : filters_) scans += f->admission_scans();
   s.admission_dim_scans = scans - admission_scans_base_;
+  const RetryStats& rs = cursor_.retry_stats();
+  s.scan_read_retries =
+      rs.retries.load(std::memory_order_relaxed) - retry_retries_base_;
+  s.scan_retry_giveups =
+      rs.giveups.load(std::memory_order_relaxed) - retry_giveups_base_;
+  s.scan_backoff_nanos =
+      rs.backoff_nanos.load(std::memory_order_relaxed) - retry_backoff_base_;
   return s;
 }
 
@@ -107,6 +114,10 @@ void CjoinPipeline::ResetStats() {
   dist_grows_base_ = dist_scratch_grows_.value();
   admission_scans_base_ = 0;
   for (const auto& f : filters_) admission_scans_base_ += f->admission_scans();
+  const RetryStats& rs = cursor_.retry_stats();
+  retry_retries_base_ = rs.retries.load(std::memory_order_relaxed);
+  retry_giveups_base_ = rs.giveups.load(std::memory_order_relaxed);
+  retry_backoff_base_ = rs.backoff_nanos.load(std::memory_order_relaxed);
 }
 
 size_t CjoinPipeline::num_filters() const {
@@ -123,6 +134,29 @@ void CjoinPipeline::WaitIdle() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock,
                 [&] { return active_count_ == 0 && pending_.empty(); });
+}
+
+bool CjoinPipeline::busy() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return active_count_ > 0 || !pending_.empty();
+}
+
+void CjoinPipeline::CancelActiveQueries(const Status& why) {
+  // Snapshot the lifecycles under mu_, cancel outside it: RequestCancel
+  // fires client callbacks that must not run under the pipeline lock.
+  std::vector<std::shared_ptr<core::QueryLifecycle>> lives;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (size_t s = active_mask_.FindNextSet(0); s < active_mask_.size();
+         s = active_mask_.FindNextSet(s + 1)) {
+      ActiveQuery* aq = slots_[s].get();
+      if (aq != nullptr && aq->life != nullptr) lives.push_back(aq->life);
+    }
+    for (const auto& p : pending_) {
+      if (p.life != nullptr) lives.push_back(p.life);
+    }
+  }
+  for (const auto& life : lives) life->RequestCancel(why);
 }
 
 // ------------------------------------------------------------- preprocessor
@@ -150,13 +184,21 @@ void CjoinPipeline::PreprocessorLoop() {
       }
     }
 
-    // Produce one page: the circular scan of the fact table.
+    // Produce one page: the circular scan of the fact table. Transient read
+    // errors retry inside the cursor; an error surfacing here is terminal
+    // for this page — the cursor has already advanced past it, so the scan
+    // skips the poisoned page and keeps serving (fault isolation: only the
+    // queries attached right now are failed, by HandleScanFault).
     const uint64_t page_index = cursor_.position();
-    const storage::Page* raw;
-    {
+    const Result<const storage::Page*> fetched = [&] {
       ScopedComponentTimer t(Component::kScans);
-      raw = cursor_.Next();
+      return cursor_.Next();
+    }();
+    if (!fetched.ok()) {
+      HandleScanFault(page_index, fetched.status());
+      continue;
     }
+    const storage::Page* raw = fetched.value();
     if (raw == nullptr) continue;  // empty fact table
 
     BatchPtr batch = batch_pool_.Acquire();
@@ -210,6 +252,7 @@ void CjoinPipeline::PreprocessorLoop() {
       ForgetDroppedBatch();
     }
 
+    progress_.fetch_add(1, std::memory_order_relaxed);
     {
       std::unique_lock<std::mutex> lock(mu_);
       ++stats_.fact_pages_scanned;
@@ -232,6 +275,36 @@ void CjoinPipeline::PreprocessorLoop() {
   }
 }
 
+void CjoinPipeline::HandleScanFault(uint64_t page_index, const Status& why) {
+  // Taxonomy mapping (common/status.h): a permanent page fault is data loss
+  // for the queries attached to this scan epoch; anything else that escaped
+  // the cursor's transient retries surfaces as kUnavailable (retryable by
+  // resubmission — the page range may come back).
+  const StatusCode code = why.code() == StatusCode::kDataLoss
+                              ? StatusCode::kDataLoss
+                              : StatusCode::kUnavailable;
+  const Status fault(code, "CJOIN scan: fact page " +
+                               std::to_string(page_index) + " of '" +
+                               fact_->name() + "' unreadable: " +
+                               why.message());
+  progress_.fetch_add(1, std::memory_order_relaxed);  // the page was skipped
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.scan_read_errors;
+  for (size_t s = active_mask_.FindNextSet(0); s < active_mask_.size();
+       s = active_mask_.FindNextSet(s + 1)) {
+    ActiveQuery* aq = slots_[s].get();
+    if (aq == nullptr || aq->completion_queued) continue;
+    // Fail every query attached at this epoch: their result streams already
+    // miss the page's tuples. The fault status wins over the cancel status
+    // in CompleteQueryLocked; the cached detach bit stops the distributor
+    // from emitting more of their output meanwhile.
+    aq->fault_status = fault;
+    aq->detached_cache.store(true, std::memory_order_relaxed);
+    aq->completion_queued = true;
+    completions_due_.push_back(static_cast<uint32_t>(s));
+  }
+}
+
 void CjoinPipeline::DrainPipeline() {
   std::unique_lock<std::mutex> lock(drain_mu_);
   drain_cv_.wait(lock,
@@ -248,14 +321,21 @@ void CjoinPipeline::ForgetDroppedBatch() {
 void CjoinPipeline::CompleteQueryLocked(uint32_t slot) {
   ActiveQuery* aq = slots_[slot].get();
   SDW_CHECK(aq != nullptr);
-  const bool early = aq->pages_remaining > 0;
+  const bool faulted = !aq->fault_status.ok();
+  const bool early = faulted || aq->pages_remaining > 0;
   Status final_status = Status::Ok();
   if (early) {
-    // Early retire (cancel/detach): drop buffered output and fail through
-    // the shared finish-before-close sequence. The pipeline is drained at
-    // every retire point, so no EmitGroup races the sink here.
-    final_status = aq->life != nullptr ? aq->life->cancel_status()
-                                       : Status::Cancelled("query detached");
+    // Early retire: a storage fault terminated the query's scan epoch, or
+    // its consumers detached (cancel/deadline/truncation). Either way drop
+    // buffered output and fail through the shared finish-before-close
+    // sequence. The pipeline is drained at every retire point, so no
+    // EmitGroup races the sink here.
+    if (faulted) {
+      final_status = aq->fault_status;
+    } else {
+      final_status = aq->life != nullptr ? aq->life->cancel_status()
+                                         : Status::Cancelled("query detached");
+    }
     FailQuery(aq->life, aq->on_complete, aq->sink.get(), final_status);
   } else {
     {
@@ -267,10 +347,15 @@ void CjoinPipeline::CompleteQueryLocked(uint32_t slot) {
   }
   active_mask_.Clear(slot);
   --active_count_;
-  if (early) {
+  if (faulted) {
+    ++stats_.queries_failed;
+  } else if (early) {
     ++stats_.queries_cancelled;
   } else {
     ++stats_.queries_completed;
+  }
+  if (options_.memory_budget != nullptr) {
+    options_.memory_budget->Release(kAdmissionCostBytes);
   }
   for (auto& f : filters_) f->RemoveQuery(slot);
   dirty_slots_.push_back(slot);
@@ -426,8 +511,27 @@ void CjoinPipeline::DoAdmissionsLocked() {
       ++stats_.queries_cancelled;
       continue;
     }
+    // Overload gate: reserve the query's memory cost before it takes a slot
+    // or triggers any dimension scan. Shedding here — with a retry_after
+    // hint — is the graceful-degradation path: the client resubmits when
+    // capacity frees instead of the engine queueing unboundedly.
+    if (options_.memory_budget != nullptr &&
+        !options_.memory_budget->TryReserve(kAdmissionCostBytes)) {
+      RejectPendingLocked(
+          &p, ResourceExhaustedWithRetryAfter(
+                  "CJOIN admission shed: memory budget exhausted (" +
+                      std::to_string(options_.memory_budget->used()) + "/" +
+                      std::to_string(options_.memory_budget->capacity()) +
+                      " bytes reserved)",
+                  options_.overload_retry_after_nanos));
+      ++stats_.queries_rejected_overload;
+      continue;
+    }
     const uint32_t slot = TryAllocSlotLocked();
     if (slot == kNoSlot) {
+      if (options_.memory_budget != nullptr) {
+        options_.memory_budget->Release(kAdmissionCostBytes);
+      }
       RejectPendingLocked(
           &p, Status::ResourceExhausted(
                   "CJOIN query-slot capacity (" +
@@ -483,14 +587,45 @@ void CjoinPipeline::DoAdmissionsLocked() {
 
   // Phase 3 — one scan per referenced dimension for the whole epoch (the
   // SharedDB-style amortized admission; stat-asserted by the stress test).
+  // A failed dimension scan leaves the filter internally consistent but its
+  // batch's match bits incomplete (see Filter::AdmitQueryBatch) — the
+  // queries that referenced that dimension are marked faulted and phase 4
+  // fails them instead of activating; the epoch's other queries admit
+  // normally (fault isolation at admission).
   for (auto& [f, reqs] : scans) {
-    f->AdmitQueryBatch(reqs.data(), reqs.size(), pool_);
+    const Status s = f->AdmitQueryBatch(reqs.data(), reqs.size(), pool_);
+    if (s.ok()) continue;
+    const StatusCode code = s.code() == StatusCode::kDataLoss
+                                ? StatusCode::kDataLoss
+                                : StatusCode::kUnavailable;
+    const Status fault(code, "CJOIN admission: dimension '" +
+                                 f->dim_table()->name() +
+                                 "' scan failed: " + s.message());
+    for (size_t r = 0; r < reqs.size(); ++r) {
+      ActiveQuery* aq = slots_[reqs[r].slot].get();
+      if (aq->fault_status.ok()) aq->fault_status = fault;
+    }
   }
 
   // Phase 4 — activate: point of entry is the circular scan's current
   // position; each query completes after one full cycle.
   for (uint32_t slot : epoch_slots) {
     ActiveQuery* aq = slots_[slot].get();
+    if (!aq->fault_status.ok()) {
+      // Admission fault: the query never activates. Its slot goes back to
+      // the dirty pool (CleanSlot erases the partial match bits on reuse)
+      // and its reservation releases — exactly the completed-query cleanup,
+      // minus the active bookkeeping it never acquired.
+      FailQuery(aq->life, aq->on_complete, aq->sink.get(), aq->fault_status);
+      ++stats_.queries_failed;
+      for (auto& f : filters_) f->RemoveQuery(slot);
+      if (options_.memory_budget != nullptr) {
+        options_.memory_budget->Release(kAdmissionCostBytes);
+      }
+      dirty_slots_.push_back(slot);
+      slots_[slot].reset();
+      continue;
+    }
     aq->pages_remaining = fact_->num_pages();
     active_mask_.Set(slot);
     ++active_count_;
@@ -506,6 +641,7 @@ void CjoinPipeline::DoAdmissionsLocked() {
   }
   ++stats_.admission_batches;
   stats_.admission_seconds += timer.ElapsedSeconds();
+  progress_.fetch_add(1, std::memory_order_relaxed);
 }
 
 // ------------------------------------------------------------ filter workers

@@ -30,6 +30,8 @@
 
 #include "cjoin/filter.h"
 #include "cjoin/tuple_batch.h"
+#include "common/memory_budget.h"
+#include "common/retry.h"
 #include "common/stats.h"
 #include "common/status.h"
 #include "core/page_channel.h"
@@ -69,6 +71,13 @@ struct CjoinOptions {
   /// atomic answers in between. Lifecycle-only checks are lock-free and run
   /// every page regardless.
   uint32_t detach_check_interval_pages = 16;
+  /// Overload gate: when set, each admission reserves kAdmissionCostBytes
+  /// before costing a slot; a pending query that cannot reserve is shed
+  /// with kResourceExhausted + a retry_after hint instead of queueing
+  /// unboundedly (graceful degradation). Null = no gate (the seed behavior).
+  MemoryBudget* memory_budget = nullptr;
+  /// Resubmission hint attached to overload rejections.
+  int64_t overload_retry_after_nanos = 5'000'000;
 };
 
 /// Aggregate pipeline statistics.
@@ -88,6 +97,22 @@ struct CjoinStats {
   uint64_t queries_expired = 0;
   /// Pending queries rejected because no query slot was available.
   uint64_t queries_rejected = 0;
+  /// Pending queries shed by the MemoryBudget overload gate
+  /// (kResourceExhausted with a retry_after hint — resubmittable).
+  uint64_t queries_rejected_overload = 0;
+  /// Queries terminated by a storage fault — a permanent fact-page read
+  /// error failing the epoch's attached queries (fault isolation: later
+  /// admissions are untouched), or an admission-time dimension-scan failure.
+  uint64_t queries_failed = 0;
+  /// Fact-page reads that surfaced an error after the cursor's transient
+  /// retries (each such page is skipped and the scan re-arms).
+  uint64_t scan_read_errors = 0;
+  /// Transient-retry telemetry from the circular scan cursor (see
+  /// common/retry.h): sleeps taken, retry budgets exhausted, nanos backing
+  /// off.
+  uint64_t scan_read_retries = 0;
+  uint64_t scan_retry_giveups = 0;
+  int64_t scan_backoff_nanos = 0;
   /// Admissions that reused a previously-occupied (dirty) slot — shows
   /// cancelled/completed slots actually recycling under churn.
   uint64_t slot_recycles = 0;
@@ -161,6 +186,11 @@ void DistributePartScalar(
 /// queries over one fact table.
 class CjoinPipeline {
  public:
+  /// Bytes the overload gate charges per admitted query (output buffering +
+  /// filter-entry growth): one open output page plus one page of dimension
+  /// working state. Released at completion, rejection or failure.
+  static constexpr uint64_t kAdmissionCostBytes = 2 * storage::kPageSize;
+
   CjoinPipeline(const storage::Catalog* catalog, storage::BufferPool* pool,
                 const storage::Table* fact_table, CjoinOptions options);
   ~CjoinPipeline();
@@ -218,6 +248,26 @@ class CjoinPipeline {
   /// the next admission pause).
   void WaitIdle();
 
+  // ------------------------------------------------------ watchdog surface
+
+  /// Monotone progress epoch: bumped once per scanned page (including
+  /// skipped poisoned pages) and once per admission pause. The stall
+  /// watchdog snapshots it; an unchanged epoch while busy() means the scan
+  /// is silently wedged.
+  uint64_t progress_epoch() const {
+    return progress_.load(std::memory_order_relaxed);
+  }
+
+  /// True while any query is admitted or pending — the watchdog only treats
+  /// a flat progress epoch as a stall while there is work to progress on.
+  bool busy() const;
+
+  /// Cancels every admitted and pending query with `why` (e.g. the stall
+  /// watchdog's kDeadlineExceeded). Cancellation flows through the normal
+  /// lifecycle machinery: clients unblock immediately, slots retire at the
+  /// next admission pause.
+  void CancelActiveQueries(const Status& why);
+
  private:
   /// Projection step from fact row or joined dimension row to output tuple.
   struct ProjMove {
@@ -243,6 +293,12 @@ class CjoinPipeline {
     /// Set once the slot is queued on completions_due_, so the cancel check
     /// and the cycle-complete check cannot double-queue it.
     bool completion_queued = false;
+    /// Non-OK once a storage fault terminated this query (a permanent fact
+    /// page loss while it was attached, or an admission dimension-scan
+    /// failure). CompleteQueryLocked finishes the query with this status
+    /// instead of the cancel status — fault isolation is per attached epoch,
+    /// so queries admitted after the fault never see it.
+    Status fault_status;
 
     /// True once the query's consumers no longer want output (explicit
     /// cancel, completed ticket, or — under SP — every consumer detached).
@@ -299,6 +355,13 @@ class CjoinPipeline {
   void PreprocessorLoop();
   void FilterWorkerLoop();
   void DistributorPartLoop();
+
+  /// Handles a surfaced fact-page read error (transient retries already
+  /// exhausted inside the cursor): fails every query attached at this scan
+  /// epoch — taxonomy-mapped to kDataLoss / kUnavailable — while the scan
+  /// itself skips the poisoned page, re-arms, and keeps serving queries
+  /// admitted later.
+  void HandleScanFault(uint64_t page_index, const Status& why);
 
   /// Emits one slot's group of a batch: evaluates the query's fact
   /// predicates, projects matching tuples into the query's buffered output
@@ -366,6 +429,13 @@ class CjoinPipeline {
   uint64_t dist_reuses_base_ = 0;
   uint64_t dist_grows_base_ = 0;
   uint64_t admission_scans_base_ = 0;
+  // Cursor retry-telemetry snapshot at the last ResetStats (the cursor's
+  // counters are cumulative relaxed atomics; stats() reports deltas).
+  uint64_t retry_retries_base_ = 0;
+  uint64_t retry_giveups_base_ = 0;
+  int64_t retry_backoff_base_ = 0;
+
+  std::atomic<uint64_t> progress_{0};
 
   BatchQueue to_filters_;
   BatchQueue to_distributor_;

@@ -1,0 +1,125 @@
+#include "common/fault_injector.h"
+
+#include <chrono>
+#include <thread>
+
+namespace sdw {
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Enable(uint64_t seed) {
+  std::unique_lock<std::mutex> lock(mu_);
+  seed_ = seed;
+  sites_.clear();
+  injected_total_.store(0, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disable() {
+  std::unique_lock<std::mutex> lock(mu_);
+  enabled_.store(false, std::memory_order_relaxed);
+  sites_.clear();
+}
+
+void FaultInjector::Arm(const std::string& site, FaultSpec spec) {
+  std::unique_lock<std::mutex> lock(mu_);
+  SDW_CHECK_MSG(enabled_.load(std::memory_order_relaxed),
+                "FaultInjector::Arm before Enable()");
+  SiteLocked(site).specs.push_back(SpecState{std::move(spec), false});
+}
+
+void FaultInjector::ClearSite(const std::string& site) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it != sites_.end()) it->second.specs.clear();
+}
+
+uint64_t FaultInjector::hits(const std::string& site) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FaultInjector::injected(const std::string& site) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.injected;
+}
+
+FaultInjector::Site& FaultInjector::SiteLocked(const std::string& name) {
+  auto it = sites_.find(name);
+  if (it == sites_.end()) {
+    it = sites_.emplace(name, Site(SiteSeed(seed_, name))).first;
+  }
+  return it->second;
+}
+
+uint64_t FaultInjector::SiteSeed(uint64_t seed, const std::string& name) {
+  // FNV-1a over the site name, mixed with the run seed: each site gets an
+  // independent deterministic stream.
+  uint64_t h = 14695981039346656037ull;
+  for (char c : name) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ull;
+  }
+  return h ^ seed;
+}
+
+Status FaultInjector::CheckSlow(const char* site, uint64_t key) {
+  const FaultSpec* fired = nullptr;
+  int64_t latency_nanos = 0;
+  uint64_t hit = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!enabled_.load(std::memory_order_relaxed)) return Status::Ok();
+    Site& s = SiteLocked(site);
+    hit = ++s.hits;
+    for (SpecState& st : s.specs) {
+      const FaultSpec& spec = st.spec;
+      if (spec.key_hi != 0 && (key < spec.key_lo || key > spec.key_hi)) {
+        continue;
+      }
+      bool fire = false;
+      if (spec.one_shot_at != 0 && !st.one_shot_fired &&
+          hit >= spec.one_shot_at) {
+        st.one_shot_fired = true;
+        fire = true;
+      } else if (spec.every_nth != 0 && hit % spec.every_nth == 0) {
+        fire = true;
+      } else if (spec.probability > 0.0 && s.rng.Bernoulli(spec.probability)) {
+        fire = true;
+      }
+      if (fire) {
+        ++s.injected;
+        injected_total_.fetch_add(1, std::memory_order_relaxed);
+        fired = &spec;
+        break;
+      }
+    }
+    if (fired == nullptr) return Status::Ok();
+    if (fired->kind != FaultKind::kLatency) {
+      std::string msg = std::string(site) + ": injected " +
+                        (fired->kind == FaultKind::kTransient ? "transient"
+                                                              : "permanent") +
+                        " fault (hit " + std::to_string(hit) + ", key " +
+                        std::to_string(key) + ")";
+      if (!fired->message.empty()) msg += ": " + fired->message;
+      StatusCode code = fired->code;
+      if (code == StatusCode::kOk) {
+        code = fired->kind == FaultKind::kTransient ? StatusCode::kUnavailable
+                                                    : StatusCode::kDataLoss;
+      }
+      return Status(code, std::move(msg));
+    }
+    latency_nanos = fired->latency_nanos;
+  }
+  // Latency spike: stall the caller outside the registry lock so a slow site
+  // can't serialize every other site's checks.
+  std::this_thread::sleep_for(std::chrono::nanoseconds(latency_nanos));
+  return Status::Ok();
+}
+
+}  // namespace sdw

@@ -1,0 +1,131 @@
+// Deterministic fault injection for robustness testing.
+//
+// Code that can fail in production (storage reads, buffer-pool allocation,
+// packet workers) declares a named *site* and asks the process-wide injector
+// whether a fault should fire there. Tests arm sites with seeded, replayable
+// schedules: per-hit probability, every-Nth hit, or a one-shot at the Nth
+// hit; a firing spec injects a transient error (retryable, kUnavailable), a
+// permanent error (kDataLoss), or a latency spike (the check sleeps, no
+// error). A printed seed fully reproduces a probabilistic schedule's
+// decisions for any single-threaded site; concurrent sites replay the same
+// *set* of decisions, though thread interleaving may assign them to
+// different hits.
+//
+// Zero-cost when disarmed: Check() is a single relaxed atomic load, so
+// leaving sites compiled into hot paths costs nothing in production
+// configurations (verified by the micro_primitives bench baseline).
+
+#ifndef SDW_COMMON_FAULT_INJECTOR_H_
+#define SDW_COMMON_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace sdw {
+
+/// What an armed fault does when it fires.
+enum class FaultKind {
+  kTransient,  // retryable error; Check returns kUnavailable by default
+  kPermanent,  // non-retryable error; Check returns kDataLoss by default
+  kLatency,    // no error: Check sleeps latency_nanos before returning OK
+};
+
+/// One schedule entry at a site. Schedules compose: every armed spec is
+/// evaluated per hit and the first firing spec wins.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kTransient;
+  /// Fires on each hit with this probability (seeded Bernoulli).
+  double probability = 0.0;
+  /// Fires on every Nth hit (1-based; 0 disables).
+  uint64_t every_nth = 0;
+  /// Fires exactly once, at the Nth hit (1-based; 0 disables).
+  uint64_t one_shot_at = 0;
+  /// Sleep duration for kLatency faults.
+  int64_t latency_nanos = 0;
+  /// Restricts firing to keys in [key_lo, key_hi]; the whole key space when
+  /// key_hi == 0. Sites pass a key identifying the unit of work (storage
+  /// sites use the (table_id << 48) | page_idx residency key).
+  uint64_t key_lo = 0;
+  uint64_t key_hi = 0;
+  /// Overrides the kind's default status code (kOk = use the default).
+  StatusCode code = StatusCode::kOk;
+  /// Extra detail appended to the injected error message.
+  std::string message;
+};
+
+/// Process-wide registry of named fault sites. Thread-safe.
+class FaultInjector {
+ public:
+  /// The singleton all production sites consult.
+  static FaultInjector& Global();
+
+  FaultInjector() = default;
+  SDW_DISALLOW_COPY(FaultInjector);
+
+  /// Arms the injector: Check() starts evaluating schedules, and every
+  /// site's RNG stream is (re)derived from `seed` so a run is replayable.
+  void Enable(uint64_t seed);
+
+  /// Disarms and forgets every site; Check() returns to the zero-cost path.
+  void Disable();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  uint64_t seed() const { return seed_; }
+
+  /// Adds a schedule entry at `site`. Requires Enable() first.
+  void Arm(const std::string& site, FaultSpec spec);
+
+  /// Removes all schedule entries at `site` (counters persist).
+  void ClearSite(const std::string& site);
+
+  /// Times `site` was checked / times a fault actually fired there.
+  uint64_t hits(const std::string& site) const;
+  uint64_t injected(const std::string& site) const;
+  /// Faults fired across all sites since Enable().
+  uint64_t injected_total() const {
+    return injected_total_.load(std::memory_order_relaxed);
+  }
+
+  /// Hot-path probe: returns the injected error for `site` (keyed by an
+  /// optional unit-of-work id), or OK. Latency faults sleep here.
+  Status Check(const char* site, uint64_t key = 0) {
+    if (!enabled_.load(std::memory_order_relaxed)) return Status::Ok();
+    return CheckSlow(site, key);
+  }
+
+ private:
+  struct SpecState {
+    FaultSpec spec;
+    bool one_shot_fired = false;
+  };
+  struct Site {
+    explicit Site(uint64_t rng_seed) : rng(rng_seed) {}
+    std::vector<SpecState> specs;
+    Rng rng;  // per-site stream: one site's schedule can't perturb another's
+    uint64_t hits = 0;
+    uint64_t injected = 0;
+  };
+
+  Status CheckSlow(const char* site, uint64_t key);
+  Site& SiteLocked(const std::string& name);
+  static uint64_t SiteSeed(uint64_t seed, const std::string& name);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> injected_total_{0};
+  uint64_t seed_ = 0;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Site> sites_;
+};
+
+}  // namespace sdw
+
+#endif  // SDW_COMMON_FAULT_INJECTOR_H_

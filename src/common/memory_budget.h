@@ -1,0 +1,58 @@
+// A shared byte budget with lock-free reserve/release — the admission-time
+// overload gate (graceful degradation under memory pressure).
+//
+// Admission paths TryReserve a fixed per-query cost before allocating any
+// real state; when the budget is exhausted the query is shed with
+// kResourceExhausted and a retry_after hint (common/retry.h) instead of
+// letting the engine thrash or abort. Completion/rejection paths Release
+// exactly what they reserved.
+
+#ifndef SDW_COMMON_MEMORY_BUDGET_H_
+#define SDW_COMMON_MEMORY_BUDGET_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace sdw {
+
+/// Atomic reserve/release byte accounting against a fixed capacity.
+class MemoryBudget {
+ public:
+  explicit MemoryBudget(uint64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  SDW_DISALLOW_COPY(MemoryBudget);
+
+  /// Reserves `bytes` if the budget allows; false when it would overflow
+  /// capacity (the caller sheds the work instead of queueing it).
+  bool TryReserve(uint64_t bytes) {
+    uint64_t cur = used_.load(std::memory_order_relaxed);
+    while (true) {
+      if (cur + bytes > capacity_) return false;
+      if (used_.compare_exchange_weak(cur, cur + bytes,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+
+  /// Returns a prior reservation.
+  void Release(uint64_t bytes) {
+    const uint64_t prev = used_.fetch_sub(bytes, std::memory_order_acq_rel);
+    SDW_CHECK_MSG(prev >= bytes, "MemoryBudget::Release of unreserved bytes");
+  }
+
+  uint64_t used() const { return used_.load(std::memory_order_acquire); }
+  uint64_t capacity() const { return capacity_; }
+
+ private:
+  const uint64_t capacity_;
+  std::atomic<uint64_t> used_{0};
+};
+
+}  // namespace sdw
+
+#endif  // SDW_COMMON_MEMORY_BUDGET_H_

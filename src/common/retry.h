@@ -1,0 +1,85 @@
+// Retry policy for transient failures: capped exponential backoff with
+// jitter, plus the helpers that classify retryable errors and carry
+// "retry after" hints inside Status messages.
+//
+// Used by the storage scan cursors (storage/scan.h) to absorb transient read
+// faults before they surface to queries, and by the CJOIN admission gate to
+// tell shed clients when resubmission is likely to succeed.
+
+#ifndef SDW_COMMON_RETRY_H_
+#define SDW_COMMON_RETRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace sdw {
+
+/// Capped exponential backoff: attempt k (1-based) sleeps
+/// min(initial * multiplier^(k-1), max), scaled by a random factor in
+/// [1 - jitter, 1] so synchronized retriers spread out.
+struct RetryPolicy {
+  /// Total tries including the first; 1 means "never retry".
+  uint32_t max_attempts = 4;
+  int64_t initial_backoff_nanos = 200'000;     // 0.2 ms
+  double multiplier = 2.0;
+  int64_t max_backoff_nanos = 10'000'000;      // 10 ms cap
+  double jitter = 0.5;
+
+  /// Errors worth retrying: the resource is expected to come back.
+  static bool IsTransient(const Status& s) {
+    return s.code() == StatusCode::kUnavailable ||
+           s.code() == StatusCode::kResourceExhausted;
+  }
+
+  /// Backoff before retry `attempt` (1-based = after the first failure).
+  int64_t BackoffNanos(uint32_t attempt, Rng* rng) const {
+    double nanos = static_cast<double>(initial_backoff_nanos);
+    for (uint32_t i = 1; i < attempt; ++i) nanos *= multiplier;
+    if (nanos > static_cast<double>(max_backoff_nanos)) {
+      nanos = static_cast<double>(max_backoff_nanos);
+    }
+    const double scale = 1.0 - jitter * rng->NextDouble();
+    return static_cast<int64_t>(nanos * scale);
+  }
+};
+
+/// Counters a retrying caller accumulates (surfaced through stats structs).
+/// Atomics with relaxed ordering: the retrier bumps them mid-operation while
+/// stats readers snapshot from other threads — independent counters, no
+/// cross-field consistency promised.
+struct RetryStats {
+  std::atomic<uint64_t> retries{0};   // sleeps taken after a transient failure
+  std::atomic<uint64_t> giveups{0};   // transient errors exhausting the budget
+  std::atomic<int64_t> backoff_nanos{0};  // total time spent backing off
+};
+
+/// Builds the overload-rejection status: kResourceExhausted with a
+/// machine-readable resubmission hint appended to the message.
+inline Status ResourceExhaustedWithRetryAfter(const std::string& m,
+                                              int64_t retry_after_nanos) {
+  return Status::ResourceExhausted(
+      m + " [retry_after_ms=" + std::to_string(retry_after_nanos / 1'000'000) +
+      "]");
+}
+
+/// Extracts the retry_after hint from a status message; 0 when absent.
+inline int64_t RetryAfterNanosFrom(const Status& s) {
+  const std::string& m = s.message();
+  const char* tag = "[retry_after_ms=";
+  const size_t pos = m.find(tag);
+  if (pos == std::string::npos) return 0;
+  int64_t ms = 0;
+  for (size_t i = pos + std::char_traits<char>::length(tag);
+       i < m.size() && m[i] >= '0' && m[i] <= '9'; ++i) {
+    ms = ms * 10 + (m[i] - '0');
+  }
+  return ms * 1'000'000;
+}
+
+}  // namespace sdw
+
+#endif  // SDW_COMMON_RETRY_H_

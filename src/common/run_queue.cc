@@ -13,7 +13,18 @@ void PriorityRunQueue::Push(std::function<void()> task, int priority,
   e.priority = priority;
   e.dynamic_priority = std::move(dynamic_priority);
   e.enqueue_nanos = NowNanos();
-  entries_.push_back(std::move(e));
+  e.seq = next_seq_++;
+  ++size_;
+  if (!options_.priority_enabled) {
+    // FIFO mode: one bucket, arrival order, no evaluation at pop.
+    levels_[0].push_back(std::move(e));
+    return;
+  }
+  if (e.dynamic_priority) {
+    dynamic_.push_back(std::move(e));
+  } else {
+    levels_[e.priority].push_back(std::move(e));
+  }
 }
 
 int64_t PriorityRunQueue::EffectivePriority(const Entry& e,
@@ -30,24 +41,55 @@ int64_t PriorityRunQueue::EffectivePriority(const Entry& e,
 }
 
 std::function<void()> PriorityRunQueue::Pop() {
-  SDW_CHECK(!entries_.empty());
-  size_t best = 0;
-  if (options_.priority_enabled && entries_.size() > 1) {
-    const int64_t now = NowNanos();
-    int64_t best_p = EffectivePriority(entries_[0], now);
-    // Strict > keeps the scan stable: among equal effective priorities the
-    // earliest arrival (lowest index — the deque is in arrival order) wins,
-    // which is the FIFO-within-a-level guarantee.
-    for (size_t i = 1; i < entries_.size(); ++i) {
-      const int64_t p = EffectivePriority(entries_[i], now);
-      if (p > best_p) {
-        best_p = p;
-        best = i;
-      }
+  SDW_CHECK(size_ > 0);
+  --size_;
+  if (!options_.priority_enabled) {
+    auto it = levels_.find(0);
+    std::function<void()> task = std::move(it->second.front().task);
+    it->second.pop_front();
+    if (it->second.empty()) levels_.erase(it);
+    return task;
+  }
+  // One candidate per static level (the front — see the header's dominance
+  // argument) plus every dynamic entry; best by (effective priority desc,
+  // arrival seq asc) — exactly the seed scan's strict-> stability rule.
+  const int64_t now = NowNanos();
+  bool have = false;
+  int64_t best_p = 0;
+  uint64_t best_seq = 0;
+  auto best_level = levels_.end();
+  size_t best_dyn = 0;
+  bool from_dynamic = false;
+  for (auto it = levels_.begin(); it != levels_.end(); ++it) {
+    const Entry& e = it->second.front();
+    const int64_t p = EffectivePriority(e, now);
+    if (!have || p > best_p || (p == best_p && e.seq < best_seq)) {
+      have = true;
+      best_p = p;
+      best_seq = e.seq;
+      best_level = it;
+      from_dynamic = false;
     }
   }
-  std::function<void()> task = std::move(entries_[best].task);
-  entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(best));
+  for (size_t i = 0; i < dynamic_.size(); ++i) {
+    const Entry& e = dynamic_[i];
+    const int64_t p = EffectivePriority(e, now);
+    if (!have || p > best_p || (p == best_p && e.seq < best_seq)) {
+      have = true;
+      best_p = p;
+      best_seq = e.seq;
+      best_dyn = i;
+      from_dynamic = true;
+    }
+  }
+  if (from_dynamic) {
+    std::function<void()> task = std::move(dynamic_[best_dyn].task);
+    dynamic_.erase(dynamic_.begin() + static_cast<ptrdiff_t>(best_dyn));
+    return task;
+  }
+  std::function<void()> task = std::move(best_level->second.front().task);
+  best_level->second.pop_front();
+  if (best_level->second.empty()) levels_.erase(best_level);
   return task;
 }
 

@@ -16,10 +16,16 @@
 //
 // The queue itself is externally synchronized — the owner (ThreadPool)
 // already holds a mutex around every queue operation, so locking here would
-// only double the cost. Pop is a linear scan over the queued entries: stage
-// queues hold packets (tens, not millions), and the scan is what lets
-// dynamic priorities and aging be evaluated against "now" instead of the
-// possibly-stale value at push time.
+// only double the cost.
+//
+// Structure: static-priority entries are bucketed by base priority (FIFO
+// deque per level). Every entry of a level ages at the same rate, so the
+// level's front — its earliest arrival — always carries the level's maximum
+// effective priority and wins the level's FIFO tie-break: Pop compares one
+// candidate per level instead of scanning every entry (the seed's O(n) scan
+// is kept in scheduler_test as the ordering oracle). Entries with a dynamic
+// priority provider have no stable bucket — each is re-evaluated at every
+// Pop, against "now", exactly as before (QPipe hosts: tens, not thousands).
 
 #ifndef SDW_COMMON_RUN_QUEUE_H_
 #define SDW_COMMON_RUN_QUEUE_H_
@@ -27,6 +33,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 
 #include "common/macros.h"
 
@@ -59,8 +66,8 @@ class PriorityRunQueue {
   /// !empty().
   std::function<void()> Pop();
 
-  bool empty() const { return entries_.empty(); }
-  size_t size() const { return entries_.size(); }
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
 
   const RunQueueOptions& options() const { return options_; }
 
@@ -70,13 +77,24 @@ class PriorityRunQueue {
     int priority;
     std::function<int()> dynamic_priority;
     int64_t enqueue_nanos;
+    /// Global arrival number: the cross-bucket tie-break reproducing the
+    /// seed scan's FIFO-among-equals (lowest deque index = earliest push).
+    uint64_t seq;
   };
 
   /// Effective priority of `e` at time `now` (base or dynamic, plus aging).
   int64_t EffectivePriority(const Entry& e, int64_t now) const;
 
   const RunQueueOptions options_;
-  std::deque<Entry> entries_;  // arrival order; Pop scans for the best
+  /// Static entries by base priority, descending; FIFO per level. Levels
+  /// are erased when emptied (invariant: every mapped deque is non-empty).
+  /// With priority disabled everything — dynamic providers included — lands
+  /// in levels_[0] and pops strictly FIFO (the seed behavior).
+  std::map<int, std::deque<Entry>, std::greater<int>> levels_;
+  /// Entries carrying a pop-time dynamic priority provider.
+  std::deque<Entry> dynamic_;
+  size_t size_ = 0;
+  uint64_t next_seq_ = 0;
 };
 
 }  // namespace sdw

@@ -18,8 +18,25 @@
 //                        at admission (rejected before any work: no packet
 //                        wiring, no CJOIN dimension scan) or while the result
 //                        was draining. The result set is incomplete.
-//   kResourceExhausted — admission was rejected outright (e.g. the CJOIN
-//                        pipeline ran out of query slots). No work was done.
+//   kResourceExhausted — admission was rejected outright: the CJOIN pipeline
+//                        ran out of query slots, or the MemoryBudget gate
+//                        shed the query under overload. No work was done.
+//                        Overload rejections carry a machine-readable
+//                        "[retry_after_ms=N]" hint in the message (see
+//                        common/retry.h: RetryAfterNanosFrom) telling the
+//                        client when resubmission is likely to succeed.
+//   kUnavailable       — a shared resource the query depends on failed
+//                        *transiently* and the engine exhausted its retry
+//                        budget (capped exponential backoff, common/retry.h):
+//                        e.g. a storage read kept failing, or a dimension
+//                        scan failed during CJOIN admission. The failure is
+//                        expected to clear; resubmitting is reasonable.
+//   kDataLoss          — a *permanent* page fault: the storage layer reported
+//                        a page as unreadable. Queries attached to the shared
+//                        scan at that epoch fail with this code; the scan
+//                        skips the poisoned page and keeps serving later
+//                        admissions. Resubmitting only helps if the page
+//                        recovers.
 //   kInternal          — an engine fault (e.g. a packet worker threw); the
 //                        ticket is completed instead of hanging forever.
 //
@@ -48,6 +65,8 @@ enum class StatusCode {
   kCancelled,
   kDeadlineExceeded,
   kInternal,
+  kUnavailable,
+  kDataLoss,
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -71,6 +90,10 @@ inline const char* StatusCodeName(StatusCode code) {
       return "DEADLINE_EXCEEDED";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
   }
   return "UNKNOWN";
 }
@@ -109,6 +132,12 @@ class Status {
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status DataLoss(std::string m) {
+    return Status(StatusCode::kDataLoss, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,6 +1,8 @@
 #include "common/timer_wheel.h"
 
+#include <algorithm>
 #include <chrono>
+#include <limits>
 #include <utility>
 
 #include "common/timing.h"
@@ -57,6 +59,20 @@ size_t TimerWheel::pending() const {
 uint64_t TimerWheel::fired() const {
   std::unique_lock<std::mutex> lock(mu_);
   return fired_;
+}
+
+uint64_t TimerWheel::wakeups() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return wakeups_;
+}
+
+int64_t TimerWheel::NextDueTickLocked() const {
+  int64_t next = std::numeric_limits<int64_t>::max();
+  for (const auto& [id, timer] : timers_) {
+    const int64_t t = TickFor(timer.deadline_nanos);
+    if (t < next) next = t;
+  }
+  return next;
 }
 
 void TimerWheel::PlaceLocked(uint64_t id, int64_t deadline_nanos) {
@@ -148,11 +164,19 @@ void TimerWheel::Loop() {
       cv_.wait(lock, [&] { return stop_ || !timers_.empty(); });
       continue;
     }
+    ++wakeups_;
     const int64_t now = NowNanos();
     const int64_t now_tick = (now - origin_nanos_) / options_.tick_nanos;
     if (now_tick <= current_tick_) {
+      // Sleep straight to the earliest live timer's tick, not the next tick
+      // boundary: a wheel holding one far-out deadline must not wake every
+      // tick doing nothing. Recomputed fresh each pass (O(pending)), and a
+      // Schedule() of an earlier deadline notifies cv_ so the sleep is cut
+      // short and re-planned. A stale early wakeup merely re-loops.
+      const int64_t wake_tick =
+          std::max(current_tick_ + 1, NextDueTickLocked());
       const int64_t next_boundary =
-          origin_nanos_ + (current_tick_ + 1) * options_.tick_nanos;
+          origin_nanos_ + wake_tick * options_.tick_nanos;
       cv_.wait_for(lock, std::chrono::nanoseconds(next_boundary - now));
       continue;
     }

@@ -64,6 +64,11 @@ class TimerWheel {
   /// Timers fired so far (diagnostics/tests).
   uint64_t fired() const;
 
+  /// Wheel-thread wakeups that evaluated the clock (diagnostics/tests). A
+  /// wheel with one far-out timer must sleep straight to its due tick — a
+  /// handful of wakeups — not once per tick; scheduler_test pins this.
+  uint64_t wakeups() const;
+
   int64_t tick_nanos() const { return options_.tick_nanos; }
 
  private:
@@ -86,6 +91,11 @@ class TimerWheel {
   /// live-timer map at `now_tick` (O(pending)) instead of ticking the gap
   /// closed one slot at a time. Requires mu_.
   void CatchUpLocked(int64_t now_tick, std::vector<Timer>* due);
+  /// Earliest tick any live timer is due at — the wheel thread sleeps to
+  /// that boundary instead of waking every tick. O(pending), computed fresh
+  /// before each sleep (timers_ is the ground truth; the slot vectors hold
+  /// lazily-deleted ids). Requires mu_; timers_ must be non-empty.
+  int64_t NextDueTickLocked() const;
 
   /// Tick index a deadline belongs to (rounded up: never fire early).
   int64_t TickFor(int64_t deadline_nanos) const;
@@ -99,6 +109,7 @@ class TimerWheel {
   int64_t current_tick_ = 0;
   uint64_t next_id_ = 1;
   uint64_t fired_ = 0;
+  uint64_t wakeups_ = 0;
   /// Live timers by id; slots hold ids, lazily skipped when cancelled.
   std::unordered_map<uint64_t, Timer> timers_;
   std::array<std::array<std::vector<uint64_t>, kSlots>, kLevels> wheel_;

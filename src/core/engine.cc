@@ -60,8 +60,26 @@ Engine::Engine(const storage::Catalog* catalog, storage::BufferPool* pool,
     // caller who disabled only the CJOIN knob.
     copts.priority_admission =
         options_.sched.priority_enabled && options_.cjoin.priority_admission;
+    if (options_.resilience.memory_budget_bytes > 0) {
+      memory_budget_ =
+          std::make_unique<MemoryBudget>(options_.resilience.memory_budget_bytes);
+      copts.memory_budget = memory_budget_.get();
+      copts.overload_retry_after_nanos =
+          options_.resilience.overload_retry_after_nanos;
+    }
     pipeline_ = std::make_unique<cjoin::CjoinPipeline>(catalog, pool, fact,
                                                        copts);
+    if (options_.resilience.scan_stall_nanos > 0) {
+      StallWatchdog::Options wopts;
+      wopts.check_interval_nanos =
+          options_.resilience.watchdog_check_interval_nanos;
+      wopts.stall_nanos = options_.resilience.scan_stall_nanos;
+      cjoin::CjoinPipeline* p = pipeline_.get();
+      watchdog_ = std::make_unique<StallWatchdog>(
+          &scheduler_->wheel(), wopts, [p] { return p->progress_epoch(); },
+          [p] { return p->busy(); },
+          [p](const Status& why) { p->CancelActiveQueries(why); });
+    }
     cjoin_stage_ = std::make_unique<CjoinStage>(
         pipeline_.get(), options_.comm, options_.channel_bytes,
         options_.config == EngineConfig::kCjoinSp);

@@ -19,9 +19,11 @@
 #include <vector>
 
 #include "cjoin/pipeline.h"
+#include "common/memory_budget.h"
 #include "core/cjoin_stage.h"
 #include "core/query_ticket.h"
 #include "core/scheduler.h"
+#include "core/watchdog.h"
 #include "qpipe/engine.h"
 
 namespace sdw::core {
@@ -61,6 +63,22 @@ struct EngineOptions {
   /// Caps every QPipe stage pool (0 = unlimited). See
   /// qpipe::QpipeOptions::stage_max_workers for the deadlock caveat.
   size_t stage_max_workers = 0;
+  /// Fault-tolerance knobs (CJOIN configurations; see docs in the fields).
+  struct ResilienceOptions {
+    /// Admission overload gate: total bytes of CJOIN admission reservations
+    /// (CjoinPipeline::kAdmissionCostBytes per in-flight query) before
+    /// pending queries are shed with kResourceExhausted + a retry_after
+    /// hint. 0 = no gate (the seed behavior).
+    uint64_t memory_budget_bytes = 0;
+    /// Resubmission hint attached to overload rejections.
+    int64_t overload_retry_after_nanos = 5'000'000;
+    /// Stall watchdog: busy time without scan progress before active CJOIN
+    /// queries are cancelled kDeadlineExceeded. 0 = watchdog off.
+    int64_t scan_stall_nanos = 0;
+    /// Watchdog probe period.
+    int64_t watchdog_check_interval_nanos = 50'000'000;
+  };
+  ResilienceOptions resilience;
 };
 
 /// The integrated engine. Submissions return QueryTickets (see
@@ -108,20 +126,29 @@ class Engine : public ExecutorClient {
   cjoin::CjoinStats cjoin_stats() const {
     return pipeline_ ? pipeline_->stats() : cjoin::CjoinStats{};
   }
+  /// Admission memory budget (null unless resilience.memory_budget_bytes).
+  MemoryBudget* memory_budget() { return memory_budget_.get(); }
+  /// Stall watchdog (null unless resilience.scan_stall_nanos on a CJOIN
+  /// configuration).
+  StallWatchdog* watchdog() { return watchdog_.get(); }
   void ResetCounters() override;
 
  private:
   const EngineOptions options_;
-  // Destruction order (reverse of declaration) is load-bearing: the staged
-  // engine goes first (drains queries), then the GQP pipeline (joins its
-  // threads, which may still be running completion hooks), the CJOIN
-  // stage — whose SP registry those hooks call into — next, and the
+  // Destruction order (reverse of declaration) is load-bearing: the
+  // watchdog goes first (its destructor guarantees no probe still touches
+  // the pipeline), then the staged engine (drains queries), then the GQP
+  // pipeline (joins its threads, which may still be running completion
+  // hooks), the CJOIN stage — whose SP registry those hooks call into —
+  // next, then the memory budget the pipeline releases into, and the
   // scheduler (whose timer wheel fires into all of the above) strictly
   // last-constructed/first-outliving, i.e. declared first.
   std::unique_ptr<Scheduler> scheduler_;
+  std::unique_ptr<MemoryBudget> memory_budget_;
   std::unique_ptr<CjoinStage> cjoin_stage_;
   std::unique_ptr<cjoin::CjoinPipeline> pipeline_;
   std::unique_ptr<qpipe::QpipeEngine> qpipe_;
+  std::unique_ptr<StallWatchdog> watchdog_;  // declared LAST: destroyed first
 };
 
 }  // namespace sdw::core

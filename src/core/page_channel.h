@@ -12,6 +12,7 @@
 #ifndef SDW_CORE_PAGE_CHANNEL_H_
 #define SDW_CORE_PAGE_CHANNEL_H_
 
+#include "common/status.h"
 #include "storage/page.h"
 
 namespace sdw::core {
@@ -27,6 +28,12 @@ class PageSource {
   /// Abandons the stream: releases everything unread so the producer is
   /// never blocked on this consumer again. Idempotent.
   virtual void CancelReader() = 0;
+
+  /// Why the stream ended. A nullptr from Next() means clean end-of-stream
+  /// only while status() stays OK; a fault-isolating producer (the shared
+  /// circular scan) reports the failure here so consumers don't drain a
+  /// truncated stream as a complete result.
+  virtual Status status() const { return Status::Ok(); }
 };
 
 /// Producer endpoint of a page stream.

@@ -66,6 +66,39 @@ class CircularScanService::CycleLimitedReader : public core::PageSource {
   bool done_ = false;
 };
 
+// Wraps a consumer's source with the service's fault epoch: a fault fired
+// after this consumer attached poisons the stream, surfaced via status() so
+// RunScan doesn't flush a truncated cycle as a complete result. Consumers
+// that attach after the fault snapshot the newer epoch and stay clean.
+class CircularScanService::FaultScopedSource : public core::PageSource {
+ public:
+  FaultScopedSource(CircularScanService* service,
+                    std::unique_ptr<core::PageSource> inner,
+                    uint64_t attach_seq)
+      : service_(service), inner_(std::move(inner)), attach_seq_(attach_seq) {}
+
+  storage::PagePtr Next() override {
+    if (!status_.ok()) return nullptr;
+    storage::PagePtr page = inner_->Next();
+    Status fault = service_->FaultSince(attach_seq_);
+    if (!fault.ok()) {
+      status_ = std::move(fault);
+      inner_->CancelReader();
+      return nullptr;
+    }
+    return page;
+  }
+
+  void CancelReader() override { inner_->CancelReader(); }
+  Status status() const override { return status_; }
+
+ private:
+  CircularScanService* service_;
+  std::unique_ptr<core::PageSource> inner_;
+  const uint64_t attach_seq_;
+  Status status_;
+};
+
 CircularScanService::CircularScanService(const storage::Table* table,
                                          storage::BufferPool* pool,
                                          core::CommModel comm,
@@ -94,27 +127,29 @@ std::unique_ptr<core::PageSource> CircularScanService::Attach() {
   const uint64_t pages = table_->num_pages();
   if (pages == 0) return std::make_unique<EmptyPageSource>();
 
+  std::unique_ptr<core::PageSource> src;
+  uint64_t attach_seq;
   if (comm_ == core::CommModel::kPull) {
     auto reader = spl_->AttachAtCurrent();
     SDW_CHECK(reader != nullptr);
-    std::unique_ptr<core::PageSource> src;
     {
       std::unique_lock<std::mutex> lock(mu_);
       ++pull_consumers_;
+      attach_seq = fault_seq_.load(std::memory_order_acquire);
       src = std::make_unique<CycleLimitedReader>(this, std::move(reader),
                                                  pages);
     }
-    wake_cv_.notify_all();
-    return src;
-  }
-
-  auto fifo = std::make_shared<FifoBuffer>(channel_bytes_);
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    push_pending_.push_back({fifo, pages});
+  } else {
+    auto fifo = std::make_shared<FifoBuffer>(channel_bytes_);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      push_pending_.push_back({fifo, pages});
+      attach_seq = fault_seq_.load(std::memory_order_acquire);
+    }
+    src = std::make_unique<FifoReaderHolder>(std::move(fifo));
   }
   wake_cv_.notify_all();
-  return std::make_unique<FifoReaderHolder>(std::move(fifo));
+  return std::make_unique<FaultScopedSource>(this, std::move(src), attach_seq);
 }
 
 bool CircularScanService::HasWorkLocked() const {
@@ -135,13 +170,18 @@ void CircularScanService::Loop() {
     }
 
     // Fetch the next page (simulated I/O happens here, in the single
-    // service thread — the shared sequential scan).
+    // service thread — the shared sequential scan). The cursor absorbs
+    // transient errors with backoff; what surfaces here is terminal.
     const uint64_t position = cursor_.position();
-    const storage::Page* raw;
-    {
+    Result<const storage::Page*> fetched = [&] {
       ScopedComponentTimer t(Component::kScans);
-      raw = cursor_.Next();
+      return cursor_.Next();
+    }();
+    if (!fetched.ok()) {
+      RecordFault(position, fetched.status());
+      continue;  // the cursor already skipped the page; keep serving
     }
+    const storage::Page* raw = fetched.value();
     if (raw == nullptr) continue;
     storage::PagePtr page = table_->SharePage(position);
     pages_produced_.fetch_add(1, std::memory_order_relaxed);
@@ -174,6 +214,24 @@ void CircularScanService::Loop() {
       for (auto& c : still_active) push_active_.push_back(std::move(c));
     }
   }
+}
+
+void CircularScanService::RecordFault(uint64_t page_idx, const Status& why) {
+  pages_skipped_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock(mu_);
+  last_fault_ =
+      Status(why.code(), "circular scan: page " + std::to_string(page_idx) +
+                             " of table '" + table_->name() +
+                             "' unreadable: " + why.message());
+  fault_seq_.fetch_add(1, std::memory_order_release);
+}
+
+Status CircularScanService::FaultSince(uint64_t attach_seq) {
+  if (fault_seq_.load(std::memory_order_acquire) == attach_seq) {
+    return Status::Ok();
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  return last_fault_;
 }
 
 CircularScanService* CircularScanMap::Get(const storage::Table* table) {

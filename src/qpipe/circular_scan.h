@@ -7,6 +7,13 @@
 // the table — the paper's "CS" configuration. The delivery transport honors
 // the communication model: pull shares page pointers through one SPL; push
 // deep-copies pages into per-consumer FIFOs in the service thread.
+//
+// Fault isolation: the cursor retries transient read errors internally; when
+// a page stays unreadable the service bumps a fault epoch, skips the page,
+// and keeps scanning. Consumers capture the epoch at attach time and their
+// source reports the failure through PageSource::status() on the next read —
+// only consumers attached when the fault fired are poisoned; later attaches
+// get a clean stream (shared work, isolated failures).
 
 #ifndef SDW_QPIPE_CIRCULAR_SCAN_H_
 #define SDW_QPIPE_CIRCULAR_SCAN_H_
@@ -39,10 +46,16 @@ class CircularScanService {
 
   /// Pages delivered to consumers in total (diagnostics).
   uint64_t pages_produced() const { return pages_produced_; }
+  /// Pages skipped after an unrecoverable read failure.
+  uint64_t pages_skipped() const {
+    return pages_skipped_.load(std::memory_order_relaxed);
+  }
 
  private:
   // Pull mode: wraps an SPL reader, stopping after one full cycle.
   class CycleLimitedReader;
+  // Epoch-scoped fault propagation around either transport's source.
+  class FaultScopedSource;
   // Push mode: per-consumer state.
   struct PushConsumer {
     std::shared_ptr<FifoBuffer> fifo;
@@ -51,6 +64,11 @@ class CircularScanService {
 
   void Loop();
   bool HasWorkLocked() const;
+  // Records a terminal page failure: bumps the fault epoch so attached
+  // consumers fail, while the scan skips the page and keeps serving.
+  void RecordFault(uint64_t page_idx, const Status& why);
+  // The fault that poisoned epochs newer than `attach_seq` (OK if none).
+  Status FaultSince(uint64_t attach_seq);
 
   const storage::Table* table_;
   storage::BufferPool* pool_;
@@ -68,6 +86,12 @@ class CircularScanService {
                                                 // readers; bounded bytes)
   storage::CircularPageCursor cursor_;
   std::atomic<uint64_t> pages_produced_{0};
+  std::atomic<uint64_t> pages_skipped_{0};
+  // Fault epoch: incremented per terminal page failure; last_fault_ (under
+  // mu_) holds the most recent failure. Consumers compare their attach-time
+  // snapshot against the current epoch on every read.
+  std::atomic<uint64_t> fault_seq_{0};
+  Status last_fault_;
 
   std::thread worker_;
 };

@@ -1,6 +1,7 @@
 #include "qpipe/engine.h"
 
 #include "common/breakdown.h"
+#include "common/fault_injector.h"
 #include "common/timing.h"
 #include "qpipe/operators.h"
 #include "query/plan.h"
@@ -165,17 +166,23 @@ std::unique_ptr<core::PageSource> QpipeEngine::BuildProducer(
     stage->pool.Submit(
         [this, ctx, node, ex, inputs, sp_on, stage, ancestors] {
       ctx->life->MarkRunStart();
-      // Silent-hang guard: a packet that stops early — consumers vanished
-      // or a fault below us threw — must complete every ticket it feeds
-      // with an error instead of leaving a truncated stream that drains as
-      // a seemingly-complete result: its own consumers (atomically, so no
-      // late satellite can attach to the aborted producer), the consumers
-      // of every ancestor host, and for faults the owner itself.
-      bool completed = false;
+      // Silent-hang guard: a packet that stops early — consumers vanished,
+      // a fault below us threw, or the operator surfaced a storage error —
+      // must complete every ticket it feeds with an error instead of
+      // leaving a truncated stream that drains as a seemingly-complete
+      // result: its own consumers (atomically, so no late satellite can
+      // attach to the aborted producer), the consumers of every ancestor
+      // host, and for faults (anything but consumer-driven kCancelled) the
+      // owner itself.
       Status why =
           Status::Cancelled("shared producer stopped: consumers detached");
       try {
-        completed = RunPacket(node, ex.get(), *inputs);
+        Status injected = FaultInjector::Global().Check("qpipe.packet");
+        why = injected.ok() ? RunPacket(node, ex.get(), *inputs) : injected;
+        if (!why.ok() && why.code() != StatusCode::kCancelled) {
+          for (const auto& in : *inputs) in->CancelReader();
+          ctx->life->Finish(why);
+        }
       } catch (const std::exception& e) {
         for (const auto& in : *inputs) in->CancelReader();
         why = Status::Internal(std::string("packet worker exception: ") +
@@ -186,7 +193,7 @@ std::unique_ptr<core::PageSource> QpipeEngine::BuildProducer(
         why = Status::Internal("packet worker exception");
         ctx->life->Finish(why);
       }
-      if (completed) {
+      if (why.ok()) {
         ex->sink()->Close();
         if (sp_on) stage->registry.Unregister(node->signature, ex.get());
       } else {
@@ -205,7 +212,7 @@ std::unique_ptr<core::PageSource> QpipeEngine::BuildProducer(
   return primary;
 }
 
-bool QpipeEngine::RunPacket(
+Status QpipeEngine::RunPacket(
     const PlanNode* node, Exchange* ex,
     const std::vector<std::shared_ptr<core::PageSource>>& inputs) {
   switch (node->kind) {
@@ -223,7 +230,7 @@ bool QpipeEngine::RunPacket(
     case PlanNode::Kind::kSort:
       return RunSort(*node, inputs[0].get(), ex->sink());
   }
-  return true;
+  return Status::Ok();
 }
 
 std::vector<QueryHandle> QpipeEngine::SubmitRequests(

@@ -174,10 +174,10 @@ class QpipeEngine {
       std::vector<std::function<void()>>* deferred,
       std::vector<HostRef>* host_path);
 
-  /// Returns true when the operator ran to completion, false when it
-  /// stopped early because its consumers vanished.
-  bool RunPacket(const query::PlanNode* node, Exchange* ex,
-                 const std::vector<std::shared_ptr<core::PageSource>>& inputs);
+  /// Runs the operator: OK on completion, kCancelled when its consumers
+  /// vanished, any other code for a surfaced fault (see operators.h).
+  Status RunPacket(const query::PlanNode* node, Exchange* ex,
+                   const std::vector<std::shared_ptr<core::PageSource>>& inputs);
 
   /// Sink task: drains the query's root reader into its result set,
   /// honoring cancellation, deadline and row_limit, and completes the

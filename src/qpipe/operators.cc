@@ -74,8 +74,8 @@ double NumericValue(const storage::Schema& schema, const std::byte* tuple,
 
 // ------------------------------------------------------------------- RunScan
 
-bool RunScan(const query::PlanNode& node, core::PageSource* raw_pages,
-             storage::BufferPool* pool, core::PageSink* out) {
+Status RunScan(const query::PlanNode& node, core::PageSource* raw_pages,
+               storage::BufferPool* pool, core::PageSink* out) {
   const storage::Schema& base = node.table->schema();
   const query::Predicate::Bound pred = node.pred.Bind(base);
   const auto moves = PlanMoves(base, node.scan_proj, node.out_schema, 0);
@@ -107,9 +107,20 @@ bool RunScan(const query::PlanNode& node, core::PageSource* raw_pages,
         break;
       }
     }
+    if (!stopped) {
+      // nullptr is a clean cycle end only if the shared producer didn't hit
+      // a fault after this consumer attached; a truncated stream must not be
+      // flushed as a complete result.
+      Status src = raw_pages->status();
+      if (!src.ok()) return src;
+    }
   } else {
     storage::TableScanCursor cursor(node.table, pool);
-    while (const storage::Page* page = cursor.Next()) {
+    for (;;) {
+      Result<const storage::Page*> r = cursor.Next();
+      if (!r.ok()) return r.status();
+      const storage::Page* page = r.value();
+      if (page == nullptr) break;
       if (out->Abandoned() || !process_page(*page)) {
         stopped = true;
         break;
@@ -117,13 +128,16 @@ bool RunScan(const query::PlanNode& node, core::PageSource* raw_pages,
     }
   }
   writer.Flush();
-  return !stopped && writer.ok();
+  if (stopped || !writer.ok()) {
+    return Status::Cancelled("scan consumers detached");
+  }
+  return Status::Ok();
 }
 
 // --------------------------------------------------------------- RunHashJoin
 
-bool RunHashJoin(const query::PlanNode& node, core::PageSource* probe,
-                 core::PageSource* build, core::PageSink* out) {
+Status RunHashJoin(const query::PlanNode& node, core::PageSource* probe,
+                   core::PageSource* build, core::PageSink* out) {
   const storage::Schema& probe_schema = node.child(0)->out_schema;
   const storage::Schema& build_schema = node.child(1)->out_schema;
   const auto payload_moves =
@@ -143,7 +157,7 @@ bool RunHashJoin(const query::PlanNode& node, core::PageSource* probe,
       // producers instead of building a table nobody will probe.
       build->CancelReader();
       probe->CancelReader();
-      return false;
+      return Status::Cancelled("join consumers detached");
     }
     const uint32_t n = page->tuple_count();
     hashes.clear();
@@ -164,6 +178,10 @@ bool RunHashJoin(const query::PlanNode& node, core::PageSource* probe,
     }
     build_pages.push_back(std::move(page));
   }
+  if (Status src = build->status(); !src.ok()) {
+    probe->CancelReader();
+    return src;
+  }
   {
     ScopedComponentTimer t(Component::kHashing);
     ht.Build();
@@ -176,7 +194,7 @@ bool RunHashJoin(const query::PlanNode& node, core::PageSource* probe,
     if (out->Abandoned()) {
       probe->CancelReader();
       build->CancelReader();
-      return false;
+      return Status::Cancelled("join consumers detached");
     }
     const uint32_t n = page->tuple_count();
     matches.clear();
@@ -199,15 +217,17 @@ bool RunHashJoin(const query::PlanNode& node, core::PageSource* probe,
           probe->CancelReader();
           build->CancelReader();
           writer.Flush();
-          return false;
+          return Status::Cancelled("join consumers detached");
         }
         std::memcpy(dst, page->tuple(i), probe_width);
         ApplyMoves(payload_moves, build_tuple, dst);
       }
     }
   }
+  if (Status src = probe->status(); !src.ok()) return src;
   writer.Flush();
-  return writer.ok();
+  if (!writer.ok()) return Status::Cancelled("join consumers detached");
+  return Status::Ok();
 }
 
 // -------------------------------------------------------------- RunAggregate
@@ -299,8 +319,8 @@ void EmitAcc(const query::BoundAgg& agg, const storage::Schema& out,
 
 }  // namespace
 
-bool RunAggregate(const query::PlanNode& node, core::PageSource* in,
-                  core::PageSink* out) {
+Status RunAggregate(const query::PlanNode& node, core::PageSource* in,
+                    core::PageSink* out) {
   const storage::Schema& child = node.child(0)->out_schema;
   const storage::Schema& out_schema = node.out_schema;
   const size_t num_aggs = node.aggs.size();
@@ -320,7 +340,7 @@ bool RunAggregate(const query::PlanNode& node, core::PageSource* in,
       // Aggregation consumes its whole input before emitting anything, so
       // this is the only point where downstream cancellation can reach it.
       in->CancelReader();
-      return false;
+      return Status::Cancelled("aggregate consumers detached");
     }
     ScopedComponentTimer t(Component::kAggregation);
     const uint32_t n = page->tuple_count();
@@ -338,6 +358,8 @@ bool RunAggregate(const query::PlanNode& node, core::PageSource* in,
       }
     }
   }
+
+  if (Status src = in->status(); !src.ok()) return src;
 
   // A global aggregate (no GROUP BY) yields exactly one row even on empty
   // input, matching SQL semantics with zero-initialized accumulators.
@@ -359,13 +381,14 @@ bool RunAggregate(const query::PlanNode& node, core::PageSource* in,
     }
   }
   writer.Flush();
-  return writer.ok();
+  if (!writer.ok()) return Status::Cancelled("aggregate consumers detached");
+  return Status::Ok();
 }
 
 // ------------------------------------------------------------------- RunSort
 
-bool RunSort(const query::PlanNode& node, core::PageSource* in,
-             core::PageSink* out) {
+Status RunSort(const query::PlanNode& node, core::PageSource* in,
+               core::PageSink* out) {
   const storage::Schema& schema = node.out_schema;
 
   std::vector<storage::PagePtr> pages;
@@ -373,12 +396,13 @@ bool RunSort(const query::PlanNode& node, core::PageSource* in,
   while (storage::PagePtr page = in->Next()) {
     if (out->Abandoned()) {
       in->CancelReader();
-      return false;
+      return Status::Cancelled("sort consumers detached");
     }
     const uint32_t n = page->tuple_count();
     for (uint32_t i = 0; i < n; ++i) rows.push_back(page->tuple(i));
     pages.push_back(std::move(page));
   }
+  if (Status src = in->status(); !src.ok()) return src;
 
   {
     ScopedComponentTimer t(Component::kMisc);
@@ -421,7 +445,8 @@ bool RunSort(const query::PlanNode& node, core::PageSource* in,
     std::memcpy(dst, row, schema.tuple_size());
   }
   writer.Flush();
-  return writer.ok();
+  if (!writer.ok()) return Status::Cancelled("sort consumers detached");
+  return Status::Ok();
 }
 
 }  // namespace sdw::qpipe

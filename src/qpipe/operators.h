@@ -36,28 +36,31 @@ class PageWriter {
   bool ok_ = true;
 };
 
-// Each operator returns true when it ran to completion and false when it
+// Each operator returns OK when it ran to completion, kCancelled when it
 // stopped early because its consumers vanished (out->Abandoned() or a failed
-// Put) — the engine uses the distinction to fail satellites that would
-// otherwise drain the truncated stream as a complete result.
+// Put), and any other code when a fault reached it — a storage read error
+// from its own cursor or a failure reported by an upstream source's
+// status(). The engine uses the distinction to fail satellites that would
+// otherwise drain a truncated stream as a complete result, and to propagate
+// taxonomy statuses (kUnavailable/kDataLoss) to the owning tickets.
 
 /// Table scan with selection and projection. When `raw_pages` is non-null the
 /// scan consumes the shared circular-scan stream; otherwise it runs its own
 /// cursor through the buffer pool (query-centric scan).
-bool RunScan(const query::PlanNode& node, core::PageSource* raw_pages,
-             storage::BufferPool* pool, core::PageSink* out);
+Status RunScan(const query::PlanNode& node, core::PageSource* raw_pages,
+               storage::BufferPool* pool, core::PageSink* out);
 
 /// Hash join: drains `build` into a hash table, then probes with `probe`.
-bool RunHashJoin(const query::PlanNode& node, core::PageSource* probe,
-                 core::PageSource* build, core::PageSink* out);
+Status RunHashJoin(const query::PlanNode& node, core::PageSource* probe,
+                   core::PageSource* build, core::PageSink* out);
 
 /// Hash aggregation with the paper workloads' aggregate kinds.
-bool RunAggregate(const query::PlanNode& node, core::PageSource* in,
-                  core::PageSink* out);
+Status RunAggregate(const query::PlanNode& node, core::PageSource* in,
+                    core::PageSink* out);
 
 /// Full sort (materializing); used for ORDER BY.
-bool RunSort(const query::PlanNode& node, core::PageSource* in,
-             core::PageSink* out);
+Status RunSort(const query::PlanNode& node, core::PageSource* in,
+               core::PageSink* out);
 
 /// Reads a numeric column (int or double) as double.
 double NumericValue(const storage::Schema& schema, const std::byte* tuple,

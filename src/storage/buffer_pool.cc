@@ -1,32 +1,69 @@
 #include "storage/buffer_pool.h"
 
+#include "common/fault_injector.h"
+
 namespace sdw::storage {
 
 BufferPool::BufferPool(StorageDevice* device, size_t capacity_bytes)
     : device_(device), capacity_bytes_(capacity_bytes) {}
 
-const Page* BufferPool::FetchPage(const Table& table, uint64_t page_idx) {
+Result<const Page*> BufferPool::FetchPage(const Table& table,
+                                          uint64_t page_idx) {
+  if (page_idx >= table.num_pages()) {
+    return Status::InvalidArgument(
+        "page " + std::to_string(page_idx) + " out of range for table '" +
+        table.name() + "' (" + std::to_string(table.num_pages()) + " pages)");
+  }
   const uint64_t key = Key(table.id(), page_idx);
+  // Primary read-fault site: fires on every logical read regardless of
+  // residency, so chaos schedules reach memory-resident configurations too.
+  Status fault = FaultInjector::Global().Check("storage.read", key);
+  if (!fault.ok()) {
+    read_errors_.fetch_add(1, std::memory_order_relaxed);
+    return fault;
+  }
   bool resident;
   {
     ScopedWallComponentTimer t(Component::kLocks);
     std::unique_lock<std::mutex> lock(mu_);
-    resident = TouchOrAdmit(key);
+    resident = TouchIfResident(key);
   }
   if (resident) {
     hits_.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    device_->ReadPage(table.id(), page_idx, kPageSize);
+    return table.page(page_idx);
+  }
+  fault = FaultInjector::Global().Check("bufferpool.alloc", key);
+  if (fault.ok()) fault = device_->ReadPage(table.id(), page_idx, kPageSize);
+  if (!fault.ok()) {
+    read_errors_.fetch_add(1, std::memory_order_relaxed);
+    return fault;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  // Note: two threads missing on the same page concurrently both charge the
+  // device (the second Admit is a no-op move-to-front). The pre-fault code
+  // admitted before reading, which instead made the second thread a free
+  // "hit" — an equally arbitrary simulation choice; admitting only after a
+  // successful read is what keeps failed pages non-resident.
+  {
+    ScopedWallComponentTimer t(Component::kLocks);
+    std::unique_lock<std::mutex> lock(mu_);
+    Admit(key);
   }
   return table.page(page_idx);
 }
 
-bool BufferPool::TouchOrAdmit(uint64_t key) {
+bool BufferPool::TouchIfResident(uint64_t key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return true;
+}
+
+void BufferPool::Admit(uint64_t key) {
   auto it = index_.find(key);
   if (it != index_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
-    return true;
+    return;
   }
   lru_.push_front(key);
   index_[key] = lru_.begin();
@@ -37,7 +74,6 @@ bool BufferPool::TouchOrAdmit(uint64_t key) {
       lru_.pop_back();
     }
   }
-  return false;
 }
 
 void BufferPool::Clear() {
@@ -46,6 +82,7 @@ void BufferPool::Clear() {
   index_.clear();
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
+  read_errors_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace sdw::storage

@@ -14,6 +14,7 @@
 #include <unordered_map>
 
 #include "common/breakdown.h"
+#include "common/status.h"
 #include "storage/storage_device.h"
 #include "storage/table.h"
 
@@ -29,12 +30,21 @@ class BufferPool {
   SDW_DISALLOW_COPY(BufferPool);
 
   /// Makes page `page_idx` of `table` resident (charging device time on a
-  /// miss) and returns it. The returned pointer is always valid — eviction
-  /// only affects simulated residency, not the in-memory data.
-  const Page* FetchPage(const Table& table, uint64_t page_idx);
+  /// miss) and returns it; eviction only affects simulated residency, not
+  /// the in-memory data. Fallible: an out-of-range page id is
+  /// kInvalidArgument, the "storage.read" fault site covers every logical
+  /// read, "bufferpool.alloc" covers frame allocation on the miss path
+  /// (kResourceExhausted), and device errors propagate. A page is admitted
+  /// to the LRU only after its read succeeds, so a failed read leaves no
+  /// false residency and a retry goes back to the device.
+  Result<const Page*> FetchPage(const Table& table, uint64_t page_idx);
 
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// Fetches that returned an error (injected or device-reported).
+  uint64_t read_errors() const {
+    return read_errors_.load(std::memory_order_relaxed);
+  }
 
   /// Drops all residency state and zeroes counters (the paper clears file
   /// system caches before every measurement; this is the equivalent knob).
@@ -48,8 +58,11 @@ class BufferPool {
     return (static_cast<uint64_t>(table_id) << 48) | page_idx;
   }
 
-  // Returns true when resident; updates LRU order / inserts and evicts.
-  bool TouchOrAdmit(uint64_t key);
+  // Returns true when resident (moves the key to the MRU position).
+  bool TouchIfResident(uint64_t key);
+  // Inserts the key as MRU and evicts past capacity. Called only after the
+  // device read succeeds.
+  void Admit(uint64_t key);
 
   StorageDevice* device_;
   const size_t capacity_bytes_;
@@ -60,6 +73,7 @@ class BufferPool {
 
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> read_errors_{0};
 };
 
 }  // namespace sdw::storage

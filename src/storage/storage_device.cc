@@ -3,14 +3,24 @@
 #include <chrono>
 #include <thread>
 
+#include "common/fault_injector.h"
 #include "common/timing.h"
 
 namespace sdw::storage {
 
-void StorageDevice::ReadPage(uint16_t table_id, uint64_t page_idx,
-                             size_t bytes) {
+Status StorageDevice::ReadPage(uint16_t table_id, uint64_t page_idx,
+                               size_t bytes) {
   logical_reads_.fetch_add(1, std::memory_order_relaxed);
-  if (options_.memory_resident) return;
+  // Checked before the memory-resident early-out so fault schedules also
+  // apply to the paper's RAM-drive configuration (where every read is a
+  // logical read but no device time is charged).
+  Status fault =
+      FaultInjector::Global().Check("storage.device", Key(table_id, page_idx));
+  if (!fault.ok()) {
+    read_errors_.fetch_add(1, std::memory_order_relaxed);
+    return fault;
+  }
+  if (options_.memory_resident) return Status::Ok();
 
   const uint64_t key = Key(table_id, page_idx);
   int64_t complete_at;
@@ -20,7 +30,7 @@ void StorageDevice::ReadPage(uint16_t table_id, uint64_t page_idx,
     if (!options_.direct_io && options_.os_cache_bytes > 0 &&
         CacheLookupOrInsert(key, bytes)) {
       cache_hit_bytes_.fetch_add(bytes, std::memory_order_relaxed);
-      return;
+      return Status::Ok();
     }
 
     const bool sequential = (key == last_key_ + 1);
@@ -49,6 +59,7 @@ void StorageDevice::ReadPage(uint16_t table_id, uint64_t page_idx,
   if (complete_at - now > kSleepThresholdNanos) {
     std::this_thread::sleep_for(std::chrono::nanoseconds(complete_at - now));
   }
+  return Status::Ok();
 }
 
 bool StorageDevice::CacheLookupOrInsert(uint64_t key, size_t bytes) {
@@ -76,6 +87,7 @@ void StorageDevice::ResetStats() {
   device_bytes_read_.store(0, std::memory_order_relaxed);
   cache_hit_bytes_.store(0, std::memory_order_relaxed);
   logical_reads_.store(0, std::memory_order_relaxed);
+  read_errors_.store(0, std::memory_order_relaxed);
   busy_until_nanos_ = 0;
   last_key_ = ~uint64_t{0};
   lru_.clear();

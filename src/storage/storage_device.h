@@ -25,6 +25,7 @@
 #include <unordered_map>
 
 #include "common/macros.h"
+#include "common/status.h"
 
 namespace sdw::storage {
 
@@ -50,8 +51,10 @@ class StorageDevice {
   SDW_DISALLOW_COPY(StorageDevice);
 
   /// Charges (and sleeps for) the simulated cost of reading page `page_idx`
-  /// of table `table_id`. `bytes` is the page size.
-  void ReadPage(uint16_t table_id, uint64_t page_idx, size_t bytes);
+  /// of table `table_id`. `bytes` is the page size. Fallible: the
+  /// "storage.device" fault site can inject transfer errors or latency
+  /// spikes (keyed by the (table_id << 48) | page_idx residency key).
+  Status ReadPage(uint16_t table_id, uint64_t page_idx, size_t bytes);
 
   const DeviceOptions& options() const { return options_; }
 
@@ -66,6 +69,10 @@ class StorageDevice {
   /// Logical read requests (all modes, including memory-resident).
   uint64_t logical_reads() const {
     return logical_reads_.load(std::memory_order_relaxed);
+  }
+  /// Reads that failed with an injected device error.
+  uint64_t read_errors() const {
+    return read_errors_.load(std::memory_order_relaxed);
   }
 
   /// Zeroes counters and forgets cache/positioning state.
@@ -98,6 +105,7 @@ class StorageDevice {
   std::atomic<uint64_t> device_bytes_read_{0};
   std::atomic<uint64_t> cache_hit_bytes_{0};
   std::atomic<uint64_t> logical_reads_{0};
+  std::atomic<uint64_t> read_errors_{0};
 };
 
 }  // namespace sdw::storage

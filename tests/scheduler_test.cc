@@ -17,7 +17,10 @@
 #include <thread>
 #include <vector>
 
+#include <functional>
+
 #include "common/macros.h"
+#include "common/rng.h"
 #include "common/run_queue.h"
 #include "common/stats.h"
 #include "common/thread_pool.h"
@@ -106,6 +109,108 @@ void TestRunQueueDynamicPriority() {
   q.Pop()();
   const std::vector<int> expected = {0, 1};
   SDW_CHECK(order == expected);
+}
+
+// The seed's O(n) scan, kept verbatim as the ordering oracle for the
+// bucketed Pop: over every queued entry, take max effective priority with
+// ties broken by lowest index (earliest arrival).
+struct RefQueue {
+  struct Ref {
+    int tag;
+    int priority;
+    std::function<int()> dynamic;
+    int64_t enqueue_nanos;
+  };
+  const RunQueueOptions opts;
+  std::vector<Ref> entries;
+
+  explicit RefQueue(RunQueueOptions o) : opts(o) {}
+  void Push(int tag, int priority, std::function<int()> dynamic) {
+    entries.push_back({tag, priority, std::move(dynamic), NowNanos()});
+  }
+  int Pop() {
+    SDW_CHECK(!entries.empty());
+    if (!opts.priority_enabled) {
+      const int tag = entries.front().tag;
+      entries.erase(entries.begin());
+      return tag;
+    }
+    const int64_t now = NowNanos();
+    size_t best = 0;
+    int64_t best_p = 0;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      int64_t p = entries[i].priority;
+      if (entries[i].dynamic) {
+        const int64_t dyn = entries[i].dynamic();
+        if (dyn > p) p = dyn;
+      }
+      if (opts.aging_nanos > 0) {
+        p += (now - entries[i].enqueue_nanos) / opts.aging_nanos;
+      }
+      if (i == 0 || p > best_p) {
+        best = i;
+        best_p = p;
+      }
+    }
+    const int tag = entries[best].tag;
+    entries.erase(entries.begin() + static_cast<ptrdiff_t>(best));
+    return tag;
+  }
+};
+
+void TestRunQueueEquivalentToSeedScan() {
+  // Randomized push/pop interleave: the bucketed queue must pop the exact
+  // sequence the seed's full scan pops. Aging is enabled but its horizon is
+  // an hour, so the age contribution is deterministically zero levels and
+  // both sides evaluate identical effective priorities; dynamic providers
+  // read values mutated between operations (pop-time evaluation on both
+  // sides sees the same snapshot).
+  for (const bool priority_enabled : {true, false}) {
+    RunQueueOptions opts;
+    opts.priority_enabled = priority_enabled;
+    opts.aging_nanos = 3'600'000'000'000;  // 1 h: enabled, zero levels here
+    PriorityRunQueue q(opts);
+    RefQueue ref(opts);
+    Rng rng(priority_enabled ? 0xc4a05 : 0xf1f0);
+    std::vector<int> dyn_values(512, 0);
+    std::vector<int> popped;
+    int next_tag = 0;
+    for (int op = 0; op < 4000; ++op) {
+      if (q.empty() || rng.Bernoulli(0.55)) {
+        const int tag = next_tag++;
+        const int priority = static_cast<int>(rng.Uniform(0, 4));
+        std::function<int()> dynamic;
+        if (rng.Bernoulli(0.3)) {
+          dyn_values[static_cast<size_t>(tag) % dyn_values.size()] =
+              static_cast<int>(rng.Uniform(0, 8));
+          dynamic = [&dyn_values, tag] {
+            return dyn_values[static_cast<size_t>(tag) % dyn_values.size()];
+          };
+        }
+        q.Push([&popped, tag] { popped.push_back(tag); }, priority, dynamic);
+        ref.Push(tag, priority, dynamic);
+      } else {
+        if (rng.Bernoulli(0.1)) {
+          // Mutate a provider's value between operations.
+          dyn_values[rng.Index(dyn_values.size())] =
+              static_cast<int>(rng.Uniform(0, 8));
+        }
+        q.Pop()();
+        const int want = ref.Pop();
+        SDW_CHECK_MSG(popped.back() == want,
+                      "op %d (priority_enabled=%d): bucketed queue popped "
+                      "%d, seed scan popped %d",
+                      op, priority_enabled ? 1 : 0, popped.back(), want);
+      }
+      SDW_CHECK(q.size() == ref.entries.size());
+    }
+    while (!q.empty()) {
+      q.Pop()();
+      const int want = ref.Pop();
+      SDW_CHECK_MSG(popped.back() == want, "drain: popped %d, want %d",
+                    popped.back(), want);
+    }
+  }
 }
 
 // ----------------------------------------------------------- thread pool
@@ -287,6 +392,28 @@ void TestWheelCatchUpAfterIdle() {
                 static_cast<double>(fired_at.load() - deadline) * 1e-6);
 }
 
+void TestWheelIdleSleepsToNextDue() {
+  // With one timer 300 ms out on a 1 ms tick, the loop must sleep to the
+  // due tick instead of waking every tick: ~300 wakeups would mean the
+  // next-due computation regressed to per-tick polling.
+  TimerWheel::Options opts;
+  opts.tick_nanos = 1'000'000;
+  TimerWheel wheel(opts);
+  std::atomic<int64_t> fired_at{0};
+  const int64_t deadline = NowNanos() + 300'000'000;
+  wheel.Schedule(deadline, [&] { fired_at.store(NowNanos()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(350));
+  SDW_CHECK_MSG(fired_at.load() != 0, "far-out timer never fired");
+  SDW_CHECK(fired_at.load() >= deadline);  // never early
+  const uint64_t wakeups = wheel.wakeups();
+  std::printf("  wheel wakeups while waiting 300 ms for one timer: %llu\n",
+              static_cast<unsigned long long>(wakeups));
+  SDW_CHECK_MSG(wakeups <= 50,
+                "%llu wakeups for a single 300 ms timer — the idle wheel is "
+                "ticking instead of sleeping to the next due tick",
+                static_cast<unsigned long long>(wakeups));
+}
+
 void TestWheelConcurrentStress() {
   TimerWheel wheel;
   constexpr int kThreads = 4;
@@ -365,6 +492,8 @@ int main() {
   TestRunQueueAgingPreventsStarvation();
   std::printf("run queue: dynamic priority\n");
   TestRunQueueDynamicPriority();
+  std::printf("run queue: bucketed pop ≡ seed scan\n");
+  TestRunQueueEquivalentToSeedScan();
   std::printf("thread pool: priority pop\n");
   TestThreadPoolPriorityPop();
   std::printf("thread pool: dynamic boost reorders\n");
@@ -377,6 +506,8 @@ int main() {
   TestWheelHierarchyCascades();
   std::printf("timer wheel: catch-up after idle\n");
   TestWheelCatchUpAfterIdle();
+  std::printf("timer wheel: idle sleeps to next due tick\n");
+  TestWheelIdleSleepsToNextDue();
   std::printf("timer wheel: concurrent stress\n");
   TestWheelConcurrentStress();
   std::printf("scheduler: watch deadline\n");

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fault_injector.h"
 #include "common/timing.h"
 #include "storage/buffer_pool.h"
 #include "storage/catalog.h"
@@ -203,7 +204,7 @@ TEST_F(BufferPoolTest, HitsAfterFirstTouch) {
   BufferPool pool(&dev, 0);
   for (int r = 0; r < 2; ++r) {
     for (uint64_t p = 0; p < table_->num_pages(); ++p) {
-      EXPECT_EQ(pool.FetchPage(*table_, p), table_->page(p));
+      EXPECT_EQ(pool.FetchPage(*table_, p).value(), table_->page(p));
     }
   }
   EXPECT_EQ(pool.misses(), table_->num_pages());
@@ -235,18 +236,149 @@ TEST_F(BufferPoolTest, CursorsIterateAllPages) {
   BufferPool pool(&dev, 0);
   TableScanCursor cursor(table_.get(), &pool);
   size_t pages = 0;
-  while (cursor.Next() != nullptr) ++pages;
+  while (cursor.Next().value() != nullptr) ++pages;
   EXPECT_EQ(pages, table_->num_pages());
 
   CircularPageCursor circular(table_.get(), &pool, /*start_page=*/7);
   std::set<uint64_t> seen;
   for (size_t i = 0; i < table_->num_pages(); ++i) {
     EXPECT_EQ(circular.position(), (7 + i) % table_->num_pages());
-    const Page* p = circular.Next();
+    const Page* p = circular.Next().value();
     ASSERT_NE(p, nullptr);
     seen.insert(p->seq());
   }
   EXPECT_EQ(seen.size(), table_->num_pages());  // full wrap, each page once
+}
+
+// ----------------------------------------------------------- failure paths
+
+/// Arms the process-wide injector for one test and guarantees it is
+/// disarmed (and all schedules forgotten) on every exit path.
+class ScopedFaults {
+ public:
+  explicit ScopedFaults(uint64_t seed) { FaultInjector::Global().Enable(seed); }
+  ~ScopedFaults() { FaultInjector::Global().Disable(); }
+};
+
+TEST_F(BufferPoolTest, FetchPageRejectsOutOfRangePageId) {
+  StorageDevice dev({.memory_resident = true});
+  BufferPool pool(&dev, 0);
+  const Result<const Page*> r = pool.FetchPage(*table_, table_->num_pages());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(BufferPoolTest, PersistentTransientFaultSurfacesAndLeavesNoResidency) {
+  StorageDevice dev({.memory_resident = true});
+  BufferPool pool(&dev, 0);
+  ScopedFaults faults(7);
+  FaultSpec spec;
+  spec.kind = FaultKind::kTransient;
+  spec.every_nth = 1;  // every read fails
+  spec.message = "short read: 512 of 32768 bytes";
+  FaultInjector::Global().Arm("storage.read", spec);
+  const Result<const Page*> r = pool.FetchPage(*table_, 0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(r.status().message().find("short read"), std::string::npos);
+  EXPECT_GE(pool.read_errors(), 1u);
+  // Admit-after-read: the failed fetch must not have left false residency —
+  // once the fault clears, the page is fetched as a miss, not a hit.
+  FaultInjector::Global().ClearSite("storage.read");
+  ASSERT_TRUE(pool.FetchPage(*table_, 0).ok());
+  EXPECT_EQ(pool.hits(), 0u);
+  EXPECT_EQ(pool.misses(), 1u);
+}
+
+TEST_F(BufferPoolTest, CursorRetriesAbsorbOneShotTransientFault) {
+  StorageDevice dev({.memory_resident = true});
+  BufferPool pool(&dev, 0);
+  ScopedFaults faults(7);
+  FaultSpec spec;
+  spec.kind = FaultKind::kTransient;
+  spec.one_shot_at = 1;  // first read fails once, the retry succeeds
+  FaultInjector::Global().Arm("storage.read", spec);
+  TableScanCursor cursor(table_.get(), &pool);
+  const Result<const Page*> r = cursor.Next();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), table_->page(0));
+  EXPECT_GE(cursor.retry_stats().retries.load(), 1u);
+  EXPECT_EQ(cursor.retry_stats().giveups.load(), 0u);
+}
+
+TEST_F(BufferPoolTest, AllocFailureReturnsResourceExhausted) {
+  StorageDevice dev({.memory_resident = true});
+  BufferPool pool(&dev, 4 * kPageSize);
+  ScopedFaults faults(7);
+  FaultSpec spec;
+  spec.kind = FaultKind::kTransient;
+  spec.code = StatusCode::kResourceExhausted;  // frame allocation failure
+  spec.one_shot_at = 1;
+  FaultInjector::Global().Arm("bufferpool.alloc", spec);
+  const Result<const Page*> r = pool.FetchPage(*table_, 0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  // The failure is a Status, not an abort, and the pool stays usable.
+  EXPECT_TRUE(pool.FetchPage(*table_, 0).ok());
+}
+
+TEST_F(BufferPoolTest, CircularCursorSkipsPermanentlyPoisonedPage) {
+  StorageDevice dev({.memory_resident = true});
+  BufferPool pool(&dev, 0);
+  ScopedFaults faults(7);
+  FaultSpec spec;
+  spec.kind = FaultKind::kPermanent;
+  spec.one_shot_at = 1;
+  FaultInjector::Global().Arm("storage.read", spec);
+  CircularPageCursor cursor(table_.get(), &pool, /*start_page=*/2);
+  const Result<const Page*> r = cursor.Next();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  // Permanent errors are not retried...
+  EXPECT_EQ(cursor.retry_stats().retries.load(), 0u);
+  // ...and the cursor has advanced past the poisoned page: the next call
+  // serves the following page instead of failing forever.
+  EXPECT_EQ(cursor.position(), 3u);
+  const Result<const Page*> next = cursor.Next();
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next.value(), table_->page(3));
+}
+
+TEST_F(BufferPoolTest, LatencyFaultDelaysButSucceeds) {
+  StorageDevice dev({.memory_resident = true});
+  BufferPool pool(&dev, 0);
+  ScopedFaults faults(7);
+  FaultSpec spec;
+  spec.kind = FaultKind::kLatency;
+  spec.latency_nanos = 20'000'000;  // 20 ms
+  spec.one_shot_at = 1;
+  FaultInjector::Global().Arm("storage.read", spec);
+  WallTimer t;
+  ASSERT_TRUE(pool.FetchPage(*table_, 0).ok());
+  EXPECT_GT(t.ElapsedSeconds(), 0.015);
+}
+
+TEST_F(BufferPoolTest, KeyRangeRestrictsFaultToTargetPages) {
+  StorageDevice dev({.memory_resident = true});
+  BufferPool pool(&dev, 0);
+  ScopedFaults faults(7);
+  // The storage.read key is (table_id << 48) | page_idx; restricting the
+  // spec to page 5 of table 3 leaves every other page untouched.
+  FaultSpec spec;
+  spec.kind = FaultKind::kPermanent;
+  spec.every_nth = 1;
+  spec.key_lo = (uint64_t{3} << 48) | 5;
+  spec.key_hi = (uint64_t{3} << 48) | 5;
+  FaultInjector::Global().Arm("storage.read", spec);
+  for (uint64_t p = 0; p < table_->num_pages(); ++p) {
+    const Result<const Page*> r = pool.FetchPage(*table_, p);
+    if (p == 5) {
+      ASSERT_FALSE(r.ok());
+      EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+    } else {
+      EXPECT_TRUE(r.ok());
+    }
+  }
 }
 
 }  // namespace
