@@ -4,7 +4,9 @@
 // bookkeeping), hash table build/probe, predicate evaluation, the CJOIN
 // filter hot path (scalar reference vs. the batched/prefetching
 // implementation), the distributor slot-grouping hot path (per-batch map vs.
-// the recycled arena scratch), admission latency (serial vs. one-scan
+// the recycled arena scratch), the shared aggregation fold (one fold per
+// group vs. one scalar pass per member query), admission latency (serial
+// vs. one-scan
 // batched epochs), and the steady-state recycling rates. These are the
 // ablation-level numbers behind the figure-level benches; see bench/README.md
 // for how to read the Hashing/Joins buckets and the baseline workflow.
@@ -17,6 +19,7 @@
 
 #include "cjoin/filter.h"
 #include "cjoin/pipeline.h"
+#include "cjoin/shared_agg.h"
 #include "cjoin/tuple_batch.h"
 #include "common/bitmap.h"
 #include "common/rng.h"
@@ -469,6 +472,115 @@ void BM_DistributePartBatched(benchmark::State& state) {
   state.counters["scratch_grows"] = static_cast<double>(scratch.grows);
 }
 BENCHMARK(BM_DistributePartBatched)->Arg(64)->Arg(256);
+
+// ---------------------------------------------------------------------------
+// Shared aggregation hot path: folding one distributed batch ONCE for a
+// group with N member queries (SharedAggregator::FoldBatch — one accumulator
+// update per distinct (group key, member bitmap) per tuple) vs. the scalar
+// reference running one private aggregation pass per member
+// (AggregateScalar). Member predicate verdicts are pre-applied to the
+// bitmaps (the §3.2 preprocessor variant), isolating the aggregation work
+// itself — per-tuple predicate evaluation is per-member on either path.
+// items/sec is batch tuples per pass for BOTH sides, so the shared side
+// should stay roughly flat in N while the scalar side's rate drops
+// ~linearly — the ablation-level number behind fig_shared_agg.
+
+class SharedAggFixture {
+ public:
+  static constexpr size_t kSlots = 64;  // one bitmap word
+
+  explicit SharedAggFixture(size_t members)
+      : schema_({storage::Schema::Int32("k1"), storage::Schema::Int32("v1")}),
+        agg_(/*num_parts=*/1, bits::WordsFor(kSlots)) {
+    Rng rng(21);
+    auto page = storage::Page::Make(schema_.tuple_size());
+    while (std::byte* t = page->AppendTuple()) {
+      schema_.SetInt32(t, 0, static_cast<int32_t>(rng.Uniform(0, 4)));
+      schema_.SetInt32(t, 1, static_cast<int32_t>(rng.Uniform(0, 99)));
+    }
+    batch_.fact_page = page;
+    batch_.ResetFor(page->tuple_count(),
+                    static_cast<uint32_t>(bits::WordsFor(kSlots)), 1);
+    tuples_ = batch_.num_tuples;
+
+    group_ = agg_.CreateGroup("bench_shape");
+    group_->join_schema = schema_;
+    group_->join_row_size = schema_.tuple_size();
+    group_->moves = {{/*from_fact=*/true, 0, 0, 0, schema_.tuple_size()}};
+    group_->group_cols = {0};
+    group_->aggs = {{query::AggSpec::Kind::kSum, 1, -1, -1,
+                     /*integer_exact=*/true, "s"},
+                    {query::AggSpec::Kind::kCount, -1, -1, -1, false, "c"}};
+    group_->out_schema = storage::Schema({storage::Schema::Int32("k1"),
+                                          storage::Schema::Int64("s"),
+                                          storage::Schema::Int64("c")});
+    group_->key_width = schema_.column(0).width();
+    // Distinct per-member selectivities (the predicates are on v1 only, so
+    // the fold's bitmap-key space stays bounded across iterations).
+    for (size_t s = 0; s < members; ++s) {
+      query::Predicate p;
+      p.And(query::AtomicPred::Int("v1", query::CompareOp::kLe,
+                                   static_cast<int64_t>(30 + s % 60)));
+      members_.push_back(
+          {static_cast<uint32_t>(s), p.Bind(schema_)});
+      agg_.AddMember(group_, members_.back().slot, members_.back().fact_pred);
+    }
+    // Pre-apply the member verdicts to the bitmaps (the preprocessor
+    // variant): bit s set iff member s's predicate admits the tuple.
+    for (uint32_t i = 0; i < batch_.num_tuples; ++i) {
+      uint64_t* tb = batch_.tuple_bits(i);
+      bits::Zero(tb, bits::WordsFor(kSlots));
+      const std::byte* t = page->tuple(i);
+      for (const auto& m : members_) {
+        if (m.fact_pred.Eval(schema_, t)) bits::Set(tb, m.slot);
+      }
+      if (!bits::Any(tb, bits::WordsFor(kSlots))) batch_.kill_tuple(i);
+    }
+  }
+
+  static SharedAggFixture& Get(size_t members) {
+    static SharedAggFixture f1(1);
+    static SharedAggFixture f16(16);
+    static SharedAggFixture f64(64);
+    return members == 1 ? f1 : members == 16 ? f16 : f64;
+  }
+
+  storage::Schema schema_;
+  cjoin::SharedAggregator agg_;
+  cjoin::SharedAggregator::Group* group_ = nullptr;
+  std::vector<cjoin::SharedAggregator::Member> members_;
+  cjoin::TupleBatch batch_;
+  uint64_t tuples_ = 0;
+};
+
+void BM_SharedAggFoldBatch(benchmark::State& state) {
+  SharedAggFixture& f =
+      SharedAggFixture::Get(static_cast<size_t>(state.range(0)));
+  cjoin::SharedAggregator::FoldScratch scratch;
+  for (auto _ : state) {
+    f.agg_.FoldBatch(f.group_, f.batch_, f.schema_, nullptr, /*part=*/0,
+                     /*preds_pre_applied=*/true, &scratch);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.tuples_));
+}
+BENCHMARK(BM_SharedAggFoldBatch)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_SharedAggScalarRef(benchmark::State& state) {
+  SharedAggFixture& f =
+      SharedAggFixture::Get(static_cast<size_t>(state.range(0)));
+  std::vector<cjoin::SharedAggregator::AccTable> tables(f.members_.size());
+  for (auto _ : state) {
+    for (size_t m = 0; m < f.members_.size(); ++m) {
+      cjoin::AggregateScalar(*f.group_, f.members_[m], f.batch_, f.schema_,
+                             nullptr, /*preds_pre_applied=*/true, &tables[m]);
+    }
+    benchmark::DoNotOptimize(tables.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.tuples_));
+}
+BENCHMARK(BM_SharedAggScalarRef)->Arg(1)->Arg(16)->Arg(64);
 
 // ---------------------------------------------------------------------------
 // Admission latency: K pending queries admitted serially (one dimension scan

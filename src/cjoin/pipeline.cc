@@ -20,6 +20,7 @@ CjoinPipeline::CjoinPipeline(const storage::Catalog* catalog,
       words_(bits::WordsFor(options.max_queries)),
       slots_(options.max_queries),
       active_mask_(options.max_queries),
+      shared_agg_(options.distributor_parts, bits::WordsFor(options.max_queries)),
       to_filters_(options.queue_capacity),
       to_distributor_(options.queue_capacity),
       // Upper bound on batches alive at once: both queues full plus one in
@@ -32,12 +33,18 @@ CjoinPipeline::CjoinPipeline(const storage::Catalog* catalog,
   for (size_t s = options_.max_queries; s > 0; --s) {
     free_slots_.push_back(static_cast<uint32_t>(s - 1));
   }
+  // Joined-dimension row resolution for aggregation-group row
+  // materialization. filters_ only grows at admission pauses, so reading it
+  // from a part thread holding a batch is safe (same contract as EmitGroup).
+  dim_row_fn_ = [this](size_t filter_pos, uint32_t row) {
+    return filters_[filter_pos]->dim_table()->row(row);
+  };
   preprocessor_ = std::thread([this] { PreprocessorLoop(); });
   for (size_t i = 0; i < options_.filter_threads; ++i) {
     workers_.emplace_back([this] { FilterWorkerLoop(); });
   }
   for (size_t i = 0; i < options_.distributor_parts; ++i) {
-    parts_.emplace_back([this] { DistributorPartLoop(); });
+    parts_.emplace_back([this, i] { DistributorPartLoop(i); });
   }
 }
 
@@ -92,6 +99,7 @@ CjoinStats CjoinPipeline::stats() const {
   s.distributor_scratch_reuses =
       dist_scratch_reuses_.value() - dist_reuses_base_;
   s.distributor_scratch_grows = dist_scratch_grows_.value() - dist_grows_base_;
+  s.agg_batches_folded = agg_batches_folded_.value() - agg_folds_base_;
   uint64_t scans = 0;
   for (const auto& f : filters_) scans += f->admission_scans();
   s.admission_dim_scans = scans - admission_scans_base_;
@@ -112,6 +120,7 @@ void CjoinPipeline::ResetStats() {
   pool_misses_base_ = batch_pool_.misses();
   dist_reuses_base_ = dist_scratch_reuses_.value();
   dist_grows_base_ = dist_scratch_grows_.value();
+  agg_folds_base_ = agg_batches_folded_.value();
   admission_scans_base_ = 0;
   for (const auto& f : filters_) admission_scans_base_ += f->admission_scans();
   const RetryStats& rs = cursor_.retry_stats();
@@ -323,6 +332,12 @@ void CjoinPipeline::CompleteQueryLocked(uint32_t slot) {
   SDW_CHECK(aq != nullptr);
   const bool faulted = !aq->fault_status.ok();
   const bool early = faulted || aq->pages_remaining > 0;
+  if (aq->aggregate && aq->agg_group != nullptr) {
+    // Partials hold every fold since the last pause-side merge; both the
+    // result slice and the survivor-safe retirement below read the merged
+    // table. The pipeline is drained here, so no part is folding.
+    SharedAggregator::MergePartials(aq->agg_group);
+  }
   Status final_status = Status::Ok();
   if (early) {
     // Early retire: a storage fault terminated the query's scan epoch, or
@@ -337,6 +352,9 @@ void CjoinPipeline::CompleteQueryLocked(uint32_t slot) {
                                          : Status::Cancelled("query detached");
     }
     FailQuery(aq->life, aq->on_complete, aq->sink.get(), final_status);
+  } else if (aq->aggregate) {
+    EmitAggResultLocked(aq);
+    if (aq->on_complete) aq->on_complete(final_status);
   } else {
     {
       std::unique_lock<std::mutex> out_lock(aq->out_mu);
@@ -344,6 +362,17 @@ void CjoinPipeline::CompleteQueryLocked(uint32_t slot) {
       aq->sink->Close();
     }
     if (aq->on_complete) aq->on_complete(final_status);
+  }
+  if (aq->aggregate && aq->agg_group != nullptr) {
+    // Unbind from the aggregation group. Under sharing the slot's bit folds
+    // out of every table entry — survivors' slices are untouched, and the
+    // recycled slot number re-enters any group clean. A private scalar
+    // group dies with its only member (its keys carry no bitmap to fold).
+    if (!options_.shared_aggregation ||
+        shared_agg_.RetireSlot(aq->agg_group, slot)) {
+      shared_agg_.DestroyGroup(aq->agg_group);
+    }
+    aq->agg_group = nullptr;
   }
   active_mask_.Clear(slot);
   --active_count_;
@@ -420,16 +449,15 @@ Filter* CjoinPipeline::GetOrCreateFilterLocked(const query::DimJoin& dim) {
   return filters_.back().get();
 }
 
-void CjoinPipeline::BuildProjection(const query::StarQuery& q,
-                                    const storage::Schema& out_schema,
-                                    ActiveQuery* aq) {
+std::vector<JoinRowMove> CjoinPipeline::BuildJoinMoves(
+    const query::StarQuery& q, const storage::Schema& out_schema) {
   const query::Planner planner(catalog_);
   const storage::Schema& fact_schema = fact_->schema();
+  std::vector<JoinRowMove> moves;
   size_t dst = 0;
   for (size_t col : planner.FactProjection(q)) {
-    aq->moves.push_back({true, 0, fact_schema.offset(col),
-                         out_schema.offset(dst),
-                         fact_schema.column(col).width()});
+    moves.push_back({true, 0, fact_schema.offset(col), out_schema.offset(dst),
+                     fact_schema.column(col).width()});
     ++dst;
   }
   for (const auto& dim : q.dims) {
@@ -444,13 +472,79 @@ void CjoinPipeline::BuildProjection(const query::StarQuery& q,
     const storage::Schema& ds = dim_table->schema();
     for (const auto& payload : dim.payload_columns) {
       const size_t col = ds.MustColumnIndex(payload);
-      aq->moves.push_back({false, filter_pos, ds.offset(col),
-                           out_schema.offset(dst), ds.column(col).width()});
+      moves.push_back({false, filter_pos, ds.offset(col),
+                       out_schema.offset(dst), ds.column(col).width()});
       ++dst;
     }
   }
   SDW_CHECK_MSG(dst == out_schema.num_columns(),
                 "CJOIN projection does not cover the output schema");
+  return moves;
+}
+
+void CjoinPipeline::BindAggGroupLocked(ActiveQuery* aq) {
+  std::string sig = aq->q.AggSignature();
+  SharedAggregator::Group* g = nullptr;
+  if (options_.shared_aggregation) {
+    g = shared_agg_.FindGroup(sig);
+    if (g != nullptr) ++stats_.agg_groups_shared;
+  } else {
+    // Scalar reference: a unique signature keeps every group private, so
+    // each query aggregates alone (the pre-sharing behavior).
+    sig += "#slot" + std::to_string(aq->slot);
+  }
+  if (g == nullptr) {
+    g = shared_agg_.CreateGroup(std::move(sig));
+    const query::Planner planner(catalog_);
+    g->join_schema = planner.JoinOutputSchema(aq->q);
+    g->join_row_size = g->join_schema.tuple_size();
+    g->moves = BuildJoinMoves(aq->q, g->join_schema);
+    query::AggShape shape = query::Planner::BindAggShape(g->join_schema, aq->q);
+    g->group_cols = std::move(shape.group_cols);
+    g->aggs = std::move(shape.aggs);
+    g->out_schema = std::move(shape.out_schema);
+    size_t key_width = 0;
+    for (size_t c : g->group_cols) {
+      key_width += g->join_schema.column(c).width();
+    }
+    g->key_width = key_width;
+  }
+  SDW_CHECK_MSG(
+      g->out_schema.num_columns() == aq->out_schema.num_columns() &&
+          g->out_schema.tuple_size() == aq->out_schema.tuple_size(),
+      "aggregate submission out_schema does not match its bound shape");
+  shared_agg_.AddMember(g, aq->slot, aq->fact_pred);
+  aq->agg_group = g;
+}
+
+void CjoinPipeline::EmitAggResultLocked(ActiveQuery* aq) {
+  SharedAggregator::Group* g = aq->agg_group;
+  SDW_CHECK(g != nullptr);
+  std::vector<std::string> rows;
+  if (options_.shared_aggregation) {
+    SharedAggregator::AccTable slice;
+    SharedAggregator::SliceSlot(*g, aq->slot, &slice);
+    SharedAggregator::RenderSlice(*g, slice, &rows);
+  } else {
+    // A private group's table is already exactly this query's aggregate.
+    SharedAggregator::RenderSlice(*g, g->merged, &rows);
+  }
+  ++stats_.agg_slice_emits;
+  storage::PagePtr page;
+  bool ok = true;
+  for (const std::string& row : rows) {
+    if (page == nullptr) page = storage::Page::Make(aq->out_tuple_size);
+    std::byte* dst = page->AppendTuple();
+    if (dst == nullptr) {
+      ok = aq->sink->Put(std::move(page));
+      if (!ok) break;  // consumers gone
+      page = storage::Page::Make(aq->out_tuple_size);
+      dst = page->AppendTuple();
+    }
+    std::memcpy(dst, row.data(), row.size());
+  }
+  if (ok && page != nullptr) aq->sink->Put(std::move(page));
+  aq->sink->Close();
 }
 
 void CjoinPipeline::DoAdmissionsLocked() {
@@ -548,6 +642,7 @@ void CjoinPipeline::DoAdmissionsLocked() {
     aq->life = std::move(p.life);
     aq->cancelled = std::move(p.cancelled);
     aq->on_complete = std::move(p.on_complete);
+    aq->aggregate = p.aggregate;
     aq->fact_pred = aq->q.fact_pred.Bind(fact_->schema());
     slots_[slot] = std::move(aq);
     epoch_slots.push_back(slot);
@@ -582,7 +677,10 @@ void CjoinPipeline::DoAdmissionsLocked() {
       }
       if (!referenced) f->SetPass(slot);
     }
-    BuildProjection(aq->q, aq->out_schema, aq);
+    // Aggregate queries materialize rows through their group's moves (built
+    // at binding, phase 4) — their out_schema is the aggregate schema, not
+    // the join output.
+    if (!aq->aggregate) aq->moves = BuildJoinMoves(aq->q, aq->out_schema);
   }
 
   // Phase 3 — one scan per referenced dimension for the whole epoch (the
@@ -626,6 +724,7 @@ void CjoinPipeline::DoAdmissionsLocked() {
       slots_[slot].reset();
       continue;
     }
+    if (aq->aggregate) BindAggGroupLocked(aq);
     aq->pages_remaining = fact_->num_pages();
     active_mask_.Set(slot);
     ++active_count_;
@@ -796,6 +895,10 @@ void CjoinPipeline::EmitGroup(uint32_t slot, const TupleBatch& batch,
                               const uint32_t* idxs, size_t n) {
   ActiveQuery* aq = slots_[slot].get();
   SDW_DCHECK(aq != nullptr);
+  // Aggregate slots produce nothing here: their join output folds into the
+  // aggregation stage's tables and the sink gets rendered aggregate pages
+  // at completion.
+  if (aq->aggregate) return;
   // Stale-slot suppression: once the query's consumers detached (cancel /
   // deadline / row-limit), stop projecting for it — batches annotated
   // before the cancel was observed may still carry its bit until the slot
@@ -855,12 +958,13 @@ void CjoinPipeline::EmitGroup(uint32_t slot, const TupleBatch& batch,
   }
 }
 
-void CjoinPipeline::DistributorPartLoop() {
+void CjoinPipeline::DistributorPartLoop(size_t part) {
   const storage::Schema& fact_schema = fact_->schema();
   // Per-part scratch: recycled flat slot→tuple-index grouping (counting-sort
   // layout). It grows to the high-water mark once; after that every batch is
   // grouped with zero heap allocation — tracked by the scratch-reuse stats.
   DistributorScratch scratch;
+  SharedAggregator::FoldScratch fold_scratch;
 
   while (BatchPtr batch = to_distributor_.Take()) {
     {
@@ -873,6 +977,21 @@ void CjoinPipeline::DistributorPartLoop() {
       for (size_t g = 0; g < scratch.num_groups(); ++g) {
         EmitGroup(scratch.group_slot(g), *batch, fact_schema,
                   scratch.group_begin(g), scratch.group_size(g));
+      }
+      // Fold the batch once into every aggregation group. Safe without mu_:
+      // the group list and shapes mutate only while the pipeline is drained,
+      // and this part writes only its own partial tables.
+      for (const auto& g : shared_agg_.groups()) {
+        if (options_.shared_aggregation) {
+          shared_agg_.FoldBatch(g.get(), *batch, fact_schema, dim_row_fn_,
+                                part, options_.fact_preds_in_preprocessor,
+                                &fold_scratch);
+        } else {
+          AggregateScalar(*g, g->members[0], *batch, fact_schema, dim_row_fn_,
+                          options_.fact_preds_in_preprocessor,
+                          &g->partials[part]);
+        }
+        agg_batches_folded_.Add(1);
       }
     }
 

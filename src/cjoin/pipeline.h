@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "cjoin/filter.h"
+#include "cjoin/shared_agg.h"
 #include "cjoin/tuple_batch.h"
 #include "common/memory_budget.h"
 #include "common/retry.h"
@@ -61,6 +62,11 @@ struct CjoinOptions {
   /// pipeline defeated the purpose of potentially flowing fewer fact tuples
   /// in the pipeline" (§3.2). Kept as an option for the ablation bench.
   bool fact_preds_in_preprocessor = false;
+  /// Bind aggregate submissions with equal StarQuery::AggSignature() to one
+  /// shared aggregation group (each batch folded once per distinct shape,
+  /// per-query results sliced at completion). False = the scalar reference:
+  /// every aggregate query gets a private group aggregated query-at-a-time.
+  bool shared_aggregation = true;
   /// Order the pending queue by (priority desc, arrival) at every admission
   /// pause, so when slots are scarce a high-priority query never loses its
   /// slot to a long low-priority backlog. False = seed FIFO (the scheduler's
@@ -132,6 +138,16 @@ struct CjoinStats {
   /// allocation, the distributor analogue of the batch-pool hit rate.
   uint64_t distributor_scratch_reuses = 0;
   uint64_t distributor_scratch_grows = 0;
+  /// Aggregate admissions that joined an already-active shared aggregation
+  /// group instead of creating one — the sharing the tentpole is after
+  /// (aggregation work scales with distinct shapes, not query count).
+  uint64_t agg_groups_shared = 0;
+  /// (batch, group) folds performed by distributor parts. With sharing, K
+  /// same-shape queries over a scan cost one fold per batch, not K.
+  uint64_t agg_batches_folded = 0;
+  /// Per-query result slices rendered at completion (one per aggregate
+  /// query that finished its cycle cleanly).
+  uint64_t agg_slice_emits = 0;
 };
 
 /// Per-part reusable scratch for grouping a batch's live tuples by query
@@ -225,6 +241,12 @@ class CjoinPipeline {
     /// CJOIN-SP shared packet reports the max priority over its attached
     /// consumers, so a high-priority satellite boosts the host it shares.
     std::function<int()> priority_fn;
+    /// Aggregate submission: the pipeline aggregates the query's join output
+    /// internally (shared or scalar per CjoinOptions::shared_aggregation)
+    /// and the sink receives aggregate-result pages instead of join rows —
+    /// `out_schema` must then be the aggregation output schema (group
+    /// columns, then one column per aggregate; see Planner::BindAggShape).
+    bool aggregate = false;
   };
 
   /// Submits a star query.
@@ -269,15 +291,6 @@ class CjoinPipeline {
   void CancelActiveQueries(const Status& why);
 
  private:
-  /// Projection step from fact row or joined dimension row to output tuple.
-  struct ProjMove {
-    bool from_fact;
-    size_t filter_pos;  // valid when !from_fact
-    uint32_t src_off;
-    uint32_t dst_off;
-    uint32_t len;
-  };
-
   struct ActiveQuery {
     uint32_t slot = 0;
     query::StarQuery q;
@@ -288,8 +301,13 @@ class CjoinPipeline {
     std::function<bool()> cancelled;
     std::function<void(const Status&)> on_complete;
     query::Predicate::Bound fact_pred;
-    std::vector<ProjMove> moves;
+    std::vector<JoinRowMove> moves;
     uint64_t pages_remaining = 0;
+    /// Aggregate query: join output folds into `agg_group` (bound at
+    /// activation, retired at completion) instead of streaming through
+    /// EmitGroup; the sink receives rendered aggregate pages at completion.
+    bool aggregate = false;
+    SharedAggregator::Group* agg_group = nullptr;
     /// Set once the slot is queued on completions_due_, so the cancel check
     /// and the cycle-complete check cannot double-queue it.
     bool completion_queued = false;
@@ -354,7 +372,7 @@ class CjoinPipeline {
 
   void PreprocessorLoop();
   void FilterWorkerLoop();
-  void DistributorPartLoop();
+  void DistributorPartLoop(size_t part);
 
   /// Handles a surfaced fact-page read error (transient retries already
   /// exhausted inside the cursor): fails every query attached at this scan
@@ -386,8 +404,20 @@ class CjoinPipeline {
   static constexpr uint32_t kNoSlot = ~uint32_t{0};
   uint32_t TryAllocSlotLocked();
   Filter* GetOrCreateFilterLocked(const query::DimJoin& dim);
-  void BuildProjection(const query::StarQuery& q,
-                       const storage::Schema& out_schema, ActiveQuery* aq);
+  /// Byte moves materializing `q`'s join-output rows (schema `out_schema`)
+  /// from fact pages and joined dimension rows. Used for per-query streaming
+  /// projection and for shared-aggregation-group row materialization alike.
+  std::vector<JoinRowMove> BuildJoinMoves(const query::StarQuery& q,
+                                          const storage::Schema& out_schema);
+  /// Binds an activating aggregate query to its aggregation group: an
+  /// existing same-signature group under shared aggregation, else a fresh
+  /// (private, under the scalar reference) group whose shape is compiled
+  /// here. Requires mu_ held and the pipeline drained.
+  void BindAggGroupLocked(ActiveQuery* aq);
+  /// Renders the completing aggregate query's result (slice of its shared
+  /// group, or the whole table of its private scalar group) into pages on
+  /// its sink. Requires the group's partials merged.
+  void EmitAggResultLocked(ActiveQuery* aq);
   /// Retires a slot. A slot retired before its scan cycle finished
   /// (pages_remaining > 0) completes with the query's cancel status and is
   /// counted as cancelled; otherwise it completes kOk.
@@ -419,15 +449,22 @@ class CjoinPipeline {
   std::vector<uint32_t> dirty_slots_;
   std::vector<uint32_t> completions_due_;
   std::vector<std::unique_ptr<Filter>> filters_;
+  /// Shared aggregation stage. Group membership and merged tables mutate
+  /// only at admission pauses (pipeline drained); distributor parts fold
+  /// into their own per-part partial tables while batches are in flight.
+  SharedAggregator shared_agg_;
+  SharedAggregator::DimRowFn dim_row_fn_;
   CjoinStats stats_;
   // Cross-thread stat counters, with snapshots taken at ResetStats so
   // stats() reports per-run values.
   Counter dist_scratch_reuses_;
   Counter dist_scratch_grows_;
+  Counter agg_batches_folded_;
   uint64_t pool_hits_base_ = 0;
   uint64_t pool_misses_base_ = 0;
   uint64_t dist_reuses_base_ = 0;
   uint64_t dist_grows_base_ = 0;
+  uint64_t agg_folds_base_ = 0;
   uint64_t admission_scans_base_ = 0;
   // Cursor retry-telemetry snapshot at the last ResetStats (the cursor's
   // counters are cumulative relaxed atomics; stats() reports deltas).

@@ -1,0 +1,284 @@
+#include "cjoin/shared_agg.h"
+
+#include <bit>
+#include <cstring>
+
+namespace sdw::cjoin {
+
+namespace {
+
+/// Tests bit `slot` of the bitmap stored in a table key's tail (the bytes
+/// after the group-key prefix). The bitmap bytes were memcpy'd from native
+/// uint64_t words, so reading them back the same way is exact.
+bool KeyMaskTest(const std::string& key, size_t key_width, uint32_t slot) {
+  uint64_t word;
+  std::memcpy(&word, key.data() + key_width + (slot >> 6) * sizeof(uint64_t),
+              sizeof(uint64_t));
+  return (word >> (slot & 63)) & 1;
+}
+
+/// Clears bit `slot` in the bitmap tail of `key` (in place).
+void KeyMaskClear(std::string* key, size_t key_width, uint32_t slot) {
+  uint64_t word;
+  char* at = key->data() + key_width + (slot >> 6) * sizeof(uint64_t);
+  std::memcpy(&word, at, sizeof(uint64_t));
+  word &= ~(uint64_t{1} << (slot & 63));
+  std::memcpy(at, &word, sizeof(uint64_t));
+}
+
+/// True when the bitmap tail of `key` has any bit set.
+bool KeyMaskAny(const std::string& key, size_t key_width) {
+  for (size_t b = key_width; b < key.size(); ++b) {
+    if (key[b] != 0) return true;
+  }
+  return false;
+}
+
+/// Materializes the join-output row for batch tuple `i` into `row`.
+void MaterializeRow(const SharedAggregator::Group& g, const TupleBatch& batch,
+                    uint32_t i, const std::byte* fact_row,
+                    const SharedAggregator::DimRowFn& dim_row, std::byte* row) {
+  const uint32_t* dim_rows = batch.tuple_dim_rows(i);
+  for (const JoinRowMove& mv : g.moves) {
+    const std::byte* src;
+    if (mv.from_fact) {
+      src = fact_row + mv.src_off;
+    } else {
+      const uint32_t r = dim_rows[mv.filter_pos];
+      SDW_DCHECK(r != kNoDimRow);
+      src = dim_row(mv.filter_pos, r) + mv.src_off;
+    }
+    std::memcpy(row + mv.dst_off, src, mv.len);
+  }
+}
+
+/// Appends the group-key bytes of a materialized row to `key`.
+void AppendGroupKey(const SharedAggregator::Group& g, const std::byte* row,
+                    std::string* key) {
+  for (size_t c : g.group_cols) {
+    key->append(
+        reinterpret_cast<const char*>(row + g.join_schema.offset(c)),
+        g.join_schema.column(c).width());
+  }
+}
+
+}  // namespace
+
+SharedAggregator::SharedAggregator(size_t num_parts, size_t mask_words)
+    : num_parts_(num_parts), mask_words_(mask_words) {}
+
+SharedAggregator::Group* SharedAggregator::FindGroup(
+    const std::string& signature) {
+  for (auto& g : groups_) {
+    if (g->signature == signature) return g.get();
+  }
+  return nullptr;
+}
+
+SharedAggregator::Group* SharedAggregator::CreateGroup(std::string signature) {
+  auto g = std::make_unique<Group>();
+  g->signature = std::move(signature);
+  g->member_mask = Bitset(mask_words_ * 64);
+  g->partials.resize(num_parts_);
+  groups_.push_back(std::move(g));
+  return groups_.back().get();
+}
+
+void SharedAggregator::AddMember(Group* g, uint32_t slot,
+                                 query::Predicate::Bound fact_pred) {
+  SDW_CHECK(!g->member_mask.Test(slot));
+  g->member_mask.Set(slot);
+  g->members.push_back({slot, std::move(fact_pred)});
+}
+
+void SharedAggregator::MergePartials(Group* g) {
+  for (AccTable& part : g->partials) {
+    for (auto& [key, accs] : part) {
+      auto [it, inserted] = g->merged.try_emplace(key);
+      if (inserted) {
+        it->second = std::move(accs);
+      } else {
+        for (size_t a = 0; a < accs.size(); ++a) {
+          it->second[a].MergeFrom(accs[a]);
+        }
+      }
+    }
+    part.clear();
+  }
+}
+
+void SharedAggregator::SliceSlot(const Group& g, uint32_t slot,
+                                 AccTable* out) {
+  for (const auto& [key, accs] : g.merged) {
+    if (!KeyMaskTest(key, g.key_width, slot)) continue;
+    auto [it, inserted] = out->try_emplace(key.substr(0, g.key_width));
+    if (inserted) it->second.resize(accs.size());
+    for (size_t a = 0; a < accs.size(); ++a) {
+      it->second[a].MergeFrom(accs[a]);
+    }
+  }
+}
+
+void SharedAggregator::RenderSlice(const Group& g, const AccTable& slice,
+                                   std::vector<std::string>* rows) {
+  const size_t tuple_size = g.out_schema.tuple_size();
+  const size_t num_groups = g.group_cols.size();
+  auto render = [&](const std::string& key,
+                    const std::vector<query::AggAcc>& accs) {
+    std::string row(tuple_size, '\0');
+    std::byte* dst = reinterpret_cast<std::byte*>(row.data());
+    std::memcpy(dst, key.data(), key.size());
+    for (size_t a = 0; a < g.aggs.size(); ++a) {
+      query::EmitAcc(g.aggs[a], g.out_schema, dst, num_groups + a, accs[a]);
+    }
+    rows->push_back(std::move(row));
+  };
+  for (const auto& [key, accs] : slice) render(key, accs);
+  if (slice.empty() && g.group_cols.empty()) {
+    // Global aggregate on empty input: SQL yields exactly one row from
+    // zero-initialized accumulators (matching RunAggregate).
+    render(std::string(), std::vector<query::AggAcc>(g.aggs.size()));
+  }
+}
+
+bool SharedAggregator::RetireSlot(Group* g, uint32_t slot) {
+  for (const AccTable& part : g->partials) {
+    SDW_CHECK_MSG(part.empty(), "RetireSlot requires partials merged");
+  }
+  // Fold the slot's bit out of every entry: survivors' bits are untouched,
+  // so their later slices see exactly the same contributions; entries whose
+  // bitmap goes empty served only retired members and are dropped.
+  std::vector<std::pair<std::string, std::vector<query::AggAcc>>> rekeyed;
+  for (auto it = g->merged.begin(); it != g->merged.end();) {
+    if (!KeyMaskTest(it->first, g->key_width, slot)) {
+      ++it;
+      continue;
+    }
+    std::string key = it->first;
+    KeyMaskClear(&key, g->key_width, slot);
+    if (KeyMaskAny(key, g->key_width)) {
+      rekeyed.emplace_back(std::move(key), std::move(it->second));
+    }
+    it = g->merged.erase(it);
+  }
+  for (auto& [key, accs] : rekeyed) {
+    auto [it, inserted] = g->merged.try_emplace(std::move(key));
+    if (inserted) {
+      it->second = std::move(accs);
+    } else {
+      for (size_t a = 0; a < accs.size(); ++a) {
+        it->second[a].MergeFrom(accs[a]);
+      }
+    }
+  }
+  g->member_mask.Clear(slot);
+  for (auto it = g->members.begin(); it != g->members.end(); ++it) {
+    if (it->slot == slot) {
+      g->members.erase(it);
+      break;
+    }
+  }
+  return g->members.empty();
+}
+
+void SharedAggregator::DestroyGroup(Group* g) {
+  for (auto it = groups_.begin(); it != groups_.end(); ++it) {
+    if (it->get() == g) {
+      groups_.erase(it);
+      return;
+    }
+  }
+  SDW_CHECK_MSG(false, "DestroyGroup: unknown group");
+}
+
+void SharedAggregator::FoldBatch(Group* g, const TupleBatch& batch,
+                                 const storage::Schema& fact_schema,
+                                 const DimRowFn& dim_row, size_t part,
+                                 bool preds_pre_applied,
+                                 FoldScratch* scratch) const {
+  SDW_DCHECK(batch.words_per_tuple == mask_words_);
+  AccTable& table = g->partials[part];
+  scratch->row.resize(g->join_row_size);
+  scratch->mask.resize(mask_words_);
+  std::byte* row = scratch->row.data();
+  uint64_t* mask = scratch->mask.data();
+  const uint64_t* gmask = g->member_mask.words();
+  const size_t words = mask_words_;
+  const size_t num_aggs = g->aggs.size();
+
+  const uint64_t* live = batch.live_words();
+  const size_t live_words = bits::WordsFor(batch.num_tuples);
+  for (size_t lw = 0; lw < live_words; ++lw) {
+    uint64_t lword = live[lw];
+    while (lword != 0) {
+      const uint32_t i = static_cast<uint32_t>(
+          lw * 64 + static_cast<size_t>(std::countr_zero(lword)));
+      lword &= lword - 1;
+
+      // Member bitmap: the tuple's query bitmap restricted to this group.
+      const uint64_t* tb = batch.tuple_bits(i);
+      uint64_t any = 0;
+      for (size_t w = 0; w < words; ++w) {
+        mask[w] = tb[w] & gmask[w];
+        any |= mask[w];
+      }
+      if (any == 0) continue;
+      const std::byte* fact_row = batch.fact_tuple(i);
+      if (!preds_pre_applied) {
+        // Per-member fact-predicate verdicts refine the bitmap, so the key
+        // attributes the tuple only to members it actually qualifies for.
+        for (const Member& mem : g->members) {
+          if (mem.fact_pred.IsTrue()) continue;
+          if (bits::Test(mask, mem.slot) &&
+              !mem.fact_pred.Eval(fact_schema, fact_row)) {
+            bits::Clear(mask, mem.slot);
+          }
+        }
+        if (!bits::Any(mask, words)) continue;
+      }
+
+      MaterializeRow(*g, batch, i, fact_row, dim_row, row);
+      scratch->key.clear();
+      AppendGroupKey(*g, row, &scratch->key);
+      scratch->key.append(reinterpret_cast<const char*>(mask),
+                          words * sizeof(uint64_t));
+      auto [it, inserted] = table.try_emplace(scratch->key);
+      if (inserted) it->second.resize(num_aggs);
+      for (size_t a = 0; a < num_aggs; ++a) {
+        query::UpdateAcc(g->aggs[a], g->join_schema, row, &it->second[a]);
+      }
+    }
+  }
+}
+
+void AggregateScalar(const SharedAggregator::Group& g,
+                     const SharedAggregator::Member& mem,
+                     const TupleBatch& batch,
+                     const storage::Schema& fact_schema,
+                     const SharedAggregator::DimRowFn& dim_row,
+                     bool preds_pre_applied,
+                     SharedAggregator::AccTable* table) {
+  std::vector<std::byte> row_buf(g.join_row_size);
+  std::byte* row = row_buf.data();
+  std::string key;
+  const size_t num_aggs = g.aggs.size();
+  for (uint32_t i = 0; i < batch.num_tuples; ++i) {
+    if (!batch.tuple_live(i)) continue;
+    if (!bits::Test(batch.tuple_bits(i), mem.slot)) continue;
+    const std::byte* fact_row = batch.fact_tuple(i);
+    if (!preds_pre_applied && !mem.fact_pred.IsTrue() &&
+        !mem.fact_pred.Eval(fact_schema, fact_row)) {
+      continue;
+    }
+    MaterializeRow(g, batch, i, fact_row, dim_row, row);
+    key.clear();
+    AppendGroupKey(g, row, &key);
+    auto [it, inserted] = table->try_emplace(key);
+    if (inserted) it->second.resize(num_aggs);
+    for (size_t a = 0; a < num_aggs; ++a) {
+      query::UpdateAcc(g.aggs[a], g.join_schema, row, &it->second[a]);
+    }
+  }
+}
+
+}  // namespace sdw::cjoin

@@ -1,0 +1,192 @@
+// Shared aggregation for the CJOIN Global Query Plan.
+//
+// After distribution, aggregation is the last block of per-query work in the
+// pipeline: N same-shape queries each rebuild the same group-by table over
+// the same joined tuples, differing only in which tuples their predicates
+// admit. This stage computes each distinct aggregation SHAPE once and slices
+// per query at emit time, so aggregation cost grows with distinct group-by
+// shapes, not with concurrent query count (cf. "Real-Time Analytics by
+// Coordinating Reuse and Work Sharing" in PAPERS.md).
+//
+// Mechanism. Queries whose StarQuery::AggSignature() matches — identical
+// join structure, group-by keys and aggregate expressions; predicate
+// constants free — bind to one Group. For every annotated batch the
+// distributor folds each live tuple ONCE per group into a hash table keyed by
+//
+//     (group-key bytes ++ member-bitmap bytes)
+//
+// where the member bitmap is the tuple's query bitmap restricted to the
+// group's members, with each member's fact-predicate verdict applied. The
+// bitmap key partitions every accumulator's contributions exactly by which
+// member queries the tuple qualified for, so:
+//
+//   * slicing member s = summing the entries whose bitmap contains s,
+//     grouped by key prefix — precisely the tuples s would have aggregated
+//     alone (the bitmap ∧ group invariant the property tests check);
+//   * retiring member s = clearing bit s from every entry (re-keying,
+//     merging collisions, dropping empty-bitmap entries) — survivors'
+//     slices are untouched, which is what makes mid-cycle cancellation and
+//     fault retirement side-effect free and slot recycling safe.
+//
+// Two-phase tables: each distributor part folds into its own partial table
+// (no cross-part synchronization on the hot path); partials merge into the
+// group's table only at scan-cycle boundaries — the admission pauses where
+// the pipeline is drained — right before a slice or retirement needs them.
+//
+// The pipeline's pause discipline is the synchronization contract: FoldBatch
+// runs concurrently from distributor parts (each on its own partial);
+// everything else requires the pipeline drained.
+
+#ifndef SDW_CJOIN_SHARED_AGG_H_
+#define SDW_CJOIN_SHARED_AGG_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cjoin/tuple_batch.h"
+#include "common/bitmap.h"
+#include "query/agg_ops.h"
+#include "query/plan.h"
+#include "query/predicate.h"
+#include "storage/schema.h"
+
+namespace sdw::cjoin {
+
+/// Byte move from a fact row or a joined dimension row into a materialized
+/// join-output tuple. Shared by the distributor's per-query projection and
+/// the shared aggregation stage's row materialization.
+struct JoinRowMove {
+  bool from_fact;
+  size_t filter_pos;  // valid when !from_fact
+  uint32_t src_off;
+  uint32_t dst_off;
+  uint32_t len;
+};
+
+/// The shared aggregation stage. Owned by the CjoinPipeline; standalone
+/// construction (no pipeline) is supported for the differential tests.
+class SharedAggregator {
+ public:
+  /// Resolves a joined dimension row: base pointer of row `row` of the
+  /// dimension bound at `filter_pos` (the pipeline wraps its filters; tests
+  /// with fact-only shapes pass nullptr).
+  using DimRowFn =
+      std::function<const std::byte*(size_t filter_pos, uint32_t row)>;
+
+  /// Accumulator table: key -> one accumulator per aggregate. Partial and
+  /// merged tables key by (group bytes ++ bitmap bytes); slices key by group
+  /// bytes only.
+  using AccTable = std::unordered_map<std::string, std::vector<query::AggAcc>>;
+
+  /// One member query of a group.
+  struct Member {
+    uint32_t slot = 0;
+    query::Predicate::Bound fact_pred;  // bound on the fact schema
+  };
+
+  /// One aggregation shape and its members' shared state.
+  struct Group {
+    std::string signature;         // StarQuery::AggSignature()
+    storage::Schema join_schema;   // materialized join-output row layout
+    uint32_t join_row_size = 0;
+    std::vector<JoinRowMove> moves;
+    std::vector<size_t> group_cols;       // into join_schema
+    std::vector<query::BoundAgg> aggs;    // bound against join_schema
+    storage::Schema out_schema;           // group cols, then one col per agg
+    size_t key_width = 0;                 // group-key bytes (key prefix)
+
+    Bitset member_mask;            // bound slots
+    std::vector<Member> members;
+
+    std::vector<AccTable> partials;  // one per distributor part
+    AccTable merged;
+  };
+
+  /// Reusable per-thread scratch for FoldBatch.
+  struct FoldScratch {
+    std::vector<std::byte> row;
+    std::vector<uint64_t> mask;
+    std::string key;
+  };
+
+  /// `num_parts` distributor parts fold concurrently; bitmaps span
+  /// `mask_words` 64-bit words (the pipeline's slot-bitmap width).
+  SharedAggregator(size_t num_parts, size_t mask_words);
+
+  size_t mask_words() const { return mask_words_; }
+  size_t num_groups() const { return groups_.size(); }
+  const std::vector<std::unique_ptr<Group>>& groups() const { return groups_; }
+
+  // ------------------------------------------- pause surface (drained only)
+
+  /// The group bound to `signature`, or nullptr.
+  Group* FindGroup(const std::string& signature);
+
+  /// Creates an empty group for `signature`; the caller fills the shape
+  /// fields (schema, moves, group_cols, aggs, out_schema, key_width) before
+  /// the pipeline resumes.
+  Group* CreateGroup(std::string signature);
+
+  /// Binds `slot` as a member.
+  void AddMember(Group* g, uint32_t slot, query::Predicate::Bound fact_pred);
+
+  /// Merges every part's partial table into the group's merged table
+  /// (partials come out empty, capacity retained).
+  static void MergePartials(Group* g);
+
+  /// Per-query slice: sums the merged entries whose bitmap contains `slot`
+  /// into `out`, keyed by group bytes only — exactly the aggregate the
+  /// member would have computed alone. Requires partials merged.
+  static void SliceSlot(const Group& g, uint32_t slot, AccTable* out);
+
+  /// Renders a slice into out_schema tuples (appended to `rows`, one string
+  /// of out_schema.tuple_size() bytes each). An empty slice of a global
+  /// aggregate (no group columns) yields the SQL one-zero-row.
+  static void RenderSlice(const Group& g, const AccTable& slice,
+                          std::vector<std::string>* rows);
+
+  /// Retires member `slot`: clears its bit from every merged entry
+  /// (re-keying, merging collisions, dropping entries whose bitmap went
+  /// empty) and unbinds it. Requires partials merged. Returns true when the
+  /// group has no members left (the caller destroys it).
+  bool RetireSlot(Group* g, uint32_t slot);
+
+  /// Destroys an empty group.
+  void DestroyGroup(Group* g);
+
+  // ------------------------------------------------ hot path (part threads)
+
+  /// Folds one annotated batch into the group's part-local partial table:
+  /// one accumulator update per distinct (group key, member bitmap) per
+  /// tuple, however many member queries the group serves. When
+  /// `preds_pre_applied`, the members' fact predicates were already folded
+  /// into the bitmaps (the §3.2 preprocessor variant).
+  void FoldBatch(Group* g, const TupleBatch& batch,
+                 const storage::Schema& fact_schema, const DimRowFn& dim_row,
+                 size_t part, bool preds_pre_applied,
+                 FoldScratch* scratch) const;
+
+ private:
+  const size_t num_parts_;
+  const size_t mask_words_;
+  std::vector<std::unique_ptr<Group>> groups_;
+};
+
+/// Scalar per-query reference: aggregates exactly the batch tuples whose
+/// bitmap contains the member's slot (applying its fact predicate unless
+/// pre-applied) into `table`, keyed by group bytes only — the retained
+/// query-at-a-time aggregation path the differential tests pin the shared
+/// path against. Uses the same query/agg_ops.h accumulator ops.
+void AggregateScalar(const SharedAggregator::Group& g,
+                     const SharedAggregator::Member& mem,
+                     const TupleBatch& batch,
+                     const storage::Schema& fact_schema,
+                     const SharedAggregator::DimRowFn& dim_row,
+                     bool preds_pre_applied, SharedAggregator::AccTable* table);
+
+}  // namespace sdw::cjoin
+
+#endif  // SDW_CJOIN_SHARED_AGG_H_

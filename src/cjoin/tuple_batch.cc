@@ -1,15 +1,8 @@
 #include "cjoin/tuple_batch.h"
 
 #include <bit>
-#include <chrono>
 
 namespace sdw::cjoin {
-
-namespace {
-// Backstop for the (theoretical) lost-wakeup window between a fast-path
-// ring operation and a waiter parking: waiters re-check at this cadence.
-constexpr std::chrono::milliseconds kWaitSlice{1};
-}  // namespace
 
 BatchQueue::BatchQueue(size_t capacity)
     : capacity_(std::bit_ceil(capacity < 2 ? size_t{2} : capacity)),
@@ -71,13 +64,22 @@ bool BatchQueue::Put(BatchPtr batch) {
     // Full: park on the slow path until a consumer frees a slot or close.
     std::unique_lock<std::mutex> lock(mu_);
     waiting_producers_.fetch_add(1, std::memory_order_seq_cst);
+    // Fence the count increment against the ring re-check below: pairs with
+    // the fast path's fence (ring update, then count read), so either our
+    // re-check sees the free slot or the consumer sees our registration and
+    // notifies — the lost-wakeup interleaving is forbidden, no timed
+    // backstop needed.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    bool waited = false;
     for (;;) {
       if (closed_.load(std::memory_order_acquire)) break;
       if (TryPut(&batch)) {
         ok = true;
         break;
       }
-      not_full_.wait_for(lock, kWaitSlice);
+      if (waited) futile_wakeups_.fetch_add(1, std::memory_order_relaxed);
+      not_full_.wait(lock);
+      waited = true;
     }
     waiting_producers_.fetch_sub(1, std::memory_order_seq_cst);
   }
@@ -97,6 +99,10 @@ BatchPtr BatchQueue::Take() {
   if (!ok) {
     std::unique_lock<std::mutex> lock(mu_);
     waiting_consumers_.fetch_add(1, std::memory_order_seq_cst);
+    // See Put: the fence makes registration-then-recheck atomic against the
+    // fast path's update-then-count-read, closing the pre-park window.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    bool waited = false;
     for (;;) {
       if (TryTake(&batch)) {
         ok = true;
@@ -105,7 +111,9 @@ BatchPtr BatchQueue::Take() {
       // Closed and (post-check) empty: drained. Producers must stop before
       // Close for a complete drain; the pipeline joins them first.
       if (closed_.load(std::memory_order_acquire)) break;
-      not_empty_.wait_for(lock, kWaitSlice);
+      if (waited) futile_wakeups_.fetch_add(1, std::memory_order_relaxed);
+      not_empty_.wait(lock);
+      waited = true;
     }
     waiting_consumers_.fetch_sub(1, std::memory_order_seq_cst);
   }

@@ -102,6 +102,16 @@ class BatchQueue {
 
   size_t capacity() const { return capacity_; }
 
+  /// Wakeups that found neither an item / free slot nor a close and went
+  /// back to sleep. The notify protocol is precise — a quiescent queue must
+  /// hold its waiters asleep indefinitely (zero futile wakeups; stress-test
+  /// asserted). Contended hand-offs can still produce a few (notify_one
+  /// racing another thread to the slot), so this counts occurrences, not
+  /// errors.
+  uint64_t futile_wakeups() const {
+    return futile_wakeups_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Slot {
     std::atomic<size_t> seq;
@@ -121,13 +131,19 @@ class BatchQueue {
   alignas(64) std::atomic<bool> closed_{false};
 
   // Slow path only. Waiter counts let the fast path skip the mutex when
-  // nobody is blocked; a seq_cst fence pairs the count check with the ring
-  // update (store-buffering), and the timed waits below are a backstop.
+  // nobody is blocked. The notify protocol is precise (untimed waits): the
+  // store-buffering outcome "fast path reads waiter-count 0 AND the parking
+  // waiter's ring re-check misses the item" is forbidden by a seq_cst fence
+  // on BOTH sides — between the ring update and the count read (fast path),
+  // and between the count increment and the ring re-check (waiter). Once a
+  // waiter is parked, every notify happens under mu_, which the waiter held
+  // from before its re-check — no wakeup can fall into the gap.
   std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::atomic<int> waiting_producers_{0};
   std::atomic<int> waiting_consumers_{0};
+  std::atomic<uint64_t> futile_wakeups_{0};
 };
 
 /// Per-query output page buffering for the distributor parts.

@@ -23,10 +23,20 @@ class ExchangeSinkHolder : public PageSink {
 }  // namespace
 
 qpipe::QpipeEngine::JoinDelegate CjoinStage::MakeDelegate() {
-  return [this](qpipe::QueryContext* ctx, const query::PlanNode* join_root,
-                std::vector<std::function<void()>>* deferred)
+  return MakeSubplanDelegate(/*aggregate=*/false);
+}
+
+qpipe::QpipeEngine::AggDelegate CjoinStage::MakeAggDelegate() {
+  return MakeSubplanDelegate(/*aggregate=*/true);
+}
+
+qpipe::QpipeEngine::JoinDelegate CjoinStage::MakeSubplanDelegate(
+    bool aggregate) {
+  return [this, aggregate](qpipe::QueryContext* ctx,
+                           const query::PlanNode* sub_root,
+                           std::vector<std::function<void()>>* deferred)
              -> std::unique_ptr<PageSource> {
-    const std::string& sig = join_root->signature;
+    const std::string& sig = sub_root->signature;
 
     // SP over CJOIN packets: step WoP on the packet's output exchange. The
     // satellite's lifecycle is recorded against the host, so the packet
@@ -50,11 +60,12 @@ qpipe::QpipeEngine::JoinDelegate CjoinStage::MakeDelegate() {
     // batch-flush hook) hands the whole batch to the pipeline at once, so
     // it lands in a single admission pause (paper §3.2).
     const query::StarQuery q = ctx->query;
-    const storage::Schema out_schema = join_root->out_schema;
+    const storage::Schema out_schema = sub_root->out_schema;
     std::shared_ptr<QueryLifecycle> life = ctx->life;
-    deferred->push_back([this, q, out_schema, ex, sig, life] {
+    deferred->push_back([this, aggregate, q, out_schema, ex, sig, life] {
       cjoin::CjoinPipeline::Submission sub;
       sub.q = q;
+      sub.aggregate = aggregate;
       sub.out_schema = out_schema;
       sub.sink = std::make_shared<ExchangeSinkHolder>(ex);
       sub.life = life;

@@ -35,6 +35,13 @@ class CjoinStage {
   /// The join delegate to install on the QpipeEngine.
   qpipe::QpipeEngine::JoinDelegate MakeDelegate();
 
+  /// The aggregate delegate (EngineOptions::shared_aggregation): routes
+  /// whole aggregate-over-join sub-plans into the pipeline, which folds
+  /// same-shape queries onto one shared aggregation group. With SP enabled,
+  /// byte-identical aggregate sub-plans (equal signatures, constants
+  /// included) additionally share one CJOIN packet outright.
+  qpipe::QpipeEngine::AggDelegate MakeAggDelegate();
+
   /// Hands all staged submissions to the pipeline as one admission batch;
   /// installed as the QpipeEngine's batch-flush hook.
   void FlushStaged();
@@ -52,6 +59,11 @@ class CjoinStage {
   cjoin::CjoinPipeline* pipeline() const { return pipeline_; }
 
  private:
+  /// Common delegate body: MakeDelegate stages join-output submissions,
+  /// MakeAggDelegate the same submissions with the aggregate flag set (the
+  /// sub-plan root's out_schema is then the aggregation output schema).
+  qpipe::QpipeEngine::JoinDelegate MakeSubplanDelegate(bool aggregate);
+
   cjoin::CjoinPipeline* pipeline_;
   const CommModel comm_;
   const size_t channel_bytes_;

@@ -55,6 +55,7 @@ Engine::Engine(const storage::Catalog* catalog, storage::BufferPool* pool,
   if (use_cjoin) {
     const storage::Table* fact = catalog->MustGetTable(options_.fact_table);
     cjoin::CjoinOptions copts = options_.cjoin;
+    copts.shared_aggregation = options_.shared_aggregation;
     // One policy everywhere: the scheduler's FIFO switch also turns off
     // priority-ordered admission in the GQP — while still honoring a
     // caller who disabled only the CJOIN knob.
@@ -84,6 +85,12 @@ Engine::Engine(const storage::Catalog* catalog, storage::BufferPool* pool,
         pipeline_.get(), options_.comm, options_.channel_bytes,
         options_.config == EngineConfig::kCjoinSp);
     qpipe_->set_join_delegate(cjoin_stage_->MakeDelegate());
+    if (options_.shared_aggregation) {
+      // Aggregate-over-join sub-plans run inside the pipeline's shared
+      // aggregation stage. When off, join output streams to per-query QPipe
+      // aggregation packets — the scalar reference path.
+      qpipe_->set_agg_delegate(cjoin_stage_->MakeAggDelegate());
+    }
     qpipe_->set_batch_flush_hook([stage = cjoin_stage_.get()] {
       stage->FlushStaged();
     });

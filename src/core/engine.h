@@ -53,6 +53,13 @@ struct EngineOptions {
   bool sp_sort = false;
   /// GQP pipeline options (CJOIN configs only).
   cjoin::CjoinOptions cjoin;
+  /// CJOIN configs: evaluate aggregations inside the pipeline's shared
+  /// aggregation stage — queries with the same (group-by keys, aggregate
+  /// shape) signature fold each distributed batch once and slice per-query
+  /// results at completion. False keeps the scalar reference: join output
+  /// streams to per-query QPipe aggregation packets (the pre-sharing
+  /// behavior, and the differential tests' baseline).
+  bool shared_aggregation = true;
   /// Fact table the GQP pipeline is built over.
   std::string fact_table = "lineorder";
   /// Scheduling policy: one core::Scheduler per engine threads priority,

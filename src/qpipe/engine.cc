@@ -102,7 +102,13 @@ std::unique_ptr<core::PageSource> QpipeEngine::BuildProducer(
     const QueryHandle& ctx, const PlanNode* node,
     std::vector<std::function<void()>>* deferred,
     std::vector<HostRef>* host_path) {
-  // GQP integration: delegate whole join sub-plans to the CJOIN stage.
+  // GQP integration: delegate whole aggregate-over-join sub-plans (shared
+  // aggregation) or bare join sub-plans to the CJOIN stage.
+  if (agg_delegate_ && node->kind == PlanNode::Kind::kAggregate &&
+      !node->children.empty() &&
+      node->child(0)->kind == PlanNode::Kind::kHashJoin) {
+    return agg_delegate_(ctx.get(), node, deferred);
+  }
   if (join_delegate_ && node->kind == PlanNode::Kind::kHashJoin) {
     return join_delegate_(ctx.get(), node, deferred);
   }

@@ -130,6 +130,16 @@ class QpipeEngine {
     join_delegate_ = std::move(delegate);
   }
 
+  /// Companion hook for shared aggregation: when set, an aggregate node
+  /// sitting directly on a join sub-plan is evaluated inside the CJOIN
+  /// pipeline (same-shape queries fold onto one shared aggregation group)
+  /// and the delegate returns the reader of the aggregate's output. Same
+  /// contract as JoinDelegate; checked before it during plan wiring.
+  using AggDelegate = JoinDelegate;
+  void set_agg_delegate(AggDelegate delegate) {
+    agg_delegate_ = std::move(delegate);
+  }
+
   /// Invoked once per SubmitBatch after all deferred dispatches ran; the
   /// CJOIN stage uses it to hand its staged submissions to the pipeline as
   /// one admission batch.
@@ -202,6 +212,7 @@ class QpipeEngine {
   std::unique_ptr<ThreadPool> sink_pool_;
 
   JoinDelegate join_delegate_;
+  AggDelegate agg_delegate_;
   std::function<void()> batch_flush_;
 
   std::atomic<uint64_t> next_qid_{1};

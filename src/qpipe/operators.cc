@@ -8,6 +8,7 @@
 
 #include "common/breakdown.h"
 #include "qpipe/hash_table.h"
+#include "query/agg_ops.h"
 #include "storage/scan.h"
 
 namespace sdw::qpipe {
@@ -67,9 +68,7 @@ void PageWriter::Flush() {
 
 double NumericValue(const storage::Schema& schema, const std::byte* tuple,
                     size_t col) {
-  return schema.column(col).type == storage::ColumnType::kDouble
-             ? schema.GetDouble(tuple, col)
-             : static_cast<double>(schema.GetIntAny(tuple, col));
+  return query::AggNumericValue(schema, tuple, col);
 }
 
 // ------------------------------------------------------------------- RunScan
@@ -232,92 +231,12 @@ Status RunHashJoin(const query::PlanNode& node, core::PageSource* probe,
 
 // -------------------------------------------------------------- RunAggregate
 
-namespace {
-
-struct AggAcc {
-  int64_t i = 0;
-  double d = 0;
-  int64_t count = 0;
-};
-
-void UpdateAcc(const query::BoundAgg& agg, const storage::Schema& in,
-               const std::byte* tuple, AggAcc* acc) {
-  using Kind = query::AggSpec::Kind;
-  switch (agg.kind) {
-    case Kind::kSum:
-      if (agg.integer_exact) {
-        acc->i += in.GetIntAny(tuple, static_cast<size_t>(agg.col_a));
-      } else {
-        acc->d += NumericValue(in, tuple, static_cast<size_t>(agg.col_a));
-      }
-      break;
-    case Kind::kSumProduct:
-      if (agg.integer_exact) {
-        acc->i += in.GetIntAny(tuple, static_cast<size_t>(agg.col_a)) *
-                  in.GetIntAny(tuple, static_cast<size_t>(agg.col_b));
-      } else {
-        acc->d += NumericValue(in, tuple, static_cast<size_t>(agg.col_a)) *
-                  NumericValue(in, tuple, static_cast<size_t>(agg.col_b));
-      }
-      break;
-    case Kind::kSumDiff:
-      if (agg.integer_exact) {
-        acc->i += in.GetIntAny(tuple, static_cast<size_t>(agg.col_a)) -
-                  in.GetIntAny(tuple, static_cast<size_t>(agg.col_b));
-      } else {
-        acc->d += NumericValue(in, tuple, static_cast<size_t>(agg.col_a)) -
-                  NumericValue(in, tuple, static_cast<size_t>(agg.col_b));
-      }
-      break;
-    case Kind::kSumDiscPrice:
-      acc->d += NumericValue(in, tuple, static_cast<size_t>(agg.col_a)) *
-                (1.0 - NumericValue(in, tuple, static_cast<size_t>(agg.col_b)));
-      break;
-    case Kind::kSumCharge:
-      acc->d +=
-          NumericValue(in, tuple, static_cast<size_t>(agg.col_a)) *
-          (1.0 - NumericValue(in, tuple, static_cast<size_t>(agg.col_b))) *
-          (1.0 + NumericValue(in, tuple, static_cast<size_t>(agg.col_c)));
-      break;
-    case Kind::kAvg:
-      acc->d += NumericValue(in, tuple, static_cast<size_t>(agg.col_a));
-      ++acc->count;
-      break;
-    case Kind::kCount:
-      ++acc->count;
-      break;
-  }
-}
-
-void EmitAcc(const query::BoundAgg& agg, const storage::Schema& out,
-             std::byte* dst, size_t col, const AggAcc& acc) {
-  using Kind = query::AggSpec::Kind;
-  switch (agg.kind) {
-    case Kind::kSum:
-    case Kind::kSumProduct:
-    case Kind::kSumDiff:
-      if (agg.integer_exact) {
-        out.SetInt64(dst, col, acc.i);
-      } else {
-        out.SetDouble(dst, col, acc.d);
-      }
-      break;
-    case Kind::kSumDiscPrice:
-    case Kind::kSumCharge:
-      out.SetDouble(dst, col, acc.d);
-      break;
-    case Kind::kAvg:
-      out.SetDouble(dst, col,
-                    acc.count == 0 ? 0.0
-                                   : acc.d / static_cast<double>(acc.count));
-      break;
-    case Kind::kCount:
-      out.SetInt64(dst, col, acc.count);
-      break;
-  }
-}
-
-}  // namespace
+// Accumulator semantics live in query/agg_ops.h, shared with the CJOIN
+// shared-aggregation stage and its scalar reference so the differential
+// tests compare one implementation against itself, not two copies.
+using query::AggAcc;
+using query::EmitAcc;
+using query::UpdateAcc;
 
 Status RunAggregate(const query::PlanNode& node, core::PageSource* in,
                     core::PageSink* out) {

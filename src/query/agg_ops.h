@@ -1,0 +1,129 @@
+// The ONE implementation of the paper workloads' aggregate accumulator
+// semantics, shared by every aggregation path in the engine:
+//
+//   * qpipe::RunAggregate         — the query-centric hash aggregation packet,
+//   * cjoin::SharedAggregator     — the GQP's shared aggregation stage,
+//   * cjoin::AggregateScalar      — the per-query scalar reference the
+//                                   differential tests pin the shared path to.
+//
+// Keeping update/emit here (instead of per-operator copies) is what makes the
+// differential tests' bit-equality claim meaningful: the shared path cannot
+// drift from the scalar reference in rounding, accumulator width or
+// empty-group semantics, because they run the same code.
+
+#ifndef SDW_QUERY_AGG_OPS_H_
+#define SDW_QUERY_AGG_OPS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "query/plan.h"
+#include "storage/schema.h"
+
+namespace sdw::query {
+
+/// One aggregate's running state. Integer-exact aggregates accumulate in
+/// `i`, floating ones in `d`; kAvg/kCount use `count`.
+struct AggAcc {
+  int64_t i = 0;
+  double d = 0;
+  int64_t count = 0;
+
+  void MergeFrom(const AggAcc& o) {
+    i += o.i;
+    d += o.d;
+    count += o.count;
+  }
+};
+
+/// Reads a numeric column (int or double) as double.
+inline double AggNumericValue(const storage::Schema& schema,
+                              const std::byte* tuple, size_t col) {
+  return schema.column(col).type == storage::ColumnType::kDouble
+             ? schema.GetDouble(tuple, col)
+             : static_cast<double>(schema.GetIntAny(tuple, col));
+}
+
+/// Folds one input tuple into the accumulator.
+inline void UpdateAcc(const BoundAgg& agg, const storage::Schema& in,
+                      const std::byte* tuple, AggAcc* acc) {
+  using Kind = AggSpec::Kind;
+  switch (agg.kind) {
+    case Kind::kSum:
+      if (agg.integer_exact) {
+        acc->i += in.GetIntAny(tuple, static_cast<size_t>(agg.col_a));
+      } else {
+        acc->d += AggNumericValue(in, tuple, static_cast<size_t>(agg.col_a));
+      }
+      break;
+    case Kind::kSumProduct:
+      if (agg.integer_exact) {
+        acc->i += in.GetIntAny(tuple, static_cast<size_t>(agg.col_a)) *
+                  in.GetIntAny(tuple, static_cast<size_t>(agg.col_b));
+      } else {
+        acc->d += AggNumericValue(in, tuple, static_cast<size_t>(agg.col_a)) *
+                  AggNumericValue(in, tuple, static_cast<size_t>(agg.col_b));
+      }
+      break;
+    case Kind::kSumDiff:
+      if (agg.integer_exact) {
+        acc->i += in.GetIntAny(tuple, static_cast<size_t>(agg.col_a)) -
+                  in.GetIntAny(tuple, static_cast<size_t>(agg.col_b));
+      } else {
+        acc->d += AggNumericValue(in, tuple, static_cast<size_t>(agg.col_a)) -
+                  AggNumericValue(in, tuple, static_cast<size_t>(agg.col_b));
+      }
+      break;
+    case Kind::kSumDiscPrice:
+      acc->d +=
+          AggNumericValue(in, tuple, static_cast<size_t>(agg.col_a)) *
+          (1.0 - AggNumericValue(in, tuple, static_cast<size_t>(agg.col_b)));
+      break;
+    case Kind::kSumCharge:
+      acc->d +=
+          AggNumericValue(in, tuple, static_cast<size_t>(agg.col_a)) *
+          (1.0 - AggNumericValue(in, tuple, static_cast<size_t>(agg.col_b))) *
+          (1.0 + AggNumericValue(in, tuple, static_cast<size_t>(agg.col_c)));
+      break;
+    case Kind::kAvg:
+      acc->d += AggNumericValue(in, tuple, static_cast<size_t>(agg.col_a));
+      ++acc->count;
+      break;
+    case Kind::kCount:
+      ++acc->count;
+      break;
+  }
+}
+
+/// Writes the finished accumulator to output column `col` of `dst`.
+inline void EmitAcc(const BoundAgg& agg, const storage::Schema& out,
+                    std::byte* dst, size_t col, const AggAcc& acc) {
+  using Kind = AggSpec::Kind;
+  switch (agg.kind) {
+    case Kind::kSum:
+    case Kind::kSumProduct:
+    case Kind::kSumDiff:
+      if (agg.integer_exact) {
+        out.SetInt64(dst, col, acc.i);
+      } else {
+        out.SetDouble(dst, col, acc.d);
+      }
+      break;
+    case Kind::kSumDiscPrice:
+    case Kind::kSumCharge:
+      out.SetDouble(dst, col, acc.d);
+      break;
+    case Kind::kAvg:
+      out.SetDouble(dst, col,
+                    acc.count == 0 ? 0.0
+                                   : acc.d / static_cast<double>(acc.count));
+      break;
+    case Kind::kCount:
+      out.SetInt64(dst, col, acc.count);
+      break;
+  }
+}
+
+}  // namespace sdw::query
+
+#endif  // SDW_QUERY_AGG_OPS_H_

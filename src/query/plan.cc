@@ -139,16 +139,12 @@ storage::Schema Planner::JoinOutputSchema(const StarQuery& q) const {
   return storage::Schema(std::move(out_cols));
 }
 
-std::unique_ptr<PlanNode> Planner::MakeAggregate(
-    std::unique_ptr<PlanNode> child, const StarQuery& q) const {
-  auto agg = std::make_unique<PlanNode>();
-  agg->kind = PlanNode::Kind::kAggregate;
-
-  const storage::Schema& in = child->out_schema;
+AggShape Planner::BindAggShape(const storage::Schema& in, const StarQuery& q) {
+  AggShape shape;
   std::vector<storage::Column> out_cols;
   for (const auto& g : q.group_by) {
     const size_t c = in.MustColumnIndex(g);
-    agg->group_cols.push_back(c);
+    shape.group_cols.push_back(c);
     out_cols.push_back(in.column(c));
   }
   for (const auto& a : q.aggregates) {
@@ -170,9 +166,21 @@ std::unique_ptr<PlanNode> Planner::MakeAggregate(
     } else {
       out_cols.push_back(storage::Schema::Double(a.out_name));
     }
-    agg->aggs.push_back(std::move(bound));
+    shape.aggs.push_back(std::move(bound));
   }
-  agg->out_schema = storage::Schema(std::move(out_cols));
+  shape.out_schema = storage::Schema(std::move(out_cols));
+  return shape;
+}
+
+std::unique_ptr<PlanNode> Planner::MakeAggregate(
+    std::unique_ptr<PlanNode> child, const StarQuery& q) const {
+  auto agg = std::make_unique<PlanNode>();
+  agg->kind = PlanNode::Kind::kAggregate;
+
+  AggShape shape = BindAggShape(child->out_schema, q);
+  agg->group_cols = std::move(shape.group_cols);
+  agg->aggs = std::move(shape.aggs);
+  agg->out_schema = std::move(shape.out_schema);
 
   std::vector<std::string> agg_sigs;
   agg_sigs.reserve(q.aggregates.size());

@@ -66,10 +66,27 @@ struct PlanNode {
   const PlanNode* child(size_t i) const { return children[i].get(); }
 };
 
+/// A query's aggregation shape bound against its input (join-output) schema:
+/// everything an aggregation operator needs except the operator itself.
+/// Queries with equal StarQuery::AggSignature() bind to identical shapes,
+/// which is what lets the CJOIN shared-aggregation stage serve them from one
+/// table.
+struct AggShape {
+  std::vector<size_t> group_cols;  // indexes into the input schema
+  std::vector<BoundAgg> aggs;
+  storage::Schema out_schema;      // group columns, then one column per agg
+};
+
 /// Compiles StarQuery -> PlanNode trees against a catalog.
 class Planner {
  public:
   explicit Planner(const storage::Catalog* catalog) : catalog_(catalog) {}
+
+  /// Binds `q`'s group-by and aggregates against input schema `in` (the
+  /// join-pipeline output). Shared by MakeAggregate and the CJOIN
+  /// shared-aggregation stage, so both paths resolve columns, accumulator
+  /// width (integer_exact) and output schema identically.
+  static AggShape BindAggShape(const storage::Schema& in, const StarQuery& q);
 
   /// Builds the full plan (scan-joins-aggregate-sort). Aborts on invalid
   /// queries (unknown tables/columns) — workload generators are trusted.

@@ -1,5 +1,7 @@
 #include "query/star_query.h"
 
+#include <algorithm>
+
 #include "common/str_util.h"
 
 namespace sdw::query {
@@ -55,6 +57,28 @@ std::string StarQuery::JoinSignature() const {
         d.pred.Signature().c_str(),
         StrJoin(d.payload_columns, ",").c_str()));
   }
+  return StrJoin(parts, ";");
+}
+
+std::string StarQuery::AggSignature() const {
+  std::vector<std::string> parts;
+  parts.push_back("fact=" + fact_table);
+  // The fact predicate's referenced COLUMNS stay in the signature (they
+  // widen the canonical fact projection, hence the join-output schema); its
+  // constants do not — that is the whole point of the shape signature.
+  std::vector<std::string> pred_cols = fact_pred.ReferencedColumns();
+  std::sort(pred_cols.begin(), pred_cols.end());
+  parts.push_back("fpredcols=" + StrJoin(pred_cols, ","));
+  for (const auto& d : dims) {
+    parts.push_back(StrPrintf("dim(%s,%s=%s,pay=%s)", d.dim_table.c_str(),
+                              d.fact_fk_column.c_str(), d.dim_pk_column.c_str(),
+                              StrJoin(d.payload_columns, ",").c_str()));
+  }
+  parts.push_back("group=" + StrJoin(group_by, ","));
+  std::vector<std::string> agg_sigs;
+  agg_sigs.reserve(aggregates.size());
+  for (const auto& a : aggregates) agg_sigs.push_back(a.ToString());
+  parts.push_back("aggs=" + StrJoin(agg_sigs, ","));
   return StrJoin(parts, ";");
 }
 

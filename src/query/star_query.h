@@ -72,6 +72,17 @@ struct StarQuery {
 
   /// Signature of the join sub-plan only (what the CJOIN stage shares).
   std::string JoinSignature() const;
+
+  /// Aggregation-shape signature: the join *structure* (fact table,
+  /// dimensions, FK=PK pairs, payload columns, and the referenced — not
+  /// compared — predicate columns) plus group-by keys and aggregate
+  /// expressions, with every predicate CONSTANT excluded. Queries with equal
+  /// AggSignatures differ only in selection constants, so they produce
+  /// identical join-output schemas and aggregate plans; the shared
+  /// aggregation stage binds them to one group and separates their results
+  /// by predicate bitmap instead of recomputing the group-by per query.
+  /// ORDER BY is also excluded: sorting runs per query downstream.
+  std::string AggSignature() const;
 };
 
 }  // namespace sdw::query

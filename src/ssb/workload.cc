@@ -57,6 +57,110 @@ std::vector<query::StarQuery> SimilarQ32Workload(size_t num_queries,
   return queries;
 }
 
+namespace {
+
+// One of 32 distinct aggregation shapes over the Q3.2 join structure:
+// bits 0..2 of `shape` select the group-by subset of {c_city, s_city,
+// d_year} (0 = global aggregate), bits 3..4 the aggregate variant. The
+// join structure (three dimensions, random single-nation / year-range
+// predicates) is common to all shapes, so only the aggregation stage
+// distinguishes them.
+query::StarQuery MakeQ32Shape(size_t shape, const Q32Params& p) {
+  using query::AggSpec;
+  using query::AtomicPred;
+  using query::CompareOp;
+  using query::DimJoin;
+  using query::Predicate;
+
+  query::StarQuery q;
+  q.fact_table = kLineorder;
+  const bool group_c = (shape & 1) != 0;
+  const bool group_s = (shape & 2) != 0;
+  const bool group_y = (shape & 4) != 0;
+
+  Predicate supp_pred;
+  supp_pred.And(AtomicPred::Str("s_nation", CompareOp::kEq,
+                                std::string(NationName(p.supp_nation))));
+  Predicate cust_pred;
+  cust_pred.And(AtomicPred::Str("c_nation", CompareOp::kEq,
+                                std::string(NationName(p.cust_nation))));
+  Predicate date_pred;
+  date_pred.And(AtomicPred::Int("d_year", CompareOp::kGe, p.year_lo));
+  date_pred.And(AtomicPred::Int("d_year", CompareOp::kLe, p.year_hi));
+
+  std::vector<std::string> supp_payload, cust_payload, date_payload;
+  if (group_s) supp_payload.push_back("s_city");
+  if (group_c) cust_payload.push_back("c_city");
+  if (group_y) date_payload.push_back("d_year");
+  q.dims.push_back(DimJoin{kSupplier, "lo_suppkey", "s_suppkey",
+                           std::move(supp_pred), std::move(supp_payload)});
+  q.dims.push_back(DimJoin{kCustomer, "lo_custkey", "c_custkey",
+                           std::move(cust_pred), std::move(cust_payload)});
+  q.dims.push_back(DimJoin{kDate, "lo_orderdate", "d_datekey",
+                           std::move(date_pred), std::move(date_payload)});
+  if (group_c) q.group_by.push_back("c_city");
+  if (group_s) q.group_by.push_back("s_city");
+  if (group_y) q.group_by.push_back("d_year");
+
+  switch ((shape >> 3) & 3) {
+    case 0: {
+      AggSpec a;
+      a.kind = AggSpec::Kind::kSum;
+      a.col_a = "lo_revenue";
+      a.out_name = "revenue";
+      q.aggregates.push_back(std::move(a));
+      break;
+    }
+    case 1: {
+      AggSpec a;
+      a.kind = AggSpec::Kind::kCount;
+      a.out_name = "orders";
+      q.aggregates.push_back(std::move(a));
+      break;
+    }
+    case 2: {
+      AggSpec a;
+      a.kind = AggSpec::Kind::kSum;
+      a.col_a = "lo_revenue";
+      a.out_name = "revenue";
+      q.aggregates.push_back(std::move(a));
+      AggSpec b;
+      b.kind = AggSpec::Kind::kCount;
+      b.out_name = "orders";
+      q.aggregates.push_back(std::move(b));
+      break;
+    }
+    default: {
+      AggSpec a;
+      a.kind = AggSpec::Kind::kAvg;
+      a.col_a = "lo_quantity";
+      a.out_name = "avg_qty";
+      q.aggregates.push_back(std::move(a));
+      break;
+    }
+  }
+  return q;
+}
+
+}  // namespace
+
+std::vector<query::StarQuery> ShapeSkewedQ32Workload(size_t num_queries,
+                                                     size_t distinct_shapes,
+                                                     uint64_t seed) {
+  constexpr size_t kShapes = 32;
+  if (distinct_shapes == 0) distinct_shapes = 1;
+  if (distinct_shapes > kShapes) distinct_shapes = kShapes;
+  Rng rng(seed);
+  std::vector<query::StarQuery> queries;
+  queries.reserve(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    // Round-robin over the shapes (even skew); constants fully random, so
+    // instances of one shape are distinct queries sharing one AggSignature.
+    queries.push_back(MakeQ32Shape(i % distinct_shapes, RandomQ32Params(&rng)));
+  }
+  return queries;
+}
+
 SelectivityChoice PickSelectivity(double selectivity) {
   SelectivityChoice best{1, 1, 1, 1.0 / (25.0 * 25.0 * 7.0)};
   double best_err = std::fabs(std::log(best.achieved / selectivity));

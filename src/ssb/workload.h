@@ -45,6 +45,19 @@ struct SelectivityChoice {
 };
 SelectivityChoice PickSelectivity(double selectivity);
 
+/// Q3.2 variants drawn round-robin from `distinct_shapes` distinct
+/// AGGREGATION shapes (group-by subsets of {c_city, s_city, d_year} ×
+/// aggregate variants — distinct StarQuery::AggSignature() each), with
+/// fully random predicate constants per instance. The shared-aggregation
+/// counterpart of the similarity knob: SimilarQ32Workload skews how many
+/// distinct *plans* run, this skews how many distinct *aggregation shapes*
+/// the GQP must maintain — the axis fig_shared_agg sweeps to show
+/// aggregation work scaling with shapes, not query count. `distinct_shapes`
+/// is clamped to the 32 available variants; 0 means 1.
+std::vector<query::StarQuery> ShapeSkewedQ32Workload(size_t num_queries,
+                                                     size_t distinct_shapes,
+                                                     uint64_t seed);
+
 /// Round-robin mix of Q1.1, Q2.1, Q3.2 with random parameters (Figure 16).
 std::vector<query::StarQuery> MixedWorkload(size_t num_queries,
                                             uint64_t seed);

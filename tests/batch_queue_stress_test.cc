@@ -4,7 +4,9 @@
 //  * Put-after-Close reports the drop (returns false),
 //  * Take drains enqueued batches after Close, then returns nullptr,
 //  * drop reports after a mid-stream Close rebalance pipeline-style
-//    in-flight accounting exactly (delivered + dropped == produced).
+//    in-flight accounting exactly (delivered + dropped == produced),
+//  * the precise notify protocol holds quiescent waiters asleep: zero
+//    futile wakeups while the queue is idle (no timed-wait backstop).
 
 #include "cjoin/tuple_batch.h"
 
@@ -159,6 +161,47 @@ static void TestPostCloseDropRebalance() {
   SDW_CHECK(dropped.load() > 0);
 }
 
+static void TestQuiescentWaitersNeverWakeSpuriously() {
+  // The precise-notify protocol (no timed-wait backstop): waiters parked on
+  // a quiescent queue must sleep indefinitely — zero futile wakeups — until
+  // real traffic or Close arrives. With the old 1 ms timed-wait backstop
+  // these windows would observe hundreds of timeout wakeups.
+
+  {  // Consumers parked on an empty queue.
+    BatchQueue q(2);
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < 3; ++c) {
+      consumers.emplace_back([&q] { SDW_CHECK(q.Take() == nullptr); });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    const uint64_t futile = q.futile_wakeups();
+    SDW_CHECK_MSG(futile == 0,
+                  "empty quiescent queue: %llu futile wakeups (want 0)",
+                  static_cast<unsigned long long>(futile));
+    q.Close();
+    for (auto& t : consumers) t.join();
+  }
+
+  {  // Producers parked on a full ring.
+    BatchQueue q(2);
+    SDW_CHECK(q.Put(MakeBatch(0)));
+    SDW_CHECK(q.Put(MakeBatch(1)));
+    std::thread p1([&q] { SDW_CHECK(!q.Put(MakeBatch(2))); });
+    std::thread p2([&q] { SDW_CHECK(!q.Put(MakeBatch(3))); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    const uint64_t futile = q.futile_wakeups();
+    SDW_CHECK_MSG(futile == 0,
+                  "full quiescent queue: %llu futile wakeups (want 0)",
+                  static_cast<unsigned long long>(futile));
+    q.Close();  // blocked Puts report their drop
+    p1.join();
+    p2.join();
+    SDW_CHECK(q.Take() != nullptr);
+    SDW_CHECK(q.Take() != nullptr);
+    SDW_CHECK(q.Take() == nullptr);
+  }
+}
+
 static void TestBatchPoolRecycling() {
   BatchPool pool(2);
   SDW_CHECK(pool.misses() == 0 && pool.hits() == 0);
@@ -184,6 +227,7 @@ int main() {
   TestBlockedPutWakesOnClose();
   TestMpmcStress();
   TestPostCloseDropRebalance();
+  TestQuiescentWaitersNeverWakeSpuriously();
   TestBatchPoolRecycling();
   std::printf("batch_queue_stress_test: OK\n");
   return 0;

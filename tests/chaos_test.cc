@@ -5,9 +5,11 @@
 //  A. Deterministic fault isolation. A one-shot *permanent* fact-page error
 //     fails exactly the queries attached to the scan at that epoch
 //     (kDataLoss) while the scan skips the poisoned page and keeps serving:
-//     the next batch completes kOk and matches the Volcano oracle. A
-//     one-shot *transient* error is absorbed by the cursor's retry/backoff
-//     and never reaches a client.
+//     the next batch completes kOk and matches the Volcano oracle. The same
+//     fault under an active shared aggregation group fails only the group's
+//     members and leaves the aggregator clean for same-signature
+//     readmissions. A one-shot *transient* error is absorbed by the
+//     cursor's retry/backoff and never reaches a client.
 //  B. Overload shedding. With an admission memory budget of 4 queries, a
 //     12-query batch sees exactly 4 admitted and 8 shed kResourceExhausted
 //     with a machine-readable retry_after hint; resubmitting after the
@@ -140,6 +142,56 @@ void TestPermanentFaultFailsOnlyAttachedEpoch(Db* db) {
   }
   engine.WaitAll();
   SDW_CHECK(engine.cjoin_stats().queries_completed == 4);
+}
+
+// Phase A3: a permanent fact-page fault under an ACTIVE shared aggregation
+// group. All queries share one group (same Q3.2 shape — one AggSignature);
+// the fault must fail exactly the attached members (kDataLoss) and retire
+// them through the group's fault path (RetireSlot on a poisoned stream must
+// not corrupt the aggregator), after which a second wave binding the SAME
+// signature completes oracle-equal on the same engine.
+void TestSharedAggFaultIsolation(Db* db) {
+  core::Engine engine(&db->catalog, db->pool.get(), CjoinOpts());
+  ScopedFaults faults(104);
+  FaultSpec spec;
+  spec.kind = FaultKind::kPermanent;
+  spec.one_shot_at = 1;
+  spec.message = "chaos: simulated media error";
+  RestrictToFactTable(&spec, *db);
+  FaultInjector::Global().Arm("storage.read", spec);
+
+  // distinct_plans=1: every instance is plan-identical, so with CJOIN (no
+  // SP) all 6 bind as members of ONE shared aggregation group.
+  const auto queries = ssb::SimilarQ32Workload(6, 1, 9600);
+  const auto tickets = engine.SubmitBatch(queries);
+  for (const auto& t : tickets) {
+    const Status s = t.Wait();
+    SDW_CHECK_MSG(s.code() == StatusCode::kDataLoss,
+                  "shared-agg member finished %s (want kDataLoss)",
+                  s.ToString().c_str());
+  }
+  engine.WaitAll();
+  const cjoin::CjoinStats mid = engine.cjoin_stats();
+  SDW_CHECK_MSG(mid.agg_groups_shared >= 5,
+                "6 same-shape queries shared %llu times (want >= 5)",
+                static_cast<unsigned long long>(mid.agg_groups_shared));
+  SDW_CHECK(mid.queries_failed == 6);
+
+  // Same signature, fresh members: the group was fully retired with its
+  // last member, so a new wave re-binds cleanly and completes oracle-equal.
+  FaultInjector::Global().ClearSite("storage.read");
+  const auto queries2 = ssb::SimilarQ32Workload(6, 1, 9700);
+  const auto tickets2 = engine.SubmitBatch(queries2);
+  for (size_t i = 0; i < tickets2.size(); ++i) {
+    const Status s = tickets2[i].Wait();
+    SDW_CHECK_MSG(s.ok(), "post-fault shared-agg query finished %s",
+                  s.ToString().c_str());
+    CheckOracleEqual(db, queries2[i], tickets2[i], "shared-agg second wave");
+  }
+  engine.WaitAll();
+  const cjoin::CjoinStats after = engine.cjoin_stats();
+  SDW_CHECK(after.queries_completed == 6);
+  SDW_CHECK(after.agg_slice_emits >= 6);
 }
 
 // Phase A2: a transient read error is retried inside the cursor and never
@@ -396,6 +448,7 @@ int main(int argc, char** argv) {
 
   auto db = MakeDb();
   TestPermanentFaultFailsOnlyAttachedEpoch(db.get());
+  TestSharedAggFaultIsolation(db.get());
   TestTransientFaultAbsorbedByRetry(db.get());
   TestOverloadSheddingAndResubmit(db.get());
   TestWatchdogConvertsStallIntoDeadline(db.get());

@@ -6,16 +6,19 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "baseline/volcano.h"
 #include "cjoin/filter.h"
 #include "cjoin/pipeline.h"
+#include "cjoin/shared_agg.h"
 #include "cjoin/tuple_batch.h"
 #include "common/bitmap.h"
 #include "common/rng.h"
 #include "core/engine.h"
 #include "ssb/ssb_schema.h"
+#include "ssb/workload.h"
 #include "test_util.h"
 
 namespace sdw {
@@ -261,6 +264,159 @@ TEST_P(DistributorLiveMaskProperty, LiveMaskMatchesDistribution) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DistributorLiveMaskProperty,
+                         ::testing::Range(0, 6));
+
+// Shared-aggregation slice invariant (the bitmap ∧ group property): for any
+// member of a shared aggregation group, SliceSlot over the folded table must
+// equal a direct aggregation of EXACTLY that member's qualifying tuples —
+// live, bitmap bit set, fact predicate satisfied — computed here by brute
+// force per tuple, with no batching, partials or bitmap keying involved.
+class SharedAggSliceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SharedAggSliceProperty, SliceEqualsQualifyingTuples) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 52711 + 3);
+  const storage::Schema fs({storage::Schema::Int32("g"),
+                            storage::Schema::Int32("v"),
+                            storage::Schema::Double("d")});
+  constexpr size_t kSlots = 96;  // straddles two bitmap words
+  constexpr size_t kParts = 2;
+
+  cjoin::SharedAggregator agg(kParts, bits::WordsFor(kSlots));
+  cjoin::SharedAggregator::Group* g = agg.CreateGroup("prop");
+  g->join_schema = fs;
+  g->join_row_size = fs.tuple_size();
+  g->moves = {{/*from_fact=*/true, 0, 0, 0, fs.tuple_size()}};
+  g->group_cols = {0};
+  g->aggs = {{query::AggSpec::Kind::kSum, 1, -1, -1, /*integer_exact=*/true,
+              "s"},
+             {query::AggSpec::Kind::kAvg, 2, -1, -1, false, "a"}};
+  g->out_schema = storage::Schema({storage::Schema::Int32("g"),
+                                   storage::Schema::Int64("s"),
+                                   storage::Schema::Double("a")});
+  g->key_width = fs.column(0).width();
+
+  std::vector<query::Predicate::Bound> preds(kSlots);
+  for (size_t s = 0; s < kSlots; ++s) {
+    query::Predicate p;
+    if (rng.Bernoulli(0.5)) {
+      p.And(query::AtomicPred::Int(
+          "v", static_cast<query::CompareOp>(rng.Index(6)),
+          rng.Uniform(0, 50)));
+    }
+    preds[s] = p.Bind(fs);
+    agg.AddMember(g, static_cast<uint32_t>(s), preds[s]);
+  }
+
+  // Fold random batches, retaining every batch for the brute-force pass.
+  std::vector<cjoin::TupleBatch> history(4);
+  cjoin::SharedAggregator::FoldScratch scratch;
+  for (size_t b = 0; b < history.size(); ++b) {
+    cjoin::TupleBatch& batch = history[b];
+    const uint32_t n = static_cast<uint32_t>(rng.Uniform(0, 200));
+    batch.fact_page = storage::Page::Make(fs.tuple_size());
+    for (uint32_t i = 0; i < n; ++i) {
+      std::byte* t = batch.fact_page->AppendTuple();
+      fs.SetInt32(t, 0, static_cast<int32_t>(rng.Uniform(0, 5)));
+      fs.SetInt32(t, 1, static_cast<int32_t>(rng.Uniform(0, 50)));
+      fs.SetDouble(t, 2, rng.NextDouble());
+    }
+    batch.ResetFor(n, bits::WordsFor(kSlots), /*filters=*/1);
+    for (uint32_t i = 0; i < n; ++i) {
+      uint64_t* tb = batch.tuple_bits(i);
+      bits::Zero(tb, batch.words_per_tuple);
+      for (size_t s = 0; s < kSlots; ++s) {
+        if (rng.Bernoulli(0.4)) bits::Set(tb, s);
+      }
+      if (!bits::Any(tb, batch.words_per_tuple)) batch.kill_tuple(i);
+    }
+    agg.FoldBatch(g, batch, fs, nullptr, b % kParts,
+                  /*preds_pre_applied=*/false, &scratch);
+  }
+  cjoin::SharedAggregator::MergePartials(g);
+
+  for (size_t s = 0; s < kSlots; ++s) {
+    cjoin::SharedAggregator::AccTable slice;
+    cjoin::SharedAggregator::SliceSlot(*g, static_cast<uint32_t>(s), &slice);
+
+    // Brute force: one accumulator table over exactly the qualifying tuples.
+    cjoin::SharedAggregator::AccTable want;
+    for (const cjoin::TupleBatch& batch : history) {
+      for (uint32_t i = 0; i < batch.num_tuples; ++i) {
+        if (!batch.tuple_live(i)) continue;
+        if (!bits::Test(batch.tuple_bits(i), s)) continue;
+        const std::byte* t = batch.fact_tuple(i);
+        if (!preds[s].IsTrue() && !preds[s].Eval(fs, t)) continue;
+        std::string key(reinterpret_cast<const char*>(t + fs.offset(0)),
+                        fs.column(0).width());
+        auto& accs = want[key];
+        accs.resize(g->aggs.size());
+        for (size_t a = 0; a < g->aggs.size(); ++a) {
+          query::UpdateAcc(g->aggs[a], fs, t, &accs[a]);
+        }
+      }
+    }
+
+    ASSERT_EQ(slice.size(), want.size()) << "slot " << s;
+    for (const auto& [key, accs] : want) {
+      auto it = slice.find(key);
+      ASSERT_NE(it, slice.end()) << "slot " << s;
+      ASSERT_EQ(it->second.size(), accs.size());
+      for (size_t a = 0; a < accs.size(); ++a) {
+        EXPECT_EQ(it->second[a].i, accs[a].i) << "slot " << s << " agg " << a;
+        EXPECT_EQ(it->second[a].count, accs[a].count)
+            << "slot " << s << " agg " << a;
+        EXPECT_NEAR(it->second[a].d, accs[a].d,
+                    1e-9 * std::max(1.0, std::fabs(accs[a].d)))
+            << "slot " << s << " agg " << a;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SharedAggSliceProperty,
+                         ::testing::Range(0, 6));
+
+// Mid-cycle detachment property: cancelling a random subset of the members
+// of a live shared aggregation group (same-shape Q3.2 instances bound to one
+// group) must never perturb the survivors — every uncancelled query still
+// matches the oracle exactly.
+class SharedAggCancelProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SharedAggCancelProperty, CancelNeverPerturbsSurvivors) {
+  TestDb* db = SharedSsbDb();
+  Rng rng(static_cast<uint64_t>(GetParam()) * 9851 + 17);
+
+  const auto queries =
+      ssb::SimilarQ32Workload(12, /*distinct_plans=*/3,
+                              static_cast<uint64_t>(GetParam()) * 31 + 5);
+  core::EngineOptions opts;
+  opts.config = core::EngineConfig::kCjoin;
+  opts.cjoin.max_queries = 32;
+  core::Engine engine(&db->catalog, db->pool.get(), opts);
+  auto tickets = engine.SubmitBatch(queries);
+
+  std::vector<bool> cancelled(queries.size(), false);
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    if (rng.Bernoulli(0.4)) {
+      tickets[i].Cancel();
+      cancelled[i] = true;
+    }
+  }
+  engine.WaitAll();
+
+  const baseline::VolcanoEngine oracle(&db->catalog, db->pool.get());
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    const Status st = tickets[i].Wait();
+    if (cancelled[i]) continue;  // a cancel may land before or after finish
+    ASSERT_TRUE(st.ok()) << "survivor " << i << ": " << st.ToString();
+    EXPECT_EQ(query::DiffResults(oracle.Execute(queries[i]),
+                                 tickets[i].result()),
+              "")
+        << "survivor " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SharedAggCancelProperty,
                          ::testing::Range(0, 6));
 
 }  // namespace
