@@ -109,7 +109,7 @@ std::vector<core::QueryTicket> VolcanoEngine::SubmitRequests(
         next_qid_.fetch_add(1, std::memory_order_relaxed), req.opts);
     life->set_submit_nanos(NowNanos());
     tickets.emplace_back(life);
-    std::unique_lock<std::mutex> lock(threads_mu_);
+    MutexLock lock(threads_mu_);
     threads_.emplace_back([this, q = req.q, life = std::move(life)] {
       ExecuteInto(q, life.get());
     });
@@ -120,7 +120,7 @@ std::vector<core::QueryTicket> VolcanoEngine::SubmitRequests(
 void VolcanoEngine::WaitAll() {
   std::vector<std::thread> threads;
   {
-    std::unique_lock<std::mutex> lock(threads_mu_);
+    MutexLock lock(threads_mu_);
     threads.swap(threads_);
   }
   for (auto& t : threads) t.join();

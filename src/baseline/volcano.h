@@ -12,10 +12,10 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "core/page_channel.h"
 #include "core/query_ticket.h"
 #include "query/plan.h"
@@ -105,8 +105,10 @@ class VolcanoEngine : public core::ExecutorClient {
   storage::BufferPool* pool_;
 
   std::atomic<uint64_t> next_qid_{1};
-  std::mutex threads_mu_;
-  std::vector<std::thread> threads_;  // batch workers; reaped in WaitAll
+  // Only wraps the thread-vector mutation; never another acquisition.
+  Mutex threads_mu_{lock_rank::Rank::kVolcano};
+  // Batch workers; reaped in WaitAll.
+  std::vector<std::thread> threads_ GUARDED_BY(threads_mu_);
 };
 
 }  // namespace sdw::baseline

@@ -50,12 +50,12 @@ CjoinPipeline::CjoinPipeline(const storage::Catalog* catalog,
 
 CjoinPipeline::~CjoinPipeline() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_.store(true);
     SDW_CHECK_MSG(active_count_ == 0 && pending_.empty(),
                   "CjoinPipeline destroyed with queries in flight");
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   preprocessor_.join();
   to_filters_.Close();
   for (auto& w : workers_) w.join();
@@ -80,7 +80,7 @@ void CjoinPipeline::Submit(const query::StarQuery& q,
 void CjoinPipeline::SubmitMany(std::vector<Submission> submissions) {
   if (submissions.empty()) return;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto& s : submissions) {
       if (s.priority == 0 && s.life != nullptr) {
         s.priority = s.life->options().priority;
@@ -88,11 +88,11 @@ void CjoinPipeline::SubmitMany(std::vector<Submission> submissions) {
       pending_.push_back(std::move(s));
     }
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 }
 
 CjoinStats CjoinPipeline::stats() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   CjoinStats s = stats_;
   s.batch_pool_hits = batch_pool_.hits() - pool_hits_base_;
   s.batch_pool_misses = batch_pool_.misses() - pool_misses_base_;
@@ -114,7 +114,7 @@ CjoinStats CjoinPipeline::stats() const {
 }
 
 void CjoinPipeline::ResetStats() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_ = CjoinStats{};
   pool_hits_base_ = batch_pool_.hits();
   pool_misses_base_ = batch_pool_.misses();
@@ -130,23 +130,22 @@ void CjoinPipeline::ResetStats() {
 }
 
 size_t CjoinPipeline::num_filters() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return filters_.size();
 }
 
 size_t CjoinPipeline::num_active_queries() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return active_count_;
 }
 
 void CjoinPipeline::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock,
-                [&] { return active_count_ == 0 && pending_.empty(); });
+  MutexLock lock(mu_);
+  while (!(active_count_ == 0 && pending_.empty())) idle_cv_.Wait(mu_);
 }
 
 bool CjoinPipeline::busy() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return active_count_ > 0 || !pending_.empty();
 }
 
@@ -155,7 +154,7 @@ void CjoinPipeline::CancelActiveQueries(const Status& why) {
   // fires client callbacks that must not run under the pipeline lock.
   std::vector<std::shared_ptr<core::QueryLifecycle>> lives;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (size_t s = active_mask_.FindNextSet(0); s < active_mask_.size();
          s = active_mask_.FindNextSet(s + 1)) {
       ActiveQuery* aq = slots_[s].get();
@@ -175,20 +174,19 @@ void CjoinPipeline::PreprocessorLoop() {
   (void)fact_schema;
   while (true) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (!pending_.empty() || !completions_due_.empty()) {
         // Pause the pipeline: drain in-flight batches, then adapt the GQP.
-        lock.unlock();
+        lock.Unlock();
         DrainPipeline();
-        lock.lock();
+        lock.Lock();
         DoCompletionsLocked();
         DoAdmissionsLocked();
-        if (active_count_ == 0 && pending_.empty()) idle_cv_.notify_all();
+        if (active_count_ == 0 && pending_.empty()) idle_cv_.NotifyAll();
       }
       if (stop_.load()) return;
       if (active_count_ == 0) {
-        work_cv_.wait(lock,
-                      [&] { return stop_.load() || !pending_.empty(); });
+        while (!stop_.load() && pending_.empty()) work_cv_.Wait(mu_);
         continue;
       }
     }
@@ -263,7 +261,7 @@ void CjoinPipeline::PreprocessorLoop() {
 
     progress_.fetch_add(1, std::memory_order_relaxed);
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++stats_.fact_pages_scanned;
       for (size_t s = active_mask_.FindNextSet(0); s < active_mask_.size();
            s = active_mask_.FindNextSet(s + 1)) {
@@ -297,7 +295,7 @@ void CjoinPipeline::HandleScanFault(uint64_t page_index, const Status& why) {
                                fact_->name() + "' unreadable: " +
                                why.message());
   progress_.fetch_add(1, std::memory_order_relaxed);  // the page was skipped
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.scan_read_errors;
   for (size_t s = active_mask_.FindNextSet(0); s < active_mask_.size();
        s = active_mask_.FindNextSet(s + 1)) {
@@ -315,15 +313,16 @@ void CjoinPipeline::HandleScanFault(uint64_t page_index, const Status& why) {
 }
 
 void CjoinPipeline::DrainPipeline() {
-  std::unique_lock<std::mutex> lock(drain_mu_);
-  drain_cv_.wait(lock,
-                 [&] { return in_flight_.load(std::memory_order_acquire) == 0; });
+  MutexLock lock(drain_mu_);
+  while (in_flight_.load(std::memory_order_acquire) != 0) {
+    drain_cv_.Wait(drain_mu_);
+  }
 }
 
 void CjoinPipeline::ForgetDroppedBatch() {
   if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    std::unique_lock<std::mutex> lock(drain_mu_);
-    drain_cv_.notify_all();
+    MutexLock lock(drain_mu_);
+    drain_cv_.NotifyAll();
   }
 }
 
@@ -335,8 +334,15 @@ void CjoinPipeline::CompleteQueryLocked(uint32_t slot) {
   if (aq->aggregate && aq->agg_group != nullptr) {
     // Partials hold every fold since the last pause-side merge; both the
     // result slice and the survivor-safe retirement below read the merged
-    // table. The pipeline is drained here, so no part is folding.
+    // table. The pipeline is drained here, so no part is folding — the
+    // merge is single-threaded on the preprocessor, and its cost is the
+    // pause-time tax agg_merge_nanos makes visible (the future radix-merge
+    // baseline).
+    WallTimer merge_timer;
     SharedAggregator::MergePartials(aq->agg_group);
+    stats_.agg_merge_nanos +=
+        static_cast<int64_t>(merge_timer.ElapsedSeconds() * 1e9);
+    ++stats_.agg_merges;
   }
   Status final_status = Status::Ok();
   if (early) {
@@ -357,7 +363,7 @@ void CjoinPipeline::CompleteQueryLocked(uint32_t slot) {
     if (aq->on_complete) aq->on_complete(final_status);
   } else {
     {
-      std::unique_lock<std::mutex> out_lock(aq->out_mu);
+      MutexLock out_lock(aq->out_mu);
       aq->out_buf.DrainInto(aq->sink.get());
       aq->sink->Close();
     }
@@ -911,7 +917,7 @@ void CjoinPipeline::EmitGroup(uint32_t slot, const TupleBatch& batch,
   // below run without the lock.
   storage::PagePtr page;
   {
-    std::unique_lock<std::mutex> out_lock(aq->out_mu);
+    MutexLock out_lock(aq->out_mu);
     if (!aq->out_buf.ok()) return;  // consumers gone
     page = aq->out_buf.TakePage();
   }
@@ -931,7 +937,7 @@ void CjoinPipeline::EmitGroup(uint32_t slot, const TupleBatch& batch,
       // order across parts is insignificant (query results are multisets).
       bool ok;
       {
-        std::unique_lock<std::mutex> out_lock(aq->out_mu);
+        MutexLock out_lock(aq->out_mu);
         ok = aq->out_buf.ok() && aq->sink->Put(std::move(page));
         if (!ok) aq->out_buf.MarkFailed();
       }
@@ -953,7 +959,7 @@ void CjoinPipeline::EmitGroup(uint32_t slot, const TupleBatch& batch,
     }
   }
   if (page != nullptr) {
-    std::unique_lock<std::mutex> out_lock(aq->out_mu);
+    MutexLock out_lock(aq->out_mu);
     aq->out_buf.PutBack(std::move(page));
   }
 }
@@ -999,8 +1005,8 @@ void CjoinPipeline::DistributorPartLoop(size_t part) {
     // its vectors keep their capacity for the preprocessor's next page.
     batch_pool_.Release(std::move(batch));
     if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::unique_lock<std::mutex> lock(drain_mu_);
-      drain_cv_.notify_all();
+      MutexLock lock(drain_mu_);
+      drain_cv_.NotifyAll();
     }
   }
 }

@@ -20,10 +20,8 @@
 #define SDW_CJOIN_PIPELINE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -32,6 +30,7 @@
 #include "cjoin/shared_agg.h"
 #include "cjoin/tuple_batch.h"
 #include "common/memory_budget.h"
+#include "common/mutex.h"
 #include "common/retry.h"
 #include "common/stats.h"
 #include "common/status.h"
@@ -148,6 +147,15 @@ struct CjoinStats {
   /// Per-query result slices rendered at completion (one per aggregate
   /// query that finished its cycle cleanly).
   uint64_t agg_slice_emits = 0;
+  /// Wall nanos spent in SharedAggregator::MergePartials — the
+  /// SINGLE-THREADED fold of every part's partial table into the group's
+  /// merged table, run at pause boundaries (pipeline drained) right before
+  /// a slice or retirement needs it. This serial merge is the known scaling
+  /// ceiling of the shared-aggregation stage; the counter is the baseline a
+  /// future parallel radix merge must beat (see ROADMAP.md).
+  int64_t agg_merge_nanos = 0;
+  /// MergePartials invocations behind agg_merge_nanos.
+  uint64_t agg_merges = 0;
 };
 
 /// Per-part reusable scratch for grouping a batch's live tuples by query
@@ -364,8 +372,10 @@ class CjoinPipeline {
     // Output path: distributor parts take/put partial pages under out_mu (a
     // pointer swap) and project into them without the lock; the sink is
     // touched under out_mu only when a page fills or at completion.
-    std::mutex out_mu;
-    SlotOutputBuffer out_buf;
+    // Ranked below the channels: the page-full emission Puts into the
+    // query's sink channel while holding it.
+    Mutex out_mu{lock_rank::Rank::kQueryOutput};
+    SlotOutputBuffer out_buf GUARDED_BY(out_mu);
   };
 
   using PendingQuery = Submission;
@@ -396,14 +406,15 @@ class CjoinPipeline {
   /// waiters are not left hanging during shutdown.
   void ForgetDroppedBatch();
 
-  // The *Locked helpers require mu_ held and the pipeline drained.
-  void DoCompletionsLocked();
-  void DoAdmissionsLocked();
+  // The *Locked helpers additionally require the pipeline drained (a
+  // protocol REQUIRES(mu_) cannot express; see the slots_ comment below).
+  void DoCompletionsLocked() REQUIRES(mu_);
+  void DoAdmissionsLocked() REQUIRES(mu_);
   /// Allocates a slot, recycling a dirty one when the free pool is empty;
   /// returns kNoSlot when capacity is exhausted (the caller rejects).
   static constexpr uint32_t kNoSlot = ~uint32_t{0};
-  uint32_t TryAllocSlotLocked();
-  Filter* GetOrCreateFilterLocked(const query::DimJoin& dim);
+  uint32_t TryAllocSlotLocked() REQUIRES(mu_);
+  Filter* GetOrCreateFilterLocked(const query::DimJoin& dim) REQUIRES(mu_);
   /// Byte moves materializing `q`'s join-output rows (schema `out_schema`)
   /// from fact pages and joined dimension rows. Used for per-query streaming
   /// projection and for shared-aggregation-group row materialization alike.
@@ -412,16 +423,16 @@ class CjoinPipeline {
   /// Binds an activating aggregate query to its aggregation group: an
   /// existing same-signature group under shared aggregation, else a fresh
   /// (private, under the scalar reference) group whose shape is compiled
-  /// here. Requires mu_ held and the pipeline drained.
-  void BindAggGroupLocked(ActiveQuery* aq);
+  /// here. Additionally requires the pipeline drained.
+  void BindAggGroupLocked(ActiveQuery* aq) REQUIRES(mu_);
   /// Renders the completing aggregate query's result (slice of its shared
   /// group, or the whole table of its private scalar group) into pages on
   /// its sink. Requires the group's partials merged.
-  void EmitAggResultLocked(ActiveQuery* aq);
+  void EmitAggResultLocked(ActiveQuery* aq) REQUIRES(mu_);
   /// Retires a slot. A slot retired before its scan cycle finished
   /// (pages_remaining > 0) completes with the query's cancel status and is
   /// counted as cancelled; otherwise it completes kOk.
-  void CompleteQueryLocked(uint32_t slot);
+  void CompleteQueryLocked(uint32_t slot) REQUIRES(mu_);
   /// Terminates a query with a non-OK status: completes the lifecycle and
   /// runs on_complete BEFORE closing the sink (the ordering is what keeps a
   /// client drain's Finish(Ok)-on-truncated-stream from winning the
@@ -430,7 +441,7 @@ class CjoinPipeline {
                         const std::function<void(const Status&)>& on_complete,
                         core::PageSink* sink, const Status& why);
   /// Fails a pending submission without admitting it.
-  void RejectPendingLocked(PendingQuery* p, const Status& why);
+  void RejectPendingLocked(PendingQuery* p, const Status& why) REQUIRES(mu_);
 
   const storage::Catalog* catalog_;
   storage::BufferPool* pool_;
@@ -438,39 +449,47 @@ class CjoinPipeline {
   const CjoinOptions options_;
   const size_t words_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::vector<PendingQuery> pending_;
+  mutable Mutex mu_{lock_rank::Rank::kCjoinPipeline};
+  CondVar work_cv_;
+  CondVar idle_cv_;
+  std::vector<PendingQuery> pending_ GUARDED_BY(mu_);
+  // Drain-barrier protocol, NOT mu_: slots_, active_mask_, filters_,
+  // shared_agg_'s group list and dim_row_fn_ are read lock-free by the
+  // stage threads (batch annotation, filter processing, EmitGroup, fold)
+  // while batches are in flight, and mutate ONLY at admission pauses —
+  // after DrainPipeline() proved no batch is in flight, on the one
+  // preprocessor thread that also performs every mutation. GUARDED_BY
+  // cannot express that barrier, so these stay unannotated rather than
+  // burn NO_THREAD_SAFETY_ANALYSIS suppressions on every stage loop.
   std::vector<std::unique_ptr<ActiveQuery>> slots_;
   Bitset active_mask_;
-  size_t active_count_ = 0;
-  std::vector<uint32_t> free_slots_;
-  std::vector<uint32_t> dirty_slots_;
-  std::vector<uint32_t> completions_due_;
+  size_t active_count_ GUARDED_BY(mu_) = 0;
+  std::vector<uint32_t> free_slots_ GUARDED_BY(mu_);
+  std::vector<uint32_t> dirty_slots_ GUARDED_BY(mu_);
+  std::vector<uint32_t> completions_due_ GUARDED_BY(mu_);
   std::vector<std::unique_ptr<Filter>> filters_;
   /// Shared aggregation stage. Group membership and merged tables mutate
   /// only at admission pauses (pipeline drained); distributor parts fold
   /// into their own per-part partial tables while batches are in flight.
   SharedAggregator shared_agg_;
   SharedAggregator::DimRowFn dim_row_fn_;
-  CjoinStats stats_;
+  CjoinStats stats_ GUARDED_BY(mu_);
   // Cross-thread stat counters, with snapshots taken at ResetStats so
   // stats() reports per-run values.
   Counter dist_scratch_reuses_;
   Counter dist_scratch_grows_;
   Counter agg_batches_folded_;
-  uint64_t pool_hits_base_ = 0;
-  uint64_t pool_misses_base_ = 0;
-  uint64_t dist_reuses_base_ = 0;
-  uint64_t dist_grows_base_ = 0;
-  uint64_t agg_folds_base_ = 0;
-  uint64_t admission_scans_base_ = 0;
+  uint64_t pool_hits_base_ GUARDED_BY(mu_) = 0;
+  uint64_t pool_misses_base_ GUARDED_BY(mu_) = 0;
+  uint64_t dist_reuses_base_ GUARDED_BY(mu_) = 0;
+  uint64_t dist_grows_base_ GUARDED_BY(mu_) = 0;
+  uint64_t agg_folds_base_ GUARDED_BY(mu_) = 0;
+  uint64_t admission_scans_base_ GUARDED_BY(mu_) = 0;
   // Cursor retry-telemetry snapshot at the last ResetStats (the cursor's
   // counters are cumulative relaxed atomics; stats() reports deltas).
-  uint64_t retry_retries_base_ = 0;
-  uint64_t retry_giveups_base_ = 0;
-  int64_t retry_backoff_base_ = 0;
+  uint64_t retry_retries_base_ GUARDED_BY(mu_) = 0;
+  uint64_t retry_giveups_base_ GUARDED_BY(mu_) = 0;
+  int64_t retry_backoff_base_ GUARDED_BY(mu_) = 0;
 
   std::atomic<uint64_t> progress_{0};
 
@@ -478,8 +497,9 @@ class CjoinPipeline {
   BatchQueue to_distributor_;
   BatchPool batch_pool_;
   std::atomic<int> in_flight_{0};
-  std::mutex drain_mu_;
-  std::condition_variable drain_cv_;
+  // Terminal: held only around the drain CV handshake, acquires nothing.
+  Mutex drain_mu_{lock_rank::Rank::kLeaf};
+  CondVar drain_cv_;
 
   std::atomic<bool> stop_{false};
   storage::CircularPageCursor cursor_;

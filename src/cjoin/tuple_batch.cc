@@ -62,7 +62,7 @@ bool BatchQueue::Put(BatchPtr batch) {
   bool ok = TryPut(&batch);
   if (!ok) {
     // Full: park on the slow path until a consumer frees a slot or close.
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     waiting_producers_.fetch_add(1, std::memory_order_seq_cst);
     // Fence the count increment against the ring re-check below: pairs with
     // the fast path's fence (ring update, then count read), so either our
@@ -78,7 +78,7 @@ bool BatchQueue::Put(BatchPtr batch) {
         break;
       }
       if (waited) futile_wakeups_.fetch_add(1, std::memory_order_relaxed);
-      not_full_.wait(lock);
+      not_full_.Wait(mu_);
       waited = true;
     }
     waiting_producers_.fetch_sub(1, std::memory_order_seq_cst);
@@ -86,8 +86,8 @@ bool BatchQueue::Put(BatchPtr batch) {
   if (ok) {
     std::atomic_thread_fence(std::memory_order_seq_cst);
     if (waiting_consumers_.load(std::memory_order_relaxed) != 0) {
-      std::lock_guard<std::mutex> lock(mu_);
-      not_empty_.notify_one();
+      MutexLock lock(mu_);
+      not_empty_.NotifyOne();
     }
   }
   return ok;
@@ -97,7 +97,7 @@ BatchPtr BatchQueue::Take() {
   BatchPtr batch;
   bool ok = TryTake(&batch);
   if (!ok) {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     waiting_consumers_.fetch_add(1, std::memory_order_seq_cst);
     // See Put: the fence makes registration-then-recheck atomic against the
     // fast path's update-then-count-read, closing the pre-park window.
@@ -112,7 +112,7 @@ BatchPtr BatchQueue::Take() {
       // Close for a complete drain; the pipeline joins them first.
       if (closed_.load(std::memory_order_acquire)) break;
       if (waited) futile_wakeups_.fetch_add(1, std::memory_order_relaxed);
-      not_empty_.wait(lock);
+      not_empty_.Wait(mu_);
       waited = true;
     }
     waiting_consumers_.fetch_sub(1, std::memory_order_seq_cst);
@@ -120,8 +120,8 @@ BatchPtr BatchQueue::Take() {
   if (ok) {
     std::atomic_thread_fence(std::memory_order_seq_cst);
     if (waiting_producers_.load(std::memory_order_relaxed) != 0) {
-      std::lock_guard<std::mutex> lock(mu_);
-      not_full_.notify_one();
+      MutexLock lock(mu_);
+      not_full_.NotifyOne();
     }
   }
   return batch;
@@ -129,9 +129,9 @@ BatchPtr BatchQueue::Take() {
 
 void BatchQueue::Close() {
   closed_.store(true, std::memory_order_seq_cst);
-  std::lock_guard<std::mutex> lock(mu_);
-  not_full_.notify_all();
-  not_empty_.notify_all();
+  MutexLock lock(mu_);
+  not_full_.NotifyAll();
+  not_empty_.NotifyAll();
 }
 
 storage::PagePtr SlotOutputBuffer::TakePage() {
@@ -156,7 +156,7 @@ void SlotOutputBuffer::DrainInto(core::PageSink* sink) {
 
 BatchPtr BatchPool::Acquire() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!free_.empty()) {
       BatchPtr batch = std::move(free_.back());
       free_.pop_back();
@@ -171,7 +171,7 @@ BatchPtr BatchPool::Acquire() {
 void BatchPool::Release(BatchPtr batch) {
   if (batch == nullptr || batch.use_count() != 1) return;
   batch->fact_page.reset();  // return the page to its owner promptly
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (free_.size() < max_cached_) free_.push_back(std::move(batch));
 }
 

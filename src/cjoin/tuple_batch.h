@@ -7,14 +7,13 @@
 #define SDW_CJOIN_TUPLE_BATCH_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/bitmap.h"
 #include "common/macros.h"
+#include "common/mutex.h"
 #include "core/page_channel.h"
 #include "storage/page.h"
 
@@ -138,9 +137,9 @@ class BatchQueue {
   // and between the count increment and the ring re-check (waiter). Once a
   // waiter is parked, every notify happens under mu_, which the waiter held
   // from before its re-check — no wakeup can fall into the gap.
-  std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
+  Mutex mu_{lock_rank::Rank::kBatchQueue};
+  CondVar not_full_;
+  CondVar not_empty_;
   std::atomic<int> waiting_producers_{0};
   std::atomic<int> waiting_consumers_{0};
   std::atomic<uint64_t> futile_wakeups_{0};
@@ -207,8 +206,8 @@ class BatchPool {
 
  private:
   const size_t max_cached_;
-  std::mutex mu_;
-  std::vector<BatchPtr> free_;
+  Mutex mu_{lock_rank::Rank::kLeaf};  // terminal: never acquires another lock
+  std::vector<BatchPtr> free_ GUARDED_BY(mu_);
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
 };

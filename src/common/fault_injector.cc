@@ -11,7 +11,7 @@ FaultInjector& FaultInjector::Global() {
 }
 
 void FaultInjector::Enable(uint64_t seed) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   seed_ = seed;
   sites_.clear();
   injected_total_.store(0, std::memory_order_relaxed);
@@ -19,32 +19,32 @@ void FaultInjector::Enable(uint64_t seed) {
 }
 
 void FaultInjector::Disable() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   enabled_.store(false, std::memory_order_relaxed);
   sites_.clear();
 }
 
 void FaultInjector::Arm(const std::string& site, FaultSpec spec) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SDW_CHECK_MSG(enabled_.load(std::memory_order_relaxed),
                 "FaultInjector::Arm before Enable()");
   SiteLocked(site).specs.push_back(SpecState{std::move(spec), false});
 }
 
 void FaultInjector::ClearSite(const std::string& site) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sites_.find(site);
   if (it != sites_.end()) it->second.specs.clear();
 }
 
 uint64_t FaultInjector::hits(const std::string& site) const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.hits;
 }
 
 uint64_t FaultInjector::injected(const std::string& site) const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.injected;
 }
@@ -73,7 +73,7 @@ Status FaultInjector::CheckSlow(const char* site, uint64_t key) {
   int64_t latency_nanos = 0;
   uint64_t hit = 0;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!enabled_.load(std::memory_order_relaxed)) return Status::Ok();
     Site& s = SiteLocked(site);
     hit = ++s.hits;

@@ -20,12 +20,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "common/status.h"
 
@@ -115,15 +115,19 @@ class FaultInjector {
   };
 
   Status CheckSlow(const char* site, uint64_t key);
-  Site& SiteLocked(const std::string& name);
+  Site& SiteLocked(const std::string& name) REQUIRES(mu_);
   static uint64_t SiteSeed(uint64_t seed, const std::string& name);
 
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> injected_total_{0};
+  // Written under mu_ by Enable() before any site observes enabled_; the
+  // unlocked seed() accessor only runs after Enable() returned.
   uint64_t seed_ = 0;
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Site> sites_;
+  // Highest-ranked lock in the hierarchy shy of the leaves: Check() sites
+  // sit under storage-device and buffer-pool critical sections.
+  mutable Mutex mu_{lock_rank::Rank::kFaultInjector};
+  std::unordered_map<std::string, Site> sites_ GUARDED_BY(mu_);
 };
 
 }  // namespace sdw

@@ -1,0 +1,193 @@
+// Annotated mutex primitives: sdw::Mutex / sdw::MutexLock / sdw::CondVar.
+//
+// Thin wrappers over the std primitives that add two kinds of checking:
+//
+//  1. Compile time — Clang Thread Safety Analysis attributes
+//     (thread_annotations.h): Mutex is a CAPABILITY, MutexLock a
+//     SCOPED_CAPABILITY, so `GUARDED_BY(mu_)` fields and `REQUIRES(mu_)`
+//     helpers are verified by the `build-tsa` preset.
+//
+//  2. Run time — the lock-rank checker (lock_rank.h): a Mutex constructed
+//     with a lock_rank::Rank participates in the engine-wide lock
+//     hierarchy; out-of-order or recursive acquisition aborts with both
+//     stacks. Compiled in only when SDW_LOCK_RANK_CHECKS is 1 (CMake
+//     option SDW_LOCK_RANK); otherwise Mutex is layout-identical to
+//     std::mutex (static_assert below) and the rank argument is discarded.
+//
+// CondVar follows the abseil convention: Wait(mu) atomically releases and
+// re-acquires `mu`. The analysis cannot model that release window, so Wait
+// is annotated REQUIRES(mu) — true at both call and return — and callers
+// write explicit `while (!pred) cv_.Wait(mu_);` loops (a lambda predicate
+// would be opaque to the analysis anyway).
+
+#ifndef SDW_COMMON_MUTEX_H_
+#define SDW_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/lock_rank.h"
+#include "common/macros.h"
+#include "common/thread_annotations.h"
+
+#if !defined(SDW_LOCK_RANK_CHECKS)
+#define SDW_LOCK_RANK_CHECKS 0
+#endif
+
+namespace sdw {
+
+/// A std::mutex with TSA capability annotations and (debug builds) runtime
+/// lock-rank checking. Construct with a lock_rank::Rank to join the engine
+/// hierarchy; default-constructed mutexes are unranked (exempt from
+/// ordering, still recursion-checked).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+#if SDW_LOCK_RANK_CHECKS
+  explicit Mutex(lock_rank::Rank rank) : rank_(static_cast<int>(rank)) {}
+#else
+  explicit Mutex(lock_rank::Rank rank) { (void)rank; }
+#endif
+
+  SDW_DISALLOW_COPY(Mutex);
+
+  void Lock() ACQUIRE() {
+#if SDW_LOCK_RANK_CHECKS
+    // Check BEFORE locking: a real inversion must report, not deadlock.
+    lock_rank::OnAcquire(this, rank_);
+#endif
+    mu_.lock();
+  }
+
+  void Unlock() RELEASE() {
+    mu_.unlock();
+#if SDW_LOCK_RANK_CHECKS
+    lock_rank::OnRelease(this);
+#endif
+  }
+
+  bool TryLock() TRY_ACQUIRE(true) {
+    const bool ok = mu_.try_lock();
+#if SDW_LOCK_RANK_CHECKS
+    if (ok) lock_rank::OnTryAcquire(this, rank_);
+#endif
+    return ok;
+  }
+
+ private:
+  friend class CondVar;
+
+  std::mutex mu_;
+#if SDW_LOCK_RANK_CHECKS
+  int rank_ = 0;
+#endif
+};
+
+#if !SDW_LOCK_RANK_CHECKS
+// The release-mode proof that the checker costs nothing: with checks off a
+// Mutex is exactly a std::mutex (lock_rank_test also asserts this).
+static_assert(sizeof(Mutex) == sizeof(std::mutex),
+              "sdw::Mutex must add no state when lock-rank checks are off");
+#endif
+
+/// RAII scoped lock over sdw::Mutex. Relockable: Unlock()/Lock() support
+/// the unlock-run-relock pattern (e.g. ThreadPool::WorkerLoop running a
+/// task outside the pool lock) while keeping the scope analyzable.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.Lock();
+  }
+
+  ~MutexLock() RELEASE() {
+    if (held_) mu_.Unlock();
+  }
+
+  /// Releases early (before scope exit).
+  void Unlock() RELEASE() {
+    mu_.Unlock();
+    held_ = false;
+  }
+
+  /// Re-acquires after an early Unlock().
+  void Lock() ACQUIRE() {
+    mu_.Lock();
+    held_ = true;
+  }
+
+  SDW_DISALLOW_COPY(MutexLock);
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// Condition variable bound to sdw::Mutex at wait time (abseil-style).
+/// Waits release and re-acquire `mu` atomically; the lock-rank checker pops
+/// the mutex for the wait's duration and re-checks on re-acquire, so
+/// waiting while holding a higher-ranked lock on the same thread reports.
+class CondVar {
+ public:
+  CondVar() = default;
+  SDW_DISALLOW_COPY(CondVar);
+
+  /// Blocks until notified. Caller must hold `mu`.
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    BeginWait(mu);
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+    EndWait(mu);
+  }
+
+  /// Blocks until notified or `nanos` elapsed; true = notified (or spurious
+  /// wakeup), false = timed out. Caller must hold `mu`.
+  bool WaitFor(Mutex& mu, int64_t nanos) REQUIRES(mu) {
+    BeginWait(mu);
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    const std::cv_status st =
+        cv_.wait_for(native, std::chrono::nanoseconds(nanos));
+    native.release();
+    EndWait(mu);
+    return st == std::cv_status::no_timeout;
+  }
+
+  /// Blocks until notified or the steady-clock deadline passed; true =
+  /// notified (or spurious wakeup), false = timed out.
+  bool WaitUntil(Mutex& mu,
+                 std::chrono::steady_clock::time_point deadline) REQUIRES(mu) {
+    BeginWait(mu);
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    const std::cv_status st = cv_.wait_until(native, deadline);
+    native.release();
+    EndWait(mu);
+    return st == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  static void BeginWait(Mutex& mu) {
+#if SDW_LOCK_RANK_CHECKS
+    lock_rank::BeginWait(&mu);
+#else
+    (void)mu;
+#endif
+  }
+  static void EndWait(Mutex& mu) {
+#if SDW_LOCK_RANK_CHECKS
+    lock_rank::EndWait(&mu, mu.rank_);
+#else
+    (void)mu;
+#endif
+  }
+
+  std::condition_variable cv_;
+};
+
+}  // namespace sdw
+
+#endif  // SDW_COMMON_MUTEX_H_

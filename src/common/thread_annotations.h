@@ -1,0 +1,65 @@
+// Clang Thread Safety Analysis attribute macros.
+//
+// These expand to the clang `-Wthread-safety` attributes under clang and to
+// nothing elsewhere, so annotations are free for gcc builds and enforced by
+// the `build-tsa` preset (CMakePresets.json) / the CI `tsa` job, which
+// compile with `-Wthread-safety -Wthread-safety-beta -Werror`.
+//
+// Conventions (see docs/CONCURRENCY.md for the full rules):
+//  - Every field protected by a mutex is declared `GUARDED_BY(mu_)`.
+//  - Every `*Locked()` helper is declared `REQUIRES(mu_)` instead of
+//    documenting "requires mu_ held" in prose.
+//  - `NO_THREAD_SAFETY_ANALYSIS` is a last resort; each use carries a
+//    comment justifying why the analysis cannot see the invariant
+//    (budget: fewer than 5 repo-wide).
+
+#ifndef SDW_COMMON_THREAD_ANNOTATIONS_H_
+#define SDW_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define SDW_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define SDW_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+/// Declares a class as a lockable capability (sdw::Mutex).
+#define CAPABILITY(x) SDW_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Declares an RAII class whose lifetime holds a capability (sdw::MutexLock).
+#define SCOPED_CAPABILITY SDW_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Field is protected by the given mutex: reads and writes require it held.
+#define GUARDED_BY(x) SDW_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by the given mutex.
+#define PT_GUARDED_BY(x) SDW_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Function requires the listed capabilities held on entry (and exit).
+#define REQUIRES(...) \
+  SDW_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on exit, not on entry).
+#define ACQUIRE(...) \
+  SDW_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (held on entry, not on exit).
+#define RELEASE(...) \
+  SDW_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+/// Function tries to acquire; the first argument is the success return value.
+#define TRY_ACQUIRE(...) \
+  SDW_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the listed capabilities held (guards
+/// against self-deadlock on non-reentrant mutexes).
+#define EXCLUDES(...) SDW_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) SDW_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must be
+/// commented with the invariant the analysis cannot express.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  SDW_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // SDW_COMMON_THREAD_ANNOTATIONS_H_

@@ -9,16 +9,16 @@ ThreadPool::ThreadPool(std::string name, ThreadPoolOptions options)
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task, int priority,
                         std::function<int()> dynamic_priority) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SDW_CHECK_MSG(!shutdown_, "Submit on shut-down pool %s", name_.c_str());
   queue_.Push(std::move(task), priority, std::move(dynamic_priority));
   ++active_tasks_;
@@ -32,33 +32,33 @@ void ThreadPool::Submit(std::function<void()> task, int priority,
   if (need_worker) {
     threads_.emplace_back([this] { WorkerLoop(); });
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return active_tasks_ == 0; });
+  MutexLock lock(mu_);
+  while (active_tasks_ != 0) idle_cv_.Wait(mu_);
 }
 
 size_t ThreadPool::num_threads() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return threads_.size();
 }
 
 void ThreadPool::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (true) {
     while (queue_.empty() && !shutdown_) {
       ++idle_workers_;
-      work_cv_.wait(lock);
+      work_cv_.Wait(mu_);
       --idle_workers_;
     }
     if (queue_.empty() && shutdown_) return;
     std::function<void()> task = queue_.Pop();
-    lock.unlock();
+    lock.Unlock();
     task();
-    lock.lock();
-    if (--active_tasks_ == 0) idle_cv_.notify_all();
+    lock.Lock();
+    if (--active_tasks_ == 0) idle_cv_.NotifyAll();
   }
 }
 

@@ -14,14 +14,13 @@
 #ifndef SDW_COMMON_THREAD_POOL_H_
 #define SDW_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/mutex.h"
 #include "common/run_queue.h"
 
 namespace sdw {
@@ -71,14 +70,16 @@ class ThreadPool {
   const std::string name_;
   const ThreadPoolOptions options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;   // signals workers
-  std::condition_variable idle_cv_;   // signals WaitIdle
-  PriorityRunQueue queue_;
-  std::vector<std::thread> threads_;
-  size_t idle_workers_ = 0;
-  size_t active_tasks_ = 0;
-  bool shutdown_ = false;
+  // Ranked below the SP registry: dynamic-priority providers run under the
+  // pool lock and read registry consumer priorities (priority inheritance).
+  mutable Mutex mu_{lock_rank::Rank::kThreadPool};
+  CondVar work_cv_;  // signals workers
+  CondVar idle_cv_;  // signals WaitIdle
+  PriorityRunQueue queue_ GUARDED_BY(mu_);
+  std::vector<std::thread> threads_ GUARDED_BY(mu_);
+  size_t idle_workers_ GUARDED_BY(mu_) = 0;
+  size_t active_tasks_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace sdw

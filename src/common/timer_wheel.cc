@@ -17,10 +17,10 @@ TimerWheel::TimerWheel(Options options)
 
 TimerWheel::~TimerWheel() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   thread_.join();
 }
 
@@ -35,34 +35,34 @@ uint64_t TimerWheel::Schedule(int64_t deadline_nanos,
                               std::function<void()> fn) {
   uint64_t id;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     id = next_id_++;
     timers_.emplace(id, Timer{deadline_nanos, std::move(fn)});
     PlaceLocked(id, deadline_nanos);
   }
-  cv_.notify_all();  // wake the (possibly idle) wheel thread
+  cv_.NotifyAll();  // wake the (possibly idle) wheel thread
   return id;
 }
 
 bool TimerWheel::Cancel(uint64_t id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // The slot vectors keep the id; AdvanceOneTickLocked / cascades skip ids
   // with no live timers_ entry (lazy deletion keeps Cancel O(1)).
   return timers_.erase(id) != 0;
 }
 
 size_t TimerWheel::pending() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return timers_.size();
 }
 
 uint64_t TimerWheel::fired() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return fired_;
 }
 
 uint64_t TimerWheel::wakeups() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return wakeups_;
 }
 
@@ -157,11 +157,11 @@ void TimerWheel::CatchUpLocked(int64_t now_tick, std::vector<Timer>* due) {
 }
 
 void TimerWheel::Loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (!stop_) {
     if (timers_.empty()) {
       // Idle: no per-tick wakeups until something is scheduled.
-      cv_.wait(lock, [&] { return stop_ || !timers_.empty(); });
+      while (!stop_ && timers_.empty()) cv_.Wait(mu_);
       continue;
     }
     ++wakeups_;
@@ -177,7 +177,7 @@ void TimerWheel::Loop() {
           std::max(current_tick_ + 1, NextDueTickLocked());
       const int64_t next_boundary =
           origin_nanos_ + wake_tick * options_.tick_nanos;
-      cv_.wait_for(lock, std::chrono::nanoseconds(next_boundary - now));
+      cv_.WaitFor(mu_, next_boundary - now);
       continue;
     }
     std::vector<Timer> due;
@@ -196,9 +196,9 @@ void TimerWheel::Loop() {
       fired_ += due.size();
       // Fire outside the wheel lock: callbacks take lifecycle/transport
       // locks (RequestCancel → CancelReader) and may re-enter Schedule.
-      lock.unlock();
+      lock.Unlock();
       for (auto& t : due) t.fn();
-      lock.lock();
+      lock.Lock();
     }
   }
 }

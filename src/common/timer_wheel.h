@@ -23,15 +23,14 @@
 #define SDW_COMMON_TIMER_WHEEL_H_
 
 #include <array>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/mutex.h"
 
 namespace sdw {
 
@@ -83,19 +82,19 @@ class TimerWheel {
 
   void Loop();
   /// Hangs timer `id` (deadline known from timers_) on the wheel relative to
-  /// the current tick. Requires mu_ held.
-  void PlaceLocked(uint64_t id, int64_t deadline_nanos);
-  /// Advances the wheel by one tick, collecting due timers. Requires mu_.
-  void AdvanceOneTickLocked(std::vector<Timer>* due);
+  /// the current tick.
+  void PlaceLocked(uint64_t id, int64_t deadline_nanos) REQUIRES(mu_);
+  /// Advances the wheel by one tick, collecting due timers.
+  void AdvanceOneTickLocked(std::vector<Timer>* due) REQUIRES(mu_);
   /// Jump-advance after a long idle gap: rebuilds the wheel from the
   /// live-timer map at `now_tick` (O(pending)) instead of ticking the gap
-  /// closed one slot at a time. Requires mu_.
-  void CatchUpLocked(int64_t now_tick, std::vector<Timer>* due);
+  /// closed one slot at a time.
+  void CatchUpLocked(int64_t now_tick, std::vector<Timer>* due) REQUIRES(mu_);
   /// Earliest tick any live timer is due at — the wheel thread sleeps to
   /// that boundary instead of waking every tick. O(pending), computed fresh
   /// before each sleep (timers_ is the ground truth; the slot vectors hold
-  /// lazily-deleted ids). Requires mu_; timers_ must be non-empty.
-  int64_t NextDueTickLocked() const;
+  /// lazily-deleted ids). timers_ must be non-empty.
+  int64_t NextDueTickLocked() const REQUIRES(mu_);
 
   /// Tick index a deadline belongs to (rounded up: never fire early).
   int64_t TickFor(int64_t deadline_nanos) const;
@@ -103,16 +102,19 @@ class TimerWheel {
   const Options options_;
   const int64_t origin_nanos_;  // tick 0
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-  int64_t current_tick_ = 0;
-  uint64_t next_id_ = 1;
-  uint64_t fired_ = 0;
-  uint64_t wakeups_ = 0;
+  // Ranked above the pipeline-level locks: lifecycle finish hooks cancel
+  // deadline timers while a pipeline completion path holds its own mutex.
+  mutable Mutex mu_{lock_rank::Rank::kTimerWheel};
+  CondVar cv_;
+  bool stop_ GUARDED_BY(mu_) = false;
+  int64_t current_tick_ GUARDED_BY(mu_) = 0;
+  uint64_t next_id_ GUARDED_BY(mu_) = 1;
+  uint64_t fired_ GUARDED_BY(mu_) = 0;
+  uint64_t wakeups_ GUARDED_BY(mu_) = 0;
   /// Live timers by id; slots hold ids, lazily skipped when cancelled.
-  std::unordered_map<uint64_t, Timer> timers_;
-  std::array<std::array<std::vector<uint64_t>, kSlots>, kLevels> wheel_;
+  std::unordered_map<uint64_t, Timer> timers_ GUARDED_BY(mu_);
+  std::array<std::array<std::vector<uint64_t>, kSlots>, kLevels> wheel_
+      GUARDED_BY(mu_);
 
   std::thread thread_;
 };

@@ -99,7 +99,7 @@ qpipe::QpipeEngine::JoinDelegate CjoinStage::MakeSubplanDelegate(
           }
         };
       }
-      std::unique_lock<std::mutex> lock(staged_mu_);
+      MutexLock lock(staged_mu_);
       staged_.push_back(std::move(sub));
     });
     return primary;
@@ -109,7 +109,7 @@ qpipe::QpipeEngine::JoinDelegate CjoinStage::MakeSubplanDelegate(
 void CjoinStage::FlushStaged() {
   std::vector<cjoin::CjoinPipeline::Submission> batch;
   {
-    std::unique_lock<std::mutex> lock(staged_mu_);
+    MutexLock lock(staged_mu_);
     batch.swap(staged_);
   }
   if (batch.empty()) return;

@@ -73,8 +73,9 @@ class CjoinStage {
   std::atomic<uint64_t> shares_{0};
   sdw::Counter epochs_;
 
-  std::mutex staged_mu_;
-  std::vector<cjoin::CjoinPipeline::Submission> staged_;
+  // Only ever wraps the vector push/swap; never another acquisition.
+  Mutex staged_mu_{lock_rank::Rank::kCjoinStage};
+  std::vector<cjoin::CjoinPipeline::Submission> staged_ GUARDED_BY(staged_mu_);
 };
 
 }  // namespace sdw::core

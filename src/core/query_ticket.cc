@@ -7,20 +7,25 @@
 namespace sdw::core {
 
 Status QueryLifecycle::Wait() const {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return done_.load(std::memory_order_acquire); });
+  MutexLock lock(mu_);
+  while (!done_.load(std::memory_order_acquire)) cv_.Wait(mu_);
   return final_status_;
 }
 
 bool QueryLifecycle::WaitFor(int64_t timeout_nanos) const {
-  std::unique_lock<std::mutex> lock(mu_);
-  return cv_.wait_for(lock, std::chrono::nanoseconds(timeout_nanos), [&] {
-    return done_.load(std::memory_order_acquire);
-  });
+  MutexLock lock(mu_);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::nanoseconds(timeout_nanos);
+  while (!done_.load(std::memory_order_acquire)) {
+    if (!cv_.WaitUntil(mu_, deadline)) {
+      return done_.load(std::memory_order_acquire);
+    }
+  }
+  return true;
 }
 
 Status QueryLifecycle::status() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!done_.load(std::memory_order_acquire)) return Status::Ok();
   return final_status_;
 }
@@ -28,7 +33,7 @@ Status QueryLifecycle::status() const {
 void QueryLifecycle::RequestCancel(Status reason) {
   std::function<void()> cb;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!cancel_.load(std::memory_order_relaxed)) {
       cancel_reason_ = std::move(reason);
       cancel_.store(true, std::memory_order_release);
@@ -42,7 +47,7 @@ bool QueryLifecycle::Finish(Status final_status) {
   std::function<void()> dropped;
   std::function<void()> finish_hook;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (done_.load(std::memory_order_relaxed)) return false;
     final_status_ = std::move(final_status);
     metrics_.finish_nanos = NowNanos();
@@ -52,7 +57,7 @@ bool QueryLifecycle::Finish(Status final_status) {
     finish_hook_ = nullptr;
     done_.store(true, std::memory_order_release);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (finish_hook) finish_hook();  // outside mu_: takes the wheel's lock
   return true;
 }
@@ -60,7 +65,7 @@ bool QueryLifecycle::Finish(Status final_status) {
 void QueryLifecycle::SetFinishHook(std::function<void()> hook) {
   bool fire_now = false;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (done_.load(std::memory_order_relaxed)) {
       fire_now = true;
     } else {
@@ -73,7 +78,7 @@ void QueryLifecycle::SetFinishHook(std::function<void()> hook) {
 void QueryLifecycle::SetCancelCallback(std::function<void()> cb) {
   bool fire_now = false;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (done_.load(std::memory_order_relaxed)) return;
     if (cancel_.load(std::memory_order_relaxed)) {
       fire_now = true;
@@ -97,7 +102,7 @@ bool QueryLifecycle::ShouldStop(Status* why) const {
 }
 
 Status QueryLifecycle::cancel_status() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (cancel_.load(std::memory_order_relaxed)) return cancel_reason_;
   return Status::Cancelled("query detached");
 }
@@ -111,7 +116,7 @@ void QueryLifecycle::MarkRunStart() {
 QueryMetrics QueryLifecycle::metrics() const {
   QueryMetrics m;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     m = metrics_;
   }
   m.run_start_nanos = run_start_.load(std::memory_order_relaxed);

@@ -26,15 +26,14 @@
 #define SDW_CORE_QUERY_TICKET_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "query/result.h"
 #include "query/star_query.h"
@@ -199,17 +198,22 @@ class QueryLifecycle {
  private:
   const SubmitOptions options_;
 
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_;
+  // Mid-hierarchy: Finish is reached from under the CJOIN pipeline and SP
+  // registry locks (FailQuery → Finish), and the hooks it fires afterwards
+  // take channel/wheel locks — but always OUTSIDE mu_.
+  mutable Mutex mu_{lock_rank::Rank::kQueryLifecycle};
+  mutable CondVar cv_;
   std::atomic<bool> done_{false};
   std::atomic<bool> cancel_{false};
-  Status final_status_;           // guarded by mu_ until done_ is published
-  Status cancel_reason_;          // guarded by mu_
-  std::function<void()> cancel_cb_;  // guarded by mu_; fired outside it
-  std::function<void()> finish_hook_;  // guarded by mu_; fired outside it
+  Status final_status_ GUARDED_BY(mu_);   // stable once done_ is published
+  Status cancel_reason_ GUARDED_BY(mu_);
+  std::function<void()> cancel_cb_ GUARDED_BY(mu_);    // fired outside mu_
+  std::function<void()> finish_hook_ GUARDED_BY(mu_);  // fired outside mu_
 
   query::ResultSet result_;  // written only by the engine's drain thread
-  QueryMetrics metrics_;     // nanos guarded by mu_ after submission
+  // qid/submit_nanos are written before the lifecycle is shared (and so
+  // stay unannotated); finish_nanos is written under mu_ at completion.
+  QueryMetrics metrics_;
   std::atomic<int64_t> run_start_{0};
   std::atomic<uint64_t> pages_{0};
   std::atomic<uint64_t> rows_{0};

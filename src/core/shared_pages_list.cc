@@ -10,7 +10,7 @@ SharedPagesList::~SharedPagesList() {
 
 std::unique_ptr<SharedPagesList::Reader>
 SharedPagesList::TryAttachFromStart() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (closed_ || next_seq_ != 0) return nullptr;  // WoP closed
   ++active_readers_;
   attached_ever_ = true;
@@ -18,7 +18,7 @@ SharedPagesList::TryAttachFromStart() {
 }
 
 std::unique_ptr<SharedPagesList::Reader> SharedPagesList::AttachAtCurrent() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (closed_) return nullptr;
   ++active_readers_;
   attached_ever_ = true;
@@ -26,51 +26,50 @@ std::unique_ptr<SharedPagesList::Reader> SharedPagesList::AttachAtCurrent() {
 }
 
 bool SharedPagesList::Put(storage::PagePtr page) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SDW_CHECK_MSG(!closed_, "Put after Close on SPL");
-  producer_cv_.wait(lock, [&] {
-    const bool full =
-        max_bytes_ > 0 && bytes_ + storage::kPageSize > max_bytes_;
-    return !full || active_readers_ == 0;
-  });
+  while (max_bytes_ > 0 && bytes_ + storage::kPageSize > max_bytes_ &&
+         active_readers_ != 0) {
+    producer_cv_.Wait(mu_);
+  }
   if (active_readers_ == 0) return false;
   nodes_.push_back(
       {std::move(page), next_seq_++, static_cast<int>(active_readers_)});
   bytes_ += storage::kPageSize;
-  consumer_cv_.notify_all();
+  consumer_cv_.NotifyAll();
   return true;
 }
 
 void SharedPagesList::Close() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   closed_ = true;
-  consumer_cv_.notify_all();
+  consumer_cv_.NotifyAll();
 }
 
 bool SharedPagesList::Abandoned() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // attached_ever_ distinguishes "all readers cancelled" from "no reader
   // attached yet" — the latter must not look abandoned.
   return attached_ever_ && active_readers_ == 0;
 }
 
 bool SharedPagesList::NothingEmitted() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return !closed_ && next_seq_ == 0;
 }
 
 size_t SharedPagesList::buffered_bytes() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return bytes_;
 }
 
 size_t SharedPagesList::num_active_readers() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return active_readers_;
 }
 
 uint64_t SharedPagesList::pages_emitted() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return next_seq_;
 }
 
@@ -86,22 +85,22 @@ void SharedPagesList::PopReclaimedLocked() {
     nodes_.pop_front();
     reclaimed = true;
   }
-  if (reclaimed) producer_cv_.notify_all();
+  if (reclaimed) producer_cv_.NotifyAll();
 }
 
 storage::PagePtr SharedPagesList::Reader::Next() {
   SharedPagesList* l = list_;
-  std::unique_lock<std::mutex> lock(l->mu_);
+  MutexLock lock(l->mu_);
   if (cancelled_) return nullptr;
   if (holds_prev_) {
     l->ReleaseLocked(prev_);
     holds_prev_ = false;
     l->PopReclaimedLocked();
   }
-  l->consumer_cv_.wait(lock, [&] {
-    return l->closed_ || (!l->nodes_.empty() &&
-                          l->nodes_.back().seq >= next_seq_);
-  });
+  while (!l->closed_ &&
+         (l->nodes_.empty() || l->nodes_.back().seq < next_seq_)) {
+    l->consumer_cv_.Wait(l->mu_);
+  }
   // Locate the node with seq == next_seq_ (nodes are seq-ordered and the
   // list is short — bounded by max_bytes / page size).
   for (auto it = l->nodes_.begin(); it != l->nodes_.end(); ++it) {
@@ -119,7 +118,7 @@ storage::PagePtr SharedPagesList::Reader::Next() {
 
 void SharedPagesList::Reader::CancelReader() {
   SharedPagesList* l = list_;
-  std::unique_lock<std::mutex> lock(l->mu_);
+  MutexLock lock(l->mu_);
   if (cancelled_) return;
   cancelled_ = true;
   if (holds_prev_) {
@@ -132,7 +131,7 @@ void SharedPagesList::Reader::CancelReader() {
   SDW_DCHECK(l->active_readers_ > 0);
   --l->active_readers_;
   l->PopReclaimedLocked();
-  l->producer_cv_.notify_all();
+  l->producer_cv_.NotifyAll();
 }
 
 }  // namespace sdw::core

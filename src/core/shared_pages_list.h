@@ -19,13 +19,12 @@
 #ifndef SDW_CORE_SHARED_PAGES_LIST_H_
 #define SDW_CORE_SHARED_PAGES_LIST_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 
 #include "common/macros.h"
+#include "common/mutex.h"
 #include "core/page_channel.h"
 
 namespace sdw::core {
@@ -98,21 +97,22 @@ class SharedPagesList : public PageSink {
  private:
   friend class Reader;
 
-  // All private helpers require mu_ held.
-  void ReleaseLocked(std::list<Node>::iterator it);
-  void PopReclaimedLocked();
+  void ReleaseLocked(std::list<Node>::iterator it) REQUIRES(mu_);
+  void PopReclaimedLocked() REQUIRES(mu_);
 
   const size_t max_bytes_;
 
-  mutable std::mutex mu_;
-  std::condition_variable producer_cv_;
-  std::condition_variable consumer_cv_;
-  std::list<Node> nodes_;
-  uint64_t next_seq_ = 0;  // seq of the next emitted page
-  size_t bytes_ = 0;
-  size_t active_readers_ = 0;
-  bool attached_ever_ = false;
-  bool closed_ = false;
+  // Channel rank, same tier as FifoBuffer: the two are interchangeable
+  // transports behind an Exchange, reached under tee/registry locks.
+  mutable Mutex mu_{lock_rank::Rank::kChannel};
+  CondVar producer_cv_;
+  CondVar consumer_cv_;
+  std::list<Node> nodes_ GUARDED_BY(mu_);
+  uint64_t next_seq_ GUARDED_BY(mu_) = 0;  // seq of the next emitted page
+  size_t bytes_ GUARDED_BY(mu_) = 0;
+  size_t active_readers_ GUARDED_BY(mu_) = 0;
+  bool attached_ever_ GUARDED_BY(mu_) = false;
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace sdw::core

@@ -1,8 +1,8 @@
 #include "core/watchdog.h"
 
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/timing.h"
 
 namespace sdw::core {
@@ -18,12 +18,14 @@ struct StallWatchdog::State {
   // invoked under it too: the destructor sets `stop` under the same lock, so
   // once it holds mu no callback can still be touching the probed objects —
   // that is the "nothing runs after ~StallWatchdog" guarantee.
-  std::mutex mu;
-  bool stop = false;
-  uint64_t timer_id = 0;
-  uint64_t last_progress = 0;
-  int64_t flat_since_nanos = 0;  // 0 = progressing (or idle)
-  uint64_t stalls_fired = 0;
+  // Bottom of the lock hierarchy: ticks call progress()/busy()/on_stall()
+  // and re-Schedule while holding mu, reaching pipeline and wheel locks.
+  Mutex mu{lock_rank::Rank::kWatchdog};
+  bool stop GUARDED_BY(mu) = false;
+  uint64_t timer_id GUARDED_BY(mu) = 0;
+  uint64_t last_progress GUARDED_BY(mu) = 0;
+  int64_t flat_since_nanos GUARDED_BY(mu) = 0;  // 0 = progressing (or idle)
+  uint64_t stalls_fired GUARDED_BY(mu) = 0;
 };
 
 StallWatchdog::StallWatchdog(TimerWheel* wheel, Options options,
@@ -38,7 +40,7 @@ StallWatchdog::StallWatchdog(TimerWheel* wheel, Options options,
   state_->busy = std::move(busy);
   state_->on_stall = std::move(on_stall);
   std::weak_ptr<State> weak = state_;
-  std::unique_lock<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   state_->last_progress = state_->progress();
   state_->timer_id =
       wheel->Schedule(NowNanos() + options.check_interval_nanos,
@@ -48,7 +50,7 @@ StallWatchdog::StallWatchdog(TimerWheel* wheel, Options options,
 StallWatchdog::~StallWatchdog() {
   uint64_t id;
   {
-    std::unique_lock<std::mutex> lock(state_->mu);
+    MutexLock lock(state_->mu);
     state_->stop = true;
     id = state_->timer_id;
   }
@@ -59,14 +61,14 @@ StallWatchdog::~StallWatchdog() {
 }
 
 uint64_t StallWatchdog::stalls_fired() const {
-  std::unique_lock<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   return state_->stalls_fired;
 }
 
 void StallWatchdog::Tick(const std::weak_ptr<State>& weak) {
   std::shared_ptr<State> s = weak.lock();
   if (s == nullptr) return;
-  std::unique_lock<std::mutex> lock(s->mu);
+  MutexLock lock(s->mu);
   if (s->stop) return;
   const int64_t now = NowNanos();
   const uint64_t p = s->progress();

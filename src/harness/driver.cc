@@ -1,10 +1,10 @@
 #include "harness/driver.h"
 
 #include <atomic>
-#include <mutex>
 #include <thread>
 
 #include "common/cpu_meter.h"
+#include "common/mutex.h"
 #include "common/timing.h"
 
 namespace sdw::harness {
@@ -117,7 +117,7 @@ RunMetrics RunClosedLoop(
 
   RunMetrics m;
   std::atomic<size_t> next_query{0};
-  std::mutex tally_mu;
+  Mutex tally_mu{lock_rank::Rank::kLeaf};  // pure tally; never nests
   Stats responses;
   Stats queue_waits;
   Stats responses_high;
@@ -145,11 +145,14 @@ RunMetrics RunClosedLoop(
         }
         auto ticket = client->Submit(make_query(i), opts);
         const Status s = ticket.Wait();
+        // Snapshot metrics BEFORE taking tally_mu: metrics() locks the
+        // query lifecycle, and a leaf-ranked lock must hold nothing else.
+        const core::QueryMetrics qm = s.ok() ? ticket.metrics()
+                                             : core::QueryMetrics{};
         {
-          std::unique_lock<std::mutex> lock(tally_mu);
+          MutexLock lock(tally_mu);
           TallyOutcome(s, &outcomes);
           if (s.ok()) {
-            const core::QueryMetrics qm = ticket.metrics();
             responses.Add(qm.response_seconds());
             queue_waits.Add(qm.queue_wait_seconds());
             if (options.high_priority_clients > 0) {

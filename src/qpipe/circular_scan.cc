@@ -52,7 +52,7 @@ class CircularScanService::CycleLimitedReader : public core::PageSource {
     // scan free-runs the cursor (wasted page fetches) until this thread
     // gets the service lock.
     {
-      std::unique_lock<std::mutex> lock(service_->mu_);
+      MutexLock lock(service_->mu_);
       SDW_DCHECK(service_->pull_consumers_ > 0);
       --service_->pull_consumers_;
     }
@@ -116,10 +116,10 @@ CircularScanService::CircularScanService(const storage::Table* table,
 
 CircularScanService::~CircularScanService() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   worker_.join();
 }
 
@@ -133,7 +133,7 @@ std::unique_ptr<core::PageSource> CircularScanService::Attach() {
     auto reader = spl_->AttachAtCurrent();
     SDW_CHECK(reader != nullptr);
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++pull_consumers_;
       attach_seq = fault_seq_.load(std::memory_order_acquire);
       src = std::make_unique<CycleLimitedReader>(this, std::move(reader),
@@ -142,13 +142,13 @@ std::unique_ptr<core::PageSource> CircularScanService::Attach() {
   } else {
     auto fifo = std::make_shared<FifoBuffer>(channel_bytes_);
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       push_pending_.push_back({fifo, pages});
       attach_seq = fault_seq_.load(std::memory_order_acquire);
     }
     src = std::make_unique<FifoReaderHolder>(std::move(fifo));
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   return std::make_unique<FaultScopedSource>(this, std::move(src), attach_seq);
 }
 
@@ -160,8 +160,8 @@ bool CircularScanService::HasWorkLocked() const {
 void CircularScanService::Loop() {
   while (true) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      wake_cv_.wait(lock, [&] { return stopping_ || HasWorkLocked(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && !HasWorkLocked()) wake_cv_.Wait(mu_);
       if (stopping_) return;
       if (comm_ == core::CommModel::kPush) {
         for (auto& c : push_pending_) push_active_.push_back(std::move(c));
@@ -196,7 +196,7 @@ void CircularScanService::Loop() {
     // this thread (the push-model forwarding cost).
     std::vector<PushConsumer> active;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       active.swap(push_active_);
     }
     std::vector<PushConsumer> still_active;
@@ -210,7 +210,7 @@ void CircularScanService::Loop() {
       still_active.push_back(std::move(c));
     }
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       for (auto& c : still_active) push_active_.push_back(std::move(c));
     }
   }
@@ -218,7 +218,7 @@ void CircularScanService::Loop() {
 
 void CircularScanService::RecordFault(uint64_t page_idx, const Status& why) {
   pages_skipped_.fetch_add(1, std::memory_order_relaxed);
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   last_fault_ =
       Status(why.code(), "circular scan: page " + std::to_string(page_idx) +
                              " of table '" + table_->name() +
@@ -230,12 +230,12 @@ Status CircularScanService::FaultSince(uint64_t attach_seq) {
   if (fault_seq_.load(std::memory_order_acquire) == attach_seq) {
     return Status::Ok();
   }
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return last_fault_;
 }
 
 CircularScanService* CircularScanMap::Get(const storage::Table* table) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [t, svc] : services_) {
     if (t == table) return svc.get();
   }

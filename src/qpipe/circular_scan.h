@@ -18,12 +18,11 @@
 #ifndef SDW_QPIPE_CIRCULAR_SCAN_H_
 #define SDW_QPIPE_CIRCULAR_SCAN_H_
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "core/page_channel.h"
 #include "core/shared_pages_list.h"
 #include "qpipe/fifo_buffer.h"
@@ -63,7 +62,7 @@ class CircularScanService {
   };
 
   void Loop();
-  bool HasWorkLocked() const;
+  bool HasWorkLocked() const REQUIRES(mu_);
   // Records a terminal page failure: bumps the fault epoch so attached
   // consumers fail, while the scan skips the page and keeps serving.
   void RecordFault(uint64_t page_idx, const Status& why);
@@ -75,12 +74,16 @@ class CircularScanService {
   const core::CommModel comm_;
   const size_t channel_bytes_;
 
-  std::mutex mu_;
-  std::condition_variable wake_cv_;
-  bool stopping_ = false;
-  size_t pull_consumers_ = 0;  // readers still taking their cycle (pull)
-  std::vector<PushConsumer> push_pending_;  // attached, not yet merged
-  std::vector<PushConsumer> push_active_;   // owned by the loop thread
+  // Near the bottom of the hierarchy: the loop thread Puts into SPL /
+  // consumer FIFOs (kChannel) — but always OUTSIDE mu_; the low rank exists
+  // because CancelReader paths reach this lock from deep in drain stacks.
+  Mutex mu_{lock_rank::Rank::kScanService};
+  CondVar wake_cv_;
+  bool stopping_ GUARDED_BY(mu_) = false;
+  // Readers still taking their cycle (pull).
+  size_t pull_consumers_ GUARDED_BY(mu_) = 0;
+  std::vector<PushConsumer> push_pending_ GUARDED_BY(mu_);  // not yet merged
+  std::vector<PushConsumer> push_active_ GUARDED_BY(mu_);   // loop-owned
 
   std::shared_ptr<core::SharedPagesList> spl_;  // pull transport (unbounded
                                                 // readers; bounded bytes)
@@ -91,7 +94,7 @@ class CircularScanService {
   // mu_) holds the most recent failure. Consumers compare their attach-time
   // snapshot against the current epoch on every read.
   std::atomic<uint64_t> fault_seq_{0};
-  Status last_fault_;
+  Status last_fault_ GUARDED_BY(mu_);
 
   std::thread worker_;
 };
@@ -111,10 +114,10 @@ class CircularScanMap {
   const core::CommModel comm_;
   const size_t channel_bytes_;
 
-  std::mutex mu_;
+  Mutex mu_{lock_rank::Rank::kLeaf};  // Get() only mutates the vector
   std::vector<std::pair<const storage::Table*,
                         std::unique_ptr<CircularScanService>>>
-      services_;
+      services_ GUARDED_BY(mu_);
 };
 
 }  // namespace sdw::qpipe

@@ -76,7 +76,7 @@ int QpipeEngine::JoinDepth(const PlanNode* node) {
 }
 
 void QpipeEngine::RecordShare(const PlanNode* node) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   switch (node->kind) {
     case PlanNode::Kind::kScan:
       ++counters_.scan_shares;
@@ -281,7 +281,7 @@ std::vector<QueryHandle> QpipeEngine::SubmitRequests(
   }
 
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (size_t i = 0; i < handles.size(); ++i) {
       if (readers[i] != nullptr) active_.push_back(handles[i]);
     }
@@ -361,7 +361,7 @@ void QpipeEngine::DrainResult(const QueryHandle& ctx,
   }
   if (stopped) reader->CancelReader();
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::erase(active_, ctx);
   }
   life->Finish(std::move(final_status));
@@ -376,7 +376,7 @@ void QpipeEngine::WaitAll() {
   while (true) {
     QueryHandle h;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (active_.empty()) return;
       h = active_.back();
     }
@@ -385,12 +385,12 @@ void QpipeEngine::WaitAll() {
 }
 
 SpCounters QpipeEngine::sp_counters() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return counters_;
 }
 
 void QpipeEngine::ResetSpCounters() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   counters_ = SpCounters{};
 }
 

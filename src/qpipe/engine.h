@@ -19,9 +19,9 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/thread_pool.h"
 #include "core/scheduler.h"
 #include "qpipe/circular_scan.h"
@@ -217,9 +217,11 @@ class QpipeEngine {
 
   std::atomic<uint64_t> next_qid_{1};
 
-  mutable std::mutex mu_;
-  std::vector<QueryHandle> active_;
-  SpCounters counters_;
+  // Leaf-like in practice (never wraps another acquisition) but ranked as
+  // the engine layer so a future nesting under it is caught, not invented.
+  mutable Mutex mu_{lock_rank::Rank::kEngine};
+  std::vector<QueryHandle> active_ GUARDED_BY(mu_);
+  SpCounters counters_ GUARDED_BY(mu_);
 };
 
 }  // namespace sdw::qpipe

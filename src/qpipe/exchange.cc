@@ -38,7 +38,7 @@ bool TeeSink::Put(storage::PagePtr page) {
   // producer thread, serially per satellite — the push-model cost.
   std::vector<std::shared_ptr<FifoBuffer>> sats;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     emitted_ = true;
     sats = satellites_;
   }
@@ -48,7 +48,7 @@ bool TeeSink::Put(storage::PagePtr page) {
       ++delivered;
     } else {
       // Satellite cancelled; drop it so we stop copying for it.
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       std::erase(satellites_, s);
     }
   }
@@ -61,7 +61,7 @@ bool TeeSink::Put(storage::PagePtr page) {
 void TeeSink::Close() {
   std::vector<std::shared_ptr<FifoBuffer>> sats;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     closed_ = true;
     sats = satellites_;
   }
@@ -70,7 +70,7 @@ void TeeSink::Close() {
 }
 
 bool TeeSink::Abandoned() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!primary_->Abandoned()) return false;
   for (const auto& s : satellites_) {
     if (!s->Abandoned()) return false;
@@ -79,7 +79,7 @@ bool TeeSink::Abandoned() const {
 }
 
 bool TeeSink::TryAddSatellite(std::shared_ptr<FifoBuffer> satellite) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (emitted_ || closed_) return false;
   satellites_.push_back(std::move(satellite));
   return true;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/breakdown.h"
+#include "common/mutex.h"
 #include "core/page_channel.h"
 #include "core/shared_pages_list.h"
 #include "qpipe/fifo_buffer.h"
@@ -93,10 +94,12 @@ class TeeSink : public core::PageSink {
  private:
   std::shared_ptr<FifoBuffer> primary_;
 
-  mutable std::mutex mu_;
-  std::vector<std::shared_ptr<FifoBuffer>> satellites_;
-  bool emitted_ = false;
-  bool closed_ = false;
+  // Put forwards into satellite FIFOs (kChannel) while holding mu_, so the
+  // tee sits strictly below the channels it fans out into.
+  mutable Mutex mu_{lock_rank::Rank::kTeeSink};
+  std::vector<std::shared_ptr<FifoBuffer>> satellites_ GUARDED_BY(mu_);
+  bool emitted_ GUARDED_BY(mu_) = false;
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 /// Push-model exchange: primary FIFO plus tee-attached satellite FIFOs.

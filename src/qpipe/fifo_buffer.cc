@@ -3,58 +3,57 @@
 namespace sdw::qpipe {
 
 bool FifoBuffer::Put(storage::PagePtr page) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SDW_CHECK_MSG(!closed_, "Put after Close on FifoBuffer");
-  producer_cv_.wait(lock, [&] {
-    const bool full =
-        max_bytes_ > 0 && bytes_ + storage::kPageSize > max_bytes_;
-    return !full || cancelled_;
-  });
+  while (max_bytes_ > 0 && bytes_ + storage::kPageSize > max_bytes_ &&
+         !cancelled_) {
+    producer_cv_.Wait(mu_);
+  }
   if (cancelled_) return false;
   emitted_ = true;
   queue_.push_back(std::move(page));
   bytes_ += storage::kPageSize;
-  consumer_cv_.notify_one();
+  consumer_cv_.NotifyOne();
   return true;
 }
 
 void FifoBuffer::Close() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   closed_ = true;
-  consumer_cv_.notify_all();
+  consumer_cv_.NotifyAll();
 }
 
 storage::PagePtr FifoBuffer::Next() {
-  std::unique_lock<std::mutex> lock(mu_);
-  consumer_cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
+  MutexLock lock(mu_);
+  while (queue_.empty() && !closed_) consumer_cv_.Wait(mu_);
   if (queue_.empty()) return nullptr;
   storage::PagePtr page = std::move(queue_.front());
   queue_.pop_front();
   bytes_ -= storage::kPageSize;
-  producer_cv_.notify_one();
+  producer_cv_.NotifyOne();
   return page;
 }
 
 void FifoBuffer::CancelReader() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   cancelled_ = true;
   queue_.clear();
   bytes_ = 0;
-  producer_cv_.notify_all();
+  producer_cv_.NotifyAll();
 }
 
 bool FifoBuffer::Abandoned() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return cancelled_;
 }
 
 size_t FifoBuffer::buffered_bytes() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return bytes_;
 }
 
 bool FifoBuffer::NothingEmitted() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return !emitted_ && !closed_;
 }
 

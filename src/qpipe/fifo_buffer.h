@@ -6,11 +6,10 @@
 #ifndef SDW_QPIPE_FIFO_BUFFER_H_
 #define SDW_QPIPE_FIFO_BUFFER_H_
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 
 #include "common/macros.h"
+#include "common/mutex.h"
 #include "core/page_channel.h"
 
 namespace sdw::qpipe {
@@ -41,14 +40,16 @@ class FifoBuffer : public core::PageSink, public core::PageSource {
  private:
   const size_t max_bytes_;
 
-  mutable std::mutex mu_;
-  std::condition_variable producer_cv_;
-  std::condition_variable consumer_cv_;
-  std::deque<storage::PagePtr> queue_;
-  size_t bytes_ = 0;
-  bool emitted_ = false;
-  bool closed_ = false;
-  bool cancelled_ = false;
+  // Channel endpoints are near-leaves: Put/Next never acquire another lock,
+  // but emitters reach them under the query-output and tee locks.
+  mutable Mutex mu_{lock_rank::Rank::kChannel};
+  CondVar producer_cv_;
+  CondVar consumer_cv_;
+  std::deque<storage::PagePtr> queue_ GUARDED_BY(mu_);
+  size_t bytes_ GUARDED_BY(mu_) = 0;
+  bool emitted_ GUARDED_BY(mu_) = false;
+  bool closed_ GUARDED_BY(mu_) = false;
+  bool cancelled_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace sdw::qpipe

@@ -7,7 +7,7 @@ namespace sdw::qpipe {
 void SpRegistry::Register(const std::string& signature,
                           std::shared_ptr<Exchange> ex,
                           std::shared_ptr<core::QueryLifecycle> consumer) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Host host;
   host.ex = std::move(ex);
   if (consumer != nullptr) host.consumers.push_back(std::move(consumer));
@@ -15,7 +15,7 @@ void SpRegistry::Register(const std::string& signature,
 }
 
 void SpRegistry::Unregister(const std::string& signature, const Exchange* ex) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = hosts_.find(signature);
   if (it == hosts_.end()) return;
   std::erase_if(it->second, [ex](const Host& h) { return h.ex.get() == ex; });
@@ -25,7 +25,7 @@ void SpRegistry::Unregister(const std::string& signature, const Exchange* ex) {
 std::unique_ptr<core::PageSource> SpRegistry::TryAttach(
     const std::string& signature,
     const std::shared_ptr<core::QueryLifecycle>& consumer) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = hosts_.find(signature);
   if (it == hosts_.end()) return nullptr;
   for (Host& host : it->second) {
@@ -41,7 +41,7 @@ void SpRegistry::UnregisterAborted(const std::string& signature,
                                    const Exchange* ex, const Status& why) {
   std::vector<std::shared_ptr<core::QueryLifecycle>> consumers;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = hosts_.find(signature);
     if (it == hosts_.end()) return;
     for (Host& host : it->second) {
@@ -61,7 +61,7 @@ void SpRegistry::FinishConsumers(const std::string& signature,
                                  const Exchange* ex, const Status& why) {
   std::vector<std::shared_ptr<core::QueryLifecycle>> consumers;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = hosts_.find(signature);
     if (it == hosts_.end()) return;
     for (const Host& host : it->second) {
@@ -76,7 +76,7 @@ void SpRegistry::FinishConsumers(const std::string& signature,
 
 int SpRegistry::MaxConsumerPriority(const std::string& signature,
                                     const Exchange* ex, int fallback) const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = hosts_.find(signature);
   if (it == hosts_.end()) return fallback;
   for (const Host& host : it->second) {
@@ -95,7 +95,7 @@ int SpRegistry::MaxConsumerPriority(const std::string& signature,
 
 bool SpRegistry::AllConsumersDetached(const std::string& signature,
                                       const Exchange* ex) const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = hosts_.find(signature);
   if (it == hosts_.end()) return false;
   for (const Host& host : it->second) {
@@ -109,7 +109,7 @@ bool SpRegistry::AllConsumersDetached(const std::string& signature,
 }
 
 size_t SpRegistry::size() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t n = 0;
   for (const auto& [sig, v] : hosts_) n += v.size();
   return n;

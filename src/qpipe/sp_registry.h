@@ -18,11 +18,11 @@
 #define SDW_QPIPE_SP_REGISTRY_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "core/query_ticket.h"
 #include "qpipe/exchange.h"
 
@@ -91,8 +91,11 @@ class SpRegistry {
     std::vector<std::shared_ptr<core::QueryLifecycle>> consumers;
   };
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::vector<Host>> hosts_;
+  // TryAttach calls Exchange::TryAttachSatellite (tee/channel locks) under
+  // mu_, and ThreadPool's dynamic_priority provider calls into the registry
+  // while holding the pool lock — hence kThreadPool < kSpRegistry < kTeeSink.
+  mutable Mutex mu_{lock_rank::Rank::kSpRegistry};
+  std::unordered_map<std::string, std::vector<Host>> hosts_ GUARDED_BY(mu_);
 };
 
 }  // namespace sdw::qpipe

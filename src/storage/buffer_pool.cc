@@ -25,7 +25,7 @@ Result<const Page*> BufferPool::FetchPage(const Table& table,
   bool resident;
   {
     ScopedWallComponentTimer t(Component::kLocks);
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     resident = TouchIfResident(key);
   }
   if (resident) {
@@ -46,7 +46,7 @@ Result<const Page*> BufferPool::FetchPage(const Table& table,
   // successful read is what keeps failed pages non-resident.
   {
     ScopedWallComponentTimer t(Component::kLocks);
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     Admit(key);
   }
   return table.page(page_idx);
@@ -77,7 +77,7 @@ void BufferPool::Admit(uint64_t key) {
 }
 
 void BufferPool::Clear() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   lru_.clear();
   index_.clear();
   hits_.store(0, std::memory_order_relaxed);

@@ -10,10 +10,10 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 
 #include "common/breakdown.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "storage/storage_device.h"
 #include "storage/table.h"
@@ -59,17 +59,19 @@ class BufferPool {
   }
 
   // Returns true when resident (moves the key to the MRU position).
-  bool TouchIfResident(uint64_t key);
+  bool TouchIfResident(uint64_t key) REQUIRES(mu_);
   // Inserts the key as MRU and evicts past capacity. Called only after the
   // device read succeeds.
-  void Admit(uint64_t key);
+  void Admit(uint64_t key) REQUIRES(mu_);
 
   StorageDevice* device_;
   const size_t capacity_bytes_;
 
-  std::mutex mu_;
-  std::list<uint64_t> lru_;
-  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> index_;
+  // The contended latch the paper measures; only LRU bookkeeping under it.
+  Mutex mu_{lock_rank::Rank::kBufferPool};
+  std::list<uint64_t> lru_ GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> index_
+      GUARDED_BY(mu_);
 
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};

@@ -25,7 +25,7 @@ Status StorageDevice::ReadPage(uint16_t table_id, uint64_t page_idx,
   const uint64_t key = Key(table_id, page_idx);
   int64_t complete_at;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
 
     if (!options_.direct_io && options_.os_cache_bytes > 0 &&
         CacheLookupOrInsert(key, bytes)) {
@@ -83,7 +83,7 @@ bool StorageDevice::CacheLookupOrInsert(uint64_t key, size_t bytes) {
 }
 
 void StorageDevice::ResetStats() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   device_bytes_read_.store(0, std::memory_order_relaxed);
   cache_hit_bytes_.store(0, std::memory_order_relaxed);
   logical_reads_.store(0, std::memory_order_relaxed);

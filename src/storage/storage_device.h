@@ -21,10 +21,10 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 
 #include "common/macros.h"
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace sdw::storage {
@@ -85,7 +85,7 @@ class StorageDevice {
   };
 
   // Returns true when the read is served by the OS cache (no device time).
-  bool CacheLookupOrInsert(uint64_t key, size_t bytes);
+  bool CacheLookupOrInsert(uint64_t key, size_t bytes) REQUIRES(mu_);
 
   static uint64_t Key(uint16_t table_id, uint64_t page_idx) {
     return (static_cast<uint64_t>(table_id) << 48) | page_idx;
@@ -93,14 +93,16 @@ class StorageDevice {
 
   DeviceOptions options_;
 
-  std::mutex mu_;
-  int64_t busy_until_nanos_ = 0;   // device timeline
-  uint64_t last_key_ = ~uint64_t{0};  // for sequentiality detection
+  // One shared device timeline; sleeps happen outside the lock.
+  Mutex mu_{lock_rank::Rank::kStorageDevice};
+  int64_t busy_until_nanos_ GUARDED_BY(mu_) = 0;       // device timeline
+  uint64_t last_key_ GUARDED_BY(mu_) = ~uint64_t{0};   // sequentiality
 
   // OS cache: LRU list of page keys with byte budget.
-  std::list<CacheEntry> lru_;
-  std::unordered_map<uint64_t, std::list<CacheEntry>::iterator> cache_index_;
-  size_t cache_used_bytes_ = 0;
+  std::list<CacheEntry> lru_ GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, std::list<CacheEntry>::iterator> cache_index_
+      GUARDED_BY(mu_);
+  size_t cache_used_bytes_ GUARDED_BY(mu_) = 0;
 
   std::atomic<uint64_t> device_bytes_read_{0};
   std::atomic<uint64_t> cache_hit_bytes_{0};

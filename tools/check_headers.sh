@@ -2,6 +2,11 @@
 # Public-header hygiene: every header under src/ must compile standalone
 # (catches missing includes that only surface for external consumers of the
 # public API). Run from anywhere; CXX overrides the compiler.
+#
+# Second pass (clang only): each header is additionally compiled with
+# -Wthread-safety, so a GUARDED_BY/REQUIRES annotation that is malformed or
+# references an undeclared capability fails header hygiene even before the
+# full build-tsa preset runs. Skipped gracefully on gcc-only machines.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -16,4 +21,28 @@ for h in $(find src -name '*.h' | sort); do
   checked=$((checked + 1))
 done
 echo "header hygiene: $checked headers checked$([ $fail -eq 0 ] && echo ', all self-contained')"
+
+# Thread-safety pass. Prefer an explicit clang++ if the configured CXX is not
+# clang; skip (successfully) when no clang is available at all.
+TSA_CXX=""
+if "$CXX" --version 2>/dev/null | grep -qi clang; then
+  TSA_CXX="$CXX"
+elif command -v clang++ >/dev/null 2>&1; then
+  TSA_CXX="clang++"
+fi
+if [ -z "$TSA_CXX" ]; then
+  echo "header hygiene: no clang found, skipping -Wthread-safety pass"
+  exit $fail
+fi
+tsa_checked=0
+for h in $(find src -name '*.h' | sort); do
+  if ! "$TSA_CXX" -std=c++20 -fsyntax-only -Wthread-safety -Wthread-safety-beta \
+      -Werror=thread-safety-analysis -Werror=thread-safety-attributes \
+      -Isrc -x c++ "$h"; then
+    echo "THREAD-SAFETY ANNOTATIONS BROKEN: $h" >&2
+    fail=1
+  fi
+  tsa_checked=$((tsa_checked + 1))
+done
+echo "header hygiene: $tsa_checked headers passed -Wthread-safety"
 exit $fail

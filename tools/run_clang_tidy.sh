@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config in .clang-tidy, warnings promoted to errors) over
+# every translation unit in src/, using a compile_commands.json produced by a
+# clang configure. Creates the build directory if needed. Usage:
+#
+#   tools/run_clang_tidy.sh [build-dir]     # default: build-tidy
+#
+# Requires clang-tidy and clang; exits 2 (distinct from "findings") when the
+# toolchain is missing so CI can tell environment failures from regressions.
+set -u
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-tidy}"
+TIDY="${CLANG_TIDY:-clang-tidy}"
+
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "run_clang_tidy: $TIDY not found" >&2
+  exit 2
+fi
+if ! command -v clang++ >/dev/null 2>&1; then
+  echo "run_clang_tidy: clang++ not found (needed for compile_commands)" >&2
+  exit 2
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++ \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null || exit 2
+fi
+
+# Library + harness sources; tests and benches follow the same config but
+# are tidied only when TIDY_ALL=1 (they dominate wall time).
+mapfile -t sources < <(find src -name '*.cc' | sort)
+if [ "${TIDY_ALL:-0}" = "1" ]; then
+  mapfile -t -O "${#sources[@]}" sources < <(find tests bench -name '*.cc' 2>/dev/null | sort)
+fi
+
+fail=0
+for f in "${sources[@]}"; do
+  if ! "$TIDY" -p "$BUILD_DIR" --quiet "$f"; then
+    fail=1
+  fi
+done
+if [ $fail -eq 0 ]; then
+  echo "clang-tidy: ${#sources[@]} files clean"
+else
+  echo "clang-tidy: findings above must be fixed (warnings are errors)" >&2
+fi
+exit $fail
