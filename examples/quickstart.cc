@@ -39,6 +39,12 @@
 // aggregate) shape but different predicate constants fold into ONE shared
 // group-by table — CjoinStats::agg_groups_shared counts the second query
 // attaching instead of aggregating privately.
+//
+// Step 9 shows the PAX page layout: EngineOptions::columnar_pages = true
+// rebuilds the fact table column-major-within-page at engine construction
+// (docs/STORAGE.md), so the filter/scan kernels read only the columns they
+// touch. Same queries, bit-identical results — false keeps the row-major
+// differential oracle.
 
 #include <cstdio>
 
@@ -213,5 +219,29 @@ int main() {
               static_cast<unsigned long long>(agg_stats.agg_slice_emits),
               shared_tickets[0].result().num_rows(),
               shared_tickets[1].result().num_rows());
-  return agg_stats.agg_groups_shared >= 1 ? 0 : 1;
+  if (agg_stats.agg_groups_shared < 1) return 1;
+
+  // 9. The PAX page layout (docs/STORAGE.md). columnar_pages = true makes
+  //    the engine rebuild the fact table's pages column-major-within-page
+  //    before any stage captures page pointers: each column becomes a
+  //    64-byte-aligned minipage, so the filter's FK probe and predicate
+  //    evaluation read only the cache lines of the columns they touch (and
+  //    the SIMD bitmap kernels run on the multi-word pass). Page geometry
+  //    changes — slightly fewer rows per page from alignment padding — but
+  //    results are identical to the row-major engine, which stays available
+  //    as the differential oracle (columnar_pages = false, the default).
+  const storage::Table* fact = catalog.MustGetTable(ssb::kLineorder);
+  const size_t rows_per_page_before = fact->rows_per_page();
+  core::EngineOptions columnar_opts;
+  columnar_opts.config = core::EngineConfig::kCjoin;
+  columnar_opts.columnar_pages = true;
+  core::Engine columnar_engine(&catalog, &pool, columnar_opts);
+  core::QueryTicket columnar_ticket = columnar_engine.Submit(q);
+  if (!columnar_ticket.Wait().ok()) return 1;
+  std::printf("\nPAX layout: lineorder %zu -> %zu rows/page (columnar=%s), "
+              "Q3.2 rows %zu (row-major engine: %zu)\n",
+              rows_per_page_before, fact->rows_per_page(),
+              fact->columnar() ? "true" : "false",
+              columnar_ticket.result().num_rows(), result.num_rows());
+  return columnar_ticket.result().num_rows() == result.num_rows() ? 0 : 1;
 }

@@ -4,9 +4,79 @@
 #include <cstring>
 
 #include "common/breakdown.h"
+#include "common/simd.h"
 #include "storage/scan.h"
 
+#if defined(SDW_SIMD) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define SDW_FILTER_AVX2_BODY 1
+#include <immintrin.h>
+#endif
+
 namespace sdw::cjoin {
+
+namespace {
+
+// Pass-2 loop state shared between the generic multi-word loop and the
+// batch-granularity AVX2 body below. `rows == nullptr` means the batch is
+// all-live (tuple index == probe index).
+struct Pass2Ctx {
+  const uint32_t* rows;
+  const uint64_t* values;
+  size_t live_count;
+  uint64_t sentinel;
+  const uint64_t* entry_bits;  // 4-word stride, sentinel row included
+  const uint32_t* entry_rows;
+  const uint64_t* pass;
+  uint64_t* bits;  // batch bitmap array, 4 words per tuple
+  uint32_t* dims;
+  uint32_t nf;
+  uint32_t position;
+  uint64_t* live_words;
+};
+
+#if defined(SDW_FILTER_AVX2_BODY)
+
+// The 256-slot (4-word) pass-2 kernel at batch granularity: one dispatch
+// decision per batch instead of one indirect simd:: call per tuple, the
+// pass mask pinned in a ymm register across the loop, and the empty-bitmap
+// check collapsed to a single vptest. Bitwise-identical to the generic loop
+// (AND/OR over the same words) — the differential suite holds it to that.
+__attribute__((target("avx2"))) void Pass2Words4Avx2(const Pass2Ctx& c) {
+  constexpr size_t kLookahead = 8;
+  const __m256i vpass =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c.pass));
+  auto prefetch_entry = [&](size_t j) {
+    if (j < c.live_count) {
+      const uint64_t idx = c.values[j] < c.sentinel ? c.values[j] : c.sentinel;
+      // A 32-byte entry row can straddle two cache lines (the vector data is
+      // only 16-byte aligned) — touch both ends.
+      SDW_PREFETCH(&c.entry_bits[idx * 4]);
+      SDW_PREFETCH(&c.entry_bits[idx * 4 + 3]);
+      SDW_PREFETCH(&c.entry_rows[idx]);
+    }
+  };
+  for (size_t j = 0; j < kLookahead && j < c.live_count; ++j) {
+    prefetch_entry(j);
+  }
+  for (size_t j = 0; j < c.live_count; ++j) {
+    prefetch_entry(j + kLookahead);
+    const uint32_t i = c.rows ? c.rows[j] : static_cast<uint32_t>(j);
+    const uint64_t idx = c.values[j] < c.sentinel ? c.values[j] : c.sentinel;
+    const __m256i match = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(c.entry_bits + idx * 4));
+    uint64_t* tb = c.bits + size_t{i} * 4;
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(tb));
+    vb = _mm256_and_si256(vb, _mm256_or_si256(match, vpass));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(tb), vb);
+    c.dims[size_t{i} * c.nf + c.position] = c.entry_rows[idx];
+    if (_mm256_testz_si256(vb, vb)) bits::Clear(c.live_words, i);
+  }
+}
+
+#endif  // SDW_FILTER_AVX2_BODY
+
+}  // namespace
 
 Filter::Filter(const storage::Table* dim_table, std::string fact_fk_column,
                std::string dim_pk_column, size_t position, size_t slots)
@@ -68,14 +138,15 @@ Status Filter::AdmitQueryBatch(const AdmitRequest* reqs, size_t n,
         if (entry == kNoEntry) {
           const uint32_t row = static_cast<uint32_t>(row_base + i);
           const int64_t pk = schema.GetIntAny(tuple, dim_pk_col_idx_);
-          auto [it, inserted] = pk_to_entry_.try_emplace(
-              pk, static_cast<uint32_t>(entry_rows_.size()));
+          bool inserted;
+          const uint64_t e =
+              flat_ht_.FindOrInsert(pk, entry_rows_.size(), &inserted);
           if (inserted) {
             entry_rows_.push_back(row);
             entry_bits_.resize(entry_bits_.size() + words_, 0);
-            ht_.Insert(qpipe::HashKey(pk), pk, it->second);
+            ht_.Insert(qpipe::HashKey(pk), pk, e);
           }
-          entry = it->second;
+          entry = static_cast<uint32_t>(e);
         }
         bits::Set(entry_bits_.data() + entry * words_, reqs[r].slot);
       }
@@ -102,9 +173,10 @@ void Filter::CleanSlot(uint32_t slot) {
 }
 
 void Filter::BindFactColumn(const storage::Schema& fact_schema) {
-  const size_t col = fact_schema.MustColumnIndex(fact_fk_column_);
-  fk_offset_ = fact_schema.offset(col);
-  fk_is_int32_ = fact_schema.column(col).type == storage::ColumnType::kInt32;
+  fk_col_ = fact_schema.MustColumnIndex(fact_fk_column_);
+  fk_offset_ = fact_schema.offset(fk_col_);
+  fk_is_int32_ =
+      fact_schema.column(fk_col_).type == storage::ColumnType::kInt32;
   fk_bound_ = true;
 }
 
@@ -112,6 +184,12 @@ void Filter::Process(TupleBatch* batch, FilterScratch* scratch) const {
   SDW_DCHECK(fk_bound_);
   const uint32_t n = batch->num_tuples;
   if (n == 0) return;
+  if (batch->fact_page->columnar()) {
+    // PAX page: dense FK minipage + flat probe + SIMD bitmap pass. The
+    // row-major body below is kept byte-for-byte as the differential oracle.
+    ProcessColumnar(batch, scratch);
+    return;
+  }
   const storage::Page& page = *batch->fact_page;
   const size_t words = batch->words_per_tuple;
   const uint64_t* pass = pass_mask_.words();
@@ -237,6 +315,130 @@ void Filter::Process(TupleBatch* batch, FilterScratch* scratch) const {
   }
 }
 
+void Filter::ProcessColumnar(TupleBatch* batch, FilterScratch* scratch) const {
+  const storage::Page& page = *batch->fact_page;
+  const uint32_t n = batch->num_tuples;
+  const size_t words = batch->words_per_tuple;
+  const uint64_t* pass = pass_mask_.words();
+
+  // All-live detection: identical to the row-major body.
+  const uint64_t* live = batch->live_words();
+  const size_t live_words = bits::WordsFor(n);
+  const size_t full_words = n / 64;
+  const size_t rem = n % 64;
+  bool all_live =
+      rem == 0 || live[live_words - 1] == (uint64_t{1} << rem) - 1;
+  for (size_t w = 0; all_live && w < full_words; ++w) {
+    all_live = live[w] == ~uint64_t{0};
+  }
+
+  // Pass 1: the FK keys sit contiguously in their minipage, so the gather is
+  // a straight sequential read (4- or 8-byte stride — the whole point of
+  // PAX: only the key column's cache lines are touched), and the probe goes
+  // through the flat table's single-load stream.
+  {
+    ScopedComponentTimer t(Component::kHashing);
+    const std::byte* base = page.column_data(fk_col_);
+    scratch->rows.clear();
+    scratch->keys.clear();
+    if (all_live) {
+      scratch->keys.resize(n);
+      int64_t* keys = scratch->keys.data();
+      if (fk_is_int32_) {
+        const int32_t* src = reinterpret_cast<const int32_t*>(base);
+        for (uint32_t i = 0; i < n; ++i) keys[i] = src[i];
+      } else {
+        std::memcpy(keys, base, size_t{n} * sizeof(int64_t));
+      }
+    } else {
+      for (size_t w = 0; w < live_words; ++w) {
+        uint64_t word = live[w];
+        while (word != 0) {
+          const uint32_t i = static_cast<uint32_t>(
+              w * 64 + static_cast<size_t>(std::countr_zero(word)));
+          word &= word - 1;
+          int64_t key;
+          if (fk_is_int32_) {
+            int32_t v;
+            std::memcpy(&v, base + size_t{i} * sizeof(int32_t), sizeof(v));
+            key = v;
+          } else {
+            std::memcpy(&key, base + size_t{i} * sizeof(int64_t), sizeof(key));
+          }
+          scratch->rows.push_back(i);
+          scratch->keys.push_back(key);
+        }
+      }
+    }
+    scratch->values.resize(scratch->keys.size());
+    flat_ht_.ProbeBatch(scratch->keys.data(), scratch->keys.size(),
+                        scratch->values.data());
+  }
+
+  // Pass 2: same sentinel-redirect structure as the row-major body (flat
+  // misses return kMissValue = ~0, which the `< sentinel` cmov redirects
+  // exactly like the chained table's miss value); the multi-word AND runs
+  // through the SIMD dispatch instead of the scalar word loop.
+  {
+    ScopedComponentTimer t(Component::kJoins);
+    const uint64_t sentinel = entry_rows_.size() - 1;
+    constexpr size_t kLookahead = 8;
+    const size_t live_count = scratch->keys.size();
+    const uint32_t* rows = scratch->rows.data();
+    const uint64_t* values = scratch->values.data();
+    const uint64_t* entry_bits = entry_bits_.data();
+    const uint32_t* entry_rows = entry_rows_.data();
+    auto prefetch_entry = [&](size_t j) {
+      if (j < live_count) {
+        const uint64_t idx = values[j] < sentinel ? values[j] : sentinel;
+        SDW_PREFETCH(&entry_bits[idx * words_]);
+        SDW_PREFETCH(&entry_rows[idx]);
+      }
+    };
+    for (size_t j = 0; j < kLookahead && j < live_count; ++j) {
+      prefetch_entry(j);
+    }
+    if (words == 1) {
+      const uint64_t pass0 = pass[0];
+      uint64_t* bw = batch->bits.data();
+      uint32_t* dims = batch->dim_rows.data();
+      const uint32_t nf = batch->num_filters;
+      for (size_t j = 0; j < live_count; ++j) {
+        prefetch_entry(j + kLookahead);
+        const uint32_t i = all_live ? static_cast<uint32_t>(j) : rows[j];
+        const uint64_t idx = values[j] < sentinel ? values[j] : sentinel;
+        const uint64_t b = bw[i] & (entry_bits[idx] | pass0);
+        dims[i * nf + position_] = entry_rows[idx];
+        bw[i] = b;
+        if (b == 0) batch->kill_tuple(i);
+      }
+    } else {
+#if defined(SDW_FILTER_AVX2_BODY)
+      if (words == 4 && words_ == 4 && simd::Avx2Active()) {
+        // The 256-slot regime gets the batch-granularity AVX2 body: the
+        // per-tuple indirect dispatch is hoisted to one branch per batch.
+        Pass2Words4Avx2({all_live ? nullptr : rows, values, live_count,
+                         sentinel, entry_bits, entry_rows, pass,
+                         batch->bits.data(), batch->dim_rows.data(),
+                         batch->num_filters, static_cast<uint32_t>(position_),
+                         batch->live_words()});
+        return;
+      }
+#endif
+      for (size_t j = 0; j < live_count; ++j) {
+        prefetch_entry(j + kLookahead);
+        const uint32_t i = all_live ? static_cast<uint32_t>(j) : rows[j];
+        const uint64_t idx = values[j] < sentinel ? values[j] : sentinel;
+        uint64_t* tb = batch->tuple_bits(i);
+        const uint64_t any =
+            simd::AndWithOrAny(tb, entry_bits + idx * words_, pass, words);
+        batch->tuple_dim_rows(i)[position_] = entry_rows[idx];
+        if (any == 0) batch->kill_tuple(i);
+      }
+    }
+  }
+}
+
 void Filter::ProcessScalar(TupleBatch* batch,
                            const storage::Schema& fact_schema,
                            size_t fact_fk_col_idx) const {
@@ -253,7 +455,7 @@ void Filter::ProcessScalar(TupleBatch* batch,
     ScopedComponentTimer t(Component::kHashing);
     for (uint32_t i = 0; i < n; ++i) {
       if (!batch->tuple_live(i)) continue;  // dead tuple
-      const int64_t key = fact_schema.GetIntAny(page.tuple(i), fact_fk_col_idx);
+      const int64_t key = page.GetIntAny(fact_schema, fact_fk_col_idx, i);
       ht_.ForEachMatch(qpipe::HashKey(key), key, [&](uint64_t entry_idx) {
         match_entry[i] = static_cast<uint32_t>(entry_idx);
       });

@@ -13,12 +13,13 @@
 
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "cjoin/tuple_batch.h"
+#include "common/aligned.h"
 #include "common/bitmap.h"
 #include "common/stats.h"
+#include "qpipe/flat_hash_table.h"
 #include "qpipe/hash_table.h"
 #include "query/predicate.h"
 #include "storage/buffer_pool.h"
@@ -109,6 +110,13 @@ class Filter {
   /// call, ANDs bitmaps, records joined dimension rows, and clears the
   /// batch's live bit for tuples whose bitmap goes empty. Requires
   /// BindFactColumn. `scratch` is the calling worker's reusable scratch.
+  ///
+  /// Dispatches per page layout: row-major batches run the retained
+  /// chained-probe + scalar-bitmap body (the differential oracle behind
+  /// EngineOptions::columnar_pages=false); PAX batches run the columnar
+  /// kernels — contiguous key reads straight off the FK minipage, the flat
+  /// open-addressing probe, and the AVX2 multi-word bitmap pass. Both
+  /// produce bit-identical bitmaps / dim_rows / live masks.
   void Process(TupleBatch* batch, FilterScratch* scratch) const;
 
   /// Retained per-tuple reference implementation (one GetIntAny + one
@@ -129,23 +137,31 @@ class Filter {
   const size_t position_;
   const size_t words_;
 
-  // Probe-path table: pk -> entry index (values are entry indexes).
+  /// Columnar-batch kernels behind Process's per-page dispatch.
+  void ProcessColumnar(TupleBatch* batch, FilterScratch* scratch) const;
+
+  // Probe-path table for row-major batches: pk -> entry index. Retained as
+  // the oracle probe structure (and for the ForEachMatch scalar reference).
   qpipe::Int64HashTable ht_;
-  // Admission-path index with the same mapping (supports incremental
-  // insert-or-find while ht_ is frozen for probing).
-  std::unordered_map<int64_t, uint32_t> pk_to_entry_;
+  // Flat open-addressing twin with the same pk -> entry mapping: the
+  // admission-path insert-or-find index (no Build step, grows in place at
+  // pauses) AND the columnar batches' dense probe stream.
+  qpipe::FlatInt64HashTable flat_ht_;
   // Per-entry arrays, always followed by one sentinel entry (zero match
   // bits, kNoDimRow row id) that ProbeBatch misses are redirected to — this
   // keeps the Process hot loop branchless (no data-dependent hit/miss
   // branch; a miss ANDs with 0|pass and re-writes kNoDimRow).
   std::vector<uint32_t> entry_rows_;    // dim row id per entry (+ sentinel)
-  std::vector<uint64_t> entry_bits_;    // words_ match bits per entry (+")
+  // Cache-line aligned: Process indexes entry rows randomly, and a 64-byte
+  // base keeps every 32-byte (4-word) row inside a single line.
+  CacheAlignedVector<uint64_t> entry_bits_;  // words_ match bits per entry (+")
   Bitset pass_mask_;
   Counter admission_scans_;
 
   size_t dim_pk_col_idx_;
 
   // Fact FK gather plan, precomputed by BindFactColumn.
+  size_t fk_col_ = 0;
   uint32_t fk_offset_ = 0;
   bool fk_is_int32_ = false;
   bool fk_bound_ = false;

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/breakdown.h"
+#include "common/simd.h"
 #include "common/timing.h"
 
 namespace sdw::cjoin {
@@ -238,7 +239,7 @@ void CjoinPipeline::PreprocessorLoop() {
           const ActiveQuery* aq = slots_[s].get();
           if (aq == nullptr || aq->fact_pred.IsTrue()) continue;
           for (uint32_t i = 0; i < batch->num_tuples; ++i) {
-            if (!aq->fact_pred.Eval(fs, batch->fact_tuple(i))) {
+            if (!aq->fact_pred.EvalAt(fs, *batch->fact_page, i)) {
               bits::Clear(batch->tuple_bits(i), s);
             }
           }
@@ -462,8 +463,8 @@ std::vector<JoinRowMove> CjoinPipeline::BuildJoinMoves(
   std::vector<JoinRowMove> moves;
   size_t dst = 0;
   for (size_t col : planner.FactProjection(q)) {
-    moves.push_back({true, 0, fact_schema.offset(col), out_schema.offset(dst),
-                     fact_schema.column(col).width()});
+    moves.push_back({true, 0, col, fact_schema.offset(col),
+                     out_schema.offset(dst), fact_schema.column(col).width()});
     ++dst;
   }
   for (const auto& dim : q.dims) {
@@ -478,7 +479,7 @@ std::vector<JoinRowMove> CjoinPipeline::BuildJoinMoves(
     const storage::Schema& ds = dim_table->schema();
     for (const auto& payload : dim.payload_columns) {
       const size_t col = ds.MustColumnIndex(payload);
-      moves.push_back({false, filter_pos, ds.offset(col),
+      moves.push_back({false, filter_pos, col, ds.offset(col),
                        out_schema.offset(dst), ds.column(col).width()});
       ++dst;
     }
@@ -852,9 +853,25 @@ size_t DistributePartBatched(const TupleBatch& batch,
             lw * 64 + static_cast<size_t>(std::countr_zero(lword)));
         lword &= lword - 1;
         const uint64_t* tb = batch.tuple_bits(i);
+        if (words == 1) {
+          const uint64_t word0 = tb[0];
+          seen[0] |= word0;
+          uint64_t word = word0;
+          while (word != 0) {
+            const uint32_t slot =
+                static_cast<uint32_t>(std::countr_zero(word));
+            word &= word - 1;
+            arena[slot * stride + counts[slot]++] = i;
+          }
+          continue;
+        }
+        // Multi-word bitmaps: one SIMD pass fuses the touched-slot OR with
+        // the any-bit check, so tuples whose stale live bit survived an
+        // all-zero bitmap skip the decode loop entirely. Emission order is
+        // unchanged (the scalar decode below still walks words in order).
+        if (simd::OrAccumulateAny(seen, tb, words) == 0) continue;
         for (size_t w = 0; w < words; ++w) {
           uint64_t word = tb[w];
-          seen[w] |= word;
           while (word != 0) {
             const uint32_t slot = static_cast<uint32_t>(
                 w * 64 + static_cast<size_t>(std::countr_zero(word)));
@@ -921,13 +938,15 @@ void CjoinPipeline::EmitGroup(uint32_t slot, const TupleBatch& batch,
     if (!aq->out_buf.ok()) return;  // consumers gone
     page = aq->out_buf.TakePage();
   }
+  const storage::Page& fact_page = *batch.fact_page;
+  const bool columnar = fact_page.columnar();
   for (size_t k = 0; k < n; ++k) {
     const uint32_t i = idxs[k];
-    const std::byte* fact_row = batch.fact_tuple(i);
+    const std::byte* fact_row = columnar ? nullptr : fact_page.tuple(i);
     // Fact predicates are evaluated on CJOIN's output tuples unless the
     // preprocessor already applied them (§3.2).
     if (!options_.fact_preds_in_preprocessor && !aq->fact_pred.IsTrue() &&
-        !aq->fact_pred.Eval(fact_schema, fact_row)) {
+        !aq->fact_pred.EvalAt(fact_schema, fact_page, i)) {
       continue;
     }
     if (page == nullptr) page = storage::Page::Make(aq->out_tuple_size);
@@ -949,7 +968,9 @@ void CjoinPipeline::EmitGroup(uint32_t slot, const TupleBatch& batch,
     for (const auto& m : aq->moves) {
       const std::byte* src;
       if (m.from_fact) {
-        src = fact_row + m.src_off;
+        // PAX pages project straight out of the column's minipage.
+        src = columnar ? fact_page.field(fact_schema, m.src_col, i)
+                       : fact_row + m.src_off;
       } else {
         const uint32_t row = dim_rows[m.filter_pos];
         SDW_DCHECK(row != kNoDimRow);

@@ -1,0 +1,53 @@
+// Cache-line-aligned allocation for hot fixed-stride arrays.
+//
+// std::vector's default allocator only guarantees 16-byte alignment, so a
+// 32-byte row (four bitmap words — the 256-query-slot regime) placed at a
+// 16-byte-odd base straddles two cache lines on every other row. Randomly
+// indexed row arrays (the filter's entry_bits_) pay double line traffic for
+// those rows; a 64-byte base makes every 32-byte row land inside one line.
+
+#ifndef SDW_COMMON_ALIGNED_H_
+#define SDW_COMMON_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace sdw {
+
+/// Minimal std::allocator replacement producing `Align`-byte-aligned blocks.
+template <typename T, std::size_t Align>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert(Align >= alignof(T), "Align must not weaken T's alignment");
+  static_assert((Align & (Align - 1)) == 0, "Align must be a power of two");
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) {}  // NOLINT(runtime/explicit)
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t) {
+    ::operator delete(p, std::align_val_t{Align});
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+/// Vector whose data() is 64-byte (cache line) aligned.
+template <typename T>
+using CacheAlignedVector = std::vector<T, AlignedAllocator<T, 64>>;
+
+}  // namespace sdw
+
+#endif  // SDW_COMMON_ALIGNED_H_

@@ -1,0 +1,117 @@
+#include "common/simd.h"
+
+#include "common/bitmap.h"
+
+#if defined(SDW_SIMD) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define SDW_SIMD_AVX2_BODIES 1
+#include <immintrin.h>
+#endif
+
+namespace sdw::simd {
+
+namespace {
+
+// Scalar fallbacks: the bits:: loops, via the same indirect entry points.
+uint64_t AndWithOrAnyScalar(uint64_t* dst, const uint64_t* a,
+                            const uint64_t* b, size_t nwords) {
+  return bits::AndWithOrAny(dst, a, b, nwords);
+}
+
+uint64_t OrAccumulateAnyScalar(uint64_t* acc, const uint64_t* src,
+                               size_t nwords) {
+  uint64_t any = 0;
+  for (size_t w = 0; w < nwords; ++w) {
+    acc[w] |= src[w];
+    any |= src[w];
+  }
+  return any;
+}
+
+#if defined(SDW_SIMD_AVX2_BODIES)
+
+__attribute__((target("avx2"))) uint64_t AndWithOrAnyAvx2(uint64_t* dst,
+                                                          const uint64_t* a,
+                                                          const uint64_t* b,
+                                                          size_t nwords) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t w = 0;
+  for (; w + 4 <= nwords; w += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w));
+    __m256i vd = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + w));
+    vd = _mm256_and_si256(vd, _mm256_or_si256(va, vb));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + w), vd);
+    acc = _mm256_or_si256(acc, vd);
+  }
+  // Horizontal OR of the vector accumulator; any nonzero lane → nonzero.
+  const __m128i lo = _mm256_castsi256_si128(acc);
+  const __m128i hi = _mm256_extracti128_si256(acc, 1);
+  const __m128i both = _mm_or_si128(lo, hi);
+  uint64_t any = static_cast<uint64_t>(_mm_cvtsi128_si64(both)) |
+                 static_cast<uint64_t>(
+                     _mm_cvtsi128_si64(_mm_unpackhi_epi64(both, both)));
+  for (; w < nwords; ++w) {
+    dst[w] &= (a[w] | b[w]);
+    any |= dst[w];
+  }
+  return any;
+}
+
+__attribute__((target("avx2"))) uint64_t OrAccumulateAnyAvx2(
+    uint64_t* acc, const uint64_t* src, size_t nwords) {
+  __m256i vany = _mm256_setzero_si256();
+  size_t w = 0;
+  for (; w + 4 <= nwords; w += 4) {
+    const __m256i vs =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + w));
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + w));
+    va = _mm256_or_si256(va, vs);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + w), va);
+    vany = _mm256_or_si256(vany, vs);
+  }
+  const __m128i lo = _mm256_castsi256_si128(vany);
+  const __m128i hi = _mm256_extracti128_si256(vany, 1);
+  const __m128i both = _mm_or_si128(lo, hi);
+  uint64_t any = static_cast<uint64_t>(_mm_cvtsi128_si64(both)) |
+                 static_cast<uint64_t>(
+                     _mm_cvtsi128_si64(_mm_unpackhi_epi64(both, both)));
+  for (; w < nwords; ++w) {
+    acc[w] |= src[w];
+    any |= src[w];
+  }
+  return any;
+}
+
+bool DetectAvx2() { return __builtin_cpu_supports("avx2") != 0; }
+
+#endif  // SDW_SIMD_AVX2_BODIES
+
+}  // namespace
+
+bool Avx2Active() {
+#if defined(SDW_SIMD_AVX2_BODIES)
+  static const bool active = DetectAvx2();
+  return active;
+#else
+  return false;
+#endif
+}
+
+namespace internal {
+
+#if defined(SDW_SIMD_AVX2_BODIES)
+const AndWithOrAnyFn kAndWithOrAny =
+    DetectAvx2() ? &AndWithOrAnyAvx2 : &AndWithOrAnyScalar;
+const OrAccumulateAnyFn kOrAccumulateAny =
+    DetectAvx2() ? &OrAccumulateAnyAvx2 : &OrAccumulateAnyScalar;
+#else
+const AndWithOrAnyFn kAndWithOrAny = &AndWithOrAnyScalar;
+const OrAccumulateAnyFn kOrAccumulateAny = &OrAccumulateAnyScalar;
+#endif
+
+}  // namespace internal
+
+}  // namespace sdw::simd

@@ -26,6 +26,13 @@ Engine::Engine(const storage::Catalog* catalog, storage::BufferPool* pool,
 
   scheduler_ = std::make_unique<Scheduler>(options_.sched);
 
+  if (options_.columnar_pages) {
+    // Rebuild the fact table's pages in the PAX layout before any stage
+    // (QPipe scans or the GQP's circular scan) captures page pointers.
+    // Idempotent, so engines sharing a catalog may all request it.
+    catalog->MustGetTable(options_.fact_table)->ConvertToColumnar();
+  }
+
   qpipe::QpipeOptions qopts;
   qopts.comm = options_.comm;
   qopts.channel_bytes = options_.channel_bytes;

@@ -62,6 +62,13 @@ struct EngineOptions {
   bool shared_aggregation = true;
   /// Fact table the GQP pipeline is built over.
   std::string fact_table = "lineorder";
+  /// Convert the fact table to the PAX (column-major within page) layout at
+  /// engine construction and run the columnar hot-path kernels over it
+  /// (minipage predicate/key reads, flat hash probe, SIMD bitmap pass — see
+  /// docs/STORAGE.md). False keeps the row-major layout and the retained
+  /// row-major kernels: the differential oracle the columnar suite pins the
+  /// PAX path against. Results are bit-identical either way.
+  bool columnar_pages = false;
   /// Scheduling policy: one core::Scheduler per engine threads priority,
   /// aging and deadline (timer-wheel) enforcement through every queue —
   /// stage dispatch, result sinks and CJOIN admission.

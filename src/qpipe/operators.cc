@@ -16,8 +16,11 @@ namespace sdw::qpipe {
 namespace {
 
 /// Precomputed per-column byte moves from a source schema to an output
-/// schema.
+/// schema. `src_col` lets scans over PAX base pages read the source column's
+/// minipage directly; channel pages between operators stay row-major and use
+/// `src_off` against a tuple base pointer.
 struct ColumnMove {
+  size_t src_col;
   uint32_t src_off;
   uint32_t dst_off;
   uint32_t len;
@@ -32,7 +35,7 @@ std::vector<ColumnMove> PlanMoves(const storage::Schema& src,
   for (size_t i = 0; i < src_cols.size(); ++i) {
     const size_t s = src_cols[i];
     const size_t d = dst_start + i;
-    moves.push_back({src.offset(s), dst.offset(d), src.column(s).width()});
+    moves.push_back({s, src.offset(s), dst.offset(d), src.column(s).width()});
   }
   return moves;
 }
@@ -83,6 +86,19 @@ Status RunScan(const query::PlanNode& node, core::PageSource* raw_pages,
   auto process_page = [&](const storage::Page& page) {
     ScopedComponentTimer t(Component::kScans);
     const uint32_t n = page.tuple_count();
+    if (page.columnar()) {
+      // PAX base page: evaluate and project per minipage field — only the
+      // referenced columns' cache lines are touched.
+      for (uint32_t i = 0; i < n; ++i) {
+        if (!pred.IsTrue() && !pred.EvalAt(base, page, i)) continue;
+        std::byte* dst = writer.AppendTuple();
+        if (dst == nullptr) return false;  // consumers gone
+        for (const auto& m : moves) {
+          std::memcpy(dst + m.dst_off, page.field(base, m.src_col, i), m.len);
+        }
+      }
+      return true;
+    }
     for (uint32_t i = 0; i < n; ++i) {
       const std::byte* tuple = page.tuple(i);
       if (!pred.IsTrue() && !pred.Eval(base, tuple)) continue;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/str_util.h"
+#include "storage/page.h"
 
 namespace sdw::query {
 
@@ -103,6 +104,47 @@ bool Predicate::Bound::Eval(const storage::Schema& schema,
                       static_cast<double>(a.ival));
       } else {
         hit = Compare(a.op, schema.GetIntAny(tuple, a.col), a.ival);
+      }
+      if (hit) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return false;
+  }
+  return true;
+}
+
+bool Predicate::Bound::EvalAt(const storage::Schema& schema,
+                              const storage::Page& page, uint32_t i) const {
+  if (!page.columnar()) return Eval(schema, page.tuple(i));
+  for (const auto& clause : cnf) {
+    bool any = false;
+    for (const auto& a : clause) {
+      // Gather-free: the field pointer lands inside the column's minipage,
+      // so only the referenced columns' cache lines are touched.
+      const std::byte* f = page.field(schema, a.col, i);
+      bool hit;
+      if (a.is_string) {
+        std::string_view raw(reinterpret_cast<const char*>(f),
+                             schema.column(a.col).size);
+        size_t end = raw.size();
+        while (end > 0 && raw[end - 1] == ' ') --end;
+        hit = Compare(a.op, raw.substr(0, end), std::string_view(a.sval));
+      } else if (a.type == storage::ColumnType::kDouble) {
+        double v;
+        std::memcpy(&v, f, sizeof(v));
+        hit = Compare(a.op, v, static_cast<double>(a.ival));
+      } else {
+        int64_t v;
+        if (a.type == storage::ColumnType::kInt32) {
+          int32_t v32;
+          std::memcpy(&v32, f, sizeof(v32));
+          v = v32;
+        } else {
+          std::memcpy(&v, f, sizeof(v));
+        }
+        hit = Compare(a.op, v, a.ival);
       }
       if (hit) {
         any = true;

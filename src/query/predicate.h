@@ -15,6 +15,10 @@
 
 #include "storage/schema.h"
 
+namespace sdw::storage {
+class Page;
+}  // namespace sdw::storage
+
 namespace sdw::query {
 
 /// Comparison operators for atomic predicates.
@@ -75,6 +79,12 @@ class Predicate {
     std::vector<std::vector<Atom>> cnf;
     /// Evaluates the bound predicate on a tuple.
     bool Eval(const storage::Schema& schema, const std::byte* tuple) const;
+    /// Evaluates the bound predicate on tuple `i` of `page` under either
+    /// page layout: per-minipage field reads for PAX pages, plain Eval for
+    /// row-major ones. Identical verdicts across layouts (the columnar
+    /// differential suite pins this).
+    bool EvalAt(const storage::Schema& schema, const storage::Page& page,
+                uint32_t i) const;
     bool IsTrue() const { return cnf.empty(); }
   };
 

@@ -1,26 +1,114 @@
 #include "storage/page.h"
 
+#include <atomic>
 #include <cstring>
 #include <new>
 
 namespace sdw::storage {
 
-std::shared_ptr<Page> Page::Make(uint32_t tuple_size) {
-  const uint32_t capacity = PageCapacityFor(tuple_size);
-  void* mem = ::operator new(kPageSize);
-  Page* p = new (mem) Page(tuple_size, capacity);
+namespace {
+
+std::atomic<uint64_t> g_clone_payload_bytes{0};
+
+/// Rounds `n` up to the next kPageAlign boundary.
+constexpr size_t AlignUp(size_t n) {
+  return (n + kPageAlign - 1) & ~(kPageAlign - 1);
+}
+
+}  // namespace
+
+PageLayout::PageLayout(const Schema& schema) {
+  const size_t n = schema.num_columns();
+  SDW_CHECK_MSG(n > 0, "PAX layout needs at least one column");
+  widths_.resize(n);
+  offsets_.resize(n);
+  for (size_t c = 0; c < n; ++c) widths_[c] = schema.column(c).width();
+
+  // Minipage order: fixed-width numeric columns first, then the kChar
+  // columns (the fixed/variable split — numeric minipages cluster at the
+  // front so vector kernels walk a dense aligned prefix).
+  std::vector<size_t> order;
+  order.reserve(n);
+  for (size_t c = 0; c < n; ++c) {
+    if (schema.column(c).type != ColumnType::kChar) order.push_back(c);
+  }
+  for (size_t c = 0; c < n; ++c) {
+    if (schema.column(c).type == ColumnType::kChar) order.push_back(c);
+  }
+
+  // Capacity: the largest row count whose aligned minipages fit the payload.
+  // The row-major capacity is an upper bound; per-minipage alignment wastes
+  // at most (n-1)*63 bytes, so the loop runs a handful of iterations.
+  const size_t avail = kPageSize - sizeof(Page);
+  uint32_t cap = static_cast<uint32_t>(avail / schema.tuple_size());
+  auto bytes_for = [&](uint32_t rows) {
+    size_t total = 0;
+    for (size_t c = 0; c < n; ++c) {
+      total += AlignUp(static_cast<size_t>(rows) * widths_[c]);
+    }
+    return total;
+  };
+  while (cap > 0 && bytes_for(cap) > avail) --cap;
+  SDW_CHECK_MSG(cap > 0, "tuple size %u does not fit a PAX page",
+                schema.tuple_size());
+  capacity_ = cap;
+
+  size_t off = 0;
+  for (size_t c : order) {
+    offsets_[c] = off;
+    off += AlignUp(static_cast<size_t>(cap) * widths_[c]);
+  }
+  SDW_CHECK(off <= avail);
+}
+
+std::shared_ptr<Page> Page::Alloc(uint32_t tuple_size, uint32_t capacity,
+                                  const PageLayout* layout) {
+  // 64-byte-aligned allocation: together with the padded header this puts
+  // every minipage base (and the row-major payload base) on a cache-line
+  // boundary, which the SIMD kernels and PageCapacityFor assert on.
+  void* mem = ::operator new(kPageSize, std::align_val_t{kPageAlign});
+  Page* p = new (mem) Page(tuple_size, capacity, layout);
   return std::shared_ptr<Page>(p, [](Page* page) {
     page->~Page();
-    ::operator delete(page);
+    ::operator delete(page, std::align_val_t{kPageAlign});
   });
 }
 
+std::shared_ptr<Page> Page::Make(uint32_t tuple_size) {
+  return Alloc(tuple_size, PageCapacityFor(tuple_size), nullptr);
+}
+
+std::shared_ptr<Page> Page::MakeColumnar(const Schema& schema,
+                                         const PageLayout* layout) {
+  SDW_CHECK(layout != nullptr);
+  return Alloc(schema.tuple_size(), layout->capacity(), layout);
+}
+
 std::shared_ptr<Page> Page::Clone(const Page& src) {
-  auto copy = Make(src.tuple_size_);
-  std::memcpy(copy->payload_, src.payload_, src.used_bytes());
+  auto copy = Alloc(src.tuple_size_, src.capacity_, src.layout_);
+  size_t copied = 0;
+  if (src.layout_ != nullptr) {
+    // PAX: copy only each minipage's used prefix.
+    const size_t n = src.layout_->num_columns();
+    for (size_t c = 0; c < n; ++c) {
+      const size_t off = src.layout_->column_offset(c);
+      const size_t len = static_cast<size_t>(src.tuple_count_) *
+                         src.layout_->column_width(c);
+      std::memcpy(copy->payload_ + off, src.payload_ + off, len);
+      copied += len;
+    }
+  } else {
+    copied = src.used_bytes();
+    std::memcpy(copy->payload_, src.payload_, copied);
+  }
+  g_clone_payload_bytes.fetch_add(copied, std::memory_order_relaxed);
   copy->tuple_count_ = src.tuple_count_;
   copy->seq_ = src.seq_;
   return copy;
+}
+
+uint64_t Page::clone_payload_bytes() {
+  return g_clone_payload_bytes.load(std::memory_order_relaxed);
 }
 
 }  // namespace sdw::storage

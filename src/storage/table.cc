@@ -8,12 +8,33 @@ Table::Table(std::string name, Schema schema)
       rows_per_page_(PageCapacityFor(schema_.tuple_size())) {}
 
 std::byte* Table::AppendRow() {
+  SDW_CHECK_MSG(layout_ == nullptr,
+                "AppendRow on columnar table '%s' (load before converting)",
+                name_.c_str());
   if (pages_.empty() || pages_.back()->full()) {
     pages_.push_back(Page::Make(schema_.tuple_size()));
     pages_.back()->set_seq(pages_.size() - 1);
   }
   ++num_rows_;
   return pages_.back()->AppendTuple();
+}
+
+void Table::ConvertToColumnar() {
+  if (layout_ != nullptr) return;
+  layout_ = std::make_unique<PageLayout>(schema_);
+  rows_per_page_ = layout_->capacity();
+  std::vector<PagePtr> old = std::move(pages_);
+  pages_.clear();
+  for (const PagePtr& src : old) {
+    const uint32_t count = src->tuple_count();
+    for (uint32_t i = 0; i < count; ++i) {
+      if (pages_.empty() || pages_.back()->full()) {
+        pages_.push_back(Page::MakeColumnar(schema_, layout_.get()));
+        pages_.back()->set_seq(pages_.size() - 1);
+      }
+      pages_.back()->AppendRowFrom(schema_, src->tuple(i));
+    }
+  }
 }
 
 }  // namespace sdw::storage

@@ -40,11 +40,26 @@ class Table {
   /// Shares page `i` without copying (table outlives all queries).
   PagePtr SharePage(size_t i) const { return pages_[i]; }
 
-  /// Appends one row; returns writable bytes for the new tuple.
+  /// Appends one row; returns writable bytes for the new tuple. Loading must
+  /// finish before ConvertToColumnar — appending to a converted table aborts.
   std::byte* AppendRow();
+
+  /// True once the table's pages are PAX (column-major minipages).
+  bool columnar() const { return layout_ != nullptr; }
+  /// The table's PAX layout (nullptr while row-major). Outlives every page.
+  const PageLayout* page_layout() const { return layout_.get(); }
+
+  /// Rebuilds every page in the PAX layout (EngineOptions::columnar_pages).
+  /// Idempotent; rows keep their global order but rows_per_page()/num_pages()
+  /// change (alignment padding costs a few tuples per page). Must run before
+  /// queries share the table's pages — loaders and engines call it between
+  /// load and first scan.
+  void ConvertToColumnar();
 
   /// Row by global index (row-id): pages are filled densely, so
   /// row i lives at page i / rows_per_page, slot i % rows_per_page.
+  /// Row-major tables only (point access needs a contiguous tuple; the
+  /// tables accessed this way — dimensions — stay row-major).
   const std::byte* row(size_t idx) const {
     SDW_DCHECK(idx < num_rows_);
     return pages_[idx / rows_per_page_]->tuple(
@@ -58,6 +73,7 @@ class Table {
   uint32_t rows_per_page_;
   size_t num_rows_ = 0;
   std::vector<PagePtr> pages_;
+  std::unique_ptr<PageLayout> layout_;  // set by ConvertToColumnar
 };
 
 }  // namespace sdw::storage

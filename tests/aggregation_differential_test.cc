@@ -153,7 +153,7 @@ void BindShape(SharedAggregator::Group* g, const ShapeSpec& spec) {
   const storage::Schema& fs = FactSchema();
   g->join_schema = fs;
   g->join_row_size = fs.tuple_size();
-  g->moves = {{/*from_fact=*/true, 0, 0, 0, fs.tuple_size()}};
+  g->moves = {{/*from_fact=*/true, 0, /*src_col=*/0, 0, 0, fs.tuple_size()}};
   g->group_cols = spec.group_cols;
   g->aggs = spec.aggs;
   std::vector<storage::Column> cols;

@@ -285,7 +285,7 @@ TEST_P(SharedAggSliceProperty, SliceEqualsQualifyingTuples) {
   cjoin::SharedAggregator::Group* g = agg.CreateGroup("prop");
   g->join_schema = fs;
   g->join_row_size = fs.tuple_size();
-  g->moves = {{/*from_fact=*/true, 0, 0, 0, fs.tuple_size()}};
+  g->moves = {{/*from_fact=*/true, 0, /*src_col=*/0, 0, 0, fs.tuple_size()}};
   g->group_cols = {0};
   g->aggs = {{query::AggSpec::Kind::kSum, 1, -1, -1, /*integer_exact=*/true,
               "s"},
