@@ -689,8 +689,11 @@ class SharedAggFixture {
       query::Predicate p;
       p.And(query::AtomicPred::Int("v1", query::CompareOp::kLe,
                                    static_cast<int64_t>(30 + s % 60)));
-      members_.push_back(
-          {static_cast<uint32_t>(s), p.Bind(schema_)});
+      members_.push_back({static_cast<uint32_t>(s),
+                          static_cast<uint32_t>(s),
+                          false,
+                          p.Bind(schema_),
+                          {}});
       agg_.AddMember(group_, members_.back().slot, members_.back().fact_pred);
     }
     // Pre-apply the member verdicts to the bitmaps (the preprocessor

@@ -45,6 +45,12 @@
 // (docs/STORAGE.md), so the filter/scan kernels read only the columns they
 // touch. Same queries, bit-identical results — false keeps the row-major
 // differential oracle.
+//
+// Step 10 shows dynamic query folding: EngineOptions::query_folding = true
+// (default false) lets a query whose predicates are provably contained in
+// an in-flight query's ride that query's slot as a post-filter instead of
+// consuming a slot and dimension hash tables of its own —
+// CjoinStats::queries_folded counts it (docs/FOLDING.md).
 
 #include <cstdio>
 
@@ -243,5 +249,39 @@ int main() {
               rows_per_page_before, fact->rows_per_page(),
               fact->columnar() ? "true" : "false",
               columnar_ticket.result().num_rows(), result.num_rows());
-  return columnar_ticket.result().num_rows() == result.num_rows() ? 0 : 1;
+  if (columnar_ticket.result().num_rows() != result.num_rows()) return 1;
+
+  // 10. Dynamic query folding (docs/FOLDING.md). The wide query scans two
+  //     customer nations; the narrow one scans a subset of its nations and
+  //     years, so query::QuerySubsumes proves containment and admission
+  //     folds it onto the wide query's slot: no slot, no dimension scans —
+  //     just memoized residual predicate bits over the host's verdicts.
+  //     The narrow query still gets its own exact result, sliced out of
+  //     the shared aggregation group by its private member bit.
+  core::EngineOptions fold_opts;
+  fold_opts.config = core::EngineConfig::kCjoin;
+  fold_opts.query_folding = true;
+  core::Engine fold_engine(&catalog, &pool, fold_opts);
+  ssb::Q32SelectivityParams wide;
+  wide.cust_nations = {6, 23};  // FRANCE, UNITED KINGDOM
+  wide.supp_nations = {24};     // UNITED STATES
+  wide.year_lo = 1992;
+  wide.year_hi = 1997;
+  ssb::Q32SelectivityParams narrow = wide;
+  narrow.cust_nations = {23};  // subset of the wide query's nations...
+  narrow.year_lo = 1993;       // ...and a sub-range of its years
+  narrow.year_hi = 1995;
+  auto fold_tickets = fold_engine.SubmitBatch(
+      {ssb::MakeQ32Selectivity(wide), ssb::MakeQ32Selectivity(narrow)});
+  for (auto& t : fold_tickets) {
+    if (!t.Wait().ok()) return 1;
+  }
+  const cjoin::CjoinStats fold_stats = fold_engine.cjoin_stats();
+  std::printf("\nQuery folding: wide + contained narrow -> %llu of 2 "
+              "folded (%llu checks), %zu + %zu result rows\n",
+              static_cast<unsigned long long>(fold_stats.queries_folded),
+              static_cast<unsigned long long>(fold_stats.fold_checks),
+              fold_tickets[0].result().num_rows(),
+              fold_tickets[1].result().num_rows());
+  return fold_stats.queries_folded >= 1 ? 0 : 1;
 }

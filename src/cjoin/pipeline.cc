@@ -19,9 +19,16 @@ CjoinPipeline::CjoinPipeline(const storage::Catalog* catalog,
       fact_(fact_table),
       options_(options),
       words_(bits::WordsFor(options.max_queries)),
+      member_words_(
+          bits::WordsFor(options.max_queries) +
+          (options.query_folding
+               ? bits::WordsFor(options.fold_bits != 0 ? options.fold_bits
+                                                       : 3 * options.max_queries)
+               : 0)),
       slots_(options.max_queries),
       active_mask_(options.max_queries),
-      shared_agg_(options.distributor_parts, bits::WordsFor(options.max_queries)),
+      shared_agg_(options.distributor_parts, bits::WordsFor(options.max_queries),
+                  member_words_),
       to_filters_(options.queue_capacity),
       to_distributor_(options.queue_capacity),
       // Upper bound on batches alive at once: both queues full plus one in
@@ -33,6 +40,12 @@ CjoinPipeline::CjoinPipeline(const storage::Catalog* catalog,
   free_slots_.reserve(options_.max_queries);
   for (size_t s = options_.max_queries; s > 0; --s) {
     free_slots_.push_back(static_cast<uint32_t>(s - 1));
+  }
+  // Fold-bit pool for folded aggregate members, descending so the lowest
+  // bit is claimed first (fold bits live beyond the slot range).
+  free_fold_bits_.reserve((member_words_ - words_) * 64);
+  for (size_t b = member_words_ * 64; b > words_ * 64; --b) {
+    free_fold_bits_.push_back(static_cast<uint32_t>(b - 1));
   }
   // Joined-dimension row resolution for aggregation-group row
   // materialization. filters_ only grows at admission pauses, so reading it
@@ -159,7 +172,11 @@ void CjoinPipeline::CancelActiveQueries(const Status& why) {
     for (size_t s = active_mask_.FindNextSet(0); s < active_mask_.size();
          s = active_mask_.FindNextSet(s + 1)) {
       ActiveQuery* aq = slots_[s].get();
-      if (aq != nullptr && aq->life != nullptr) lives.push_back(aq->life);
+      if (aq == nullptr) continue;
+      if (aq->life != nullptr) lives.push_back(aq->life);
+      for (const auto& sat : aq->satellites) {
+        if (sat->life != nullptr) lives.push_back(sat->life);
+      }
     }
     for (const auto& p : pending_) {
       if (p.life != nullptr) lives.push_back(p.life);
@@ -272,9 +289,23 @@ void CjoinPipeline::PreprocessorLoop() {
         // deadline, row-limit truncation): either way the slot retires at
         // the next pause instead of scanning on. Group (SP) signals are
         // re-evaluated every K pages only — the cached atomic answers in
-        // between, keeping the registry lock off the per-page path.
-        if (--aq->pages_remaining == 0 ||
-            aq->DetachedThrottled(options_.detach_check_interval_pages)) {
+        // between, keeping the registry lock off the per-page path. Folded
+        // satellites keep their own page counts and detach signals: any due
+        // rider queues the slot once; CompleteQueryLocked sorts out which
+        // riders actually finish.
+        bool due = false;
+        if (!aq->client_done &&
+            (--aq->pages_remaining == 0 ||
+             aq->DetachedThrottled(options_.detach_check_interval_pages))) {
+          due = true;
+        }
+        for (auto& sat : aq->satellites) {
+          if (--sat->pages_remaining == 0 ||
+              sat->DetachedThrottled(options_.detach_check_interval_pages)) {
+            due = true;
+          }
+        }
+        if (due) {
           aq->completion_queued = true;
           completions_due_.push_back(static_cast<uint32_t>(s));
         }
@@ -301,15 +332,30 @@ void CjoinPipeline::HandleScanFault(uint64_t page_index, const Status& why) {
   for (size_t s = active_mask_.FindNextSet(0); s < active_mask_.size();
        s = active_mask_.FindNextSet(s + 1)) {
     ActiveQuery* aq = slots_[s].get();
-    if (aq == nullptr || aq->completion_queued) continue;
-    // Fail every query attached at this epoch: their result streams already
-    // miss the page's tuples. The fault status wins over the cancel status
-    // in CompleteQueryLocked; the cached detach bit stops the distributor
-    // from emitting more of their output meanwhile.
-    aq->fault_status = fault;
-    aq->detached_cache.store(true, std::memory_order_relaxed);
-    aq->completion_queued = true;
-    completions_due_.push_back(static_cast<uint32_t>(s));
+    if (aq == nullptr) continue;
+    // Fail every rider attached at this epoch — the slot's own query and
+    // its folded satellites: their result streams already miss the page's
+    // tuples. The fault status wins over the cancel status in
+    // CompleteQueryLocked; the cached detach bit stops the distributor from
+    // emitting more of their output meanwhile. Riders that already finished
+    // their cycle (pages_remaining == 0), already faulted, or already
+    // detached are past this epoch's page and keep their own status.
+    bool any_marked = false;
+    auto mark = [&](ActiveQuery* r) {
+      if (!r->fault_status.ok() || r->pages_remaining == 0 ||
+          r->detached_cache.load(std::memory_order_relaxed)) {
+        return;
+      }
+      r->fault_status = fault;
+      r->detached_cache.store(true, std::memory_order_relaxed);
+      any_marked = true;
+    };
+    if (!aq->client_done) mark(aq);
+    for (auto& sat : aq->satellites) mark(sat.get());
+    if (any_marked && !aq->completion_queued) {
+      aq->completion_queued = true;
+      completions_due_.push_back(static_cast<uint32_t>(s));
+    }
   }
 }
 
@@ -330,59 +376,149 @@ void CjoinPipeline::ForgetDroppedBatch() {
 void CjoinPipeline::CompleteQueryLocked(uint32_t slot) {
   ActiveQuery* aq = slots_[slot].get();
   SDW_CHECK(aq != nullptr);
-  const bool faulted = !aq->fault_status.ok();
-  const bool early = faulted || aq->pages_remaining > 0;
-  if (aq->aggregate && aq->agg_group != nullptr) {
+  aq->completion_queued = false;
+  // Which riders of this slot are actually done? A rider is due when a
+  // storage fault terminated it, its scan cycle completed, or its consumers
+  // detached (the preprocessor queued the slot because at least one rider
+  // hit one of these; the others keep scanning).
+  auto rider_due = [](const ActiveQuery* r) {
+    return !r->fault_status.ok() || r->pages_remaining == 0 ||
+           r->detached_cache.load(std::memory_order_relaxed);
+  };
+  const bool host_due = !aq->client_done && rider_due(aq);
+  bool merge_needed =
+      host_due && aq->aggregate && aq->agg_group != nullptr;
+  for (const auto& sat : aq->satellites) {
+    if (sat->aggregate && sat->agg_group != nullptr && rider_due(sat.get())) {
+      merge_needed = true;
+    }
+  }
+  SharedAggregator::Group* g =
+      aq->agg_group != nullptr ? aq->agg_group : nullptr;
+  for (const auto& sat : aq->satellites) {
+    if (g == nullptr && sat->agg_group != nullptr) g = sat->agg_group;
+  }
+  if (merge_needed) {
     // Partials hold every fold since the last pause-side merge; both the
-    // result slice and the survivor-safe retirement below read the merged
-    // table. The pipeline is drained here, so no part is folding — the
-    // merge is single-threaded on the preprocessor, and its cost is the
-    // pause-time tax agg_merge_nanos makes visible (the future radix-merge
-    // baseline).
+    // result slices and the survivor-safe retirements below read the merged
+    // table. All of this slot's aggregate riders share ONE group (folding
+    // requires AggSignature equality), so one merge serves them all. The
+    // pipeline is drained here, so no part is folding — the merge is
+    // single-threaded on the preprocessor, and its cost is the pause-time
+    // tax agg_merge_nanos makes visible (the future radix-merge baseline).
+    SDW_CHECK(g != nullptr);
     WallTimer merge_timer;
-    SharedAggregator::MergePartials(aq->agg_group);
+    SharedAggregator::MergePartials(g);
     stats_.agg_merge_nanos +=
         static_cast<int64_t>(merge_timer.ElapsedSeconds() * 1e9);
     ++stats_.agg_merges;
   }
-  Status final_status = Status::Ok();
-  if (early) {
-    // Early retire: a storage fault terminated the query's scan epoch, or
-    // its consumers detached (cancel/deadline/truncation). Either way drop
-    // buffered output and fail through the shared finish-before-close
-    // sequence. The pipeline is drained at every retire point, so no
-    // EmitGroup races the sink here.
-    if (faulted) {
-      final_status = aq->fault_status;
-    } else {
-      final_status = aq->life != nullptr ? aq->life->cancel_status()
-                                         : Status::Cancelled("query detached");
+  // Batch slice: every due rider about to emit shares this slot's one
+  // group, so cut all their slices in a single merged-table pass instead
+  // of one traversal per rider — the drain that ends a scan cycle finishes
+  // every rider of the slot at once. The predicate mirrors
+  // FinishRiderLocked's emit path: faulted or detached-early riders fail
+  // without results and need no slice.
+  std::vector<uint32_t> slice_bits;
+  std::vector<ActiveQuery*> slice_riders;
+  if (options_.shared_aggregation) {
+    auto emits_slice = [&](ActiveQuery* r) {
+      return rider_due(r) && r->aggregate && r->agg_group != nullptr &&
+             r->fault_status.ok() && r->pages_remaining == 0;
+    };
+    for (const auto& sat : aq->satellites) {
+      if (emits_slice(sat.get())) {
+        slice_bits.push_back(sat->agg_bit);
+        slice_riders.push_back(sat.get());
+      }
     }
-    FailQuery(aq->life, aq->on_complete, aq->sink.get(), final_status);
-  } else if (aq->aggregate) {
-    EmitAggResultLocked(aq);
-    if (aq->on_complete) aq->on_complete(final_status);
-  } else {
-    {
-      MutexLock out_lock(aq->out_mu);
-      aq->out_buf.DrainInto(aq->sink.get());
-      aq->sink->Close();
+    if (host_due && emits_slice(aq)) {
+      slice_bits.push_back(aq->agg_bit);
+      slice_riders.push_back(aq);
     }
-    if (aq->on_complete) aq->on_complete(final_status);
   }
-  if (aq->aggregate && aq->agg_group != nullptr) {
-    // Unbind from the aggregation group. Under sharing the slot's bit folds
-    // out of every table entry — survivors' slices are untouched, and the
-    // recycled slot number re-enters any group clean. A private scalar
-    // group dies with its only member (its keys carry no bitmap to fold).
-    if (!options_.shared_aggregation ||
-        shared_agg_.RetireSlot(aq->agg_group, slot)) {
-      shared_agg_.DestroyGroup(aq->agg_group);
+  std::vector<SharedAggregator::AccTable> slices;
+  if (!slice_bits.empty()) shared_agg_.SliceMembers(*g, slice_bits, &slices);
+  auto slice_for = [&](ActiveQuery* r) -> SharedAggregator::AccTable* {
+    for (size_t i = 0; i < slice_riders.size(); ++i) {
+      if (slice_riders[i] == r) return &slices[i];
     }
-    aq->agg_group = nullptr;
+    return nullptr;
+  };
+  // Finish due satellites first (their slices must be cut before the host's
+  // retirement could destroy an emptied group), then the host's own client.
+  for (auto it = aq->satellites.begin(); it != aq->satellites.end();) {
+    if (rider_due(it->get())) {
+      FinishRiderLocked(it->get(), slice_for(it->get()));
+      it = aq->satellites.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (host_due) {
+    FinishRiderLocked(aq, slice_for(aq));
+    aq->client_done = true;
+  }
+  if (!aq->client_done || !aq->satellites.empty()) {
+    // The slot survives this pause: riders remain. A host whose own client
+    // just finished promotes the slot to its surviving satellites — they
+    // keep riding its filter verdicts until their own cycles complete.
+    if (host_due && !aq->satellites.empty()) ++stats_.fold_promotions;
+    return;
   }
   active_mask_.Clear(slot);
   --active_count_;
+  for (auto& f : filters_) f->RemoveQuery(slot);
+  dirty_slots_.push_back(slot);
+  slots_[slot].reset();
+}
+
+void CjoinPipeline::FinishRiderLocked(ActiveQuery* r,
+                                      SharedAggregator::AccTable* slice) {
+  const bool faulted = !r->fault_status.ok();
+  const bool early = faulted || r->pages_remaining > 0;
+  Status final_status = Status::Ok();
+  if (early) {
+    // Early retire: a storage fault terminated the rider's scan epoch, or
+    // its consumers detached (cancel/deadline/truncation). Either way drop
+    // buffered output and fail through the shared finish-before-close
+    // sequence. The pipeline is drained at every retire point, so no
+    // EmitGroup/EmitRows races the sink here.
+    if (faulted) {
+      final_status = r->fault_status;
+    } else {
+      final_status = r->life != nullptr ? r->life->cancel_status()
+                                        : Status::Cancelled("query detached");
+    }
+    FailQuery(r->life, r->on_complete, r->sink.get(), final_status);
+  } else if (r->aggregate) {
+    EmitAggResultLocked(r, slice);
+    if (r->on_complete) r->on_complete(final_status);
+  } else {
+    {
+      MutexLock out_lock(r->out_mu);
+      r->out_buf.DrainInto(r->sink.get());
+      r->sink->Close();
+    }
+    if (r->on_complete) r->on_complete(final_status);
+  }
+  if (r->aggregate && r->agg_group != nullptr) {
+    // Unbind from the aggregation group. Under sharing the rider's member
+    // bit (its slot, or its fold bit) folds out of every table entry —
+    // survivors' slices are untouched, and the recycled bit re-enters any
+    // group clean. A private scalar group dies with its only member (its
+    // keys carry no bitmap to fold).
+    if (!options_.shared_aggregation ||
+        shared_agg_.RetireSlot(r->agg_group, r->agg_bit)) {
+      shared_agg_.DestroyGroup(r->agg_group);
+    }
+    r->agg_group = nullptr;
+  }
+  if (r->folded && r->aggregate) {
+    // The fold bit was claimed at fold time, whether or not the group
+    // binding happened (an admission fault can fail the satellite first).
+    free_fold_bits_.push_back(r->agg_bit);
+  }
   if (faulted) {
     ++stats_.queries_failed;
   } else if (early) {
@@ -393,9 +529,6 @@ void CjoinPipeline::CompleteQueryLocked(uint32_t slot) {
   if (options_.memory_budget != nullptr) {
     options_.memory_budget->Release(kAdmissionCostBytes);
   }
-  for (auto& f : filters_) f->RemoveQuery(slot);
-  dirty_slots_.push_back(slot);
-  slots_[slot].reset();
 }
 
 void CjoinPipeline::DoCompletionsLocked() {
@@ -522,16 +655,33 @@ void CjoinPipeline::BindAggGroupLocked(ActiveQuery* aq) {
       "aggregate submission out_schema does not match its bound shape");
   shared_agg_.AddMember(g, aq->slot, aq->fact_pred);
   aq->agg_group = g;
+  aq->agg_bit = aq->slot;
 }
 
-void CjoinPipeline::EmitAggResultLocked(ActiveQuery* aq) {
+void CjoinPipeline::BindFoldedAggLocked(ActiveQuery* host, ActiveQuery* sat) {
+  SharedAggregator::Group* g = host->agg_group;
+  SDW_CHECK(g != nullptr);
+  SDW_CHECK_MSG(
+      g->out_schema.num_columns() == sat->out_schema.num_columns() &&
+          g->out_schema.tuple_size() == sat->out_schema.tuple_size(),
+      "folded aggregate out_schema does not match its host's shape");
+  // The fold bit was claimed from free_fold_bits_ in FoldOntoHostLocked.
+  shared_agg_.AddFoldedMember(g, sat->agg_bit, host->slot, sat->fact_pred,
+                              sat->residuals);
+  sat->agg_group = g;
+}
+
+void CjoinPipeline::EmitAggResultLocked(ActiveQuery* aq,
+                                        SharedAggregator::AccTable* slice) {
   SharedAggregator::Group* g = aq->agg_group;
   SDW_CHECK(g != nullptr);
   std::vector<std::string> rows;
-  if (options_.shared_aggregation) {
-    SharedAggregator::AccTable slice;
-    SharedAggregator::SliceSlot(*g, aq->slot, &slice);
-    SharedAggregator::RenderSlice(*g, slice, &rows);
+  if (slice != nullptr) {
+    SharedAggregator::RenderSlice(*g, *slice, &rows);
+  } else if (options_.shared_aggregation) {
+    SharedAggregator::AccTable cut;
+    SharedAggregator::SliceSlot(*g, aq->agg_bit, &cut);
+    SharedAggregator::RenderSlice(*g, cut, &rows);
   } else {
     // A private group's table is already exactly this query's aggregate.
     SharedAggregator::RenderSlice(*g, g->merged, &rows);
@@ -552,6 +702,110 @@ void CjoinPipeline::EmitAggResultLocked(ActiveQuery* aq) {
   }
   if (ok && page != nullptr) aq->sink->Put(std::move(page));
   aq->sink->Close();
+}
+
+CjoinPipeline::ActiveQuery* CjoinPipeline::FindFoldHostLocked(
+    const PendingQuery& p, const std::vector<uint32_t>& epoch_slots) {
+  // Scalar (non-shared) aggregation keys carry no member bitmap, so there
+  // is nothing for an aggregate satellite to ride; and a folded aggregate
+  // needs a private fold bit for its slice.
+  if (p.aggregate &&
+      (!options_.shared_aggregation || free_fold_bits_.empty())) {
+    return nullptr;
+  }
+  auto candidate = [&](uint32_t s) -> ActiveQuery* {
+    ActiveQuery* aq = slots_[s].get();
+    if (aq == nullptr) return nullptr;
+    // Only a healthy host whose own client is still scanning: a retiring,
+    // faulted or detached host's filter verdicts are about to stop.
+    if (aq->client_done || aq->completion_queued) return nullptr;
+    if (!aq->fault_status.ok()) return nullptr;
+    if (aq->detached_cache.load(std::memory_order_relaxed)) return nullptr;
+    if (aq->aggregate != p.aggregate) return nullptr;
+    if (!query::QuerySubsumes(aq->q, p.q)) return nullptr;
+    return aq;
+  };
+  for (size_t s = active_mask_.FindNextSet(0); s < active_mask_.size();
+       s = active_mask_.FindNextSet(s + 1)) {
+    if (ActiveQuery* aq = candidate(static_cast<uint32_t>(s))) return aq;
+  }
+  // Same-epoch hosts: queries materialized earlier in THIS pause, not yet
+  // in active_mask_. Essential at small slot caps, where a whole similar
+  // burst arrives in one admission batch.
+  for (uint32_t s : epoch_slots) {
+    if (ActiveQuery* aq = candidate(s)) return aq;
+  }
+  return nullptr;
+}
+
+void CjoinPipeline::FoldOntoHostLocked(ActiveQuery* host, PendingQuery* p) {
+  auto sat = std::make_unique<ActiveQuery>();
+  sat->slot = host->slot;
+  sat->folded = true;
+  sat->q = p->q;
+  sat->out_schema = std::move(p->out_schema);
+  sat->out_tuple_size = sat->out_schema.tuple_size();
+  sat->sink = std::move(p->sink);
+  sat->life = std::move(p->life);
+  sat->cancelled = std::move(p->cancelled);
+  sat->on_complete = std::move(p->on_complete);
+  sat->aggregate = p->aggregate;
+  sat->fact_pred = sat->q.fact_pred.Bind(fact_->schema());
+  // The satellite's point of entry is the scan's current position, exactly
+  // like a slot admission: one full circular cycle from here. Its host's
+  // slot stays annotated (and its filters' match bits live) at least that
+  // long — a host client finishing first promotes the slot, never frees it.
+  sat->pages_remaining = fact_->num_pages();
+  sat->residuals = BuildResiduals(*host, sat->q);
+  if (!sat->aggregate) sat->moves = BuildJoinMoves(sat->q, sat->out_schema);
+  if (sat->life != nullptr) {
+    sat->life->SetAdmissionEpoch(stats_.admission_batches + 1);
+    sat->life->MarkRunStart();
+  }
+  ActiveQuery* sp = sat.get();
+  host->satellites.push_back(std::move(sat));
+  if (sp->aggregate) {
+    // Claim the fold bit now (FindFoldHostLocked checked availability), so
+    // capacity accounting stays exact across a pause that folds several
+    // aggregates; the group binding happens immediately for an active host
+    // and in admission phase 4 for a same-epoch one.
+    SDW_CHECK(!free_fold_bits_.empty());
+    sp->agg_bit = free_fold_bits_.back();
+    free_fold_bits_.pop_back();
+    if (host->agg_group != nullptr) BindFoldedAggLocked(host, sp);
+  }
+}
+
+std::vector<SharedAggregator::Residual> CjoinPipeline::BuildResiduals(
+    const ActiveQuery& host, const query::StarQuery& q) {
+  std::vector<SharedAggregator::Residual> out;
+  for (size_t i = 0; i < q.dims.size(); ++i) {
+    const query::DimJoin& dim = q.dims[i];
+    // A dimension predicate identical to the host's needs no residual: the
+    // host's filter verdict is already exact for the satellite there.
+    if (dim.pred.Signature() == host.q.dims[i].pred.Signature()) continue;
+    const storage::Table* dim_table = catalog_->MustGetTable(dim.dim_table);
+    SharedAggregator::Residual r;
+    for (const auto& f : filters_) {
+      if (f->Matches(dim_table, dim.fact_fk_column, dim.dim_pk_column)) {
+        r.filter_pos = f->position();
+        break;
+      }
+    }
+    r.dim_schema = &dim_table->schema();
+    r.pred = dim.pred.Bind(dim_table->schema());
+    // Memoize the verdict per dimension row (tables are immutable): one
+    // pass over a small dimension here buys bit-test residual checks on
+    // the fact-scan hot path for the satellite's whole lifetime.
+    r.row_pass.assign(bits::WordsFor(dim_table->num_rows()), 0);
+    for (size_t row = 0; row < dim_table->num_rows(); ++row) {
+      if (r.pred.Eval(*r.dim_schema, dim_table->row(row))) {
+        bits::Set(r.row_pass.data(), row);
+      }
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
 }
 
 void CjoinPipeline::DoAdmissionsLocked() {
@@ -627,6 +881,23 @@ void CjoinPipeline::DoAdmissionsLocked() {
                   options_.overload_retry_after_nanos));
       ++stats_.queries_rejected_overload;
       continue;
+    }
+    // Dynamic query folding: a pending query provably subsumed by an
+    // in-flight (or just-materialized same-epoch) query rides that host's
+    // slot as a post-filter instead of costing a slot and dimension scans.
+    // Running inside the (priority desc, arrival)-ordered walk keeps the
+    // admission order honest: a fold consumes NO slot, so it can never take
+    // one from a higher-priority pending query processed before it. The
+    // budget reservation above stays charged and releases when the
+    // satellite retires.
+    if (options_.query_folding) {
+      ++stats_.fold_checks;
+      if (ActiveQuery* host = FindFoldHostLocked(p, epoch_slots)) {
+        FoldOntoHostLocked(host, &p);
+        ++stats_.queries_folded;
+        ++stats_.queries_admitted;
+        continue;
+      }
     }
     const uint32_t slot = TryAllocSlotLocked();
     if (slot == kNoSlot) {
@@ -717,10 +988,17 @@ void CjoinPipeline::DoAdmissionsLocked() {
   for (uint32_t slot : epoch_slots) {
     ActiveQuery* aq = slots_[slot].get();
     if (!aq->fault_status.ok()) {
-      // Admission fault: the query never activates. Its slot goes back to
-      // the dirty pool (CleanSlot erases the partial match bits on reuse)
-      // and its reservation releases — exactly the completed-query cleanup,
-      // minus the active bookkeeping it never acquired.
+      // Admission fault: the query never activates. Satellites folded onto
+      // it this epoch fail with it — their subsumption proof is against a
+      // host that will never scan. Its slot goes back to the dirty pool
+      // (CleanSlot erases the partial match bits on reuse) and its
+      // reservation releases — exactly the completed-query cleanup, minus
+      // the active bookkeeping it never acquired.
+      for (auto& sat : aq->satellites) {
+        sat->fault_status = aq->fault_status;
+        FinishRiderLocked(sat.get());
+      }
+      aq->satellites.clear();
       FailQuery(aq->life, aq->on_complete, aq->sink.get(), aq->fault_status);
       ++stats_.queries_failed;
       for (auto& f : filters_) f->RemoveQuery(slot);
@@ -731,7 +1009,14 @@ void CjoinPipeline::DoAdmissionsLocked() {
       slots_[slot].reset();
       continue;
     }
-    if (aq->aggregate) BindAggGroupLocked(aq);
+    if (aq->aggregate) {
+      BindAggGroupLocked(aq);
+      // Aggregate satellites folded onto this same-epoch host bind now that
+      // the host's group exists (active hosts bind theirs at fold time).
+      for (auto& sat : aq->satellites) {
+        if (sat->agg_group == nullptr) BindFoldedAggLocked(aq, sat.get());
+      }
+    }
     aq->pages_remaining = fact_->num_pages();
     active_mask_.Set(slot);
     ++active_count_;
@@ -918,16 +1203,32 @@ void CjoinPipeline::EmitGroup(uint32_t slot, const TupleBatch& batch,
                               const uint32_t* idxs, size_t n) {
   ActiveQuery* aq = slots_[slot].get();
   SDW_DCHECK(aq != nullptr);
-  // Aggregate slots produce nothing here: their join output folds into the
+  // Aggregate riders produce nothing here: their join output folds into the
   // aggregation stage's tables and the sink gets rendered aggregate pages
-  // at completion.
-  if (aq->aggregate) return;
-  // Stale-slot suppression: once the query's consumers detached (cancel /
+  // at completion. A host whose own client finished (promotion) stops
+  // emitting for itself but its satellites ride on.
+  if (!aq->aggregate && !aq->client_done) {
+    EmitRows(aq, batch, fact_schema, idxs, n);
+  }
+  // Folded satellites share the slot's group: same filter verdicts, each
+  // with its own fact predicate and dimension residuals applied in
+  // EmitRows. The satellites vector mutates only at admission pauses
+  // (drain-barrier protocol), so this lock-free walk is safe mid-batch.
+  for (auto& sat : aq->satellites) {
+    if (!sat->aggregate) EmitRows(sat.get(), batch, fact_schema, idxs, n);
+  }
+}
+
+void CjoinPipeline::EmitRows(ActiveQuery* aq, const TupleBatch& batch,
+                             const storage::Schema& fact_schema,
+                             const uint32_t* idxs, size_t n) {
+  // Stale-rider suppression: once the query's consumers detached (cancel /
   // deadline / row-limit), stop projecting for it — batches annotated
-  // before the cancel was observed may still carry its bit until the slot
+  // before the cancel was observed may still carry its bit until the rider
   // retires at the next admission pause. Under SP the signal is group-wide,
-  // so a host with live satellites keeps emitting. Reads the preprocessor's
-  // per-page cached decision: a relaxed load, no locks on this path.
+  // so a host with live SP satellites keeps emitting. Reads the
+  // preprocessor's per-page cached decision: a relaxed load, no locks on
+  // this path.
   if (aq->detached_cache.load(std::memory_order_relaxed)) return;
   // Take exclusive ownership of one of the query's open output pages — the
   // critical section is a pointer swap; predicate evaluation and projection
@@ -938,16 +1239,40 @@ void CjoinPipeline::EmitGroup(uint32_t slot, const TupleBatch& batch,
     if (!aq->out_buf.ok()) return;  // consumers gone
     page = aq->out_buf.TakePage();
   }
+  // Fact predicates are evaluated on CJOIN's output tuples unless the
+  // preprocessor already applied them (§3.2) — and ALWAYS for folded
+  // satellites, which the preprocessor knows nothing about (it clears bits
+  // for the HOST's predicate only, a superset of the satellite's tuples by
+  // the admission containment proof).
+  const bool eval_fact_pred =
+      aq->folded || !options_.fact_preds_in_preprocessor;
   const storage::Page& fact_page = *batch.fact_page;
   const bool columnar = fact_page.columnar();
   for (size_t k = 0; k < n; ++k) {
     const uint32_t i = idxs[k];
     const std::byte* fact_row = columnar ? nullptr : fact_page.tuple(i);
-    // Fact predicates are evaluated on CJOIN's output tuples unless the
-    // preprocessor already applied them (§3.2).
-    if (!options_.fact_preds_in_preprocessor && !aq->fact_pred.IsTrue() &&
+    if (eval_fact_pred && !aq->fact_pred.IsTrue() &&
         !aq->fact_pred.EvalAt(fact_schema, fact_page, i)) {
       continue;
+    }
+    const uint32_t* dim_rows = batch.tuple_dim_rows(i);
+    // A satellite's own dimension predicates, where narrower than its
+    // host's, re-check against the joined dimension rows (the host's filter
+    // verdict admits a superset).
+    if (!aq->residuals.empty()) {
+      bool pass = true;
+      for (const auto& r : aq->residuals) {
+        const uint32_t row = dim_rows[r.filter_pos];
+        SDW_DCHECK(row != kNoDimRow);
+        if (r.row_pass.empty()
+                ? !r.pred.Eval(*r.dim_schema,
+                               filters_[r.filter_pos]->dim_table()->row(row))
+                : !bits::Test(r.row_pass.data(), row)) {
+          pass = false;
+          break;
+        }
+      }
+      if (!pass) continue;
     }
     if (page == nullptr) page = storage::Page::Make(aq->out_tuple_size);
     std::byte* dst = page->AppendTuple();
@@ -964,7 +1289,6 @@ void CjoinPipeline::EmitGroup(uint32_t slot, const TupleBatch& batch,
       page = storage::Page::Make(aq->out_tuple_size);
       dst = page->AppendTuple();
     }
-    const uint32_t* dim_rows = batch.tuple_dim_rows(i);
     for (const auto& m : aq->moves) {
       const std::byte* src;
       if (m.from_fact) {

@@ -83,6 +83,21 @@ struct CjoinOptions {
   MemoryBudget* memory_budget = nullptr;
   /// Resubmission hint attached to overload rejections.
   int64_t overload_retry_after_nanos = 5'000'000;
+  /// Dynamic query folding (GraftDB direction, ROADMAP item 2): at each
+  /// admission pause, a pending query whose predicates are provably
+  /// contained in an in-flight query's (query::QuerySubsumes — equal
+  /// AggSignature + PredicateContains per predicate) folds onto that host's
+  /// slot as a post-filter over the host's filter verdicts instead of
+  /// consuming a slot and dimension scans. Default OFF: the unfolded path
+  /// is the differential oracle (fold_differential_test pins folded runs
+  /// bit-exact against it).
+  bool query_folding = false;
+  /// Fold-bit capacity: how many folded AGGREGATE queries can be in flight
+  /// at once (each needs a private bit in the shared-agg member bitmap
+  /// beyond the slot range; streaming folds are unlimited). 0 = 3x
+  /// max_queries. When exhausted, fold-eligible aggregates fall back to
+  /// normal slot admission.
+  size_t fold_bits = 0;
 };
 
 /// Aggregate pipeline statistics.
@@ -156,6 +171,18 @@ struct CjoinStats {
   int64_t agg_merge_nanos = 0;
   /// MergePartials invocations behind agg_merge_nanos.
   uint64_t agg_merges = 0;
+  /// Pending queries examined by the admission fold pass (one per pending
+  /// query reaching admission while query_folding is on).
+  uint64_t fold_checks = 0;
+  /// Pending queries folded onto an in-flight host slot instead of
+  /// consuming a slot and dimension scans. Folded queries also count into
+  /// queries_admitted (queries_folded <= queries_admitted).
+  uint64_t queries_folded = 0;
+  /// Fold hosts whose own client finished (completed, cancelled or faulted)
+  /// while >= 1 satellite still rode the slot: the slot stays active for
+  /// the survivors instead of retiring (host-retirement promotion; see
+  /// docs/FOLDING.md).
+  uint64_t fold_promotions = 0;
 };
 
 /// Per-part reusable scratch for grouping a batch's live tuples by query
@@ -311,6 +338,26 @@ class CjoinPipeline {
     query::Predicate::Bound fact_pred;
     std::vector<JoinRowMove> moves;
     uint64_t pages_remaining = 0;
+    /// Folded satellite (dynamic query folding): rides a host slot's filter
+    /// verdicts instead of owning one. `slot` names the HOST slot. Never in
+    /// active_mask_ / active_count_; lives in its host's `satellites`.
+    bool folded = false;
+    /// The satellite's own dimension predicates where they differ from the
+    /// host's (provably narrower by admission containment): re-checked per
+    /// emitted tuple against the joined dimension rows. Aggregate satellites
+    /// carry them inside their SharedAggregator folded member instead.
+    std::vector<SharedAggregator::Residual> residuals;
+    /// Folded queries riding this slot. Mutates only at admission pauses
+    /// (fold pass adds, completion removes) under the same drain-barrier
+    /// protocol as slots_; stage threads read it lock-free.
+    std::vector<std::unique_ptr<ActiveQuery>> satellites;
+    /// The host's OWN client finished (any way) but satellites still ride
+    /// the slot: suppress host emission/decrement, keep the slot active
+    /// until the satellites retire too.
+    bool client_done = false;
+    /// This rider's bit in its aggregation group's member bitmap: the slot
+    /// for slot-owning queries, a private fold bit for folded aggregates.
+    uint32_t agg_bit = 0;
     /// Aggregate query: join output folds into `agg_group` (bound at
     /// activation, retired at completion) instead of streaming through
     /// EmitGroup; the sink receives rendered aggregate pages at completion.
@@ -391,13 +438,22 @@ class CjoinPipeline {
   /// admitted later.
   void HandleScanFault(uint64_t page_index, const Status& why);
 
-  /// Emits one slot's group of a batch: evaluates the query's fact
-  /// predicates, projects matching tuples into the query's buffered output
-  /// pages (taken/returned under out_mu; filled without it), and hands full
-  /// pages to the sink. Runs in a distributor-part thread.
+  /// Emits one slot's group of a batch — the slot's own query (unless
+  /// aggregate, finished or detached) and each streaming satellite riding
+  /// it. Runs in a distributor-part thread.
   void EmitGroup(uint32_t slot, const TupleBatch& batch,
                  const storage::Schema& fact_schema, const uint32_t* idxs,
                  size_t n);
+
+  /// Projects one rider's share of a group: evaluates its fact predicate
+  /// (always for satellites — the preprocessor knows nothing about them —
+  /// else per fact_preds_in_preprocessor) and its dimension residuals,
+  /// projects matching tuples into its buffered output pages
+  /// (taken/returned under out_mu; filled without it), and hands full pages
+  /// to the sink. Runs in a distributor-part thread.
+  void EmitRows(ActiveQuery* aq, const TupleBatch& batch,
+                const storage::Schema& fact_schema, const uint32_t* idxs,
+                size_t n);
 
   /// Blocks until no batch is in flight (pipeline paused).
   void DrainPipeline();
@@ -427,12 +483,48 @@ class CjoinPipeline {
   void BindAggGroupLocked(ActiveQuery* aq) REQUIRES(mu_);
   /// Renders the completing aggregate query's result (slice of its shared
   /// group, or the whole table of its private scalar group) into pages on
-  /// its sink. Requires the group's partials merged.
-  void EmitAggResultLocked(ActiveQuery* aq) REQUIRES(mu_);
-  /// Retires a slot. A slot retired before its scan cycle finished
-  /// (pages_remaining > 0) completes with the query's cancel status and is
-  /// counted as cancelled; otherwise it completes kOk.
+  /// its sink. Requires the group's partials merged. `slice` is an optional
+  /// precomputed slice (SliceMembers batches all of a drain's slices into
+  /// one table pass); nullptr cuts it here.
+  void EmitAggResultLocked(ActiveQuery* aq,
+                           SharedAggregator::AccTable* slice) REQUIRES(mu_);
+  /// Processes a slot queued on completions_due_: finishes every DUE rider
+  /// (the host query and/or folded satellites — faulted, cycle complete, or
+  /// detached), then retires the slot itself only once the host's client is
+  /// done AND no satellite remains; a host finishing ahead of its
+  /// satellites promotes the slot to the survivors instead.
   void CompleteQueryLocked(uint32_t slot) REQUIRES(mu_);
+  /// Finishes ONE rider (host or satellite): fault/cancel status when early,
+  /// else emits its aggregate slice or drains its stream; retires its
+  /// aggregation membership (by agg_bit), returns its fold bit, counts it,
+  /// releases its budget reservation. Additionally requires the pipeline
+  /// drained. `slice` forwards a batch-precomputed aggregate slice to
+  /// EmitAggResultLocked (nullptr = compute on emit).
+  void FinishRiderLocked(ActiveQuery* r,
+                         SharedAggregator::AccTable* slice = nullptr)
+      REQUIRES(mu_);
+  /// The in-flight (or same-epoch just-materialized, via `epoch_slots`)
+  /// query that can host pending query `p`: healthy, matching aggregate
+  /// mode, and query::QuerySubsumes(host.q, p.q). Null when none — or when
+  /// `p` is an aggregate and fold-bit capacity is exhausted (it then takes
+  /// the normal slot path).
+  ActiveQuery* FindFoldHostLocked(const PendingQuery& p,
+                                  const std::vector<uint32_t>& epoch_slots)
+      REQUIRES(mu_);
+  /// Folds pending query `p` onto `host` as a satellite: builds its bound
+  /// predicates, moves, residuals and lifecycle marks, claims a fold bit
+  /// for aggregates, and binds it into the host's aggregation group
+  /// immediately when the host is already active (same-epoch hosts bind
+  /// their satellites in admission phase 4, after BindAggGroupLocked).
+  void FoldOntoHostLocked(ActiveQuery* host, PendingQuery* p) REQUIRES(mu_);
+  /// Binds an aggregate satellite (fold bit already claimed in
+  /// FoldOntoHostLocked) as a folded member of its host's group.
+  void BindFoldedAggLocked(ActiveQuery* host, ActiveQuery* sat) REQUIRES(mu_);
+  /// The satellite's residual dimension predicates: one Bound per dimension
+  /// whose predicate signature differs from the host's (identical
+  /// predicates need no residual — the host's filter verdict is exact).
+  std::vector<SharedAggregator::Residual> BuildResiduals(
+      const ActiveQuery& host, const query::StarQuery& q);
   /// Terminates a query with a non-OK status: completes the lifecycle and
   /// runs on_complete BEFORE closing the sink (the ordering is what keeps a
   /// client drain's Finish(Ok)-on-truncated-stream from winning the
@@ -448,6 +540,9 @@ class CjoinPipeline {
   const storage::Table* fact_;
   const CjoinOptions options_;
   const size_t words_;
+  /// Member-bitmap width of the shared aggregation stage: the slot words
+  /// plus fold-bit words when query folding is enabled.
+  const size_t member_words_;
 
   mutable Mutex mu_{lock_rank::Rank::kCjoinPipeline};
   CondVar work_cv_;
@@ -466,6 +561,10 @@ class CjoinPipeline {
   size_t active_count_ GUARDED_BY(mu_) = 0;
   std::vector<uint32_t> free_slots_ GUARDED_BY(mu_);
   std::vector<uint32_t> dirty_slots_ GUARDED_BY(mu_);
+  /// Unclaimed fold-bit positions in [words_*64, member_words_*64) for
+  /// folded aggregate members; claimed at fold time, returned when the
+  /// satellite retires. Empty pool => aggregate folds fall back to slots.
+  std::vector<uint32_t> free_fold_bits_ GUARDED_BY(mu_);
   std::vector<uint32_t> completions_due_ GUARDED_BY(mu_);
   std::vector<std::unique_ptr<Filter>> filters_;
   /// Shared aggregation stage. Group membership and merged tables mutate

@@ -82,10 +82,35 @@ class SharedAggregator {
   /// bytes only.
   using AccTable = std::unordered_map<std::string, std::vector<query::AggAcc>>;
 
-  /// One member query of a group.
+  /// A residual dimension predicate of a folded member: the satellite's own
+  /// selection on one dimension, evaluated against the joined dimension row
+  /// where it differs from its host's (identical predicates need no
+  /// residual — the host's filter verdict is already exact for them).
+  struct Residual {
+    size_t filter_pos = 0;                 // batch dim_rows column
+    const storage::Schema* dim_schema = nullptr;
+    query::Predicate::Bound pred;          // bound on *dim_schema
+    /// Memoized verdict per dimension-table row (bit r == pred on row r):
+    /// dimension tables are immutable, so the pipeline precomputes this once
+    /// at fold time and the hot path pays one bit test per tuple instead of
+    /// interpreting the predicate. Empty = not memoized (evaluate `pred`).
+    std::vector<uint64_t> row_pass;
+  };
+
+  /// One member query of a group. Slot members (`folded == false`) own a
+  /// pipeline slot: their tuple verdicts are the slot's bitmap bits and
+  /// `bit == slot`. Folded members (satellites of dynamic query folding)
+  /// ride a host slot's bits instead: `slot` names the HOST slot whose
+  /// filter verdict bounds them, and `bit` is a private position in the
+  /// widened member bitmap (beyond the pipeline's slot range) where their
+  /// refined verdict — host bit ∧ own fact predicate ∧ dim residuals — is
+  /// recorded, so slicing and retirement work identically for both kinds.
   struct Member {
+    uint32_t bit = 0;
     uint32_t slot = 0;
+    bool folded = false;
     query::Predicate::Bound fact_pred;  // bound on the fact schema
+    std::vector<Residual> residuals;    // folded members only
   };
 
   /// One aggregation shape and its members' shared state.
@@ -99,8 +124,25 @@ class SharedAggregator {
     storage::Schema out_schema;           // group cols, then one col per agg
     size_t key_width = 0;                 // group-key bytes (key prefix)
 
-    Bitset member_mask;            // bound slots
+    Bitset member_mask;            // bound member bits (slots + fold bits)
     std::vector<Member> members;
+    size_t folded_members = 0;     // count of members with folded == true
+
+    // Lazy retirement (see RetireSlot): bits whose members are gone but
+    // whose stale copies still sit in merged-entry key tails. Invisible to
+    // surviving members' slices — slicing selects by live bits — so the
+    // fold-out pass is deferred and batched instead of paid per retirement.
+    std::vector<uint64_t> retired_pending;  // member_words words
+    size_t retired_count = 0;               // set bits in retired_pending
+
+    // Fold index, rebuilt on every member change (pause surface): which
+    // host slots carry satellites, and each host's satellites as a CSR list
+    // of `members` indices. FoldBatch walks only the satellites of the
+    // host slots a tuple actually matched instead of scanning every member
+    // per tuple.
+    std::vector<uint64_t> sat_slot_mask;  // mask_words: slots with satellites
+    std::vector<uint32_t> sat_begin;      // per slot: offset into sat_idx
+    std::vector<uint32_t> sat_idx;        // member indices, grouped by slot
 
     std::vector<AccTable> partials;  // one per distributor part
     AccTable merged;
@@ -113,11 +155,17 @@ class SharedAggregator {
     std::string key;
   };
 
-  /// `num_parts` distributor parts fold concurrently; bitmaps span
-  /// `mask_words` 64-bit words (the pipeline's slot-bitmap width).
-  SharedAggregator(size_t num_parts, size_t mask_words);
+  /// `num_parts` distributor parts fold concurrently; tuple bitmaps span
+  /// `mask_words` 64-bit words (the pipeline's slot-bitmap width). The
+  /// MEMBER bitmap — the key tail — spans `member_words` >= mask_words
+  /// words: the extra bits are fold-bit positions for folded members, which
+  /// have no slot of their own (defaults to the slot width, i.e. no fold
+  /// capacity).
+  SharedAggregator(size_t num_parts, size_t mask_words,
+                   size_t member_words = 0);
 
   size_t mask_words() const { return mask_words_; }
+  size_t member_words() const { return member_words_; }
   size_t num_groups() const { return groups_.size(); }
   const std::vector<std::unique_ptr<Group>>& groups() const { return groups_; }
 
@@ -131,17 +179,35 @@ class SharedAggregator {
   /// the pipeline resumes.
   Group* CreateGroup(std::string signature);
 
-  /// Binds `slot` as a member.
+  /// Binds `slot` as a member (bit == slot).
   void AddMember(Group* g, uint32_t slot, query::Predicate::Bound fact_pred);
+
+  /// Binds a folded member (dynamic query folding): `bit` is a fold-bit
+  /// position in [mask_words*64, member_words*64) and `host_slot` the
+  /// in-flight slot whose filter verdict bounds the satellite. Its refined
+  /// verdict per tuple is host bit ∧ fact_pred ∧ residuals.
+  void AddFoldedMember(Group* g, uint32_t bit, uint32_t host_slot,
+                       query::Predicate::Bound fact_pred,
+                       std::vector<Residual> residuals);
 
   /// Merges every part's partial table into the group's merged table
   /// (partials come out empty, capacity retained).
   static void MergePartials(Group* g);
 
-  /// Per-query slice: sums the merged entries whose bitmap contains `slot`
-  /// into `out`, keyed by group bytes only — exactly the aggregate the
-  /// member would have computed alone. Requires partials merged.
+  /// Per-query slice: sums the merged entries whose bitmap contains member
+  /// bit `slot` (a slot for slot members, a fold bit for folded ones) into
+  /// `out`, keyed by group bytes only — exactly the aggregate the member
+  /// would have computed alone. Requires partials merged.
   static void SliceSlot(const Group& g, uint32_t slot, AccTable* out);
+
+  /// Batch slice: cuts many members' slices in ONE merged-table traversal —
+  /// `(*slices)[i]` receives member bit `bits[i]`'s aggregate, keyed by
+  /// group bytes only, exactly as SliceSlot would produce it. The drain
+  /// that ends a scan cycle finishes every rider of a slot at once; slicing
+  /// them per rider costs O(riders × entries), this costs O(entries) plus
+  /// the irreducible per-hit merges. Requires partials merged.
+  void SliceMembers(const Group& g, const std::vector<uint32_t>& bits,
+                    std::vector<AccTable>* slices) const;
 
   /// Renders a slice into out_schema tuples (appended to `rows`, one string
   /// of out_schema.tuple_size() bytes each). An empty slice of a global
@@ -149,11 +215,23 @@ class SharedAggregator {
   static void RenderSlice(const Group& g, const AccTable& slice,
                           std::vector<std::string>* rows);
 
-  /// Retires member `slot`: clears its bit from every merged entry
-  /// (re-keying, merging collisions, dropping entries whose bitmap went
-  /// empty) and unbinds it. Requires partials merged. Returns true when the
-  /// group has no members left (the caller destroys it).
+  /// Retires the member at bit `slot` (a slot or a fold bit): unbinds the
+  /// member and marks the bit for LAZY removal from the merged table. A
+  /// stale bit in an entry's key tail cannot leak into any surviving
+  /// member's slice (slices select by live bits only), so the fold-out pass
+  /// — stripping pending bits, merging key collisions, dropping entries
+  /// whose bitmap went empty — is deferred to FlushRetired, which the next
+  /// MergePartials (or a re-bind of a pending bit) triggers. A drain that
+  /// retires N members thus pays ONE table pass, not N; a group whose last
+  /// member retires is destroyed without any pass. Requires partials
+  /// merged. Returns true when the group has no members left (the caller
+  /// destroys it).
   bool RetireSlot(Group* g, uint32_t slot);
+
+  /// Folds every lazily-retired bit out of the merged table now. No-op when
+  /// none are pending; called automatically by MergePartials and by
+  /// AddMember/AddFoldedMember when they re-bind a pending bit.
+  static void FlushRetired(Group* g);
 
   /// Destroys an empty group.
   void DestroyGroup(Group* g);
@@ -163,16 +241,22 @@ class SharedAggregator {
   /// Folds one annotated batch into the group's part-local partial table:
   /// one accumulator update per distinct (group key, member bitmap) per
   /// tuple, however many member queries the group serves. When
-  /// `preds_pre_applied`, the members' fact predicates were already folded
-  /// into the bitmaps (the §3.2 preprocessor variant).
+  /// `preds_pre_applied`, the slot members' fact predicates were already
+  /// folded into the bitmaps (the §3.2 preprocessor variant); folded
+  /// members' predicates are ALWAYS evaluated here — the preprocessor knows
+  /// nothing about satellites.
   void FoldBatch(Group* g, const TupleBatch& batch,
                  const storage::Schema& fact_schema, const DimRowFn& dim_row,
                  size_t part, bool preds_pre_applied,
                  FoldScratch* scratch) const;
 
  private:
+  /// Rebuilds `g`'s fold index from its current member list.
+  void RebuildFoldIndex(Group* g) const;
+
   const size_t num_parts_;
   const size_t mask_words_;
+  const size_t member_words_;
   std::vector<std::unique_ptr<Group>> groups_;
 };
 

@@ -58,24 +58,40 @@ struct RetryStats {
 };
 
 /// Builds the overload-rejection status: kResourceExhausted with a
-/// machine-readable resubmission hint appended to the message.
+/// machine-readable resubmission hint appended to the message. The hint is
+/// rendered in whole milliseconds ROUNDED UP and clamped to >= 1 ms: a
+/// sub-millisecond hint must not truncate to "[retry_after_ms=0]", which
+/// RetryAfterNanosFrom reads as "no hint" and shed clients would answer by
+/// resubmitting immediately instead of backing off.
 inline Status ResourceExhaustedWithRetryAfter(const std::string& m,
                                               int64_t retry_after_nanos) {
-  return Status::ResourceExhausted(
-      m + " [retry_after_ms=" + std::to_string(retry_after_nanos / 1'000'000) +
-      "]");
+  int64_t ms = retry_after_nanos / 1'000'000;
+  if (retry_after_nanos % 1'000'000 != 0) ++ms;
+  if (ms < 1) ms = 1;
+  return Status::ResourceExhausted(m + " [retry_after_ms=" +
+                                   std::to_string(ms) + "]");
 }
 
 /// Extracts the retry_after hint from a status message; 0 when absent.
+/// Saturates instead of overflowing: a hint too large to express in nanos
+/// (adversarial or corrupted message text) comes back as the largest
+/// representable backoff, never a wrapped negative.
 inline int64_t RetryAfterNanosFrom(const Status& s) {
   const std::string& m = s.message();
   const char* tag = "[retry_after_ms=";
   const size_t pos = m.find(tag);
   if (pos == std::string::npos) return 0;
+  // Largest ms value whose nanos fit in int64 (INT64_MAX / 1e6).
+  constexpr int64_t kMaxMs = INT64_MAX / 1'000'000;
   int64_t ms = 0;
   for (size_t i = pos + std::char_traits<char>::length(tag);
        i < m.size() && m[i] >= '0' && m[i] <= '9'; ++i) {
-    ms = ms * 10 + (m[i] - '0');
+    const int digit = m[i] - '0';
+    if (ms > (kMaxMs - digit) / 10) {
+      ms = kMaxMs;  // saturate; keep consuming digits would not change it
+      break;
+    }
+    ms = ms * 10 + digit;
   }
   return ms * 1'000'000;
 }

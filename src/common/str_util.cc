@@ -30,4 +30,20 @@ std::string StrJoin(const std::vector<std::string>& parts,
   return out;
 }
 
+std::string EscapeSigToken(const std::string& s) {
+  static constexpr char kSpecials[] = "\\,;|&()=':#";
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    for (const char* p = kSpecials; *p != '\0'; ++p) {
+      if (c == *p) {
+        out += '\\';
+        break;
+      }
+    }
+    out += c;
+  }
+  return out;
+}
+
 }  // namespace sdw

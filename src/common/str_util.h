@@ -18,6 +18,16 @@ std::string StrPrintf(const char* fmt, ...)
 std::string StrJoin(const std::vector<std::string>& parts,
                     const std::string& sep);
 
+/// Escapes an identifier (column/table name, string literal) for embedding
+/// in a canonical signature string: backslash-escapes `\` and the signature
+/// delimiter set `, ; | & ( ) = ' : #`. Signatures are compared for
+/// EQUALITY (shared-plan detection, shared-agg group binding, query
+/// folding), so two distinct identifier lists must never concatenate to the
+/// same string — "a,b" as one column vs ["a","b"] joined with ",".
+/// Identifiers without special characters (the whole SSB schema) come back
+/// unchanged, so normal signatures are unaffected.
+std::string EscapeSigToken(const std::string& s);
+
 }  // namespace sdw
 
 #endif  // SDW_COMMON_STR_UTIL_H_

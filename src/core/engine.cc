@@ -63,6 +63,7 @@ Engine::Engine(const storage::Catalog* catalog, storage::BufferPool* pool,
     const storage::Table* fact = catalog->MustGetTable(options_.fact_table);
     cjoin::CjoinOptions copts = options_.cjoin;
     copts.shared_aggregation = options_.shared_aggregation;
+    copts.query_folding = options_.query_folding;
     // One policy everywhere: the scheduler's FIFO switch also turns off
     // priority-ordered admission in the GQP — while still honoring a
     // caller who disabled only the CJOIN knob.

@@ -60,6 +60,12 @@ struct EngineOptions {
   /// streams to per-query QPipe aggregation packets (the pre-sharing
   /// behavior, and the differential tests' baseline).
   bool shared_aggregation = true;
+  /// CJOIN configs: dynamic query folding at admission — a pending query
+  /// whose predicates are provably contained in an in-flight query's (and
+  /// whose aggregate shape matches) rides that host's slot as a post-filter
+  /// instead of consuming a slot and dimension scans. Default OFF: the
+  /// unfolded path is the differential oracle (see docs/FOLDING.md).
+  bool query_folding = false;
   /// Fact table the GQP pipeline is built over.
   std::string fact_table = "lineorder";
   /// Convert the fact table to the PAX (column-major within page) layout at

@@ -49,12 +49,15 @@ const char* CompareOpName(CompareOp op) {
 }
 
 std::string AtomicPred::ToString() const {
+  // Escaped: this rendering feeds predicate/plan signatures, which are
+  // compared for equality — adversarial column names or string literals
+  // containing the delimiter characters must not forge a collision.
   if (is_string) {
-    return StrPrintf("%s%s'%s'", column.c_str(), CompareOpName(op),
-                     sval.c_str());
+    return StrPrintf("%s%s'%s'", EscapeSigToken(column).c_str(),
+                     CompareOpName(op), EscapeSigToken(sval).c_str());
   }
-  return StrPrintf("%s%s%lld", column.c_str(), CompareOpName(op),
-                   static_cast<long long>(ival));
+  return StrPrintf("%s%s%lld", EscapeSigToken(column).c_str(),
+                   CompareOpName(op), static_cast<long long>(ival));
 }
 
 Predicate& Predicate::And(AtomicPred a) {
@@ -168,6 +171,128 @@ std::string Predicate::Signature() const {
   }
   std::sort(clause_sigs.begin(), clause_sigs.end());
   return StrJoin(clause_sigs, "&");
+}
+
+namespace {
+
+// True when (x op2 v2) forces (x op1 v1) for every x in a totally ordered
+// domain, using open/closed bound reasoning only. No ±1 integer tightening:
+// the predicate does not know the column type, and `x < 5 ⟹ x <= 4` is
+// wrong for double columns, so bounds compare as written. kNe is handled
+// positionally (a point complement implies only the same point complement;
+// a range implies a kNe whose value lies outside the range).
+template <typename T>
+bool AtomImpliesOrdered(CompareOp op2, const T& v2, CompareOp op1,
+                        const T& v1) {
+  if (op2 == CompareOp::kNe) return op1 == CompareOp::kNe && v1 == v2;
+  if (op1 == CompareOp::kNe) {
+    // v1 must lie outside the set described by (op2, v2).
+    switch (op2) {
+      case CompareOp::kEq:
+        return v2 != v1;
+      case CompareOp::kLt:
+        return v1 >= v2;
+      case CompareOp::kLe:
+        return v1 > v2;
+      case CompareOp::kGt:
+        return v1 <= v2;
+      case CompareOp::kGe:
+        return v1 < v2;
+      case CompareOp::kNe:
+        break;  // handled above
+    }
+    return false;
+  }
+  // Both sides are ranges (kEq is the degenerate [v,v]). Encode each as
+  // lower/upper bounds with strictness and test interval inclusion.
+  struct Range {
+    bool has_lo = false, lo_strict = false;
+    bool has_hi = false, hi_strict = false;
+    const T* lo = nullptr;
+    const T* hi = nullptr;
+  };
+  auto range_of = [](CompareOp op, const T& v) {
+    Range r;
+    switch (op) {
+      case CompareOp::kEq:
+        r = {true, false, true, false, &v, &v};
+        break;
+      case CompareOp::kLt:
+        r = {false, false, true, true, nullptr, &v};
+        break;
+      case CompareOp::kLe:
+        r = {false, false, true, false, nullptr, &v};
+        break;
+      case CompareOp::kGt:
+        r = {true, true, false, false, &v, nullptr};
+        break;
+      case CompareOp::kGe:
+        r = {true, false, false, false, &v, nullptr};
+        break;
+      case CompareOp::kNe:
+        break;  // unreachable
+    }
+    return r;
+  };
+  const Range r2 = range_of(op2, v2);  // the narrower candidate
+  const Range r1 = range_of(op1, v1);  // must enclose r2
+  if (r1.has_lo) {
+    if (!r2.has_lo) return false;
+    if (*r2.lo < *r1.lo) return false;
+    if (*r2.lo == *r1.lo && r1.lo_strict && !r2.lo_strict) return false;
+  }
+  if (r1.has_hi) {
+    if (!r2.has_hi) return false;
+    if (*r2.hi > *r1.hi) return false;
+    if (*r2.hi == *r1.hi && r1.hi_strict && !r2.hi_strict) return false;
+  }
+  return true;
+}
+
+// (col2 op2 lit2) ⟹ (col1 op1 lit1)? Conservative: provable only for the
+// same column and literal type.
+bool AtomImplies(const AtomicPred& a2, const AtomicPred& a1) {
+  if (a2.column != a1.column || a2.is_string != a1.is_string) return false;
+  if (a2.is_string) return AtomImpliesOrdered(a2.op, a2.sval, a1.op, a1.sval);
+  return AtomImpliesOrdered(a2.op, a2.ival, a1.op, a1.ival);
+}
+
+// Clause (OR of atoms) c2 implies clause c1 when every atom of c2 implies
+// some atom of c1: any tuple satisfying c2 satisfies one of its atoms and
+// therefore one of c1's. This is the IN-list-subset rule — a sub-list's
+// every equality atom appears in the super-list.
+bool ClauseImplies(const std::vector<AtomicPred>& c2,
+                   const std::vector<AtomicPred>& c1) {
+  for (const auto& a2 : c2) {
+    bool implied = false;
+    for (const auto& a1 : c1) {
+      if (AtomImplies(a2, a1)) {
+        implied = true;
+        break;
+      }
+    }
+    if (!implied) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool PredicateContains(const Predicate& p1, const Predicate& p2) {
+  // p2 ⟹ p1: every clause of p1 must be implied by some clause of p2 (p2
+  // is a conjunction, so each of its clauses holds for any satisfying
+  // tuple). An empty p1 is TRUE and contains everything.
+  for (const auto& c1 : p1.cnf()) {
+    bool implied = false;
+    for (const auto& c2 : p2.cnf()) {
+      if (ClauseImplies(c2, c1)) {
+        implied = true;
+        break;
+      }
+    }
+    if (!implied) return false;
+  }
+  return true;
 }
 
 std::vector<std::string> Predicate::ReferencedColumns() const {

@@ -102,6 +102,21 @@ class Predicate {
   std::vector<std::vector<AtomicPred>> cnf_;
 };
 
+/// Sound containment test over CNF: true only when every tuple satisfying
+/// `p2` provably satisfies `p1` (p2 ⊆ p1, i.e. p1 is the weaker predicate).
+/// The prover is per-clause implication — each clause of p1 must be implied
+/// by some clause of p2, where a clause implies another when each of its
+/// atoms implies some atom of the target clause. Atom implication compares
+/// value ranges (open/closed interval bounds, so the reasoning is exact for
+/// integer columns and still sound for doubles, whose literals are widened
+/// at Bind time) and equality/subset structure for strings (IN-lists are
+/// OR-clauses, so an IN-list subset falls out of clause implication).
+/// Anything unprovable — different columns, kNe against ranges, mixed
+/// types — returns a conservative `false`; the check never claims
+/// containment that a tuple sweep could refute. TRUE (the empty predicate)
+/// contains everything; only TRUE contains TRUE-or-weaker predicates.
+bool PredicateContains(const Predicate& p1, const Predicate& p2);
+
 }  // namespace sdw::query
 
 #endif  // SDW_QUERY_PREDICATE_H_

@@ -7,20 +7,25 @@
 namespace sdw::query {
 
 std::string AggSpec::ToString() const {
+  // Signature-grade rendering: column names are escaped so adversarial
+  // identifiers cannot collide with the surrounding delimiter grammar.
+  const std::string a = EscapeSigToken(col_a);
+  const std::string b = EscapeSigToken(col_b);
+  const std::string c = EscapeSigToken(col_c);
   switch (kind) {
     case Kind::kSum:
-      return StrPrintf("sum(%s)", col_a.c_str());
+      return StrPrintf("sum(%s)", a.c_str());
     case Kind::kSumProduct:
-      return StrPrintf("sum(%s*%s)", col_a.c_str(), col_b.c_str());
+      return StrPrintf("sum(%s*%s)", a.c_str(), b.c_str());
     case Kind::kSumDiff:
-      return StrPrintf("sum(%s-%s)", col_a.c_str(), col_b.c_str());
+      return StrPrintf("sum(%s-%s)", a.c_str(), b.c_str());
     case Kind::kSumDiscPrice:
-      return StrPrintf("sum(%s*(1-%s))", col_a.c_str(), col_b.c_str());
+      return StrPrintf("sum(%s*(1-%s))", a.c_str(), b.c_str());
     case Kind::kSumCharge:
-      return StrPrintf("sum(%s*(1-%s)*(1+%s))", col_a.c_str(), col_b.c_str(),
-                       col_c.c_str());
+      return StrPrintf("sum(%s*(1-%s)*(1+%s))", a.c_str(), b.c_str(),
+                       c.c_str());
     case Kind::kAvg:
-      return StrPrintf("avg(%s)", col_a.c_str());
+      return StrPrintf("avg(%s)", a.c_str());
     case Kind::kCount:
       return "count(*)";
   }
@@ -46,35 +51,53 @@ bool AggSpec::IntegerExact(const storage::Schema& input) const {
   }
 }
 
+namespace {
+
+// Escape-then-join: identifier lists embedded in signatures must not
+// collide with the delimiter grammar ({"a,b"} vs {"a","b"}).
+std::string JoinEscaped(const std::vector<std::string>& parts,
+                        const std::string& sep) {
+  std::vector<std::string> escaped;
+  escaped.reserve(parts.size());
+  for (const auto& p : parts) escaped.push_back(EscapeSigToken(p));
+  return StrJoin(escaped, sep);
+}
+
+}  // namespace
+
 std::string StarQuery::JoinSignature() const {
   std::vector<std::string> parts;
-  parts.push_back("fact=" + fact_table);
+  parts.push_back("fact=" + EscapeSigToken(fact_table));
   parts.push_back("fpred=" + fact_pred.Signature());
   for (const auto& d : dims) {
     parts.push_back(StrPrintf(
-        "dim(%s,%s=%s,pred=%s,pay=%s)", d.dim_table.c_str(),
-        d.fact_fk_column.c_str(), d.dim_pk_column.c_str(),
-        d.pred.Signature().c_str(),
-        StrJoin(d.payload_columns, ",").c_str()));
+        "dim(%s,%s=%s,pred=%s,pay=%s)", EscapeSigToken(d.dim_table).c_str(),
+        EscapeSigToken(d.fact_fk_column).c_str(),
+        EscapeSigToken(d.dim_pk_column).c_str(), d.pred.Signature().c_str(),
+        JoinEscaped(d.payload_columns, ",").c_str()));
   }
   return StrJoin(parts, ";");
 }
 
 std::string StarQuery::AggSignature() const {
   std::vector<std::string> parts;
-  parts.push_back("fact=" + fact_table);
+  parts.push_back("fact=" + EscapeSigToken(fact_table));
   // The fact predicate's referenced COLUMNS stay in the signature (they
   // widen the canonical fact projection, hence the join-output schema); its
   // constants do not — that is the whole point of the shape signature.
+  // Dimension predicates are wholly absent (see the header doc): their
+  // verdicts ride the filter bitmaps, not the join-output schema.
   std::vector<std::string> pred_cols = fact_pred.ReferencedColumns();
   std::sort(pred_cols.begin(), pred_cols.end());
-  parts.push_back("fpredcols=" + StrJoin(pred_cols, ","));
+  parts.push_back("fpredcols=" + JoinEscaped(pred_cols, ","));
   for (const auto& d : dims) {
-    parts.push_back(StrPrintf("dim(%s,%s=%s,pay=%s)", d.dim_table.c_str(),
-                              d.fact_fk_column.c_str(), d.dim_pk_column.c_str(),
-                              StrJoin(d.payload_columns, ",").c_str()));
+    parts.push_back(StrPrintf("dim(%s,%s=%s,pay=%s)",
+                              EscapeSigToken(d.dim_table).c_str(),
+                              EscapeSigToken(d.fact_fk_column).c_str(),
+                              EscapeSigToken(d.dim_pk_column).c_str(),
+                              JoinEscaped(d.payload_columns, ",").c_str()));
   }
-  parts.push_back("group=" + StrJoin(group_by, ","));
+  parts.push_back("group=" + JoinEscaped(group_by, ","));
   std::vector<std::string> agg_sigs;
   agg_sigs.reserve(aggregates.size());
   for (const auto& a : aggregates) agg_sigs.push_back(a.ToString());
@@ -85,7 +108,7 @@ std::string StarQuery::AggSignature() const {
 std::string StarQuery::Signature() const {
   std::vector<std::string> parts;
   parts.push_back(JoinSignature());
-  parts.push_back("group=" + StrJoin(group_by, ","));
+  parts.push_back("group=" + JoinEscaped(group_by, ","));
   std::vector<std::string> agg_sigs;
   agg_sigs.reserve(aggregates.size());
   for (const auto& a : aggregates) agg_sigs.push_back(a.ToString());
@@ -93,10 +116,24 @@ std::string StarQuery::Signature() const {
   std::vector<std::string> order_sigs;
   order_sigs.reserve(order_by.size());
   for (const auto& k : order_by) {
-    order_sigs.push_back(k.column + (k.ascending ? ":asc" : ":desc"));
+    order_sigs.push_back(EscapeSigToken(k.column) +
+                         (k.ascending ? ":asc" : ":desc"));
   }
   parts.push_back("order=" + StrJoin(order_sigs, ","));
   return StrJoin(parts, ";");
+}
+
+bool QuerySubsumes(const StarQuery& host, const StarQuery& sub) {
+  if (host.dims.size() != sub.dims.size()) return false;
+  // Shape first: AggSignature equality pins the fact table, the dimension
+  // join triples and payloads positionally, the group-by keys and the
+  // aggregate expressions — everything except predicate constants.
+  if (host.AggSignature() != sub.AggSignature()) return false;
+  if (!PredicateContains(host.fact_pred, sub.fact_pred)) return false;
+  for (size_t i = 0; i < host.dims.size(); ++i) {
+    if (!PredicateContains(host.dims[i].pred, sub.dims[i].pred)) return false;
+  }
+  return true;
 }
 
 }  // namespace sdw::query

@@ -74,16 +74,33 @@ struct StarQuery {
   std::string JoinSignature() const;
 
   /// Aggregation-shape signature: the join *structure* (fact table,
-  /// dimensions, FK=PK pairs, payload columns, and the referenced — not
-  /// compared — predicate columns) plus group-by keys and aggregate
-  /// expressions, with every predicate CONSTANT excluded. Queries with equal
-  /// AggSignatures differ only in selection constants, so they produce
-  /// identical join-output schemas and aggregate plans; the shared
-  /// aggregation stage binds them to one group and separates their results
-  /// by predicate bitmap instead of recomputing the group-by per query.
-  /// ORDER BY is also excluded: sorting runs per query downstream.
+  /// dimensions, FK=PK pairs, payload columns, and the FACT predicate's
+  /// referenced — not compared — columns) plus group-by keys and aggregate
+  /// expressions, with every predicate CONSTANT excluded. Dimension
+  /// predicates contribute NOTHING here — not even their referenced
+  /// columns: their verdicts ride the per-slot filter bitmaps and never
+  /// widen the join-output schema, so two queries whose dimension
+  /// predicates compare different columns still share one group. The fact
+  /// predicate's columns DO appear because they widen the canonical fact
+  /// projection and hence the join-output schema. Queries with equal
+  /// AggSignatures therefore produce identical join-output schemas and
+  /// aggregate plans; the shared aggregation stage binds them to one group
+  /// and separates their results by predicate bitmap instead of recomputing
+  /// the group-by per query. ORDER BY is also excluded: sorting runs per
+  /// query downstream.
   std::string AggSignature() const;
 };
+
+/// Fold-eligibility test (dynamic query folding, ROADMAP item 2): true when
+/// `sub` is provably subsumed by `host` — equal aggregate shapes
+/// (AggSignature equality, so dims line up positionally with identical join
+/// triples and the join-output schemas match) AND every predicate of `sub`
+/// contained in host's counterpart (PredicateContains per dimension, plus
+/// the fact predicate). A subsumed query's qualifying tuples are a subset
+/// of the host's join output, so it can run as a post-filter over the
+/// host's slot instead of consuming its own slot and dimension scans.
+/// Conservative: false on anything unprovable.
+bool QuerySubsumes(const StarQuery& host, const StarQuery& sub);
 
 }  // namespace sdw::query
 

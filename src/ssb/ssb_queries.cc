@@ -38,18 +38,20 @@ Predicate YearRange(int lo, int hi) {
   return p;
 }
 
-StarQuery Q32Common(Predicate cust_pred, Predicate supp_pred, int year_lo,
-                    int year_hi) {
+StarQuery Q3Common(Predicate cust_pred, Predicate supp_pred, int year_lo,
+                   int year_hi, bool nation_grain) {
   StarQuery q;
   q.fact_table = kLineorder;
+  const char* supp_col = nation_grain ? "s_nation" : "s_city";
+  const char* cust_col = nation_grain ? "c_nation" : "c_city";
   // Join order per the paper's Figure 9: supplier, customer, date.
   q.dims.push_back(DimJoin{kSupplier, "lo_suppkey", "s_suppkey",
-                           std::move(supp_pred), {"s_city"}});
+                           std::move(supp_pred), {supp_col}});
   q.dims.push_back(DimJoin{kCustomer, "lo_custkey", "c_custkey",
-                           std::move(cust_pred), {"c_city"}});
+                           std::move(cust_pred), {cust_col}});
   q.dims.push_back(DimJoin{kDate, "lo_orderdate", "d_datekey",
                            YearRange(year_lo, year_hi), {"d_year"}});
-  q.group_by = {"c_city", "s_city", "d_year"};
+  q.group_by = {cust_col, supp_col, "d_year"};
   AggSpec revenue;
   revenue.kind = AggSpec::Kind::kSum;
   revenue.col_a = "lo_revenue";
@@ -57,6 +59,12 @@ StarQuery Q32Common(Predicate cust_pred, Predicate supp_pred, int year_lo,
   q.aggregates.push_back(std::move(revenue));
   q.order_by = {{"d_year", true}, {"revenue", false}};
   return q;
+}
+
+StarQuery Q32Common(Predicate cust_pred, Predicate supp_pred, int year_lo,
+                    int year_hi) {
+  return Q3Common(std::move(cust_pred), std::move(supp_pred), year_lo,
+                  year_hi, /*nation_grain=*/false);
 }
 
 }  // namespace
@@ -71,6 +79,12 @@ StarQuery MakeQ32Selectivity(const Q32SelectivityParams& p) {
   return Q32Common(NationAnyOf("c_nation", p.cust_nations),
                    NationAnyOf("s_nation", p.supp_nations), p.year_lo,
                    p.year_hi);
+}
+
+StarQuery MakeQ31Selectivity(const Q32SelectivityParams& p) {
+  return Q3Common(NationAnyOf("c_nation", p.cust_nations),
+                  NationAnyOf("s_nation", p.supp_nations), p.year_lo,
+                  p.year_hi, /*nation_grain=*/true);
 }
 
 StarQuery MakeQ11(const Q11Params& p) {

@@ -33,6 +33,13 @@ struct Q32SelectivityParams {
 };
 query::StarQuery MakeQ32Selectivity(const Q32SelectivityParams& p);
 
+/// Q3.1-grain sibling of MakeQ32Selectivity: identical selections (nation
+/// IN-lists, year range), but grouped at NATION grain (c_nation, s_nation,
+/// d_year) like SSB Q3.1 — ~250 output groups instead of Q3.2's tens of
+/// thousands of city pairs, so per-query result work stays small relative
+/// to the shared scan.
+query::StarQuery MakeQ31Selectivity(const Q32SelectivityParams& p);
+
 /// SSB Q1.1: revenue effect of discount changes in one year.
 struct Q11Params {
   int year = 1993;

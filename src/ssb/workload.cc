@@ -206,6 +206,79 @@ std::vector<query::StarQuery> SelectivityQ32Workload(size_t num_queries,
   return queries;
 }
 
+namespace {
+
+std::vector<query::StarQuery> FoldableQ3Workload(
+    size_t num_queries, double containment_rate, uint64_t seed,
+    query::StarQuery (*make)(const Q32SelectivityParams&)) {
+  constexpr size_t kTemplates = 8;
+  constexpr size_t kTemplateNations = 6;
+  Rng rng(seed);
+  auto wide = [&rng] {
+    Q32SelectivityParams p;
+    for (size_t n : rng.SampleDistinct(kNumNations, kTemplateNations)) {
+      p.cust_nations.push_back(static_cast<int>(n));
+    }
+    for (size_t n : rng.SampleDistinct(kNumNations, kTemplateNations)) {
+      p.supp_nations.push_back(static_cast<int>(n));
+    }
+    p.year_lo = kFirstYear;
+    p.year_hi = kFirstYear + kNumYears - 1;
+    return p;
+  };
+  // A narrowed instance of `host`: nation subsets and a year sub-range are
+  // exactly the forms query::PredicateContains proves (IN-list subset and
+  // interval inclusion), so the instance is fold-eligible onto the host.
+  auto narrowed = [&rng](const Q32SelectivityParams& host) {
+    Q32SelectivityParams p;
+    const size_t nc = 1 + rng.Index(host.cust_nations.size());
+    for (size_t i : rng.SampleDistinct(host.cust_nations.size(), nc)) {
+      p.cust_nations.push_back(host.cust_nations[i]);
+    }
+    const size_t ns = 1 + rng.Index(host.supp_nations.size());
+    for (size_t i : rng.SampleDistinct(host.supp_nations.size(), ns)) {
+      p.supp_nations.push_back(host.supp_nations[i]);
+    }
+    const int span = host.year_hi - host.year_lo + 1;
+    const int len = 1 + static_cast<int>(rng.Index(static_cast<size_t>(span)));
+    p.year_lo = host.year_lo +
+                static_cast<int>(rng.Index(static_cast<size_t>(span - len + 1)));
+    p.year_hi = p.year_lo + len - 1;
+    return p;
+  };
+  std::vector<Q32SelectivityParams> templates;
+  templates.reserve(kTemplates);
+  for (size_t t = 0; t < kTemplates; ++t) templates.push_back(wide());
+  std::vector<query::StarQuery> queries;
+  queries.reserve(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    if (i < templates.size()) {
+      queries.push_back(make(templates[i]));
+    } else if (rng.Bernoulli(containment_rate)) {
+      queries.push_back(make(narrowed(templates[rng.Index(templates.size())])));
+    } else {
+      queries.push_back(make(wide()));
+    }
+  }
+  return queries;
+}
+
+}  // namespace
+
+std::vector<query::StarQuery> FoldableQ32Workload(size_t num_queries,
+                                                  double containment_rate,
+                                                  uint64_t seed) {
+  return FoldableQ3Workload(num_queries, containment_rate, seed,
+                            &MakeQ32Selectivity);
+}
+
+std::vector<query::StarQuery> FoldableQ31Workload(size_t num_queries,
+                                                  double containment_rate,
+                                                  uint64_t seed) {
+  return FoldableQ3Workload(num_queries, containment_rate, seed,
+                            &MakeQ31Selectivity);
+}
+
 std::vector<query::StarQuery> MixedWorkload(size_t num_queries,
                                             uint64_t seed) {
   Rng rng(seed);

@@ -58,6 +58,28 @@ std::vector<query::StarQuery> ShapeSkewedQ32Workload(size_t num_queries,
                                                      size_t distinct_shapes,
                                                      uint64_t seed);
 
+/// Similarity-skewed modified-Q3.2 workload for the dynamic query-folding
+/// experiments (fig_fold): the first 8 queries are wide "template" instances
+/// (6-nation IN-lists on customer and supplier, the full year span — all one
+/// aggregation shape); each later query is, with probability
+/// `containment_rate`, a narrowed instance of a random template (nation
+/// subsets + a year sub-range — provably contained, so query::QuerySubsumes
+/// holds against the template and the folding admission pass can subsume it
+/// onto the template's slot), and otherwise a fresh independent wide
+/// instance.
+std::vector<query::StarQuery> FoldableQ32Workload(size_t num_queries,
+                                                  double containment_rate,
+                                                  uint64_t seed);
+
+/// Same similarity-skewed workload at Q3.1's NATION grain (see
+/// MakeQ31Selectivity): identical selections and containment structure, but
+/// ~250 output groups per query instead of tens of thousands — per-query
+/// slice/render cost stays small relative to the shared scan, the regime
+/// where slot capacity (not result materialization) is the bottleneck.
+std::vector<query::StarQuery> FoldableQ31Workload(size_t num_queries,
+                                                  double containment_rate,
+                                                  uint64_t seed);
+
 /// Round-robin mix of Q1.1, Q2.1, Q3.2 with random parameters (Figure 16).
 std::vector<query::StarQuery> MixedWorkload(size_t num_queries,
                                             uint64_t seed);

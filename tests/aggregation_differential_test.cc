@@ -286,7 +286,7 @@ void RunTrial(size_t slots, uint64_t seed, bool preds_pre_applied) {
                     &scratch);
     }
     for (MemberRef& m : members) {
-      AggregateScalar(*groups[m.shape], {m.slot, preds[m.slot]}, batch,
+      AggregateScalar(*groups[m.shape], {m.slot, m.slot, false, preds[m.slot], {}}, batch,
                       FactSchema(), nullptr, preds_pre_applied, &m.scalar);
     }
   };
@@ -338,7 +338,7 @@ void RunTrial(size_t slots, uint64_t seed, bool preds_pre_applied) {
                     preds_pre_applied, &scratch);
     }
     for (MemberRef& m : survivors) {
-      AggregateScalar(*groups[m.shape], {m.slot, preds[m.slot]}, batch,
+      AggregateScalar(*groups[m.shape], {m.slot, m.slot, false, preds[m.slot], {}}, batch,
                       FactSchema(), nullptr, preds_pre_applied, &m.scalar);
     }
   }

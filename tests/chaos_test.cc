@@ -42,6 +42,7 @@
 #include "core/engine.h"
 #include "core/query_ticket.h"
 #include "ssb/ssb_generator.h"
+#include "ssb/ssb_queries.h"
 #include "ssb/workload.h"
 #include "storage/buffer_pool.h"
 #include "storage/storage_device.h"
@@ -192,6 +193,81 @@ void TestSharedAggFaultIsolation(Db* db) {
   const cjoin::CjoinStats after = engine.cjoin_stats();
   SDW_CHECK(after.queries_completed == 6);
   SDW_CHECK(after.agg_slice_emits >= 6);
+}
+
+// Phase A4: a permanent fact-page fault under ACTIVE dynamic query folding.
+// A wide host query is admitted first; two provably-contained satellites
+// arrive mid-cycle and fold onto its slot (no slots of their own). The
+// fault then poisons the tail of the epoch: host AND riders must fail with
+// the host's kDataLoss together — a satellite must never hang waiting on a
+// scan that died, and never emit a partial result. Resubmitting the same
+// satellites on the same engine must complete oracle-equal: the fold bits
+// and the shared aggregation group recycle cleanly after a faulted fold.
+void TestFoldedSatellitesShareHostFault(Db* db) {
+  core::EngineOptions opts = CjoinOpts();
+  opts.query_folding = true;
+  opts.cjoin.fold_bits = 64;
+  core::Engine engine(&db->catalog, db->pool.get(), opts);
+  ScopedFaults faults(105);
+  FaultSpec spec;
+  spec.kind = FaultKind::kPermanent;
+  // Fire on the LAST fact page of the host's cycle: the satellites fold at
+  // an admission pause within the first few pages, so by then every rider
+  // is attached and mid-cycle (pages_remaining > 0) — all take the fault.
+  spec.one_shot_at =
+      db->catalog.MustGetTable("lineorder")->num_pages();
+  spec.message = "chaos: simulated media error under folding";
+  RestrictToFactTable(&spec, *db);
+  FaultInjector::Global().Arm("storage.read", spec);
+
+  ssb::Q32SelectivityParams wide;
+  wide.cust_nations = {0, 1, 2, 3, 4, 5};
+  wide.supp_nations = {0, 1, 2, 3, 4, 5};
+  wide.year_lo = 1992;
+  wide.year_hi = 1998;
+  ssb::Q32SelectivityParams n1;
+  n1.cust_nations = {1, 3};
+  n1.supp_nations = {0, 2, 4};
+  n1.year_lo = 1993;
+  n1.year_hi = 1996;
+  ssb::Q32SelectivityParams n2;
+  n2.cust_nations = {5};
+  n2.supp_nations = {1, 5};
+  n2.year_lo = 1995;
+  n2.year_hi = 1995;
+  const std::vector<query::StarQuery> sats = {ssb::MakeQ32Selectivity(n1),
+                                              ssb::MakeQ32Selectivity(n2)};
+
+  core::QueryTicket host = engine.Submit(ssb::MakeQ32Selectivity(wide));
+  auto sat_tickets = engine.SubmitBatch(sats);
+
+  const Status host_status = host.Wait();
+  SDW_CHECK_MSG(host_status.code() == StatusCode::kDataLoss,
+                "faulted fold host finished %s (want kDataLoss)",
+                host_status.ToString().c_str());
+  for (const auto& t : sat_tickets) {
+    const Status s = t.Wait();
+    SDW_CHECK_MSG(s.code() == StatusCode::kDataLoss,
+                  "folded satellite finished %s (want host's kDataLoss)",
+                  s.ToString().c_str());
+  }
+  engine.WaitAll();
+  const cjoin::CjoinStats mid = engine.cjoin_stats();
+  SDW_CHECK_MSG(mid.queries_folded == sats.size(),
+                "expected %zu folds before the fault, saw %llu", sats.size(),
+                static_cast<unsigned long long>(mid.queries_folded));
+  SDW_CHECK(mid.queries_failed == 1 + sats.size());
+
+  // Re-admission after the fault: same satellites, same engine, clean run.
+  FaultInjector::Global().ClearSite("storage.read");
+  auto tickets2 = engine.SubmitBatch(sats);
+  for (size_t i = 0; i < tickets2.size(); ++i) {
+    const Status s = tickets2[i].Wait();
+    SDW_CHECK_MSG(s.ok(), "post-fault satellite resubmission finished %s",
+                  s.ToString().c_str());
+    CheckOracleEqual(db, sats[i], tickets2[i], "post-fault fold resubmit");
+  }
+  engine.WaitAll();
 }
 
 // Phase A2: a transient read error is retried inside the cursor and never
@@ -449,6 +525,7 @@ int main(int argc, char** argv) {
   auto db = MakeDb();
   TestPermanentFaultFailsOnlyAttachedEpoch(db.get());
   TestSharedAggFaultIsolation(db.get());
+  TestFoldedSatellitesShareHostFault(db.get());
   TestTransientFaultAbsorbedByRetry(db.get());
   TestOverloadSheddingAndResubmit(db.get());
   TestWatchdogConvertsStallIntoDeadline(db.get());

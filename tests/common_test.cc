@@ -10,6 +10,7 @@
 #include "common/bitmap.h"
 #include "common/breakdown.h"
 #include "common/cpu_meter.h"
+#include "common/retry.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/timing.h"
@@ -180,6 +181,33 @@ TEST(Breakdown, AccumulatesAndResets) {
   EXPECT_EQ(Breakdown::Global().Seconds(Component::kJoins), 0.0);
   Breakdown::Global().Reset();
   EXPECT_EQ(Breakdown::Global().TotalSeconds(), 0.0);
+}
+
+// Round trip of the shed-path resubmission hint: the rendered
+// "[retry_after_ms=N]" must parse back to a hint a client can actually obey.
+// The two regression shapes: a sub-millisecond hint must ROUND UP (truncation
+// rendered "retry_after_ms=0", which parses as "no hint" and turned shedding
+// into an immediate-resubmit hot loop), and an enormous hint must saturate in
+// the parser instead of overflowing int64 nanos into a negative backoff.
+TEST(Retry, RetryAfterHintRoundTrips) {
+  auto round_trip = [](int64_t nanos) {
+    return RetryAfterNanosFrom(
+        ResourceExhaustedWithRetryAfter("engine overloaded", nanos));
+  };
+  // Zero and sub-millisecond hints clamp up to the 1 ms floor — never 0.
+  EXPECT_EQ(round_trip(0), 1'000'000);
+  EXPECT_EQ(round_trip(1), 1'000'000);
+  EXPECT_EQ(round_trip(999'000), 1'000'000);
+  // Whole milliseconds are exact.
+  EXPECT_EQ(round_trip(1'000'000), 1'000'000);
+  // INT64_MAX ns renders as more ms than int64 nanos can hold; the parser
+  // saturates to the largest representable backoff (positive, never wraps).
+  constexpr int64_t kMaxRepresentable =
+      (INT64_MAX / 1'000'000) * 1'000'000;  // 9'223'372'036'854'000'000
+  EXPECT_EQ(round_trip(INT64_MAX), kMaxRepresentable);
+  EXPECT_GT(round_trip(INT64_MAX), 0);
+  // A status without the hint tag parses as "no hint".
+  EXPECT_EQ(RetryAfterNanosFrom(Status::ResourceExhausted("no hint here")), 0);
 }
 
 TEST(CpuMeter, MeasuresBusyWork) {

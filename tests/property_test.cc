@@ -419,5 +419,106 @@ TEST_P(SharedAggCancelProperty, CancelNeverPerturbsSurvivors) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SharedAggCancelProperty,
                          ::testing::Range(0, 6));
 
+// --------------------------------------------------- predicate containment
+
+// Soundness oracle for query::PredicateContains: sweep every row of `table`
+// and refute the claim "every tuple satisfying p2 satisfies p1" if any row
+// disagrees. The prover must never claim containment this sweep refutes —
+// that is the invariant the folding admission pass stands on.
+bool SweepContains(const storage::Table* table, const query::Predicate& p1,
+                   const query::Predicate& p2) {
+  const storage::Schema& schema = table->schema();
+  const query::Predicate::Bound b1 = p1.Bind(schema);
+  const query::Predicate::Bound b2 = p2.Bind(schema);
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    if (b2.Eval(schema, table->row(r)) && !b1.Eval(schema, table->row(r))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class PredicateContainsProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PredicateContainsProperty, NeverClaimsWhatASweepRefutes) {
+  TestDb* db = SharedSsbDb();
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7717 + 3);
+
+  const char* tables[] = {ssb::kSupplier, ssb::kCustomer, ssb::kDate,
+                          ssb::kPart};
+  size_t claims = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const storage::Table* table =
+        db->catalog.MustGetTable(tables[rng.Index(4)]);
+    query::Predicate p1 = RandomPredicate(table, &rng);
+    query::Predicate p2;
+    if (rng.Bernoulli(0.5)) {
+      // Biased pair: p2 strengthens p1 with extra clauses, so the claim
+      // p2 ⊆ p1 is semantically true and often provable — this drives the
+      // prover down its "claim" path instead of vacuous conservative-false.
+      p2 = p1;
+      const size_t extra = 1 + rng.Index(2);
+      for (size_t e = 0; e < extra; ++e) p2.And(RandomAtom(table, &rng));
+    } else {
+      p2 = RandomPredicate(table, &rng);
+    }
+    const bool claimed = query::PredicateContains(p1, p2);
+    if (claimed) {
+      ++claims;
+      EXPECT_TRUE(SweepContains(table, p1, p2))
+          << "unsound claim (trial " << trial
+          << "): p1=" << p1.Signature() << " p2=" << p2.Signature();
+    }
+  }
+  // The prover is allowed to be conservative, not vacuous: the biased pairs
+  // must produce real claims or this test proves nothing.
+  EXPECT_GT(claims, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PredicateContainsProperty,
+                         ::testing::Range(0, 8));
+
+// The exact narrowing shapes the folding workload relies on (IN-list subset
+// and interval inclusion) must be PROVABLE — conservative-false here would
+// silently disable folding for its headline use case.
+TEST(PredicateContains, ProvesWorkloadNarrowing) {
+  // Wide: s_nation IN {A,B,C}; narrow: s_nation IN {A,C}.
+  query::Predicate wide_in;
+  wide_in.AndAnyOf({query::AtomicPred::Str("s_nation", query::CompareOp::kEq,
+                                           "UNITED STATES"),
+                    query::AtomicPred::Str("s_nation", query::CompareOp::kEq,
+                                           "FRANCE"),
+                    query::AtomicPred::Str("s_nation", query::CompareOp::kEq,
+                                           "CHINA")});
+  query::Predicate narrow_in;
+  narrow_in.AndAnyOf({query::AtomicPred::Str("s_nation", query::CompareOp::kEq,
+                                             "UNITED STATES"),
+                      query::AtomicPred::Str("s_nation", query::CompareOp::kEq,
+                                             "CHINA")});
+  EXPECT_TRUE(query::PredicateContains(wide_in, narrow_in));
+  EXPECT_FALSE(query::PredicateContains(narrow_in, wide_in));
+
+  // Wide: d_year in [1992, 1998]; narrow: [1994, 1995].
+  query::Predicate wide_year;
+  wide_year.And(query::AtomicPred::Int("d_year", query::CompareOp::kGe, 1992));
+  wide_year.And(query::AtomicPred::Int("d_year", query::CompareOp::kLe, 1998));
+  query::Predicate narrow_year;
+  narrow_year.And(
+      query::AtomicPred::Int("d_year", query::CompareOp::kGe, 1994));
+  narrow_year.And(
+      query::AtomicPred::Int("d_year", query::CompareOp::kLe, 1995));
+  EXPECT_TRUE(query::PredicateContains(wide_year, narrow_year));
+  EXPECT_FALSE(query::PredicateContains(narrow_year, wide_year));
+
+  // Reflexivity on the provable shapes, and TRUE's special role: the empty
+  // predicate contains everything; nothing non-trivial contains TRUE.
+  EXPECT_TRUE(query::PredicateContains(wide_in, wide_in));
+  EXPECT_TRUE(query::PredicateContains(wide_year, wide_year));
+  const query::Predicate always_true;
+  EXPECT_TRUE(query::PredicateContains(always_true, wide_year));
+  EXPECT_TRUE(query::PredicateContains(always_true, always_true));
+  EXPECT_FALSE(query::PredicateContains(wide_year, always_true));
+}
+
 }  // namespace
 }  // namespace sdw

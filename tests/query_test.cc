@@ -232,5 +232,87 @@ TEST(StarQuerySig, SignatureCoversAllParts) {
   EXPECT_NE(a.Signature(), c.Signature());
 }
 
+// Regression for the AggSignature header/impl contradiction: the aggregation
+// SHAPE depends on the join-output schema, which dimension predicates do not
+// touch (their verdicts ride the filter bitmaps). Two queries differing only
+// in dimension predicate COLUMNS must share one AggSignature — that is what
+// lets shared aggregation (and query folding, which keys on the same
+// signature) group shifted-constant dashboard queries. Fact-predicate
+// columns DO widen the canonical fact projection, so they must split it.
+TEST(StarQuerySig, AggSignatureIgnoresDimPredicates) {
+  StarQuery a = ssb::MakeQ32({});
+  StarQuery b = a;
+  // Different dim predicate CONSTANTS: same shape.
+  b.dims[0].pred = Predicate();
+  b.dims[0].pred.And(AtomicPred::Str("s_nation", CompareOp::kEq, "PERU"));
+  EXPECT_EQ(a.AggSignature(), b.AggSignature());
+  // Different dim predicate COLUMNS: still the same shape.
+  StarQuery c = a;
+  c.dims[0].pred = Predicate();
+  c.dims[0].pred.And(AtomicPred::Str("s_region", CompareOp::kEq, "ASIA"));
+  EXPECT_EQ(a.AggSignature(), c.AggSignature());
+  // But the full plan signature must split all three.
+  EXPECT_NE(a.Signature(), b.Signature());
+  EXPECT_NE(a.Signature(), c.Signature());
+
+  // Fact predicate columns widen the join-output schema: distinct shapes.
+  StarQuery d = a;
+  d.fact_pred.And(AtomicPred::Int("lo_quantity", CompareOp::kLt, 25));
+  EXPECT_NE(a.AggSignature(), d.AggSignature());
+  // Fact predicate CONSTANTS do not.
+  StarQuery e = d;
+  e.fact_pred = Predicate();
+  e.fact_pred.And(AtomicPred::Int("lo_quantity", CompareOp::kGe, 40));
+  EXPECT_EQ(d.AggSignature(), e.AggSignature());
+}
+
+// Signatures are grouping keys, so adversarial identifiers that embed the
+// delimiter grammar must not collide ({"a,b"} vs {"a","b"} and friends).
+// Before EscapeSigToken these pairs were byte-identical.
+TEST(StarQuerySig, AdversarialNamesDoNotCollide) {
+  auto base = [] {
+    StarQuery q;
+    q.fact_table = "f";
+    DimJoin d;
+    d.dim_table = "dim";
+    d.fact_fk_column = "fk";
+    d.dim_pk_column = "pk";
+    q.dims.push_back(std::move(d));
+    AggSpec a;
+    a.kind = AggSpec::Kind::kCount;
+    a.out_name = "n";
+    q.aggregates.push_back(std::move(a));
+    return q;
+  };
+
+  // One payload column named "a,b" vs two named "a" and "b".
+  StarQuery one = base();
+  one.dims[0].payload_columns = {"a,b"};
+  StarQuery two = base();
+  two.dims[0].payload_columns = {"a", "b"};
+  EXPECT_NE(one.Signature(), two.Signature());
+  EXPECT_NE(one.AggSignature(), two.AggSignature());
+
+  // Group-by list with an embedded comma.
+  StarQuery g1 = base();
+  g1.group_by = {"x,y"};
+  StarQuery g2 = base();
+  g2.group_by = {"x", "y"};
+  EXPECT_NE(g1.AggSignature(), g2.AggSignature());
+
+  // A table name that embeds the section delimiter and the next section's
+  // prefix must not impersonate it.
+  StarQuery t1 = base();
+  t1.fact_table = "f;group=x";
+  StarQuery t2 = base();
+  t2.fact_table = "f";
+  t2.group_by = {"x"};
+  EXPECT_NE(t1.AggSignature(), t2.AggSignature());
+
+  // Escaping is deterministic: equal queries still collide (that's the
+  // point of a signature).
+  EXPECT_EQ(one.Signature(), StarQuery(one).Signature());
+}
+
 }  // namespace
 }  // namespace sdw::query
